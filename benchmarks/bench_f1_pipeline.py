@@ -1,0 +1,58 @@
+"""Experiment F1 (Fig. 1): the query-visualization pipeline.
+
+The paper's Fig. 1 shows an analyst dictating a query; the system parses it,
+shows the query back as a diagram, and returns the answers.  This harness
+runs that loop for every canonical query, reports the per-stage latency, and
+benchmarks the end-to-end pipeline — establishing that the "visualize the
+query back" step adds only milliseconds on top of answering it.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.core import QueryVisualizationPipeline
+from repro.queries import CANONICAL_QUERIES
+
+
+def test_f1_pipeline_artifact(db, capsys):
+    """Regenerate the Fig. 1 interaction for all canonical queries."""
+    pipeline = QueryVisualizationPipeline(db)
+    rows = []
+    for query in CANONICAL_QUERIES:
+        result = pipeline.run(query.sql)
+        answers = {row[0] for row in result.answers.distinct_rows()}
+        assert answers == set(query.expected_names)
+        assert result.diagram.nodes and result.diagram.validate() == []
+        rows.append([
+            query.id,
+            len(result.answers),
+            result.diagram.total_ink(),
+            f"{result.timings['parse'] * 1000:.2f}",
+            f"{result.timings['diagram'] * 1000:.2f}",
+            f"{result.timings['evaluate'] * 1000:.2f}",
+        ])
+    with capsys.disabled():
+        print_table(
+            "F1: dictate -> visualize -> answer (per canonical query)",
+            ["query", "answers", "diagram ink", "parse ms", "diagram ms", "evaluate ms"],
+            rows,
+        )
+
+
+def test_f1_pipeline_latency(benchmark, db):
+    """End-to-end pipeline latency for the hardest canonical query (Q4)."""
+    pipeline = QueryVisualizationPipeline(db)
+    sql = CANONICAL_QUERIES[3].sql
+
+    result = benchmark(lambda: pipeline.run(sql))
+    assert {row[0] for row in result.answers.distinct_rows()} == {"Dustin", "Lubber"}
+
+
+def test_f1_visualization_only_latency(benchmark, db):
+    """Diagram generation alone (the incremental cost of Fig. 1's visual reply)."""
+    pipeline = QueryVisualizationPipeline(db)
+    sql = CANONICAL_QUERIES[3].sql
+
+    result = benchmark(lambda: pipeline.run(sql, evaluate=False))
+    assert result.answers is None

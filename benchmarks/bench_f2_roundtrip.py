@@ -1,0 +1,62 @@
+"""Experiment F2 (Fig. 2): query -> visualization -> refinement -> verification.
+
+Fig. 2 closes the loop: the user refines the query and the system must show
+whether the new phrasing still means the same thing.  The check behind that
+interaction is pattern isomorphism; this harness verifies that syntactic
+refinements (alias renaming, NOT IN ↔ NOT EXISTS, reordered predicates) are
+recognised as "same query", that real changes are not, and benchmarks the
+consistency check.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.core import QueryVisualizationPipeline
+
+#: (original, refinement, should be recognised as the same pattern?)
+REFINEMENTS = [
+    (
+        "SELECT S.sname FROM Sailors S, Reserves R WHERE S.sid = R.sid AND R.bid = 102",
+        "SELECT X.sname FROM Sailors X, Reserves Y WHERE Y.bid = 102 AND X.sid = Y.sid",
+        True,
+    ),
+    (
+        "SELECT S.sname FROM Sailors S WHERE S.sid NOT IN "
+        "(SELECT R.sid FROM Reserves R WHERE R.bid = 103)",
+        "SELECT S.sname FROM Sailors S WHERE NOT EXISTS "
+        "(SELECT R.sid FROM Reserves R WHERE R.sid = S.sid AND R.bid = 103)",
+        True,
+    ),
+    (
+        "SELECT S.sname FROM Sailors S, Reserves R WHERE S.sid = R.sid AND R.bid = 102",
+        "SELECT S.sname FROM Sailors S, Reserves R WHERE S.sid = R.sid AND R.bid = 104",
+        False,
+    ),
+    (
+        "SELECT S.sname FROM Sailors S WHERE S.sid IN (SELECT R.sid FROM Reserves R)",
+        "SELECT S.sname FROM Sailors S WHERE S.sid NOT IN (SELECT R.sid FROM Reserves R)",
+        False,
+    ),
+]
+
+
+def test_f2_roundtrip_artifact(db, capsys):
+    pipeline = QueryVisualizationPipeline(db)
+    rows = []
+    for original, refined, expected in REFINEMENTS:
+        same = pipeline.round_trip_consistent(original, refined)
+        assert same == expected
+        rows.append([original[:48] + "...", refined[:48] + "...",
+                     "same pattern" if same else "DIFFERENT"])
+    with capsys.disabled():
+        print_table("F2: refinement verification (pattern round trip)",
+                    ["original", "refinement", "verdict"], rows)
+
+
+def test_f2_roundtrip_latency(benchmark, db):
+    pipeline = QueryVisualizationPipeline(db)
+    original, refined, _ = REFINEMENTS[1]
+
+    same = benchmark(lambda: pipeline.round_trip_consistent(original, refined))
+    assert same

@@ -1,0 +1,101 @@
+"""Experiment S1: scalability of the engines and of diagram generation.
+
+The tutorial's "automatic translation" principle presumes query visualization
+is cheap enough to run on every keystroke.  This harness measures how the
+SQL/RA/TRC evaluators scale with database size, how diagram building and
+layout scale with query size (length of the join chain), and benchmarks the
+renderers.  Shape expectations: evaluation grows with the data, but diagram
+generation is independent of the data and grows linearly with the query.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.core import compute_layout, visualize_sql
+from repro.data import random_sailors_database
+from repro.data.sailors import SAILORS_DATABASE_SCHEMA
+from repro.queries import Q2_RED_BOAT
+from repro.ra import evaluate as evaluate_ra, parse_ra
+from repro.sql import evaluate_sql
+from repro.translate import sql_to_trc
+from repro.trc import evaluate_trc
+
+SIZES = [10, 40, 160]
+
+
+def _database(n: int):
+    return random_sailors_database(n_sailors=n, n_boats=max(4, n // 5),
+                                   n_reserves=n * 3, seed=42)
+
+
+def _chain_sql(n_tables: int) -> str:
+    tables = ["Sailors S"] + [f"Reserves R{i}" for i in range(n_tables)]
+    conditions = [f"S.sid = R{i}.sid" for i in range(n_tables)]
+    return f"SELECT S.sname FROM {', '.join(tables)} WHERE {' AND '.join(conditions)}"
+
+
+def test_s1_engine_scaling_artifact(capsys):
+    rows = []
+    for size in SIZES:
+        db = _database(size)
+        import time
+
+        timings = {}
+        start = time.perf_counter()
+        sql_rows = len(evaluate_sql(Q2_RED_BOAT.sql, db))
+        timings["SQL"] = time.perf_counter() - start
+        start = time.perf_counter()
+        ra_rows = len(evaluate_ra(parse_ra(Q2_RED_BOAT.ra), db))
+        timings["RA"] = time.perf_counter() - start
+        start = time.perf_counter()
+        trc_rows = len(evaluate_trc(sql_to_trc(Q2_RED_BOAT.sql, db.schema), db))
+        timings["TRC"] = time.perf_counter() - start
+        assert ra_rows == trc_rows
+        rows.append([size, db.total_rows(), sql_rows,
+                     *(f"{timings[k] * 1000:.1f}" for k in ("SQL", "RA", "TRC"))])
+    with capsys.disabled():
+        print_table("S1: evaluation time vs database size (Q2, ms)",
+                    ["sailors", "total rows", "result rows (bag)", "SQL ms", "RA ms", "TRC ms"],
+                    rows)
+
+
+def test_s1_diagram_scaling_artifact(capsys):
+    rows = []
+    previous_ink = 0
+    for n_tables in (1, 2, 4, 8):
+        diagram = visualize_sql(_chain_sql(n_tables), formalism="relational_diagrams")
+        ink = diagram.total_ink()
+        assert ink > previous_ink
+        previous_ink = ink
+        layout = compute_layout(diagram)
+        rows.append([n_tables + 1, len(diagram.nodes), len(diagram.edges), ink,
+                     f"{layout.width:.0f}x{layout.height:.0f}"])
+    with capsys.disabled():
+        print_table("S1: diagram size vs join-chain length (Relational Diagrams)",
+                    ["tables", "nodes", "edges", "ink", "layout (px)"], rows)
+
+
+def test_s1_sql_evaluation_latency(benchmark):
+    db = _database(80)
+    result = benchmark(lambda: evaluate_sql(Q2_RED_BOAT.sql, db))
+    assert result is not None
+
+
+def test_s1_trc_evaluation_latency(benchmark):
+    db = _database(40)
+    trc = sql_to_trc(Q2_RED_BOAT.sql, db.schema)
+    result = benchmark(lambda: evaluate_trc(trc, db))
+    assert result is not None
+
+
+def test_s1_diagram_generation_latency(benchmark):
+    sql = _chain_sql(6)
+    diagram = benchmark(lambda: visualize_sql(sql, formalism="queryvis"))
+    assert diagram.nodes
+
+
+def test_s1_svg_rendering_latency(benchmark):
+    diagram = visualize_sql(_chain_sql(6), formalism="queryvis")
+    svg = benchmark(diagram.to_svg)
+    assert svg.startswith("<svg")

@@ -1,0 +1,57 @@
+"""Experiment T1 (Part 3 of the tutorial): the 5-query × 5-language matrix.
+
+The tutorial expresses each example query in SQL, RA, TRC, DRC, and Datalog
+and relies on their equivalence throughout.  This harness regenerates that
+matrix: every cell is evaluated by its own engine on the cow-book instance,
+the empty instance, and a family of random instances, and all 25 cells must
+agree query-wise.  The shape to reproduce: 25/25 agreement.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.queries import CANONICAL_QUERIES, LANGUAGES
+from repro.translate import answer_set, check_equivalence, standard_database_battery
+
+
+def test_t1_language_matrix_artifact(db, capsys):
+    battery = standard_database_battery(extra_random=3, rows=8)
+    rows = []
+    agreeing = 0
+    for query in CANONICAL_QUERIES:
+        reference = answer_set(query.sql, db)
+        cells = []
+        for language in LANGUAGES:
+            answer = answer_set(query.languages()[language], db)
+            same = answer == reference
+            agreeing += int(same)
+            cells.append(f"{len(answer)}{'' if same else '!'}")
+        result = check_equivalence(list(query.languages().values()), battery)
+        assert result.equivalent, result.details
+        rows.append([query.id, *cells, f"{result.databases_checked} dbs"])
+    assert agreeing == len(CANONICAL_QUERIES) * len(LANGUAGES)
+    with capsys.disabled():
+        print_table(
+            "T1: answers per language on the cow-book instance "
+            "(! would mark a disagreement; none expected)",
+            ["query", *LANGUAGES, "equivalence checked on"],
+            rows,
+        )
+
+
+def test_t1_equivalence_check_latency(benchmark):
+    """Time the full five-way equivalence check for the division query (Q4)."""
+    query = CANONICAL_QUERIES[3]
+    battery = standard_database_battery(extra_random=2, rows=6)
+
+    result = benchmark(lambda: check_equivalence(list(query.languages().values()), battery))
+    assert result.equivalent
+
+
+def test_t1_single_language_evaluation(benchmark, db):
+    """Baseline: evaluating just the SQL representation of Q4."""
+    query = CANONICAL_QUERIES[3]
+
+    answers = benchmark(lambda: answer_set(query.sql, db))
+    assert {row[0] for row in answers} == {"Dustin", "Lubber"}

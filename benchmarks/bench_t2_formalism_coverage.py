@@ -1,0 +1,76 @@
+"""Experiment T2 (Parts 4–5): which formalism can represent which query.
+
+The tutorial's historical comparison boils down to a coverage matrix:
+formalism × canonical query.  The expected shape (and the tutorial's
+headline, following Shin): disjunction (Q5) is representable by strictly
+fewer formalisms than the conjunctive queries, and conjunctive-only tools
+(commercial query builders) drop out already at negation/universals.
+For implemented formalisms the matrix is confirmed by actually building the
+diagram rather than trusting the capability table.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.core.registry import REGISTRY, coverage_matrix, formalism
+from repro.diagrams import available_builders, build_diagram
+from repro.queries import CANONICAL_QUERIES
+
+
+def test_t2_coverage_matrix_artifact(schema, capsys):
+    matrix = coverage_matrix()
+    rows = []
+    for info in REGISTRY:
+        cells = ["yes" if matrix[info.key][q.id] else "-" for q in CANONICAL_QUERIES]
+        rows.append([info.name[:34], info.family, *cells])
+
+    per_query = {q.id: sum(1 for info in REGISTRY if matrix[info.key][q.id])
+                 for q in CANONICAL_QUERIES}
+    # Shape: disjunction is the hardest; plain joins are the easiest.
+    assert per_query["Q5"] < per_query["Q1"]
+    assert per_query["Q4"] <= per_query["Q2"]
+    assert not matrix["query_builders"]["Q4"]
+    assert matrix["peirce_beta"]["Q5"]
+
+    with capsys.disabled():
+        print_table("T2: formalism x query coverage",
+                    ["formalism", "family", *(q.id for q in CANONICAL_QUERIES)], rows)
+        print_table("T2 summary: formalisms covering each query",
+                    ["query", "feature", "#formalisms"],
+                    [[q.id, "/".join(q.features), per_query[q.id]] for q in CANONICAL_QUERIES])
+
+
+def test_t2_builders_confirm_capabilities(schema):
+    """Whenever the capability table says 'yes' and a builder exists, the build must succeed."""
+    from repro.diagrams.qbe import qbe_division_steps
+
+    matrix = coverage_matrix()
+    checked = 0
+    for key in available_builders():
+        info = formalism(key)
+        for query in CANONICAL_QUERIES:
+            if not matrix[key][query.id]:
+                continue
+            if key == "qbe" and "universal" in query.features:
+                # QBE covers division only through its two-step recipe.
+                steps = qbe_division_steps(schema)
+                assert len(steps) == 2 and all(s.to_diagram(schema).nodes for s in steps)
+                checked += 1
+                continue
+            diagram = build_diagram(key, query.sql if info.based_on != "RA" else query.ra,
+                                    schema)
+            assert diagram.nodes
+            checked += 1
+    assert checked >= 25
+
+
+def test_t2_build_all_formalisms_latency(benchmark, schema):
+    """Time building Q3 (join + negation) in every implemented formalism."""
+    query = CANONICAL_QUERIES[2]
+
+    def build_all():
+        return [build_diagram(key, query.sql, schema) for key in available_builders()]
+
+    diagrams = benchmark(build_all)
+    assert len(diagrams) == len(available_builders())

@@ -1,0 +1,48 @@
+"""Experiment T3 (Part 2): scoring formalisms against the QV principles.
+
+The tutorial's principles of query visualization (correspondence, invariance,
+completeness, economy) are evaluated programmatically for the implemented
+formalisms.  The shape to reproduce: pattern-based formalisms (QueryVis,
+Relational Diagrams) satisfy the correspondence and invariance principles,
+syntax-based visualizations (SQLVis, Visual SQL) do not.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.core import PRINCIPLES, principles_table, score_formalism
+
+SCORED = ["queryvis", "relational_diagrams", "sqlvis", "visual_sql", "dfql", "peirce_beta"]
+
+
+def _cell(value) -> str:
+    if value is True:
+        return "yes"
+    if value is False:
+        return "no"
+    return "n/a"
+
+
+def test_t3_principles_artifact(capsys):
+    table = principles_table(SCORED)
+    rows = []
+    for key in SCORED:
+        score = table[key]
+        rows.append([key] + [_cell(score.scores.get(p.key)) for p in PRINCIPLES])
+
+    # Shape assertions: pattern-based beats syntax-based on invariance/correspondence.
+    assert table["queryvis"].scores["invariance"] is True
+    assert table["relational_diagrams"].scores["correspondence"] is True
+    assert table["sqlvis"].scores["invariance"] is False
+    assert table["visual_sql"].scores["correspondence"] is False
+    assert table["queryvis"].satisfied_count() > table["sqlvis"].satisfied_count() - 1
+
+    with capsys.disabled():
+        print_table("T3: principles of query visualization (programmatic scoring)",
+                    ["formalism", *(p.key for p in PRINCIPLES)], rows)
+
+
+def test_t3_scoring_latency(benchmark):
+    score = benchmark(lambda: score_formalism("relational_diagrams"))
+    assert score.scores["invariance"] is True

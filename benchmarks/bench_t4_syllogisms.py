@@ -1,0 +1,56 @@
+"""Experiment T4 (Part 4): syllogistic reasoning with Euler/Venn semantics.
+
+The early diagrammatic systems were built for syllogisms.  The classical
+results are sharp and make a good correctness anchor for the region-model
+semantics shared by the Euler and Venn modules: of the 256 syllogistic forms,
+exactly 15 are valid under modern semantics and 24 under existential import,
+and Venn-diagram entailment agrees with the region semantics on every form.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.diagrams.syllogism import (
+    NAMED_SYLLOGISMS,
+    Syllogism,
+    all_syllogisms,
+    valid_syllogisms,
+)
+from repro.diagrams.venn import venn_syllogism_test
+
+
+def test_t4_syllogism_counts_artifact(capsys):
+    modern = valid_syllogisms()
+    traditional = valid_syllogisms(existential_import=True)
+    assert len(all_syllogisms()) == 256
+    assert len(modern) == 15
+    assert len(traditional) == 24
+    assert {(s.mood, s.figure) for s in modern} <= {(s.mood, s.figure) for s in traditional}
+
+    rows = []
+    for syllogism in traditional:
+        name = NAMED_SYLLOGISMS.get((syllogism.mood, syllogism.figure), "")
+        unconditional = syllogism in modern or any(
+            s.mood == syllogism.mood and s.figure == syllogism.figure for s in modern)
+        rows.append([syllogism.name(), name or "(conditionally valid)",
+                     "yes" if unconditional else "needs existential import"])
+    with capsys.disabled():
+        print_table("T4: valid syllogisms (15 modern / 24 with existential import)",
+                    ["form", "traditional name", "valid unconditionally"], rows)
+
+
+def test_t4_venn_agrees_with_region_semantics():
+    """Reading validity off the Venn diagram matches the region-model answer."""
+    sample = [Syllogism(mood, figure)
+              for mood in ("AAA", "AAI", "EAE", "AII", "OAO", "IAI", "EIO", "AEE", "III", "OOO")
+              for figure in (1, 2, 3, 4)]
+    for syllogism in sample:
+        major, minor, conclusion = syllogism.propositions()
+        assert venn_syllogism_test(major, minor, conclusion) == syllogism.is_valid()
+
+
+def test_t4_full_enumeration_latency(benchmark):
+    counts = benchmark(lambda: (len(valid_syllogisms()),
+                                len(valid_syllogisms(existential_import=True))))
+    assert counts == (15, 24)

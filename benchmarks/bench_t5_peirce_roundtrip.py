@@ -1,0 +1,76 @@
+"""Experiment T5 (Part 4): Peirce beta graphs ↔ DRC.
+
+The tutorial spends a section on the imperfect mapping between beta
+existential graphs and the Boolean fragment of DRC.  This harness quantifies
+the part that *does* work: for a battery of DRC sentences over the sailors
+schema, translating to a beta graph and reading the graph back preserves the
+truth value on the database; and it demonstrates the advertised structural
+facts (cuts = negation depth, universal quantification = two nested cuts).
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.diagrams.peirce_beta import beta_diagram, beta_graph_of, drc_of_beta
+from repro.drc import evaluate_drc_boolean, parse_drc_formula
+
+SENTENCES = [
+    ("some red boat exists", "exists b, n (Boats(b, n, 'red'))", True),
+    ("no purple boat exists", "not exists b, n (Boats(b, n, 'purple'))", True),
+    ("every boat is red", "forall b, n, c (Boats(b, n, c) -> c = 'red')", False),
+    ("every reservation has a sailor",
+     "forall s, b, d (Reserves(s, b, d) -> exists n, r, a (Sailors(s, n, r, a)))", True),
+    ("every red boat is reserved",
+     "forall b, n (Boats(b, n, 'red') -> exists s, d (Reserves(s, b, d)))", True),
+    ("some sailor reserved every red boat",
+     "exists s, n, r, a (Sailors(s, n, r, a) and "
+     "forall b, bn (Boats(b, bn, 'red') -> exists d (Reserves(s, b, d))))", True),
+    ("no sailor reserved every boat (false: Dustin reserved all four)",
+     "not exists s, n, r, a (Sailors(s, n, r, a) and "
+     "forall b, bn, c (Boats(b, bn, c) -> exists d (Reserves(s, b, d))))", False),
+]
+
+
+def test_t5_roundtrip_artifact(db, capsys):
+    rows = []
+    preserved = 0
+    for title, text, expected in SENTENCES:
+        formula = parse_drc_formula(text)
+        truth = evaluate_drc_boolean(formula, db)
+        assert truth == expected
+        graph = beta_graph_of(formula)
+        back = drc_of_beta(graph)
+        round_truth = evaluate_drc_boolean(back, db)
+        preserved += int(round_truth == truth)
+        rows.append([title, str(truth), len(graph.cuts), len(graph.lines),
+                     len(graph.spots), "yes" if round_truth == truth else "NO"])
+    assert preserved == len(SENTENCES)
+    with capsys.disabled():
+        print_table("T5: DRC sentence -> beta graph -> DRC round trip",
+                    ["statement", "truth", "cuts", "lines of identity", "spots",
+                     "round trip preserves truth"], rows)
+
+
+def test_t5_universal_needs_two_cuts():
+    graph = beta_graph_of(parse_drc_formula(
+        "forall b, n (Boats(b, n, 'red') -> exists s, d (Reserves(s, b, d)))"))
+    assert graph.cut_depth() == 2
+    diagram = beta_diagram(graph)
+    assert diagram.element_counts()["negation_groups"] == 2
+
+
+def test_t5_translation_latency(benchmark):
+    formula = parse_drc_formula(SENTENCES[5][1])
+
+    graph = benchmark(lambda: beta_graph_of(formula))
+    assert graph.spots
+
+
+def test_t5_roundtrip_latency(benchmark, db):
+    formula = parse_drc_formula(SENTENCES[5][1])
+
+    def roundtrip():
+        return evaluate_drc_boolean(drc_of_beta(beta_graph_of(formula)), db)
+
+    assert benchmark(roundtrip) is True

@@ -1,0 +1,76 @@
+"""Experiment T7 (Part 6): diagram sizes and the "three abuses of the line".
+
+The tutorial's closing lesson concerns overloaded visual vocabulary: lines
+that mean identity in one place, membership in another, and mere reading
+order in a third.  This harness measures, per formalism and per canonical
+query, the element counts and how many distinct jobs lines perform.  The
+shapes to reproduce: QueryVis uses lines for two jobs (joins + reading-order
+arrows) where Relational Diagrams use them for one; syntax trees (Visual SQL)
+use strictly more nodes than pattern-based diagrams for the same query.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.core.metrics import measure
+from repro.diagrams import build_diagram
+from repro.queries import CANONICAL_QUERIES
+
+FORMALISMS = ["queryvis", "relational_diagrams", "peirce_beta", "string_diagrams",
+              "conceptual", "sqlvis", "visual_sql"]
+
+
+def _diagrams_for(query, schema):
+    out = {}
+    for key in FORMALISMS:
+        try:
+            out[key] = build_diagram(key, query.sql, schema)
+        except Exception:
+            continue
+    return out
+
+
+def test_t7_diagram_size_artifact(schema, capsys):
+    rows = []
+    queryvis_roles = None
+    relational_roles = None
+    for query in CANONICAL_QUERIES:
+        for key, diagram in _diagrams_for(query, schema).items():
+            metric = measure(diagram)
+            counts = metric.counts
+            rows.append([query.id, key, counts["nodes"], counts["attribute_rows"],
+                         counts["edges"], counts["groups"], counts["max_nesting_depth"],
+                         metric.total_ink, metric.distinct_line_roles])
+            if query.id == "Q4" and key == "queryvis":
+                queryvis_roles = metric.distinct_line_roles
+            if query.id == "Q4" and key == "relational_diagrams":
+                relational_roles = metric.distinct_line_roles
+
+    # The "abuse of the line" shape: QueryVis needs one more line job (reading
+    # order) than Relational Diagrams for the same query.
+    assert queryvis_roles is not None and relational_roles is not None
+    assert queryvis_roles == relational_roles + 1
+
+    with capsys.disabled():
+        print_table("T7: diagram element counts per formalism",
+                    ["query", "formalism", "nodes", "rows", "edges", "groups",
+                     "depth", "ink", "line jobs"], rows)
+
+
+def test_t7_pattern_beats_syntax_on_size(schema):
+    """Pattern-based diagrams stay smaller than full syntax trees for nested queries."""
+    query = CANONICAL_QUERIES[3]  # Q4, doubly nested
+    relational = build_diagram("relational_diagrams", query.sql, schema)
+    visual_sql = build_diagram("visual_sql", query.sql, schema)
+    assert len(relational.nodes) < len(visual_sql.nodes)
+
+
+def test_t7_measurement_latency(benchmark, schema):
+    query = CANONICAL_QUERIES[3]
+
+    def build_and_measure():
+        return [measure(d) for d in _diagrams_for(query, schema).values()]
+
+    metrics = benchmark(build_and_measure)
+    assert len(metrics) >= 5

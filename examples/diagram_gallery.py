@@ -1,0 +1,67 @@
+"""A gallery of the surveyed formalisms applied to one query (Parts 4–5).
+
+Builds the "sailors who reserved all red boats" query (Q4) — the tutorial's
+favourite example for universal quantification — in every implemented
+formalism that can express it, prints the ASCII rendering of a few, writes
+SVG files for all of them into ``examples/out/``, and reports the element
+counts compared in experiment T7.
+
+Run with::
+
+    python examples/diagram_gallery.py
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core import save_svg
+from repro.core.metrics import compare, size_table
+from repro.data import sailors_database
+from repro.diagrams import available_builders, build_diagram
+from repro.diagrams.qbe import qbe_division_steps
+from repro.queries import Q4_ALL_RED, Q4_ALL_RED_DIVISION_RA
+
+OUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
+
+
+def main() -> None:
+    schema = sailors_database().schema
+    os.makedirs(OUT_DIR, exist_ok=True)
+
+    diagrams = {}
+    for key in available_builders():
+        try:
+            query = Q4_ALL_RED.ra if key == "dfql" else Q4_ALL_RED.sql
+            diagrams[key] = build_diagram(key, query, schema)
+        except Exception as exc:
+            print(f"[{key}] cannot draw Q4 in one diagram: {exc}")
+
+    # QBE needs its two-step recipe — include both screens in the gallery.
+    for index, step in enumerate(qbe_division_steps(schema), start=1):
+        diagrams[f"qbe_step{index}"] = step.to_diagram(schema, name=f"QBE step {index}")
+
+    # DFQL is most interesting on the division form of the algebra.
+    diagrams["dfql_division"] = build_diagram("dfql", Q4_ALL_RED_DIVISION_RA, schema)
+
+    print(f"\nQuery: {Q4_ALL_RED.title}\nSQL:   {Q4_ALL_RED.sql}\n")
+
+    for key in ("queryvis", "relational_diagrams", "peirce_beta"):
+        if key in diagrams:
+            print(f"--- {key} " + "-" * (70 - len(key)))
+            print(diagrams[key].to_ascii())
+            print()
+
+    written = []
+    for key, diagram in diagrams.items():
+        path = os.path.join(OUT_DIR, f"q4_{key}.svg")
+        save_svg(diagram, path)
+        written.append(path)
+    print(f"wrote {len(written)} SVG files to {OUT_DIR}")
+
+    print("\nElement counts (experiment T7):")
+    print(size_table(compare(diagrams)))
+
+
+if __name__ == "__main__":
+    main()

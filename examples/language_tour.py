@@ -1,0 +1,42 @@
+"""The five tutorial queries in the five textual languages (Part 3 of the paper).
+
+For every canonical query, print its SQL / RA / TRC / DRC / Datalog spelling,
+evaluate all five with their own engines, and confirm they agree — the T1
+experiment as a narrative walk-through.
+
+Run with::
+
+    python examples/language_tour.py
+"""
+
+from __future__ import annotations
+
+from repro.data import sailors_database
+from repro.queries import CANONICAL_QUERIES
+from repro.translate import answer_set
+
+
+def main() -> None:
+    db = sailors_database()
+    for query in CANONICAL_QUERIES:
+        print("=" * 78)
+        print(f"{query.id}: {query.title}")
+        print(f"    {query.description}")
+        print()
+        answers = {}
+        for language, text in query.languages().items():
+            answers[language] = answer_set(text, db)
+            indented = "\n        ".join(text.splitlines())
+            print(f"    {language}:")
+            print(f"        {indented}")
+        reference = answers["SQL"]
+        agreement = all(answer == reference for answer in answers.values())
+        names = sorted(row[0] for row in reference)
+        print()
+        print(f"    answers ({len(names)}): {', '.join(str(n) for n in names)}")
+        print(f"    all five languages agree: {'yes' if agreement else 'NO'}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""The pre-database formalisms (Part 4): syllogisms, Venn diagrams, Peirce graphs.
+
+Demonstrates the reasoning side of the early diagrammatic systems:
+checking syllogisms with the Euler/Venn region semantics, manipulating
+Peirce's alpha graphs with his inference rules, and translating a
+first-order statement about the sailors database into a beta existential
+graph and back.
+
+Run with::
+
+    python examples/peirce_and_syllogisms.py
+"""
+
+from __future__ import annotations
+
+from repro.data import sailors_database
+from repro.diagrams.peirce_alpha import (
+    alpha_diagram,
+    double_cut_insert,
+    formula_of,
+    graph_of,
+    graphs_equivalent,
+)
+from repro.diagrams.peirce_beta import beta_diagram, beta_graph_of, drc_of_beta
+from repro.diagrams.syllogism import NAMED_SYLLOGISMS, Syllogism, valid_syllogisms
+from repro.diagrams.venn import VennDiagram
+from repro.drc import evaluate_drc_boolean, format_drc_formula, parse_drc_formula
+from repro.logic import Implies, prop
+
+
+def syllogisms() -> None:
+    print("=" * 78)
+    print("Syllogisms under the region semantics shared by Euler and Venn diagrams")
+    modern = valid_syllogisms()
+    traditional = valid_syllogisms(existential_import=True)
+    print(f"  forms checked: 256   valid (modern): {len(modern)}   "
+          f"valid (existential import): {len(traditional)}")
+    barbara = Syllogism("AAA", 1)
+    darapti = Syllogism("AAI", 3)
+    print(f"  Barbara (AAA-1) valid: {barbara.is_valid()}")
+    print(f"  Darapti (AAI-3) valid: {darapti.is_valid()} "
+          f"(with existential import: {darapti.is_valid(existential_import=True)})")
+    print("  the 15 unconditionally valid forms:",
+          ", ".join(sorted(NAMED_SYLLOGISMS.values())))
+
+    diagram = VennDiagram.from_propositions(list(barbara.propositions()[:2]))
+    print("\n  Venn diagram for Barbara's premises (symbolic):")
+    print(f"    shaded regions   : {len(diagram.shaded)}")
+    print(f"    entails conclusion: {diagram.entails(barbara.propositions()[2])}")
+
+
+def alpha_graphs() -> None:
+    print("\n" + "=" * 78)
+    print("Peirce alpha graphs (propositional logic)")
+    rain, wet = prop("rain"), prop("wet")
+    implication = Implies(rain, wet)
+    graph = graph_of(implication)
+    print(f"  formula: {implication}")
+    print(f"  cuts: {graph.cut_count()}   letters: {graph.letter_count()}")
+    print(f"  read back: {formula_of(graph)}")
+    print(f"  double-cut rule preserves meaning: "
+          f"{graphs_equivalent(graph, double_cut_insert(graph))}")
+    print()
+    print(alpha_diagram(implication).to_ascii())
+
+
+def beta_graphs() -> None:
+    print("\n" + "=" * 78)
+    print("Peirce beta graphs (first-order statements over the sailors database)")
+    db = sailors_database()
+    statement = parse_drc_formula(
+        "exists s, n, r, a (Sailors(s, n, r, a) and "
+        "forall b, bn (Boats(b, bn, 'red') -> exists d (Reserves(s, b, d))))")
+    print("  statement:", format_drc_formula(statement, unicode=True))
+    print("  true on the cow-book instance:", evaluate_drc_boolean(statement, db))
+    graph = beta_graph_of(statement)
+    print(f"  beta graph: {len(graph.spots)} spots, {len(graph.lines)} lines of identity, "
+          f"{len(graph.cuts)} cuts (depth {graph.cut_depth()})")
+    back = drc_of_beta(graph)
+    print("  read back :", format_drc_formula(back, unicode=True))
+    print("  truth preserved:", evaluate_drc_boolean(back, db) == evaluate_drc_boolean(statement, db))
+    print()
+    print(beta_diagram(graph).to_ascii())
+
+
+def main() -> None:
+    syllogisms()
+    alpha_graphs()
+    beta_graphs()
+
+
+if __name__ == "__main__":
+    main()

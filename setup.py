@@ -1,0 +1,21 @@
+"""Setup shim.
+
+The project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on environments with older setuptools/pip that
+lack PEP 660 editable-wheel support (e.g. offline boxes without the
+``wheel`` package).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Diagrammatic representations of logical statements and relational "
+        "queries: a query-visualization toolkit"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

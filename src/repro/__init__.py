@@ -1,0 +1,38 @@
+"""repro: diagrammatic representations of logical statements and relational queries.
+
+A from-scratch, pure-Python reproduction of the system surveyed in
+"A Comprehensive Tutorial on over 100 Years of Diagrammatic Representations
+of Logical Statements and Relational Queries" (ICDE 2024): relational query
+languages (SQL, RA, TRC, DRC, Datalog), translators between them, and the
+diagrammatic formalisms that visualize them (QueryVis, Relational Diagrams,
+Peirce's existential graphs, Euler/Venn diagrams, QBE, DFQL, and more).
+
+Quickstart::
+
+    from repro import visualize_sql, sailors_database
+
+    diagram = visualize_sql(
+        "SELECT S.sname FROM Sailors S WHERE S.sid IN (SELECT R.sid FROM Reserves R)"
+    )
+    print(diagram.to_ascii())
+"""
+
+__version__ = "1.0.0"
+
+from repro.data import Database, Relation, sailors_database
+
+__all__ = [
+    "Database",
+    "Relation",
+    "sailors_database",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    """Lazy access to the heavier subsystems (keeps ``import repro`` light)."""
+    if name in ("visualize_sql", "QueryVisualizationPipeline", "explain_sql"):
+        from repro.core import pipeline
+
+        return getattr(pipeline, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

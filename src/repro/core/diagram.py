@@ -1,0 +1,269 @@
+"""A formalism-agnostic diagram model.
+
+Every diagrammatic formalism in this project (QueryVis, Relational Diagrams,
+Peirce graphs, Euler/Venn, QBE, DFQL, ...) builds the same kind of object: a
+:class:`Diagram` made of *nodes* (table boxes, predicates, dots, operator
+bubbles), *edges* (lines and arrows, optionally attached to a specific
+attribute row of a table node), and *groups* (nested bounding boxes: query
+blocks, negation boxes, Peirce cuts).  The renderers in
+:mod:`repro.core.render_svg`, :mod:`repro.core.render_dot`, and
+:mod:`repro.core.render_text` consume this model, so each formalism only has
+to worry about *what* to draw, not *how*.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
+
+
+class DiagramError(Exception):
+    """Raised for malformed diagrams (dangling edges, cyclic groups, ...)."""
+
+
+@dataclass(frozen=True)
+class DiagramNode:
+    """One visual node.
+
+    ``kind`` is a free-form tag used by metrics and by formalism-specific
+    post-processing; the renderers only look at ``shape``, ``label``, and
+    ``rows``.  Table-style nodes have a header (``label``) and one text row
+    per attribute (``rows``); edges may attach to a row by name (ports).
+    """
+
+    id: str
+    kind: str = "node"
+    label: str = ""
+    rows: tuple[str, ...] = ()
+    group: str | None = None
+    shape: str = "box"  # box | ellipse | point | plaintext | table
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rows", tuple(self.rows))
+
+    def with_group(self, group: str | None) -> "DiagramNode":
+        return replace(self, group=group)
+
+
+@dataclass(frozen=True)
+class DiagramEdge:
+    """A line or arrow between two nodes (optionally between specific rows)."""
+
+    source: str
+    target: str
+    label: str = ""
+    style: str = "solid"  # solid | dashed | bold | double
+    directed: bool = False
+    source_port: str | None = None
+    target_port: str | None = None
+    kind: str = "edge"
+
+
+@dataclass(frozen=True)
+class DiagramGroup:
+    """A (possibly nested) bounding box.
+
+    ``style`` distinguishes plain grouping boxes from negation boxes
+    (``"negation"``), Peirce cuts (``"cut"``), and dashed annotation frames.
+    """
+
+    id: str
+    label: str = ""
+    parent: str | None = None
+    style: str = "solid"  # solid | dashed | negation | cut | shaded
+    kind: str = "group"
+
+
+class Diagram:
+    """A container of nodes, edges, and nested groups."""
+
+    def __init__(self, name: str = "diagram", *, formalism: str = "generic") -> None:
+        self.name = name
+        self.formalism = formalism
+        self.nodes: dict[str, DiagramNode] = {}
+        self.edges: list[DiagramEdge] = []
+        self.groups: dict[str, DiagramGroup] = {}
+        self._id_counter = itertools.count(1)
+
+    # -- construction ------------------------------------------------------
+    def fresh_id(self, prefix: str = "n") -> str:
+        while True:
+            candidate = f"{prefix}{next(self._id_counter)}"
+            if candidate not in self.nodes and candidate not in self.groups:
+                return candidate
+
+    def add_node(self, node: "DiagramNode | None" = None, **kwargs) -> DiagramNode:
+        """Add a node (either a prebuilt node or keyword arguments)."""
+        if node is None:
+            kwargs.setdefault("id", self.fresh_id())
+            node = DiagramNode(**kwargs)
+        if node.id in self.nodes:
+            raise DiagramError(f"duplicate node id {node.id!r}")
+        if node.group is not None and node.group not in self.groups:
+            raise DiagramError(f"node {node.id!r} references unknown group {node.group!r}")
+        self.nodes[node.id] = node
+        return node
+
+    def add_group(self, group: "DiagramGroup | None" = None, **kwargs) -> DiagramGroup:
+        if group is None:
+            kwargs.setdefault("id", self.fresh_id("g"))
+            group = DiagramGroup(**kwargs)
+        if group.id in self.groups:
+            raise DiagramError(f"duplicate group id {group.id!r}")
+        if group.parent is not None and group.parent not in self.groups:
+            raise DiagramError(f"group {group.id!r} references unknown parent {group.parent!r}")
+        self.groups[group.id] = group
+        return group
+
+    def add_edge(self, edge: "DiagramEdge | None" = None, **kwargs) -> DiagramEdge:
+        if edge is None:
+            edge = DiagramEdge(**kwargs)
+        for endpoint in (edge.source, edge.target):
+            if endpoint not in self.nodes:
+                raise DiagramError(f"edge endpoint {endpoint!r} is not a node")
+        self.edges.append(edge)
+        return edge
+
+    # -- structure ---------------------------------------------------------
+    def children_of(self, group_id: str | None) -> tuple[list[DiagramNode], list[DiagramGroup]]:
+        """Direct member nodes and direct child groups of a group (None = top level)."""
+        nodes = [n for n in self.nodes.values() if n.group == group_id]
+        groups = [g for g in self.groups.values() if g.parent == group_id]
+        return nodes, groups
+
+    def group_depth(self, group_id: str) -> int:
+        depth = 0
+        current = self.groups.get(group_id)
+        seen = set()
+        while current is not None and current.parent is not None:
+            if current.id in seen:
+                raise DiagramError("cyclic group nesting")
+            seen.add(current.id)
+            depth += 1
+            current = self.groups.get(current.parent)
+        return depth
+
+    def max_nesting_depth(self) -> int:
+        """Deepest group nesting (e.g. Peirce cut depth)."""
+        if not self.groups:
+            return 0
+        return max(self.group_depth(g) for g in self.groups) + 1
+
+    def ancestors_of_node(self, node_id: str) -> list[str]:
+        """Group ids containing the node, innermost first."""
+        node = self.nodes[node_id]
+        out: list[str] = []
+        current = node.group
+        while current is not None:
+            out.append(current)
+            current = self.groups[current].parent
+        return out
+
+    def walk_groups(self) -> Iterator[DiagramGroup]:
+        return iter(self.groups.values())
+
+    def edges_between(self, source: str, target: str) -> list[DiagramEdge]:
+        return [e for e in self.edges
+                if (e.source == source and e.target == target)
+                or (e.source == target and e.target == source)]
+
+    def validate(self) -> list[str]:
+        """Structural problems (empty list means the diagram is well-formed)."""
+        problems = []
+        for edge in self.edges:
+            if edge.source not in self.nodes or edge.target not in self.nodes:
+                problems.append(f"dangling edge {edge.source}->{edge.target}")
+            if edge.source_port and edge.source in self.nodes \
+                    and edge.source_port not in self.nodes[edge.source].rows:
+                problems.append(
+                    f"edge references unknown row {edge.source_port!r} of {edge.source}"
+                )
+            if edge.target_port and edge.target in self.nodes \
+                    and edge.target_port not in self.nodes[edge.target].rows:
+                problems.append(
+                    f"edge references unknown row {edge.target_port!r} of {edge.target}"
+                )
+        for group in self.groups.values():
+            try:
+                self.group_depth(group.id)
+            except DiagramError:
+                problems.append(f"cyclic group nesting at {group.id}")
+        return problems
+
+    # -- statistics (used by experiment T7) ----------------------------------
+    def element_counts(self) -> dict[str, int]:
+        """Counts of the visual vocabulary used by this diagram."""
+        return {
+            "nodes": len(self.nodes),
+            "table_nodes": sum(1 for n in self.nodes.values() if n.kind == "table"),
+            "attribute_rows": sum(len(n.rows) for n in self.nodes.values()),
+            "edges": len(self.edges),
+            "directed_edges": sum(1 for e in self.edges if e.directed),
+            "labelled_edges": sum(1 for e in self.edges if e.label),
+            "groups": len(self.groups),
+            "negation_groups": sum(
+                1 for g in self.groups.values() if g.style in ("negation", "cut")
+            ),
+            "max_nesting_depth": self.max_nesting_depth(),
+        }
+
+    def total_ink(self) -> int:
+        """A single-number size proxy: nodes + rows + edges + groups."""
+        counts = self.element_counts()
+        return (counts["nodes"] + counts["attribute_rows"]
+                + counts["edges"] + counts["groups"])
+
+    # -- rendering -----------------------------------------------------------
+    def to_dot(self) -> str:
+        from repro.core.render_dot import render_dot
+
+        return render_dot(self)
+
+    def to_svg(self) -> str:
+        from repro.core.render_svg import render_svg
+
+        return render_svg(self)
+
+    def to_ascii(self) -> str:
+        from repro.core.render_text import render_text
+
+        return render_text(self)
+
+    def __repr__(self) -> str:
+        return (f"Diagram({self.name!r}, formalism={self.formalism!r}, "
+                f"{len(self.nodes)} nodes, {len(self.edges)} edges, "
+                f"{len(self.groups)} groups)")
+
+
+def merge_side_by_side(diagrams: Iterable[Diagram], name: str = "combined",
+                       *, labels: Iterable[str] | None = None) -> Diagram:
+    """Combine several diagrams into one (used for "union of diagrams").
+
+    Each input diagram is wrapped in its own top-level group so the renderers
+    place them next to each other; node ids are prefixed to avoid collisions.
+    """
+    combined = Diagram(name, formalism="union")
+    labels = list(labels) if labels is not None else []
+    for index, diagram in enumerate(diagrams):
+        prefix = f"d{index}_"
+        label = labels[index] if index < len(labels) else diagram.name
+        wrapper = combined.add_group(DiagramGroup(f"{prefix}wrapper", label=label,
+                                                  style="dashed"))
+        for group in diagram.groups.values():
+            combined.add_group(DiagramGroup(
+                prefix + group.id, group.label,
+                prefix + group.parent if group.parent else wrapper.id,
+                group.style, group.kind,
+            ))
+        for node in diagram.nodes.values():
+            combined.add_node(DiagramNode(
+                prefix + node.id, node.kind, node.label, node.rows,
+                prefix + node.group if node.group else wrapper.id, node.shape,
+            ))
+        for edge in diagram.edges:
+            combined.add_edge(DiagramEdge(
+                prefix + edge.source, prefix + edge.target, edge.label, edge.style,
+                edge.directed, edge.source_port, edge.target_port, edge.kind,
+            ))
+    return combined

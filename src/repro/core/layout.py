@@ -1,0 +1,182 @@
+"""A small containment-aware layout engine.
+
+The layout problem for query diagrams is dominated by *nesting*: groups
+(query blocks, negation boxes, Peirce cuts) contain nodes and other groups,
+and the containment must be visually exact.  The engine lays out each group's
+direct children left-to-right in rows (a simple shelf packing), sizes the
+group to its contents, and recurses.  Edges are drawn as straight lines
+between node (or row) anchor points; no crossing minimisation is attempted —
+good enough for the diagram sizes of the tutorial, and entirely dependency
+free.
+
+All dimensions are in abstract pixels; the SVG renderer uses them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.diagram import Diagram, DiagramNode
+
+#: Font metrics for the default 12px monospace-ish font.
+CHAR_WIDTH = 7.2
+LINE_HEIGHT = 18.0
+NODE_PADDING = 8.0
+GROUP_PADDING = 16.0
+GROUP_LABEL_HEIGHT = 18.0
+SIBLING_GAP = 24.0
+ROW_GAP = 24.0
+MAX_ROW_WIDTH = 720.0
+
+
+@dataclass
+class Box:
+    """An axis-aligned rectangle with absolute coordinates."""
+
+    x: float = 0.0
+    y: float = 0.0
+    width: float = 0.0
+    height: float = 0.0
+
+    @property
+    def right(self) -> float:
+        return self.x + self.width
+
+    @property
+    def bottom(self) -> float:
+        return self.y + self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+
+@dataclass
+class Layout:
+    """Computed geometry: one box per node and per group, plus total size."""
+
+    node_boxes: dict[str, Box] = field(default_factory=dict)
+    group_boxes: dict[str, Box] = field(default_factory=dict)
+    width: float = 0.0
+    height: float = 0.0
+
+    def anchor(self, diagram: Diagram, node_id: str, port: str | None) -> tuple[float, float]:
+        """The point an edge should attach to (node centre or row centre)."""
+        box = self.node_boxes[node_id]
+        node = diagram.nodes[node_id]
+        if port and port in node.rows:
+            index = node.rows.index(port)
+            header = LINE_HEIGHT if node.label else 0.0
+            y = box.y + header + (index + 0.5) * LINE_HEIGHT + NODE_PADDING / 2
+            return (box.x + box.width / 2.0, min(y, box.bottom - 2))
+        return box.center
+
+
+def node_size(node: DiagramNode) -> tuple[float, float]:
+    """Intrinsic size of a node based on its text."""
+    if node.shape == "point":
+        return (10.0, 10.0)
+    lines = [node.label] if node.label else []
+    lines.extend(node.rows)
+    if not lines:
+        lines = [" "]
+    width = max(len(line) for line in lines) * CHAR_WIDTH + 2 * NODE_PADDING
+    height = len(lines) * LINE_HEIGHT + NODE_PADDING
+    return (max(width, 30.0), max(height, 22.0))
+
+
+def compute_layout(diagram: Diagram) -> Layout:
+    """Compute absolute positions for every node and group of ``diagram``."""
+    layout = Layout()
+
+    def place(group_id: str | None, origin_x: float, origin_y: float) -> tuple[float, float]:
+        """Lay out the children of ``group_id`` starting at the given origin.
+
+        Returns the (width, height) of the laid-out content.
+        """
+        nodes, groups = diagram.children_of(group_id)
+        items: list[tuple[str, str]] = [("node", n.id) for n in nodes]
+        items.extend(("group", g.id) for g in groups)
+
+        cursor_x, cursor_y = origin_x, origin_y
+        row_height = 0.0
+        max_width = 0.0
+
+        for kind, item_id in items:
+            if kind == "node":
+                width, height = node_size(diagram.nodes[item_id])
+            else:
+                width, height = _measure_group(item_id)
+
+            if cursor_x > origin_x and cursor_x + width > origin_x + MAX_ROW_WIDTH:
+                cursor_x = origin_x
+                cursor_y += row_height + ROW_GAP
+                row_height = 0.0
+
+            if kind == "node":
+                layout.node_boxes[item_id] = Box(cursor_x, cursor_y, width, height)
+            else:
+                _place_group(item_id, cursor_x, cursor_y)
+
+            cursor_x += width + SIBLING_GAP
+            row_height = max(row_height, height)
+            max_width = max(max_width, cursor_x - origin_x - SIBLING_GAP)
+
+        total_height = (cursor_y - origin_y) + row_height
+        return (max_width, total_height)
+
+    # Measuring is place() without committing coordinates; easiest correct
+    # implementation is to place into scratch space and then translate.
+    measured: dict[str, tuple[float, float]] = {}
+
+    def _measure_group(group_id: str) -> tuple[float, float]:
+        if group_id in measured:
+            return measured[group_id]
+        nodes, groups = diagram.children_of(group_id)
+        width = 0.0
+        height = 0.0
+        cursor_x = 0.0
+        cursor_y = 0.0
+        row_height = 0.0
+        for kind, item_id in [("node", n.id) for n in nodes] + [("group", g.id) for g in groups]:
+            if kind == "node":
+                w, h = node_size(diagram.nodes[item_id])
+            else:
+                w, h = _measure_group(item_id)
+            if cursor_x > 0 and cursor_x + w > MAX_ROW_WIDTH:
+                cursor_x = 0.0
+                cursor_y += row_height + ROW_GAP
+                row_height = 0.0
+            cursor_x += w + SIBLING_GAP
+            row_height = max(row_height, h)
+            width = max(width, cursor_x - SIBLING_GAP)
+            height = cursor_y + row_height
+        group = diagram.groups[group_id]
+        label_height = GROUP_LABEL_HEIGHT if group.label else 0.0
+        size = (width + 2 * GROUP_PADDING,
+                height + 2 * GROUP_PADDING + label_height)
+        measured[group_id] = size
+        return size
+
+    def _place_group(group_id: str, x: float, y: float) -> None:
+        width, height = _measure_group(group_id)
+        layout.group_boxes[group_id] = Box(x, y, width, height)
+        group = diagram.groups[group_id]
+        label_height = GROUP_LABEL_HEIGHT if group.label else 0.0
+        place(group_id, x + GROUP_PADDING, y + GROUP_PADDING + label_height)
+
+    content_width, content_height = place(None, GROUP_PADDING, GROUP_PADDING)
+    # The top-level place() already positioned nested groups via _place_group.
+    layout.width = max(
+        [content_width + 2 * GROUP_PADDING]
+        + [box.right + GROUP_PADDING for box in layout.node_boxes.values()]
+        + [box.right + GROUP_PADDING for box in layout.group_boxes.values()]
+        or [100.0]
+    )
+    layout.height = max(
+        [content_height + 2 * GROUP_PADDING]
+        + [box.bottom + GROUP_PADDING for box in layout.node_boxes.values()]
+        + [box.bottom + GROUP_PADDING for box in layout.group_boxes.values()]
+        or [60.0]
+    )
+    return layout

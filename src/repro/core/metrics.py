@@ -1,0 +1,100 @@
+"""Diagram metrics, including the "three abuses of the line" analysis.
+
+Part 6 of the tutorial distils a design lesson: many formalisms overload the
+humble line as a geometric mark with several unrelated meanings —
+
+1. *identity / join*: a line asserts that two things denote the same value
+   (Peirce's Line of Identity, QueryVis join edges);
+2. *membership / predication*: a line attaches an element to a set or a
+   predicate to its argument (conceptual graphs, constraint-diagram spiders);
+3. *reading order / flow*: a line merely sequences the reading of the diagram
+   (QueryVis arrows, DFQL dataflow edges).
+
+Diagrams built by this project tag every edge with a ``kind``; this module
+aggregates those tags so experiment T7 can report, per formalism, how many
+distinct jobs the line is doing — a quantitative rendering of the lesson.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.diagram import Diagram
+
+#: Edge-kind → which of the three "line jobs" it performs.
+LINE_ROLES = {
+    "join": "identity",
+    "identity": "identity",
+    "equality": "identity",
+    "predicate": "identity",
+    "membership": "membership",
+    "attachment": "membership",
+    "spider": "membership",
+    "argument": "membership",
+    "reading-order": "flow",
+    "dataflow": "flow",
+    "flow": "flow",
+    "edge": "other",
+}
+
+
+@dataclass
+class DiagramMetrics:
+    """Aggregated statistics for one diagram."""
+
+    formalism: str
+    name: str
+    counts: dict[str, int] = field(default_factory=dict)
+    line_roles: dict[str, int] = field(default_factory=dict)
+    total_ink: int = 0
+
+    @property
+    def distinct_line_roles(self) -> int:
+        """How many different jobs lines perform in this diagram (the "abuse" count)."""
+        return sum(1 for role, count in self.line_roles.items()
+                   if count > 0 and role != "other")
+
+
+def measure(diagram: Diagram) -> DiagramMetrics:
+    """Compute metrics for one diagram."""
+    roles: dict[str, int] = {"identity": 0, "membership": 0, "flow": 0, "other": 0}
+    for edge in diagram.edges:
+        role = LINE_ROLES.get(edge.kind, "other")
+        roles[role] += 1
+    return DiagramMetrics(
+        formalism=diagram.formalism,
+        name=diagram.name,
+        counts=diagram.element_counts(),
+        line_roles=roles,
+        total_ink=diagram.total_ink(),
+    )
+
+
+def compare(diagrams: dict[str, Diagram]) -> dict[str, DiagramMetrics]:
+    """Measure several diagrams (keyed by any label, e.g. formalism name)."""
+    return {label: measure(diagram) for label, diagram in diagrams.items()}
+
+
+def size_table(metrics: dict[str, DiagramMetrics]) -> str:
+    """A plain-text table of diagram sizes (used by examples and benches)."""
+    headers = ["formalism", "nodes", "rows", "edges", "groups", "depth", "ink", "line roles"]
+    rows = []
+    for label, metric in metrics.items():
+        counts = metric.counts
+        rows.append([
+            label,
+            str(counts.get("nodes", 0)),
+            str(counts.get("attribute_rows", 0)),
+            str(counts.get("edges", 0)),
+            str(counts.get("groups", 0)),
+            str(counts.get("max_nesting_depth", 0)),
+            str(metric.total_ink),
+            str(metric.distinct_line_roles),
+        ])
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+              for i in range(len(headers))]
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

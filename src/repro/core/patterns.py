@@ -1,0 +1,405 @@
+"""Relational query patterns and pattern isomorphism.
+
+The "correspondence principle" of query visualization asks that a diagram
+determine the query's *relational query pattern* — the structure that remains
+when one abstracts away variable names and the syntactic order of conjuncts:
+which table variables exist, over which relations, inside which
+negation/quantification scopes, connected by which predicates, and what is
+projected out.  Two SQL texts that differ only syntactically (``NOT IN`` vs.
+``NOT EXISTS``, reordered WHERE conjuncts, renamed aliases) share a pattern;
+queries with different logic do not.
+
+Patterns are extracted from TRC queries (the language of QueryVis and
+Relational Diagrams).  Extraction normalises the formula first: implications
+and universal quantifiers are rewritten into ∃/∧/¬ form and nested
+existentials in the same negation scope are flattened, which is what makes
+the NOT IN / NOT EXISTS variants collapse to the same pattern.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.trc.ast import (
+    AttrRef,
+    ConstTerm,
+    RelAtom,
+    TRCAnd,
+    TRCCompare,
+    TRCError,
+    TRCExists,
+    TRCForAll,
+    TRCFormula,
+    TRCImplies,
+    TRCNot,
+    TRCOr,
+    TRCQuery,
+    TRCTrue,
+    TupleVar,
+    conjunction,
+)
+
+
+class PatternError(Exception):
+    """Raised when a pattern cannot be extracted (e.g. disjunctive bodies)."""
+
+
+# ---------------------------------------------------------------------------
+# Normalisation
+# ---------------------------------------------------------------------------
+
+def normalize_trc(formula: TRCFormula) -> TRCFormula:
+    """Rewrite into ∃/∧/¬ form (∨ is kept) and flatten nested existentials.
+
+    * ``∀x φ``    →  ``¬∃x ¬φ``
+    * ``φ → ψ``   →  ``¬(φ ∧ ¬ψ)``
+    * ``¬¬φ``     →  ``φ``
+    * ``∃x (φ ∧ ∃y ψ)`` → ``∃x, y (φ ∧ ψ)``  (same negation scope)
+    """
+    def rewrite(node: TRCFormula) -> TRCFormula:
+        if isinstance(node, (TRCTrue, RelAtom, TRCCompare)):
+            return node
+        if isinstance(node, TRCAnd):
+            return conjunction([rewrite(o) for o in node.operands])
+        if isinstance(node, TRCOr):
+            return TRCOr(tuple(rewrite(o) for o in node.operands))
+        if isinstance(node, TRCNot):
+            inner = rewrite(node.operand)
+            if isinstance(inner, TRCNot):
+                return inner.operand
+            return TRCNot(inner)
+        if isinstance(node, TRCImplies):
+            return rewrite(TRCNot(TRCAnd((node.antecedent, TRCNot(node.consequent)))))
+        if isinstance(node, TRCForAll):
+            return rewrite(TRCNot(TRCExists(node.variables, TRCNot(node.body))))
+        if isinstance(node, TRCExists):
+            body = rewrite(node.body)
+            variables = list(node.variables)
+            body = _flatten_exists_into(variables, body)
+            return TRCExists(tuple(variables), body)
+        raise PatternError(f"normalize: unhandled node {type(node).__name__}")
+
+    return _flatten_top(rewrite(formula))
+
+
+def _flatten_exists_into(variables: list[TupleVar], body: TRCFormula) -> TRCFormula:
+    """Pull directly-nested existentials (not under ¬) into ``variables``."""
+    changed = True
+    while changed:
+        changed = False
+        if isinstance(body, TRCExists):
+            variables.extend(body.variables)
+            body = body.body
+            changed = True
+        elif isinstance(body, TRCAnd):
+            new_parts = []
+            for part in body.operands:
+                if isinstance(part, TRCExists):
+                    variables.extend(part.variables)
+                    new_parts.append(part.body)
+                    changed = True
+                else:
+                    new_parts.append(part)
+            body = conjunction(new_parts)
+    return body
+
+
+def _flatten_top(formula: TRCFormula) -> TRCFormula:
+    """Flatten ∃ nested directly under the (positive) top level conjunction."""
+    variables: list[TupleVar] = []
+    body = _flatten_exists_into(variables, formula)
+    if variables:
+        return TRCExists(tuple(variables), body)
+    return body
+
+
+# ---------------------------------------------------------------------------
+# Pattern structure
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PatternVariable:
+    """A table variable of the pattern: relation + scope."""
+
+    name: str
+    relation: str
+    scope: int
+    negation_depth: int
+
+
+@dataclass(frozen=True)
+class PatternPredicate:
+    """A comparison predicate, endpoints canonicalised as (var, attr) or constants."""
+
+    op: str
+    left: tuple[str, str] | Any
+    right: tuple[str, str] | Any
+
+
+@dataclass
+class QueryPattern:
+    """The relational query pattern of a TRC query."""
+
+    variables: list[PatternVariable] = field(default_factory=list)
+    predicates: list[PatternPredicate] = field(default_factory=list)
+    head: list[tuple[str, str] | Any] = field(default_factory=list)
+    scopes: dict[int, tuple[int | None, bool]] = field(default_factory=dict)
+    has_disjunction: bool = False
+
+    # -- derived ------------------------------------------------------------
+    def variable(self, name: str) -> PatternVariable:
+        for var in self.variables:
+            if var.name == name:
+                return var
+        raise KeyError(name)
+
+    def signature(self) -> tuple:
+        """An isomorphism-invariant fingerprint (necessary, not sufficient)."""
+        var_multiset = sorted(
+            (v.relation.lower(), v.negation_depth) for v in self.variables
+        )
+        predicate_shapes = sorted(
+            _canonical_shape(p, self) for p in self.predicates
+        )
+        head_shape = tuple(_endpoint_shape(h, self) for h in self.head)
+        return (tuple(var_multiset), tuple(predicate_shapes), head_shape,
+                self.has_disjunction)
+
+    def size(self) -> dict[str, int]:
+        return {
+            "variables": len(self.variables),
+            "predicates": len(self.predicates),
+            "scopes": len(self.scopes),
+            "negation_scopes": sum(1 for _, negated in self.scopes.values() if negated),
+            "max_negation_depth": max(
+                (v.negation_depth for v in self.variables), default=0
+            ),
+        }
+
+
+def _canonical_shape(predicate: PatternPredicate, pattern: QueryPattern) -> tuple:
+    """A name-independent, orientation-independent shape for one predicate."""
+    left = _endpoint_shape(predicate.left, pattern)
+    right = _endpoint_shape(predicate.right, pattern)
+    op = predicate.op
+    flip = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}
+    if right < left:
+        if op in ("=", "<>"):
+            left, right = right, left
+        elif op in flip:
+            left, right = right, left
+            op = flip[op]
+    return (op, left, right)
+
+
+def _endpoint_shape(endpoint, pattern: QueryPattern):
+    if isinstance(endpoint, tuple):
+        var_name, attr = endpoint
+        try:
+            var = pattern.variable(var_name)
+            return ("attr", var.relation.lower(), attr.lower(), var.negation_depth)
+        except KeyError:
+            return ("attr", "?", attr.lower(), -1)
+    return ("const", repr(endpoint))
+
+
+# ---------------------------------------------------------------------------
+# Extraction
+# ---------------------------------------------------------------------------
+
+def pattern_of(query: TRCQuery) -> QueryPattern:
+    """Extract the relational query pattern of a TRC query."""
+    pattern = QueryPattern()
+    body = normalize_trc(query.body)
+    scope_counter = itertools.count(1)
+    pattern.scopes[0] = (None, False)
+
+    def visit(node: TRCFormula, scope: int, depth: int) -> None:
+        if isinstance(node, TRCTrue):
+            return
+        if isinstance(node, RelAtom):
+            pattern.variables.append(
+                PatternVariable(node.var.name, node.relation, scope, depth)
+            )
+            return
+        if isinstance(node, TRCCompare):
+            pattern.predicates.append(
+                PatternPredicate(*_canonical_predicate(node))
+            )
+            return
+        if isinstance(node, TRCAnd):
+            for operand in node.operands:
+                visit(operand, scope, depth)
+            return
+        if isinstance(node, TRCOr):
+            pattern.has_disjunction = True
+            for operand in node.operands:
+                visit(operand, scope, depth)
+            return
+        if isinstance(node, TRCNot):
+            new_scope = next(scope_counter)
+            pattern.scopes[new_scope] = (scope, True)
+            inner = node.operand
+            # A negation scope usually wraps an ∃ block; flatten it in place.
+            if isinstance(inner, TRCExists):
+                visit(inner.body, new_scope, depth + 1)
+            else:
+                visit(inner, new_scope, depth + 1)
+            return
+        if isinstance(node, TRCExists):
+            visit(node.body, scope, depth)
+            return
+        raise PatternError(f"pattern extraction: unhandled node {type(node).__name__}")
+
+    visit(body, 0, 0)
+
+    for item in query.head:
+        if isinstance(item.term, AttrRef):
+            pattern.head.append((item.term.var.name, item.term.attr))
+        elif isinstance(item.term, ConstTerm):
+            pattern.head.append(item.term.value)
+    return pattern
+
+
+def _canonical_predicate(compare: TRCCompare) -> tuple:
+    left = _endpoint(compare.left)
+    right = _endpoint(compare.right)
+    op = compare.op
+    # Orient symmetric/antisymmetric operators deterministically.
+    flip = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}
+    if repr(right) < repr(left):
+        if op in ("=", "<>"):
+            left, right = right, left
+        elif op in flip:
+            left, right = right, left
+            op = flip[op]
+    return (op, left, right)
+
+
+def _endpoint(term) -> tuple[str, str] | Any:
+    if isinstance(term, AttrRef):
+        return (term.var.name, term.attr)
+    if isinstance(term, ConstTerm):
+        return term.value
+    raise PatternError(f"unexpected predicate endpoint {term!r}")
+
+
+# ---------------------------------------------------------------------------
+# Isomorphism
+# ---------------------------------------------------------------------------
+
+def isomorphic(left: QueryPattern, right: QueryPattern) -> bool:
+    """Decide whether two patterns are the same up to renaming of variables.
+
+    The bijection must preserve relations, negation depth, the same-scope
+    relation among variables, all predicates, and the head.  The search is
+    brute force over per-(relation, depth) groups, which is fine for the
+    hand-sized queries diagrams are meant for.
+    """
+    if left.signature() != right.signature():
+        return False
+    left_vars = left.variables
+    right_vars = right.variables
+    if len(left_vars) != len(right_vars):
+        return False
+
+    groups: dict[tuple[str, int], tuple[list[str], list[str]]] = {}
+    for var in left_vars:
+        groups.setdefault((var.relation.lower(), var.negation_depth), ([], []))[0].append(var.name)
+    for var in right_vars:
+        key = (var.relation.lower(), var.negation_depth)
+        if key not in groups:
+            return False
+        groups[key][1].append(var.name)
+    for left_names, right_names in groups.values():
+        if len(left_names) != len(right_names):
+            return False
+
+    group_items = list(groups.values())
+
+    def mappings(index: int, current: dict[str, str]):
+        if index == len(group_items):
+            yield dict(current)
+            return
+        left_names, right_names = group_items[index]
+        for permutation in itertools.permutations(right_names):
+            for l, r in zip(left_names, permutation):
+                current[l] = r
+            yield from mappings(index + 1, current)
+        for l in left_names:
+            current.pop(l, None)
+
+    left_predicates = {_mapped_predicate(p, None) for p in left.predicates}
+    for mapping in mappings(0, {}):
+        if not _scope_consistent(left, right, mapping):
+            continue
+        mapped = {_mapped_predicate(p, mapping) for p in left.predicates}
+        target = {_mapped_predicate(p, None) for p in right.predicates}
+        if mapped != target:
+            continue
+        mapped_head = [_mapped_endpoint(h, mapping) for h in left.head]
+        target_head = [_mapped_endpoint(h, None) for h in right.head]
+        if mapped_head == target_head:
+            return True
+    del left_predicates
+    return False
+
+
+def _mapped_endpoint(endpoint, mapping: dict[str, str] | None):
+    if isinstance(endpoint, tuple):
+        var, attr = endpoint
+        return ((mapping.get(var, var) if mapping else var), attr.lower())
+    return ("const", repr(endpoint))
+
+
+def _mapped_predicate(predicate: PatternPredicate, mapping: dict[str, str] | None) -> tuple:
+    left = _mapped_endpoint(predicate.left, mapping)
+    right = _mapped_endpoint(predicate.right, mapping)
+    op = predicate.op
+    flip = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}
+    if repr(right) < repr(left):
+        if op in ("=", "<>"):
+            left, right = right, left
+        elif op in flip:
+            left, right = right, left
+            op = flip[op]
+    return (op, left, right)
+
+
+def _scope_consistent(left: QueryPattern, right: QueryPattern,
+                      mapping: dict[str, str]) -> bool:
+    """The bijection must map same-scope variables to same-scope variables."""
+    right_scope = {v.name: v.scope for v in right.variables}
+    left_scope = {v.name: v.scope for v in left.variables}
+    names = list(mapping)
+    for a, b in itertools.combinations(names, 2):
+        same_left = left_scope[a] == left_scope[b]
+        same_right = right_scope[mapping[a]] == right_scope[mapping[b]]
+        if same_left != same_right:
+            return False
+    return True
+
+
+def same_pattern(sql_or_trc_a, sql_or_trc_b, schema=None) -> bool:
+    """Convenience: compare the patterns of two queries given as SQL text or TRC.
+
+    SQL inputs require ``schema`` for translation.
+    """
+    from repro.translate.sql_to_trc import sql_to_trc
+
+    def to_pattern(query) -> QueryPattern:
+        if isinstance(query, TRCQuery):
+            return pattern_of(query)
+        if isinstance(query, str) and not query.strip().startswith("{"):
+            if schema is None:
+                raise PatternError("a database schema is required to compare SQL queries")
+            return pattern_of(sql_to_trc(query, schema))
+        if isinstance(query, str):
+            from repro.trc.parser import parse_trc
+
+            return pattern_of(parse_trc(query))
+        raise PatternError(f"cannot extract a pattern from {type(query).__name__}")
+
+    return isomorphic(to_pattern(sql_or_trc_a), to_pattern(sql_or_trc_b))

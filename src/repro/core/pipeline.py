@@ -1,0 +1,167 @@
+"""The query-visualization pipeline of Figs. 1 and 2.
+
+The paper's two figures sketch the intended interaction: a user states a
+query (spoken, typed, or LLM-generated), the system parses it, *shows the
+query back* as a diagram (and in other textual languages), and returns the
+answers, so the user can verify that the system understood the right query.
+This module is that loop, minus the microphone: text in, diagram + answers +
+explanation out.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.diagram import Diagram
+from repro.core.patterns import QueryPattern, pattern_of
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.data.sailors import sailors_database
+from repro.sql.ast import Query
+from repro.sql.evaluate import evaluate_sql
+from repro.sql.parser import parse_sql
+from repro.translate.sql_to_trc import UnsupportedSQL, sql_to_trc
+from repro.trc.ast import TRCQuery, relation_atoms
+from repro.trc.format import format_trc_query
+
+
+@dataclass
+class PipelineResult:
+    """Everything the pipeline produces for one query."""
+
+    sql: str
+    query: Query
+    diagram: Diagram
+    answers: Relation | None = None
+    trc: TRCQuery | None = None
+    pattern: QueryPattern | None = None
+    languages: dict[str, str] = field(default_factory=dict)
+    explanation: str = ""
+    warnings: list[str] = field(default_factory=list)
+    timings: dict[str, float] = field(default_factory=dict)
+
+    def summary(self, *, max_rows: int = 10) -> str:
+        """A terminal-friendly rendering of the whole interaction (Fig. 1)."""
+        parts = [f"SQL: {self.sql}", ""]
+        if self.explanation:
+            parts.append("Interpretation:")
+            parts.append(self.explanation)
+            parts.append("")
+        parts.append(self.diagram.to_ascii())
+        if self.answers is not None:
+            parts.append("")
+            parts.append(f"Answers ({len(self.answers)} rows):")
+            parts.append(self.answers.to_table(max_rows=max_rows))
+        if self.warnings:
+            parts.append("")
+            parts.extend(f"note: {w}" for w in self.warnings)
+        return "\n".join(parts)
+
+
+class QueryVisualizationPipeline:
+    """Parse → translate → visualize → answer, per Figs. 1–2 of the paper."""
+
+    def __init__(self, db: Database | None = None, *, formalism: str = "queryvis") -> None:
+        self.db = db if db is not None else sailors_database()
+        self.formalism = formalism
+
+    def run(self, sql: str, *, evaluate: bool = True,
+            formalism: str | None = None) -> PipelineResult:
+        """Run the full pipeline for one SQL query."""
+        from repro.diagrams import build_diagram
+
+        formalism = formalism or self.formalism
+        timings: dict[str, float] = {}
+        warnings: list[str] = []
+
+        start = time.perf_counter()
+        query = parse_sql(sql)
+        timings["parse"] = time.perf_counter() - start
+
+        trc: TRCQuery | None = None
+        pattern: QueryPattern | None = None
+        languages: dict[str, str] = {"SQL": sql}
+        start = time.perf_counter()
+        try:
+            trc = sql_to_trc(query, self.db.schema)
+            languages["TRC"] = format_trc_query(trc)
+            pattern = pattern_of(trc)
+        except UnsupportedSQL as exc:
+            warnings.append(f"TRC translation unavailable: {exc}")
+        timings["translate"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        diagram = build_diagram(formalism, query, self.db.schema)
+        timings["diagram"] = time.perf_counter() - start
+
+        answers: Relation | None = None
+        if evaluate:
+            start = time.perf_counter()
+            answers = evaluate_sql(query, self.db)
+            timings["evaluate"] = time.perf_counter() - start
+
+        explanation = explain_query(query, trc)
+        return PipelineResult(
+            sql=sql, query=query, diagram=diagram, answers=answers, trc=trc,
+            pattern=pattern, languages=languages, explanation=explanation,
+            warnings=warnings, timings=timings,
+        )
+
+    def round_trip_consistent(self, sql_a: str, sql_b: str) -> bool:
+        """Fig. 2's verification step: do two phrasings show the same pattern?"""
+        from repro.core.patterns import isomorphic
+
+        result_a = self.run(sql_a, evaluate=False)
+        result_b = self.run(sql_b, evaluate=False)
+        if result_a.pattern is None or result_b.pattern is None:
+            return False
+        return isomorphic(result_a.pattern, result_b.pattern)
+
+
+def explain_query(query: Query, trc: TRCQuery | None = None) -> str:
+    """A short natural-language-ish reading of the query structure.
+
+    This is the textual complement of the diagram: which tables participate,
+    how deep the nesting goes, and which quantifier pattern is in play.
+    """
+    from repro.sql.ast import SelectQuery, SetOpQuery, base_tables, count_table_occurrences
+
+    lines: list[str] = []
+    tables = base_tables(query)
+    occurrences = count_table_occurrences(query)
+    lines.append(
+        f"- uses {len(tables)} table(s): {', '.join(tables)}"
+        + (f" ({occurrences} table references in total)" if occurrences != len(tables) else "")
+    )
+    if isinstance(query, SetOpQuery):
+        lines.append(f"- combines two subqueries with {query.op.upper()}")
+    depth = query.nesting_depth()
+    if depth > 1:
+        lines.append(f"- contains nested subqueries ({depth} levels)")
+    if trc is not None:
+        atoms = relation_atoms(trc.body)
+        negations = format_trc_query(trc).count("not ")
+        if negations >= 2:
+            lines.append(
+                "- double negation detected: this is the classic encoding of "
+                "universal quantification (\"for all ...\")"
+            )
+        elif negations == 1:
+            lines.append("- contains one negated subquery (\"... and not ...\")")
+        lines.append(f"- the query pattern has {len(atoms)} table variable(s)")
+    return "\n".join(lines)
+
+
+def visualize_sql(sql: str, db: Database | None = None, *,
+                  formalism: str = "queryvis") -> Diagram:
+    """One-call convenience: SQL text in, diagram out (Fig. 1's visual reply)."""
+    pipeline = QueryVisualizationPipeline(db, formalism=formalism)
+    return pipeline.run(sql, evaluate=False).diagram
+
+
+def explain_sql(sql: str, db: Database | None = None) -> str:
+    """One-call convenience: SQL text in, textual interpretation out."""
+    pipeline = QueryVisualizationPipeline(db)
+    return pipeline.run(sql, evaluate=False).explanation

@@ -1,0 +1,225 @@
+"""The formalism registry: every diagrammatic representation the tutorial surveys.
+
+Each entry records the metadata the tutorial uses when comparing formalisms
+(community, year, underlying textual language, relational completeness) plus
+a *capability vector*: which query features the formalism can represent with
+a dedicated visual element.  For the formalisms implemented in
+:mod:`repro.diagrams`, the entry also names the builder module so the
+coverage experiment (T2) can actually generate the diagrams instead of
+trusting the literature table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: The query features used by the coverage matrix (experiment T2).
+FEATURES = (
+    "join",
+    "selection",
+    "negation",
+    "universal",
+    "disjunction",
+    "nesting",
+    "union",
+    "division",
+)
+
+
+@dataclass(frozen=True)
+class FormalismInfo:
+    """Metadata + capability vector of one diagrammatic formalism."""
+
+    key: str
+    name: str
+    family: str                # "early" (pre-database) or "modern" (database community)
+    year: int
+    based_on: str              # RA | TRC | DRC | propositional | monadic | SQL | ER
+    relationally_complete: bool
+    supports: dict[str, bool] = field(default_factory=dict)
+    builder: str | None = None  # dotted module path of the implemented builder
+    implemented: bool = False
+    notes: str = ""
+
+    def can_represent(self, features: tuple[str, ...]) -> bool:
+        """True iff every feature of a query has visual support in this formalism."""
+        relevant = [f for f in features if f in FEATURES]
+        return all(self.supports.get(f, False) for f in relevant)
+
+
+def _supports(**kwargs: bool) -> dict[str, bool]:
+    base = {feature: False for feature in FEATURES}
+    base.update(kwargs)
+    return base
+
+
+REGISTRY: tuple[FormalismInfo, ...] = (
+    # ----------------------------------------------------------------- early
+    FormalismInfo(
+        "euler", "Euler circles", "early", 1768, "monadic", False,
+        _supports(selection=True, negation=True),
+        builder="repro.diagrams.euler", implemented=True,
+        notes="Set-containment diagrams for syllogisms; monadic predicates only.",
+    ),
+    FormalismInfo(
+        "venn", "Venn diagrams", "early", 1880, "monadic", False,
+        _supports(selection=True, negation=True, disjunction=False),
+        builder="repro.diagrams.venn", implemented=True,
+        notes="All region combinations drawn; shading denotes emptiness.",
+    ),
+    FormalismInfo(
+        "venn_peirce", "Venn–Peirce diagrams", "early", 1897, "monadic", False,
+        _supports(selection=True, negation=True, disjunction=True),
+        builder="repro.diagrams.venn", implemented=True,
+        notes="Adds x-sequences so disjunctive information becomes representable.",
+    ),
+    FormalismInfo(
+        "peirce_alpha", "Peirce existential graphs (alpha)", "early", 1896,
+        "propositional", False,
+        _supports(negation=True, disjunction=True),
+        builder="repro.diagrams.peirce_alpha", implemented=True,
+        notes="Propositional logic: juxtaposition = AND, cut = NOT.",
+    ),
+    FormalismInfo(
+        "peirce_beta", "Peirce existential graphs (beta)", "early", 1896, "DRC", True,
+        _supports(join=True, selection=True, negation=True, universal=True,
+                  disjunction=True, nesting=True, union=True, division=True),
+        builder="repro.diagrams.peirce_beta", implemented=True,
+        notes="Lines of identity + cuts; maps imperfectly onto the Boolean "
+              "fragment of DRC (no free variables).",
+    ),
+    FormalismInfo(
+        "constraint", "Constraint diagrams", "early", 1997, "monadic", False,
+        _supports(selection=True, negation=True, universal=True),
+        builder="repro.diagrams.constraint", implemented=True,
+        notes="Spider/arrow notation over Euler diagrams; aimed at UML invariants.",
+    ),
+    FormalismInfo(
+        "conceptual", "Sowa's conceptual graphs", "early", 1976, "DRC", True,
+        _supports(join=True, selection=True, negation=True, universal=True,
+                  nesting=True, disjunction=True, union=True, division=True),
+        builder="repro.diagrams.conceptual", implemented=True,
+        notes="Concept and relation nodes; negation via nested contexts.",
+    ),
+    FormalismInfo(
+        "higraph", "Higraphs / UML-style notations", "early", 1988, "monadic", False,
+        _supports(selection=True),
+        notes="Blobs with Cartesian products and containment; not query-oriented.",
+    ),
+    # ---------------------------------------------------------------- modern
+    FormalismInfo(
+        "qbe", "Query-By-Example", "modern", 1977, "DRC", True,
+        _supports(join=True, selection=True, negation=True, universal=True,
+                  nesting=True, disjunction=True, union=True, division=True),
+        builder="repro.diagrams.qbe", implemented=True,
+        notes="Skeleton tables with example elements; division needs two steps "
+              "and a temporary relation (the Datalog pattern).",
+    ),
+    FormalismInfo(
+        "query_builders", "Interactive query builders (dbForge, SSMS, ...)", "modern",
+        2019, "SQL", False,
+        _supports(join=True, selection=True),
+        notes="Conjunctive queries only; no single visual element for NOT EXISTS "
+              "or FOR ALL; nested queries live on separate screens.",
+    ),
+    FormalismInfo(
+        "dfql", "DFQL dataflow diagrams", "modern", 1994, "RA", True,
+        _supports(join=True, selection=True, negation=True, universal=True,
+                  disjunction=True, nesting=True, union=True, division=True),
+        builder="repro.diagrams.dfql", implemented=True,
+        notes="Visualizes the RA operator tree top-down; relationally complete "
+              "because RA is.",
+    ),
+    FormalismInfo(
+        "qbd", "Query By Diagram (QBD*)", "modern", 1990, "ER", False,
+        _supports(join=True, selection=True, nesting=True),
+        notes="ER-based navigation; recursion extensions exist.",
+    ),
+    FormalismInfo(
+        "tabletalk", "TableTalk", "modern", 1991, "SQL", False,
+        _supports(join=True, selection=True, negation=True),
+        notes="Tiles for logical conditions, top-down flow.",
+    ),
+    FormalismInfo(
+        "visual_sql", "Visual SQL", "modern", 2003, "SQL", True,
+        _supports(join=True, selection=True, negation=True, universal=True,
+                  disjunction=True, nesting=True, union=True, division=True),
+        builder="repro.diagrams.visual_sql", implemented=True,
+        notes="One-to-one with SQL syntax: syntactic variants yield different "
+              "diagrams (fails the invariance principle).",
+    ),
+    FormalismInfo(
+        "sqlvis", "SQLVis", "modern", 2021, "SQL", True,
+        _supports(join=True, selection=True, negation=True, universal=True,
+                  disjunction=True, nesting=True, union=True, division=True),
+        builder="repro.diagrams.sqlvis", implemented=True,
+        notes="Visualizes the syntactic structure of the SQL query for learners.",
+    ),
+    FormalismInfo(
+        "queryvis", "QueryVis", "modern", 2011, "TRC", True,
+        _supports(join=True, selection=True, negation=True, universal=True,
+                  disjunction=False, nesting=True, union=False, division=True),
+        builder="repro.diagrams.queryvis", implemented=True,
+        notes="Table boxes, predicate edges, grouping boxes per nesting level, "
+              "arrows for the default reading order; general disjunction is the "
+              "known gap.",
+    ),
+    FormalismInfo(
+        "dataplay", "DataPlay", "modern", 2012, "SQL", False,
+        _supports(join=True, selection=True, universal=True, negation=True,
+                  nesting=True),
+        notes="Quantifier query trees over a nested universal relation.",
+    ),
+    FormalismInfo(
+        "sieuferd", "SIEUFERD", "modern", 2016, "SQL", False,
+        _supports(join=True, selection=True, nesting=True),
+        notes="Direct manipulation of nested relational results.",
+    ),
+    FormalismInfo(
+        "string_diagrams", "String diagrams", "modern", 2020, "DRC", True,
+        _supports(join=True, selection=True, negation=True, universal=True,
+                  disjunction=True, nesting=True, union=True, division=True),
+        builder="repro.diagrams.string_diagrams", implemented=True,
+        notes="A compositional variant of beta graphs that allows free variables "
+              "(bound variable wires end in a dot).",
+    ),
+    FormalismInfo(
+        "relational_diagrams", "Relational Diagrams", "modern", 2024, "TRC", False,
+        _supports(join=True, selection=True, negation=True, universal=True,
+                  disjunction=False, nesting=True, union=True, division=True),
+        builder="repro.diagrams.relational_diagrams", implemented=True,
+        notes="Nested negated bounding boxes instead of arrows; represents the "
+              "logical union of diagrams for disjunctions; pattern-complete for "
+              "the disjunction-free fragment.",
+    ),
+)
+
+
+def formalism(key: str) -> FormalismInfo:
+    """Look up a formalism by its registry key."""
+    for info in REGISTRY:
+        if info.key == key:
+            return info
+    raise KeyError(f"unknown formalism {key!r}")
+
+
+def implemented_formalisms() -> list[FormalismInfo]:
+    """Formalisms with a programmatic diagram builder in :mod:`repro.diagrams`."""
+    return [info for info in REGISTRY if info.implemented]
+
+
+def coverage_matrix(queries=None) -> dict[str, dict[str, bool]]:
+    """The T2 matrix: formalism × canonical query → representable?
+
+    Coverage is decided from the capability vectors; for implemented
+    formalisms the benchmark additionally builds the diagram to confirm.
+    """
+    from repro.queries import CANONICAL_QUERIES
+
+    queries = queries if queries is not None else CANONICAL_QUERIES
+    matrix: dict[str, dict[str, bool]] = {}
+    for info in REGISTRY:
+        matrix[info.key] = {
+            query.id: info.can_represent(query.features) for query in queries
+        }
+    return matrix

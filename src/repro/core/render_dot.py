@@ -1,0 +1,99 @@
+"""Graphviz DOT rendering of diagrams.
+
+The DOT output uses clusters for groups, record-ish HTML labels for table
+nodes, and the usual edge attributes.  It is plain text — rendering it to an
+image requires Graphviz, which is intentionally *not* a dependency; the DOT
+text itself is useful for inspection, diffing, and as an interchange format.
+"""
+
+from __future__ import annotations
+
+from repro.core.diagram import Diagram, DiagramGroup
+
+_GROUP_STYLE = {
+    "solid": ("solid", "gray40"),
+    "dashed": ("dashed", "gray60"),
+    "negation": ("bold", "red3"),
+    "cut": ("solid", "blue4"),
+    "shaded": ("filled", "gray80"),
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _html_escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;"))
+
+
+def _node_statement(node) -> str:
+    if node.shape == "point":
+        label = f' xlabel="{_escape(node.label)}"' if node.label else ""
+        return f'"{node.id}" [shape=point, width=0.08{label}];'
+    if node.shape == "plaintext":
+        lines = [node.label] + list(node.rows) if node.label else list(node.rows)
+        return f'"{node.id}" [shape=plaintext, label="{_escape(chr(10).join(lines))}"];'
+    if node.rows:
+        cells = "".join(
+            f'<TR><TD ALIGN="LEFT" PORT="r{i}">{_html_escape(row)}</TD></TR>'
+            for i, row in enumerate(node.rows)
+        )
+        header = (f'<TR><TD BGCOLOR="lightgrey"><B>{_html_escape(node.label)}</B></TD></TR>'
+                  if node.label else "")
+        return (f'"{node.id}" [shape=none, label=<'
+                f'<TABLE BORDER="1" CELLBORDER="0" CELLSPACING="0" CELLPADDING="3">'
+                f"{header}{cells}</TABLE>>];")
+    shape = "ellipse" if node.shape == "ellipse" else "box"
+    return f'"{node.id}" [shape={shape}, label="{_escape(node.label)}"];'
+
+
+def render_dot(diagram: Diagram) -> str:
+    """Render the diagram as Graphviz DOT text."""
+    lines = [f'digraph "{_escape(diagram.name)}" {{']
+    lines.append('  graph [compound=true, rankdir=LR, fontname="Helvetica"];')
+    lines.append('  node [fontname="Helvetica", fontsize=11];')
+    lines.append('  edge [fontname="Helvetica", fontsize=10];')
+
+    def emit_group(group: DiagramGroup, indent: str) -> list[str]:
+        style, color = _GROUP_STYLE.get(group.style, _GROUP_STYLE["solid"])
+        out = [f'{indent}subgraph "cluster_{group.id}" {{']
+        out.append(f'{indent}  label="{_escape(group.label)}";')
+        out.append(f'{indent}  style={style}; color={color};')
+        nodes, subgroups = diagram.children_of(group.id)
+        for node in nodes:
+            out.append(indent + "  " + _node_statement(node))
+        for subgroup in subgroups:
+            out.extend(emit_group(subgroup, indent + "  "))
+        out.append(f"{indent}}}")
+        return out
+
+    top_nodes, top_groups = diagram.children_of(None)
+    for node in top_nodes:
+        lines.append("  " + _node_statement(node))
+    for group in top_groups:
+        lines.extend(emit_group(group, "  "))
+
+    for edge in diagram.edges:
+        source = f'"{edge.source}"'
+        target = f'"{edge.target}"'
+        source_node = diagram.nodes[edge.source]
+        target_node = diagram.nodes[edge.target]
+        if edge.source_port and edge.source_port in source_node.rows:
+            source += f":r{source_node.rows.index(edge.source_port)}"
+        if edge.target_port and edge.target_port in target_node.rows:
+            target += f":r{target_node.rows.index(edge.target_port)}"
+        attrs = []
+        if edge.label:
+            attrs.append(f'label="{_escape(edge.label)}"')
+        if edge.style == "dashed":
+            attrs.append("style=dashed")
+        elif edge.style == "bold":
+            attrs.append("style=bold")
+        if not edge.directed:
+            attrs.append("dir=none")
+        attr_text = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f"  {source} -> {target}{attr_text};")
+
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Standalone SVG rendering of diagrams (no external dependencies)."""
+
+from __future__ import annotations
+
+import html
+
+from repro.core.diagram import Diagram
+from repro.core.layout import LINE_HEIGHT, NODE_PADDING, compute_layout
+
+_GROUP_COLORS = {
+    "solid": ("#f8f8f8", "#666666", "4,0"),
+    "dashed": ("none", "#999999", "6,4"),
+    "negation": ("#fdf2f2", "#b03030", "4,0"),
+    "cut": ("#f4f4fb", "#404080", "4,0"),
+    "shaded": ("#d9d9d9", "#666666", "4,0"),
+}
+
+_EDGE_DASH = {"solid": None, "dashed": "6,4", "bold": None, "double": None}
+
+
+def _esc(text: str) -> str:
+    return html.escape(str(text), quote=True)
+
+
+def render_svg(diagram: Diagram) -> str:
+    """Render a diagram as a self-contained SVG document string."""
+    layout = compute_layout(diagram)
+    parts: list[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{layout.width:.0f}" '
+        f'height="{layout.height:.0f}" viewBox="0 0 {layout.width:.0f} {layout.height:.0f}" '
+        f'font-family="Menlo, Consolas, monospace" font-size="12">'
+    )
+    parts.append(
+        "<defs><marker id='arrow' viewBox='0 0 10 10' refX='9' refY='5' "
+        "markerWidth='7' markerHeight='7' orient='auto-start-reverse'>"
+        "<path d='M 0 0 L 10 5 L 0 10 z' fill='#333'/></marker></defs>"
+    )
+    parts.append(f"<title>{_esc(diagram.name)} ({_esc(diagram.formalism)})</title>")
+    parts.append(
+        f'<rect x="0" y="0" width="{layout.width:.0f}" height="{layout.height:.0f}" '
+        'fill="white"/>'
+    )
+
+    # Groups first (outermost first so inner boxes draw on top).
+    ordered_groups = sorted(diagram.groups.values(), key=lambda g: diagram.group_depth(g.id))
+    for group in ordered_groups:
+        box = layout.group_boxes.get(group.id)
+        if box is None:
+            continue
+        fill, stroke, dash = _GROUP_COLORS.get(group.style, _GROUP_COLORS["solid"])
+        dash_attr = f' stroke-dasharray="{dash}"' if dash != "4,0" else ""
+        double = ""
+        if group.style == "negation":
+            double = (
+                f'<rect x="{box.x + 3:.1f}" y="{box.y + 3:.1f}" '
+                f'width="{box.width - 6:.1f}" height="{box.height - 6:.1f}" '
+                f'fill="none" stroke="{stroke}" stroke-width="1"/>'
+            )
+        parts.append(
+            f'<rect x="{box.x:.1f}" y="{box.y:.1f}" width="{box.width:.1f}" '
+            f'height="{box.height:.1f}" rx="6" fill="{fill}" stroke="{stroke}" '
+            f'stroke-width="1.5"{dash_attr}/>' + double
+        )
+        if group.label:
+            parts.append(
+                f'<text x="{box.x + 6:.1f}" y="{box.y + 13:.1f}" fill="{stroke}" '
+                f'font-weight="bold">{_esc(group.label)}</text>'
+            )
+
+    # Edges under nodes so boxes stay crisp.
+    for edge in diagram.edges:
+        x1, y1 = layout.anchor(diagram, edge.source, edge.source_port)
+        x2, y2 = layout.anchor(diagram, edge.target, edge.target_port)
+        dash = _EDGE_DASH.get(edge.style)
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        width = 2.4 if edge.style == "bold" else 1.3
+        marker = ' marker-end="url(#arrow)"' if edge.directed else ""
+        parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="#333" stroke-width="{width}"{dash_attr}{marker}/>'
+        )
+        if edge.label:
+            mx, my = (x1 + x2) / 2.0, (y1 + y2) / 2.0 - 3
+            parts.append(
+                f'<text x="{mx:.1f}" y="{my:.1f}" text-anchor="middle" '
+                f'fill="#222">{_esc(edge.label)}</text>'
+            )
+
+    # Nodes.
+    for node in diagram.nodes.values():
+        box = layout.node_boxes.get(node.id)
+        if box is None:
+            continue
+        if node.shape == "point":
+            cx, cy = box.center
+            parts.append(f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="4" fill="#111"/>')
+            if node.label:
+                parts.append(
+                    f'<text x="{cx + 7:.1f}" y="{cy + 4:.1f}" fill="#111">{_esc(node.label)}</text>'
+                )
+            continue
+        if node.shape == "plaintext":
+            parts.append(
+                f'<text x="{box.x:.1f}" y="{box.y + LINE_HEIGHT - 4:.1f}" '
+                f'fill="#111">{_esc(node.label)}</text>'
+            )
+            for i, row in enumerate(node.rows):
+                parts.append(
+                    f'<text x="{box.x:.1f}" y="{box.y + (i + 2) * LINE_HEIGHT - 4:.1f}" '
+                    f'fill="#333">{_esc(row)}</text>'
+                )
+            continue
+        shape_attrs = 'rx="10"' if node.shape == "ellipse" else 'rx="3"'
+        fill = "#ffffff" if node.kind != "operator" else "#eef4ff"
+        parts.append(
+            f'<rect x="{box.x:.1f}" y="{box.y:.1f}" width="{box.width:.1f}" '
+            f'height="{box.height:.1f}" {shape_attrs} fill="{fill}" stroke="#222" '
+            'stroke-width="1.2"/>'
+        )
+        text_y = box.y + LINE_HEIGHT - 4
+        if node.label:
+            parts.append(
+                f'<text x="{box.x + box.width / 2:.1f}" y="{text_y:.1f}" '
+                f'text-anchor="middle" font-weight="bold">{_esc(node.label)}</text>'
+            )
+            if node.rows:
+                parts.append(
+                    f'<line x1="{box.x:.1f}" y1="{box.y + LINE_HEIGHT + 1:.1f}" '
+                    f'x2="{box.x + box.width:.1f}" y2="{box.y + LINE_HEIGHT + 1:.1f}" '
+                    'stroke="#222" stroke-width="0.8"/>'
+                )
+            text_y += LINE_HEIGHT
+        for row in node.rows:
+            parts.append(
+                f'<text x="{box.x + NODE_PADDING:.1f}" y="{text_y:.1f}">{_esc(row)}</text>'
+            )
+            text_y += LINE_HEIGHT
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(diagram: Diagram, path: str) -> str:
+    """Render and write the SVG to ``path``; returns the path."""
+    svg = render_svg(diagram)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(svg)
+    return path

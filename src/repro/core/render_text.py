@@ -1,0 +1,93 @@
+"""ASCII rendering of diagrams.
+
+Terminal-friendly output: nested groups are drawn as indented, bordered
+blocks containing their nodes; edges (which are hard to draw as lines in
+plain text) are listed underneath in a "connections" section, written in
+terms of node labels and attribute rows.  The result is deterministic, which
+makes it convenient for golden tests.
+"""
+
+from __future__ import annotations
+
+from repro.core.diagram import Diagram, DiagramGroup, DiagramNode
+
+_GROUP_MARK = {
+    "solid": " ",
+    "dashed": "~",
+    "negation": "NOT",
+    "cut": "NOT",
+    "shaded": "#",
+}
+
+
+def _node_lines(node: DiagramNode) -> list[str]:
+    if node.shape == "point":
+        return [f"* {node.label}".rstrip()]
+    content = [node.label] if node.label else []
+    content.extend(f"  {row}" for row in node.rows)
+    if not content:
+        content = [node.id]
+    width = max(len(line) for line in content)
+    top = "+" + "-" * (width + 2) + "+"
+    out = [top]
+    for index, line in enumerate(content):
+        out.append(f"| {line.ljust(width)} |")
+        if index == 0 and node.label and node.rows:
+            out.append("|" + "-" * (width + 2) + "|")
+    out.append(top)
+    return out
+
+
+def _block(lines: list[str], label: str, marker: str) -> list[str]:
+    width = max([len(line) for line in lines] + [len(label) + len(marker) + 4, 8])
+    header = f"={marker}= {label} ".ljust(width + 4, "=") if (label or marker.strip()) \
+        else "=" * (width + 4)
+    out = [header]
+    for line in lines:
+        out.append(f"| {line.ljust(width)} |")
+    out.append("=" * (width + 4))
+    return out
+
+
+def render_text(diagram: Diagram) -> str:
+    """Render the diagram as ASCII art plus a textual connection list."""
+    def render_group_content(group_id: str | None) -> list[str]:
+        nodes, groups = diagram.children_of(group_id)
+        lines: list[str] = []
+        for node in nodes:
+            if lines:
+                lines.append("")
+            lines.extend(_node_lines(node))
+        for group in groups:
+            if lines:
+                lines.append("")
+            lines.extend(render_group(group))
+        return lines or ["(empty)"]
+
+    def render_group(group: DiagramGroup) -> list[str]:
+        content = render_group_content(group.id)
+        marker = _GROUP_MARK.get(group.style, " ")
+        return _block(content, group.label, marker)
+
+    lines = [f"[{diagram.formalism}] {diagram.name}",
+             "=" * max(30, len(diagram.name) + len(diagram.formalism) + 4)]
+    lines.extend(render_group_content(None))
+
+    if diagram.edges:
+        lines.append("")
+        lines.append("connections:")
+        for edge in diagram.edges:
+            source = diagram.nodes[edge.source]
+            target = diagram.nodes[edge.target]
+            source_text = source.label or source.id
+            target_text = target.label or target.id
+            if edge.source_port:
+                source_text += f".{edge.source_port}"
+            if edge.target_port:
+                target_text += f".{edge.target_port}"
+            arrow = "-->" if edge.directed else "---"
+            if edge.style == "dashed":
+                arrow = "-->" if edge.directed else "- -"
+            label = f"  [{edge.label}]" if edge.label else ""
+            lines.append(f"  {source_text} {arrow} {target_text}{label}")
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Relational data substrate: types, schemas, relations, databases.
+
+Public API::
+
+    from repro.data import (
+        DataType, Attribute, RelationSchema, DatabaseSchema,
+        Relation, Database, sailors_database,
+    )
+"""
+
+from repro.data.database import Database, merge_databases
+from repro.data.generate import database_family, random_database, random_relation
+from repro.data.relation import (
+    Relation,
+    RelationError,
+    relation_from_rows,
+    require_union_compatible,
+    union_compatible,
+)
+from repro.data.sailors import (
+    BOATS_SCHEMA,
+    RESERVES_SCHEMA,
+    SAILORS_DATABASE_SCHEMA,
+    SAILORS_SCHEMA,
+    empty_sailors_database,
+    random_sailors_database,
+    sailors_database,
+)
+from repro.data.schema import (
+    Attribute,
+    DatabaseSchema,
+    RelationSchema,
+    SchemaError,
+    make_schema,
+)
+from repro.data.types import (
+    DataType,
+    check_value,
+    coerce_value,
+    comparable,
+    format_value,
+    infer_type,
+    is_null,
+    parse_type,
+)
+
+__all__ = [
+    "Attribute",
+    "BOATS_SCHEMA",
+    "Database",
+    "DatabaseSchema",
+    "DataType",
+    "Relation",
+    "RelationError",
+    "RelationSchema",
+    "RESERVES_SCHEMA",
+    "SAILORS_DATABASE_SCHEMA",
+    "SAILORS_SCHEMA",
+    "SchemaError",
+    "check_value",
+    "coerce_value",
+    "comparable",
+    "database_family",
+    "empty_sailors_database",
+    "format_value",
+    "infer_type",
+    "is_null",
+    "make_schema",
+    "merge_databases",
+    "parse_type",
+    "random_database",
+    "random_relation",
+    "random_sailors_database",
+    "relation_from_rows",
+    "require_union_compatible",
+    "sailors_database",
+    "union_compatible",
+]

@@ -1,0 +1,115 @@
+"""Random database generation for arbitrary schemas.
+
+Cross-language equivalence (experiment T1) is checked empirically: two query
+representations are declared equivalent on a database if they return the same
+set of tuples.  To make that check meaningful we evaluate on many random
+instances of the query's schema; this module produces those instances.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import Any, Mapping, Sequence
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.data.schema import DatabaseSchema, RelationSchema
+from repro.data.types import DataType
+
+
+def _random_value(rng: random.Random, dtype: DataType, pool: Sequence[Any] | None) -> Any:
+    if pool:
+        return rng.choice(list(pool))
+    if dtype is DataType.INT:
+        return rng.randint(0, 20)
+    if dtype is DataType.FLOAT:
+        return round(rng.uniform(0, 100), 1)
+    if dtype is DataType.BOOL:
+        return rng.choice([True, False])
+    return "".join(rng.choice(string.ascii_lowercase) for _ in range(3))
+
+
+def random_relation(
+    schema: RelationSchema,
+    *,
+    n_rows: int,
+    seed: int = 0,
+    value_pools: Mapping[str, Sequence[Any]] | None = None,
+) -> Relation:
+    """Generate a relation with ``n_rows`` random rows.
+
+    ``value_pools`` maps attribute names to the values they may take; shared
+    pools across relations is what makes joins selective but non-empty.
+    """
+    rng = random.Random(seed)
+    pools = value_pools or {}
+    rows = []
+    for _ in range(n_rows):
+        row = tuple(
+            _random_value(rng, attr.dtype, pools.get(attr.name))
+            for attr in schema.attributes
+        )
+        rows.append(row)
+    return Relation(schema, rows, validate=False)
+
+
+def random_database(
+    schema: DatabaseSchema,
+    *,
+    rows_per_relation: int | Mapping[str, int] = 8,
+    seed: int = 0,
+    value_pools: Mapping[str, Sequence[Any]] | None = None,
+) -> Database:
+    """Generate a random instance of ``schema``.
+
+    By default, attributes with the same name in different relations share a
+    small value pool so that equi-joins on them succeed with useful
+    probability.  Explicit ``value_pools`` override the defaults.
+    """
+    rng = random.Random(seed)
+    pools: dict[str, Sequence[Any]] = {}
+    for rel in schema:
+        for attr in rel.attributes:
+            if attr.name in pools:
+                continue
+            if attr.dtype is DataType.INT:
+                pools[attr.name] = [rng.randint(0, 30) for _ in range(6)]
+            elif attr.dtype is DataType.STRING:
+                pools[attr.name] = [
+                    "".join(rng.choice(string.ascii_lowercase) for _ in range(3))
+                    for _ in range(5)
+                ]
+            elif attr.dtype is DataType.FLOAT:
+                pools[attr.name] = [round(rng.uniform(0, 60), 1) for _ in range(6)]
+            else:
+                pools[attr.name] = [True, False]
+    if value_pools:
+        pools.update(value_pools)
+
+    relations = []
+    for i, rel_schema in enumerate(schema):
+        if isinstance(rows_per_relation, Mapping):
+            n_rows = rows_per_relation.get(rel_schema.name, 8)
+        else:
+            n_rows = rows_per_relation
+        relations.append(
+            random_relation(
+                rel_schema, n_rows=n_rows, seed=seed * 1000 + i, value_pools=pools
+            )
+        )
+    return Database(relations)
+
+
+def database_family(
+    schema: DatabaseSchema,
+    *,
+    count: int = 10,
+    rows_per_relation: int = 8,
+    seed: int = 0,
+) -> list[Database]:
+    """A reproducible family of random instances for equivalence testing."""
+    return [
+        random_database(schema, rows_per_relation=rows_per_relation, seed=seed + i)
+        for i in range(count)
+    ]

@@ -1,0 +1,228 @@
+"""In-memory relations with set and bag semantics.
+
+A :class:`Relation` couples a :class:`~repro.data.schema.RelationSchema` with
+a multiset of rows (tuples of Python values in schema order).  Relational
+Algebra and the calculi operate on *sets* of tuples; SQL without DISTINCT
+operates on *bags*.  A relation therefore carries all duplicate rows and
+exposes both views: :meth:`rows` (bag) and :meth:`distinct_rows` (set).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.data.schema import Attribute, RelationSchema, SchemaError
+from repro.data.types import DataType, check_value, format_value
+
+Row = tuple[Any, ...]
+
+
+class RelationError(Exception):
+    """Raised for operations on incompatible relations or malformed rows."""
+
+
+class Relation:
+    """A named, typed multiset of tuples."""
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        rows: Iterable[Sequence[Any] | Mapping[str, Any]] = (),
+        *,
+        validate: bool = True,
+    ) -> None:
+        self.schema = schema
+        self._rows: list[Row] = []
+        for row in rows:
+            self.add(row, validate=validate)
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def from_dicts(
+        cls, schema: RelationSchema, dicts: Iterable[Mapping[str, Any]]
+    ) -> "Relation":
+        """Build a relation from dict rows keyed by attribute name."""
+        return cls(schema, dicts)
+
+    def add(self, row: Sequence[Any] | Mapping[str, Any], *, validate: bool = True) -> None:
+        """Append a row (bag semantics: duplicates are kept)."""
+        if isinstance(row, Mapping):
+            try:
+                row = tuple(row[name] for name in self.schema.attribute_names)
+            except KeyError as exc:
+                raise RelationError(f"row is missing attribute {exc.args[0]!r}") from exc
+        else:
+            row = tuple(row)
+        if len(row) != self.schema.arity:
+            raise RelationError(
+                f"row arity {len(row)} does not match schema arity {self.schema.arity} "
+                f"for relation {self.schema.name!r}"
+            )
+        if validate:
+            for value, attr in zip(row, self.schema.attributes):
+                if not check_value(value, attr.dtype):
+                    raise RelationError(
+                        f"value {value!r} is not a valid {attr.dtype} for "
+                        f"{self.schema.name}.{attr.name}"
+                    )
+        self._rows.append(row)
+
+    # -- views -----------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return self.schema.attribute_names
+
+    def rows(self) -> list[Row]:
+        """All rows including duplicates (bag view)."""
+        return list(self._rows)
+
+    def distinct_rows(self) -> list[Row]:
+        """Rows with duplicates removed, in first-occurrence order (set view)."""
+        seen: set[Row] = set()
+        out: list[Row] = []
+        for row in self._rows:
+            if row not in seen:
+                seen.add(row)
+                out.append(row)
+        return out
+
+    def row_multiset(self) -> Counter:
+        """Rows with multiplicities."""
+        return Counter(self._rows)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Rows as dictionaries keyed by attribute name (bag view)."""
+        names = self.schema.attribute_names
+        return [dict(zip(names, row)) for row in self._rows]
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one attribute (bag view)."""
+        idx = self.schema.index_of(name)
+        return [row[idx] for row in self._rows]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def cardinality(self, *, distinct: bool = False) -> int:
+        """Number of rows, optionally after duplicate elimination."""
+        return len(self.distinct_rows()) if distinct else len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: object) -> bool:
+        return tuple(row) in set(self._rows) if isinstance(row, Sequence) else False
+
+    def is_empty(self) -> bool:
+        return not self._rows
+
+    # -- comparisons -----------------------------------------------------
+    def set_equal(self, other: "Relation") -> bool:
+        """True iff both relations hold the same *set* of rows."""
+        return set(self._rows) == set(other._rows)
+
+    def bag_equal(self, other: "Relation") -> bool:
+        """True iff both relations hold the same *multiset* of rows."""
+        return Counter(self._rows) == Counter(other._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self.schema.attribute_names == other.schema.attribute_names
+            and self.bag_equal(other)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - relations are mutable
+        raise TypeError("Relation objects are not hashable")
+
+    # -- simple derivations (heavy lifting lives in repro.ra.evaluate) ----
+    def renamed(self, new_name: str) -> "Relation":
+        """Same rows under a new relation name."""
+        return Relation(self.schema.renamed(new_name), self._rows, validate=False)
+
+    def with_schema(self, schema: RelationSchema) -> "Relation":
+        """Reinterpret the same rows under a compatible schema."""
+        if schema.arity != self.schema.arity:
+            raise RelationError("cannot change schema to a different arity")
+        return Relation(schema, self._rows, validate=False)
+
+    def distinct(self) -> "Relation":
+        """Duplicate-eliminated copy."""
+        return Relation(self.schema, self.distinct_rows(), validate=False)
+
+    def filter(self, predicate: Callable[[dict[str, Any]], bool]) -> "Relation":
+        """Rows for which ``predicate(row_dict)`` is truthy."""
+        names = self.schema.attribute_names
+        kept = [row for row in self._rows if predicate(dict(zip(names, row)))]
+        return Relation(self.schema, kept, validate=False)
+
+    def project_columns(self, names: Sequence[str], *, distinct: bool = True) -> "Relation":
+        """Projection onto ``names`` (set semantics by default, like RA)."""
+        indices = [self.schema.index_of(n) for n in names]
+        schema = self.schema.project(names)
+        rows = [tuple(row[i] for i in indices) for row in self._rows]
+        rel = Relation(schema, rows, validate=False)
+        return rel.distinct() if distinct else rel
+
+    def sorted(self) -> "Relation":
+        """Rows sorted by a total order usable for stable display."""
+        def key(row: Row) -> tuple:
+            return tuple((value is None, str(type(value).__name__), value if value is not None else 0)
+                         for value in row)
+
+        return Relation(self.schema, sorted(self._rows, key=key), validate=False)
+
+    # -- display ---------------------------------------------------------
+    def to_table(self, *, max_rows: int | None = 20) -> str:
+        """ASCII table rendering, used by examples and the pipeline output."""
+        names = list(self.schema.attribute_names)
+        shown = self._rows if max_rows is None else self._rows[:max_rows]
+        cells = [[format_value(v) if isinstance(v, str) or v is None else str(v) for v in row]
+                 for row in shown]
+        widths = [len(n) for n in names]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+        lines = [sep,
+                 "|" + "|".join(f" {n.ljust(w)} " for n, w in zip(names, widths)) + "|",
+                 sep]
+        for row in cells:
+            lines.append("|" + "|".join(f" {c.ljust(w)} " for c, w in zip(row, widths)) + "|")
+        lines.append(sep)
+        hidden = len(self._rows) - len(shown)
+        if hidden > 0:
+            lines.append(f"... {hidden} more row(s)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.schema.name}, {len(self._rows)} rows)"
+
+
+def relation_from_rows(
+    name: str,
+    columns: Sequence[tuple[str, str]],
+    rows: Iterable[Sequence[Any]],
+) -> Relation:
+    """One-call constructor used heavily in tests and examples."""
+    schema = RelationSchema(name, tuple(Attribute(c, t) for c, t in columns))
+    return Relation(schema, rows)
+
+
+def union_compatible(a: Relation, b: Relation) -> bool:
+    """True iff two relations can take part in UNION / INTERSECT / EXCEPT."""
+    return a.schema.is_union_compatible(b.schema)
+
+
+def require_union_compatible(a: Relation, b: Relation, operation: str) -> None:
+    """Raise :class:`RelationError` unless ``a`` and ``b`` are union-compatible."""
+    if not union_compatible(a, b):
+        raise RelationError(
+            f"{operation}: schemas {a.schema} and {b.schema} are not union-compatible"
+        )

@@ -1,0 +1,172 @@
+"""The sailors–boats–reserves database from the "cow book".
+
+The tutorial (Part 3) uses a variant of the classic example database from
+Ramakrishnan & Gehrke, *Database Management Systems*: sailors reserve boats
+on given days.  Every example query, diagram, and experiment in this
+repository runs against this schema, so it lives in one canonical place.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.data.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.data.types import DataType
+
+#: Schema of the Sailors relation: sid, sname, rating, age.
+SAILORS_SCHEMA = RelationSchema(
+    "Sailors",
+    (
+        Attribute("sid", DataType.INT),
+        Attribute("sname", DataType.STRING),
+        Attribute("rating", DataType.INT),
+        Attribute("age", DataType.FLOAT),
+    ),
+)
+
+#: Schema of the Boats relation: bid, bname, color.
+BOATS_SCHEMA = RelationSchema(
+    "Boats",
+    (
+        Attribute("bid", DataType.INT),
+        Attribute("bname", DataType.STRING),
+        Attribute("color", DataType.STRING),
+    ),
+)
+
+#: Schema of the Reserves relation: sid, bid, day.
+RESERVES_SCHEMA = RelationSchema(
+    "Reserves",
+    (
+        Attribute("sid", DataType.INT),
+        Attribute("bid", DataType.INT),
+        Attribute("day", DataType.STRING),
+    ),
+)
+
+#: The full sailors database schema.
+SAILORS_DATABASE_SCHEMA = DatabaseSchema((SAILORS_SCHEMA, BOATS_SCHEMA, RESERVES_SCHEMA))
+
+#: The cow-book instance (S3/B1/R2 in the book, dates normalised to ISO).
+SAILORS_ROWS = [
+    (22, "Dustin", 7, 45.0),
+    (29, "Brutus", 1, 33.0),
+    (31, "Lubber", 8, 55.5),
+    (32, "Andy", 8, 25.5),
+    (58, "Rusty", 10, 35.0),
+    (64, "Horatio", 7, 35.0),
+    (71, "Zorba", 10, 16.0),
+    (74, "Horatio", 9, 35.0),
+    (85, "Art", 3, 25.5),
+    (95, "Bob", 3, 63.5),
+]
+
+BOATS_ROWS = [
+    (101, "Interlake", "blue"),
+    (102, "Interlake", "red"),
+    (103, "Clipper", "green"),
+    (104, "Marine", "red"),
+]
+
+RESERVES_ROWS = [
+    (22, 101, "1998-10-10"),
+    (22, 102, "1998-10-10"),
+    (22, 103, "1998-10-08"),
+    (22, 104, "1998-10-07"),
+    (31, 102, "1998-11-10"),
+    (31, 103, "1998-11-06"),
+    (31, 104, "1998-11-12"),
+    (64, 101, "1998-09-05"),
+    (64, 102, "1998-09-08"),
+    (74, 103, "1998-09-08"),
+]
+
+
+def sailors_database() -> Database:
+    """Return a fresh copy of the cow-book sailors database instance."""
+    return Database(
+        [
+            Relation(SAILORS_SCHEMA, SAILORS_ROWS),
+            Relation(BOATS_SCHEMA, BOATS_ROWS),
+            Relation(RESERVES_SCHEMA, RESERVES_ROWS),
+        ]
+    )
+
+
+#: Small pools used by the random generator so joins actually join.
+_FIRST_NAMES = [
+    "Dustin", "Brutus", "Lubber", "Andy", "Rusty", "Horatio", "Zorba",
+    "Art", "Bob", "Frodo", "Guy", "Yuppy", "Ishmael", "Ahab", "Queequeg",
+    "Starbuck", "Pip", "Flask", "Stubb", "Daggoo",
+]
+_BOAT_NAMES = ["Interlake", "Clipper", "Marine", "Driftwood", "Sunset", "Tempest", "Albatross"]
+_COLORS = ["red", "green", "blue", "yellow", "white"]
+
+
+def random_sailors_database(
+    *,
+    n_sailors: int = 50,
+    n_boats: int = 12,
+    n_reserves: int = 150,
+    seed: int = 0,
+) -> Database:
+    """Generate a random sailors database of the requested size.
+
+    The generator keeps key/foreign-key discipline (every reservation refers
+    to an existing sailor and boat) and reuses a small pool of names and
+    colors so that selections and joins return non-trivial results.  It is
+    used by the equivalence harness (experiment T1) and the scaling
+    benchmarks (experiment S1).
+    """
+    rng = random.Random(seed)
+    sailors = []
+    sids = rng.sample(range(1, max(1000, n_sailors * 5)), n_sailors)
+    for sid in sids:
+        sailors.append(
+            (
+                sid,
+                rng.choice(_FIRST_NAMES),
+                rng.randint(1, 10),
+                round(rng.uniform(16.0, 70.0) * 2) / 2.0,
+            )
+        )
+
+    boats = []
+    bids = rng.sample(range(100, max(400, 100 + n_boats * 5)), n_boats)
+    for bid in bids:
+        boats.append((bid, rng.choice(_BOAT_NAMES), rng.choice(_COLORS)))
+
+    reserves = []
+    seen: set[tuple[int, int, str]] = set()
+    attempts = 0
+    while len(reserves) < n_reserves and attempts < n_reserves * 20:
+        attempts += 1
+        sid = rng.choice(sids)
+        bid = rng.choice(bids)
+        day = f"199{rng.randint(5, 9)}-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}"
+        key = (sid, bid, day)
+        if key in seen:
+            continue
+        seen.add(key)
+        reserves.append(key)
+
+    return Database(
+        [
+            Relation(SAILORS_SCHEMA, sailors),
+            Relation(BOATS_SCHEMA, boats),
+            Relation(RESERVES_SCHEMA, reserves),
+        ]
+    )
+
+
+def empty_sailors_database() -> Database:
+    """The sailors schema with no rows (edge-case testing)."""
+    return Database(
+        [
+            Relation(SAILORS_SCHEMA, []),
+            Relation(BOATS_SCHEMA, []),
+            Relation(RESERVES_SCHEMA, []),
+        ]
+    )

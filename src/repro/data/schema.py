@@ -1,0 +1,194 @@
+"""Relation and database schemas.
+
+A :class:`RelationSchema` is an ordered list of named, typed attributes; a
+:class:`DatabaseSchema` is a named collection of relation schemas.  Schemas
+are immutable value objects: all mutating operations return new schemas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.data.types import DataType, parse_type
+
+
+class SchemaError(Exception):
+    """Raised for malformed schemas or schema lookups that fail."""
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed column of a relation."""
+
+    name: str
+    dtype: DataType = DataType.STRING
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"attribute name must be a non-empty string, got {self.name!r}")
+        object.__setattr__(self, "dtype", parse_type(self.dtype))
+
+    def renamed(self, new_name: str) -> "Attribute":
+        """Return a copy of this attribute with a different name."""
+        return Attribute(new_name, self.dtype)
+
+    def __str__(self) -> str:
+        return f"{self.name}:{self.dtype}"
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """An ordered schema ``R(a1:t1, ..., an:tn)``."""
+
+    name: str
+    attributes: tuple[Attribute, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        attrs = tuple(
+            a if isinstance(a, Attribute) else Attribute(a[0], parse_type(a[1]))
+            for a in self.attributes
+        )
+        object.__setattr__(self, "attributes", attrs)
+        seen: set[str] = set()
+        for attr in attrs:
+            if attr.name in seen:
+                raise SchemaError(f"duplicate attribute {attr.name!r} in relation {self.name!r}")
+            seen.add(attr.name)
+
+    # -- basic accessors -------------------------------------------------
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.attributes)
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        """Attribute names in schema order."""
+        return tuple(a.name for a in self.attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return any(a.name == name for a in self.attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the attribute called ``name``."""
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise SchemaError(f"relation {self.name!r} has no attribute {name!r}")
+
+    def index_of(self, name: str) -> int:
+        """Return the position of attribute ``name``."""
+        for i, attr in enumerate(self.attributes):
+            if attr.name == name:
+                return i
+        raise SchemaError(f"relation {self.name!r} has no attribute {name!r}")
+
+    def dtype_of(self, name: str) -> DataType:
+        """Return the type of attribute ``name``."""
+        return self.attribute(name).dtype
+
+    # -- derivation ------------------------------------------------------
+    def renamed(self, new_name: str) -> "RelationSchema":
+        """Return a copy with a different relation name."""
+        return RelationSchema(new_name, self.attributes)
+
+    def rename_attributes(self, mapping: Mapping[str, str]) -> "RelationSchema":
+        """Return a copy where attributes are renamed per ``mapping``."""
+        new_attrs = tuple(
+            a.renamed(mapping.get(a.name, a.name)) for a in self.attributes
+        )
+        return RelationSchema(self.name, new_attrs)
+
+    def project(self, names: Sequence[str], new_name: str | None = None) -> "RelationSchema":
+        """Return the schema of the projection onto ``names`` (in that order)."""
+        attrs = tuple(self.attribute(n) for n in names)
+        return RelationSchema(new_name or self.name, attrs)
+
+    def concat(self, other: "RelationSchema", new_name: str | None = None) -> "RelationSchema":
+        """Return the schema of the cartesian product with ``other``.
+
+        Attribute name collisions are resolved by prefixing both sides with
+        their relation names (``R.a``), mirroring common RA conventions.
+        """
+        left_names = set(self.attribute_names)
+        right_names = set(other.attribute_names)
+        clash = left_names & right_names
+        left_attrs = [
+            a.renamed(f"{self.name}.{a.name}") if a.name in clash else a
+            for a in self.attributes
+        ]
+        right_attrs = [
+            a.renamed(f"{other.name}.{a.name}") if a.name in clash else a
+            for a in other.attributes
+        ]
+        return RelationSchema(new_name or f"{self.name}_x_{other.name}",
+                              tuple(left_attrs + right_attrs))
+
+    def is_union_compatible(self, other: "RelationSchema") -> bool:
+        """True iff the two schemas have the same arity and column types."""
+        if self.arity != other.arity:
+            return False
+        return all(a.dtype == b.dtype for a, b in zip(self.attributes, other.attributes))
+
+    def __str__(self) -> str:
+        cols = ", ".join(str(a) for a in self.attributes)
+        return f"{self.name}({cols})"
+
+
+def make_schema(name: str, columns: Iterable[tuple[str, str] | Attribute]) -> RelationSchema:
+    """Convenience constructor: ``make_schema("R", [("a", "int"), ...])``."""
+    attrs = tuple(
+        c if isinstance(c, Attribute) else Attribute(c[0], parse_type(c[1]))
+        for c in columns
+    )
+    return RelationSchema(name, attrs)
+
+
+@dataclass(frozen=True)
+class DatabaseSchema:
+    """A collection of relation schemas keyed by relation name."""
+
+    relations: tuple[RelationSchema, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for rel in self.relations:
+            if rel.name in seen:
+                raise SchemaError(f"duplicate relation {rel.name!r} in database schema")
+            seen.add(rel.name)
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(r.name for r in self.relations)
+
+    def __contains__(self, name: object) -> bool:
+        return any(r.name == name for r in self.relations)
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self.relations)
+
+    def relation(self, name: str) -> RelationSchema:
+        """Return the schema of relation ``name`` (case-sensitive first, then insensitive)."""
+        for rel in self.relations:
+            if rel.name == name:
+                return rel
+        lowered = name.lower()
+        for rel in self.relations:
+            if rel.name.lower() == lowered:
+                return rel
+        raise SchemaError(f"database schema has no relation {name!r}")
+
+    def with_relation(self, schema: RelationSchema) -> "DatabaseSchema":
+        """Return a new database schema with ``schema`` added or replaced."""
+        kept = tuple(r for r in self.relations if r.name != schema.name)
+        return DatabaseSchema(kept + (schema,))
+
+    def __str__(self) -> str:
+        return "\n".join(str(r) for r in self.relations)

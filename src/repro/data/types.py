@@ -1,0 +1,154 @@
+"""Value types used by the relational substrate.
+
+The engine supports four scalar types (integers, floats, strings, booleans)
+plus SQL-style NULL, which is represented by Python ``None``.  Three-valued
+logic for NULL comparisons lives in :mod:`repro.expr.eval`; this module only
+deals with declaring, validating, and coercing values.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+
+class DataType(enum.Enum):
+    """Scalar data types supported by the engine."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    BOOL = "bool"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Mapping from human-friendly aliases to :class:`DataType`.
+_TYPE_ALIASES = {
+    "int": DataType.INT,
+    "integer": DataType.INT,
+    "float": DataType.FLOAT,
+    "real": DataType.FLOAT,
+    "double": DataType.FLOAT,
+    "str": DataType.STRING,
+    "string": DataType.STRING,
+    "text": DataType.STRING,
+    "varchar": DataType.STRING,
+    "bool": DataType.BOOL,
+    "boolean": DataType.BOOL,
+}
+
+
+def parse_type(name: "str | DataType") -> DataType:
+    """Return the :class:`DataType` for ``name``.
+
+    Accepts a :class:`DataType` (returned unchanged) or any of the usual
+    SQL-ish aliases (``"integer"``, ``"varchar"``, ...).
+
+    >>> parse_type("varchar")
+    <DataType.STRING: 'string'>
+    """
+    if isinstance(name, DataType):
+        return name
+    key = str(name).strip().lower()
+    if key not in _TYPE_ALIASES:
+        raise ValueError(f"unknown data type: {name!r}")
+    return _TYPE_ALIASES[key]
+
+
+def infer_type(value: Any) -> DataType:
+    """Infer the :class:`DataType` of a Python value.
+
+    ``bool`` is checked before ``int`` because ``bool`` is a subclass of
+    ``int`` in Python.
+    """
+    if isinstance(value, bool):
+        return DataType.BOOL
+    if isinstance(value, int):
+        return DataType.INT
+    if isinstance(value, float):
+        return DataType.FLOAT
+    if isinstance(value, str):
+        return DataType.STRING
+    raise ValueError(f"cannot infer data type of {value!r}")
+
+
+def is_null(value: Any) -> bool:
+    """Return True iff ``value`` is the SQL NULL marker."""
+    return value is None
+
+
+def check_value(value: Any, dtype: DataType, *, allow_null: bool = True) -> bool:
+    """Return True iff ``value`` is a legal instance of ``dtype``.
+
+    NULL (``None``) is legal for every type unless ``allow_null`` is False.
+    Integers are accepted where floats are expected (SQL numeric widening).
+    """
+    if value is None:
+        return allow_null
+    if dtype is DataType.BOOL:
+        return isinstance(value, bool)
+    if dtype is DataType.INT:
+        return isinstance(value, int) and not isinstance(value, bool)
+    if dtype is DataType.FLOAT:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if dtype is DataType.STRING:
+        return isinstance(value, str)
+    raise AssertionError(f"unhandled dtype {dtype}")  # pragma: no cover
+
+
+def coerce_value(value: Any, dtype: DataType) -> Any:
+    """Coerce ``value`` to ``dtype``, raising ``ValueError`` if impossible.
+
+    This is a *lenient* coercion used when loading external data: numeric
+    strings become numbers, numbers become strings, 0/1 become booleans.
+    """
+    if value is None:
+        return None
+    try:
+        if dtype is DataType.BOOL:
+            if isinstance(value, bool):
+                return value
+            if isinstance(value, (int, float)) and value in (0, 1):
+                return bool(value)
+            if isinstance(value, str) and value.lower() in ("true", "false"):
+                return value.lower() == "true"
+            raise ValueError
+        if dtype is DataType.INT:
+            if isinstance(value, bool):
+                return int(value)
+            return int(value)
+        if dtype is DataType.FLOAT:
+            return float(value)
+        if dtype is DataType.STRING:
+            return str(value)
+    except (TypeError, ValueError):
+        pass
+    raise ValueError(f"cannot coerce {value!r} to {dtype}")
+
+
+def format_value(value: Any) -> str:
+    """Render a value the way it appears in query text and diagrams."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, float) and value.is_integer():
+        return f"{value:.1f}"
+    return str(value)
+
+
+def comparable(a: Any, b: Any) -> bool:
+    """Return True iff two non-null values can be compared with <, =, >."""
+    if a is None or b is None:
+        return False
+    numeric = (int, float)
+    if isinstance(a, bool) or isinstance(b, bool):
+        return isinstance(a, bool) and isinstance(b, bool)
+    if isinstance(a, numeric) and isinstance(b, numeric):
+        return True
+    return isinstance(a, str) and isinstance(b, str)

@@ -1,0 +1,35 @@
+"""Datalog with stratified negation: AST, parser, stratification, evaluation."""
+
+from repro.datalog.ast import (
+    BuiltinComparison,
+    DatalogError,
+    Literal,
+    Program,
+    Rule,
+    make_program,
+)
+from repro.datalog.evaluate import evaluate_datalog, evaluate_program
+from repro.datalog.parser import parse_datalog, parse_rule
+from repro.datalog.stratify import (
+    dependency_graph,
+    evaluation_order,
+    is_stratifiable,
+    stratify,
+)
+
+__all__ = [
+    "BuiltinComparison",
+    "DatalogError",
+    "Literal",
+    "Program",
+    "Rule",
+    "dependency_graph",
+    "evaluate_datalog",
+    "evaluate_program",
+    "evaluation_order",
+    "is_stratifiable",
+    "make_program",
+    "parse_datalog",
+    "parse_rule",
+    "stratify",
+]

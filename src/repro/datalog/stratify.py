@@ -1,0 +1,82 @@
+"""Predicate dependency analysis and stratification.
+
+Stratified negation requires that no predicate depends on itself through a
+negation.  The stratification assigns each IDB predicate a stratum number
+such that positive dependencies stay within or below the stratum and negative
+dependencies point strictly below; evaluation then proceeds stratum by
+stratum.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.ast import DatalogError, Literal, Program
+
+#: Dependency graph: head predicate -> set of (body predicate, negated?) edges.
+DependencyGraph = dict[str, set[tuple[str, bool]]]
+
+
+def dependency_graph(program: Program) -> DependencyGraph:
+    """Build the predicate dependency graph of a program."""
+    graph: DependencyGraph = {}
+    for rule in program.rules:
+        head = rule.head.predicate.lower()
+        edges = graph.setdefault(head, set())
+        for item in rule.body:
+            if isinstance(item, Literal):
+                edges.add((item.predicate.lower(), item.negated))
+    return graph
+
+
+def stratify(program: Program) -> dict[str, int]:
+    """Assign a stratum number to every predicate.
+
+    EDB predicates get stratum 0.  Raises :class:`DatalogError` if the
+    program is not stratifiable (a predicate depends negatively on itself,
+    directly or transitively).
+    """
+    graph = dependency_graph(program)
+    idb = set(program.idb_predicates())
+    strata: dict[str, int] = {}
+    for rule in program.rules:
+        strata.setdefault(rule.head.predicate.lower(), 1)
+        for item in rule.body:
+            if isinstance(item, Literal):
+                name = item.predicate.lower()
+                strata.setdefault(name, 1 if name in idb else 0)
+
+    n_predicates = len(strata)
+    changed = True
+    iterations = 0
+    while changed:
+        changed = False
+        iterations += 1
+        if iterations > n_predicates * n_predicates + 2:
+            raise DatalogError("program is not stratifiable (negative cycle)")
+        for head, edges in graph.items():
+            for body_predicate, negated in edges:
+                required = strata.get(body_predicate, 0) + (1 if negated else 0)
+                if strata.get(head, 1) < required:
+                    strata[head] = required
+                    changed = True
+                    if strata[head] > n_predicates:
+                        raise DatalogError("program is not stratifiable (negative cycle)")
+    return strata
+
+
+def is_stratifiable(program: Program) -> bool:
+    """True iff the program admits a stratification."""
+    try:
+        stratify(program)
+        return True
+    except DatalogError:
+        return False
+
+
+def evaluation_order(program: Program) -> list[list[str]]:
+    """IDB predicates grouped by stratum, lowest first."""
+    strata = stratify(program)
+    idb = program.idb_predicates()
+    by_stratum: dict[int, list[str]] = {}
+    for predicate in idb:
+        by_stratum.setdefault(strata.get(predicate, 1), []).append(predicate)
+    return [by_stratum[k] for k in sorted(by_stratum)]

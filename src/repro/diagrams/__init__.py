@@ -1,0 +1,108 @@
+"""Diagram builders for the formalisms surveyed in the tutorial.
+
+Use :func:`build_diagram` to obtain a diagram for a query in any implemented
+formalism::
+
+    from repro.diagrams import build_diagram
+    diagram = build_diagram("queryvis", "SELECT ...", schema)
+    print(diagram.to_ascii())
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.diagram import Diagram
+from repro.diagrams.common import CannotRepresent
+
+
+def _queryvis(query, schema) -> Diagram:
+    from repro.diagrams.queryvis import queryvis_diagram
+
+    return queryvis_diagram(query, schema)
+
+
+def _relational(query, schema) -> Diagram:
+    from repro.diagrams.relational_diagrams import relational_diagram
+
+    return relational_diagram(query, schema)
+
+
+def _peirce_beta(query, schema) -> Diagram:
+    from repro.diagrams.peirce_beta import beta_diagram_for_query
+
+    return beta_diagram_for_query(query, schema)
+
+
+def _string(query, schema) -> Diagram:
+    from repro.diagrams.string_diagrams import string_diagram_for_query
+
+    return string_diagram_for_query(query, schema)
+
+
+def _qbe(query, schema) -> Diagram:
+    from repro.diagrams.qbe import qbe_diagram
+
+    return qbe_diagram(query, schema)
+
+
+def _dfql(query, schema) -> Diagram:
+    from repro.diagrams.dfql import dfql_diagram
+
+    return dfql_diagram(query, schema)
+
+
+def _sqlvis(query, schema) -> Diagram:
+    from repro.diagrams.sqlvis import sqlvis_diagram
+
+    return sqlvis_diagram(query, schema)
+
+
+def _visual_sql(query, schema) -> Diagram:
+    from repro.diagrams.visual_sql import visual_sql_diagram
+
+    return visual_sql_diagram(query, schema)
+
+
+def _conceptual(query, schema) -> Diagram:
+    from repro.diagrams.conceptual import conceptual_graph_diagram
+
+    return conceptual_graph_diagram(query, schema)
+
+
+_BUILDERS: dict[str, Callable[[Any, Any], Diagram]] = {
+    "queryvis": _queryvis,
+    "relational_diagrams": _relational,
+    "peirce_beta": _peirce_beta,
+    "string_diagrams": _string,
+    "qbe": _qbe,
+    "dfql": _dfql,
+    "sqlvis": _sqlvis,
+    "visual_sql": _visual_sql,
+    "conceptual": _conceptual,
+}
+
+
+def available_builders() -> list[str]:
+    """Keys accepted by :func:`build_diagram` for relational queries."""
+    return sorted(_BUILDERS)
+
+
+def build_diagram(formalism: str, query, schema) -> Diagram:
+    """Build the diagram of ``query`` in the given formalism.
+
+    ``query`` may be SQL text, a parsed SQL AST, or (for the TRC-based
+    formalisms) a TRC query.  Formalisms that only handle logical statements
+    (Euler, Venn, Peirce alpha, constraint diagrams) have their own dedicated
+    APIs in their modules and are not reachable through this dispatcher.
+    """
+    key = formalism.lower()
+    if key not in _BUILDERS:
+        raise CannotRepresent(
+            f"no diagram builder registered for formalism {formalism!r}; "
+            f"available: {', '.join(available_builders())}"
+        )
+    return _BUILDERS[key](query, schema)
+
+
+__all__ = ["available_builders", "build_diagram", "CannotRepresent"]

@@ -1,0 +1,226 @@
+"""Shared machinery for TRC-based diagram builders (QueryVis, Relational Diagrams).
+
+Both formalisms draw the same ingredients — one table box per tuple variable,
+selection predicates inside the box, join predicates as lines between
+attribute rows, and nested boxes for quantification/negation scopes — and
+differ in how scopes and reading order are drawn.  This module extracts the
+shared "query graph" structure from a (normalised) TRC query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.patterns import normalize_trc
+from repro.data.types import format_value
+from repro.trc.ast import (
+    AttrRef,
+    ConstTerm,
+    RelAtom,
+    TRCAnd,
+    TRCCompare,
+    TRCExists,
+    TRCFormula,
+    TRCNot,
+    TRCOr,
+    TRCQuery,
+    TRCTrue,
+)
+
+
+class CannotRepresent(Exception):
+    """Raised when a formalism has no visual element for a query construct."""
+
+
+@dataclass
+class ScopeInfo:
+    """One quantification/negation scope of the normalised query."""
+
+    id: int
+    parent: int | None
+    negated: bool
+    depth: int
+
+
+@dataclass
+class TableBox:
+    """One tuple variable with everything drawn inside its box."""
+
+    var: str
+    relation: str
+    scope: int
+    local_predicates: list[str] = field(default_factory=list)
+    attributes: list[str] = field(default_factory=list)
+    output_attributes: list[str] = field(default_factory=list)
+
+    def ensure_attribute(self, name: str) -> None:
+        if name not in self.attributes:
+            self.attributes.append(name)
+
+
+@dataclass
+class JoinEdge:
+    """A predicate connecting attributes of two different tuple variables."""
+
+    left_var: str
+    left_attr: str
+    op: str
+    right_var: str
+    right_attr: str
+
+
+@dataclass
+class QueryGraph:
+    """The shared structure both TRC-based formalisms draw."""
+
+    scopes: dict[int, ScopeInfo] = field(default_factory=dict)
+    tables: dict[str, TableBox] = field(default_factory=dict)
+    joins: list[JoinEdge] = field(default_factory=list)
+    head: list[tuple[str, str]] = field(default_factory=list)
+
+    def tables_in_scope(self, scope_id: int) -> list[TableBox]:
+        return [t for t in self.tables.values() if t.scope == scope_id]
+
+    def child_scopes(self, scope_id: int | None) -> list[ScopeInfo]:
+        return [s for s in self.scopes.values() if s.parent == scope_id]
+
+
+def _term_text(term) -> str:
+    if isinstance(term, ConstTerm):
+        return format_value(term.value)
+    if isinstance(term, AttrRef):
+        return f"{term.var.name}.{term.attr}"
+    return str(term)
+
+
+def build_query_graph(query: TRCQuery, *, allow_local_disjunction: bool = True) -> QueryGraph:
+    """Extract the query graph of a TRC query (after normalisation).
+
+    Disjunctions that only constrain a single tuple variable are folded into
+    that variable's local predicates (``color = 'red' OR color = 'green'``);
+    any other disjunction raises :class:`CannotRepresent`, which is the
+    behaviour the tutorial describes for QueryVis-style diagrams.
+    """
+    graph = QueryGraph()
+    body = normalize_trc(query.body)
+    graph.scopes[0] = ScopeInfo(0, None, False, 0)
+    counter = [0]
+
+    def table_for(var: str, relation: str | None, scope: int) -> TableBox:
+        box = graph.tables.get(var)
+        if box is None:
+            box = TableBox(var, relation or "?", scope)
+            graph.tables[var] = box
+        elif relation is not None and box.relation == "?":
+            box.relation = relation
+        return box
+
+    def handle_compare(node: TRCCompare, scope: int) -> None:
+        left, right = node.left, node.right
+        if isinstance(left, AttrRef) and isinstance(right, AttrRef):
+            if left.var.name == right.var.name:
+                box = table_for(left.var.name, None, scope)
+                box.ensure_attribute(left.attr)
+                box.local_predicates.append(f"{left.attr} {node.op} {right.attr}")
+                return
+            graph.joins.append(JoinEdge(left.var.name, left.attr, node.op,
+                                        right.var.name, right.attr))
+            table_for(left.var.name, None, scope).ensure_attribute(left.attr)
+            table_for(right.var.name, None, scope).ensure_attribute(right.attr)
+            return
+        if isinstance(left, AttrRef):
+            box = table_for(left.var.name, None, scope)
+            box.ensure_attribute(left.attr)
+            box.local_predicates.append(f"{left.attr} {node.op} {_term_text(right)}")
+            return
+        if isinstance(right, AttrRef):
+            flip = {"=": "=", "<>": "<>", "<": ">", ">": "<", "<=": ">=", ">=": "<="}
+            box = table_for(right.var.name, None, scope)
+            box.ensure_attribute(right.attr)
+            box.local_predicates.append(
+                f"{right.attr} {flip[node.op]} {_term_text(left)}"
+            )
+            return
+        raise CannotRepresent("comparisons between two constants have no table box to live in")
+
+    def handle_or(node: TRCOr, scope: int) -> None:
+        # A disjunction is drawable inside one box iff all its disjuncts are
+        # local predicates of the same single tuple variable.
+        variables: set[str] = set()
+        texts: list[str] = []
+        for operand in node.operands:
+            if isinstance(operand, TRCCompare):
+                refs = [t for t in (operand.left, operand.right) if isinstance(t, AttrRef)]
+                if len(refs) != 1:
+                    raise CannotRepresent("general disjunction")
+                variables.add(refs[0].var.name)
+                const = operand.right if isinstance(operand.left, AttrRef) else operand.left
+                texts.append(f"{refs[0].attr} {operand.op} {_term_text(const)}")
+            else:
+                raise CannotRepresent("general disjunction")
+        if len(variables) != 1 or not allow_local_disjunction:
+            raise CannotRepresent("disjunction across tuple variables")
+        var = variables.pop()
+        box = table_for(var, None, scope)
+        box.local_predicates.append(" OR ".join(texts))
+
+    def visit(node: TRCFormula, scope: int) -> None:
+        if isinstance(node, TRCTrue):
+            return
+        if isinstance(node, RelAtom):
+            table_for(node.var.name, node.relation, scope)
+            return
+        if isinstance(node, TRCCompare):
+            handle_compare(node, scope)
+            return
+        if isinstance(node, TRCAnd):
+            for operand in node.operands:
+                visit(operand, scope)
+            return
+        if isinstance(node, TRCOr):
+            handle_or(node, scope)
+            return
+        if isinstance(node, TRCNot):
+            counter[0] += 1
+            new_id = counter[0]
+            graph.scopes[new_id] = ScopeInfo(new_id, scope, True,
+                                             graph.scopes[scope].depth + 1)
+            inner = node.operand
+            if isinstance(inner, TRCExists):
+                visit(inner.body, new_id)
+            else:
+                visit(inner, new_id)
+            return
+        if isinstance(node, TRCExists):
+            visit(node.body, scope)
+            return
+        raise CannotRepresent(f"TRC construct {type(node).__name__}")
+
+    visit(body, 0)
+
+    for item in query.head:
+        if isinstance(item.term, AttrRef):
+            var, attr = item.term.var.name, item.term.attr
+            graph.head.append((var, attr))
+            if var in graph.tables:
+                box = graph.tables[var]
+                box.ensure_attribute(attr)
+                if attr not in box.output_attributes:
+                    box.output_attributes.append(attr)
+    return graph
+
+
+def to_trc(query, schema) -> TRCQuery:
+    """Accept SQL text, a SQL AST, or a TRC query and return a TRC query."""
+    from repro.sql.ast import SelectQuery, SetOpQuery
+    from repro.translate.sql_to_trc import sql_to_trc
+
+    if isinstance(query, TRCQuery):
+        return query
+    if isinstance(query, str) and query.strip().startswith("{"):
+        from repro.trc.parser import parse_trc
+
+        return parse_trc(query)
+    if isinstance(query, (str, SelectQuery, SetOpQuery)):
+        return sql_to_trc(query, schema)
+    raise CannotRepresent(f"cannot obtain a TRC query from {type(query).__name__}")

@@ -1,0 +1,116 @@
+"""Constraint diagrams (Kent 1997; Gil, Howse & Kent 1999).
+
+Constraint diagrams extend Euler/Venn notation with *spiders* (existential
+elements: trees of dots placed in regions), *shading* (emptiness apart from
+spiders), and *arrows* (universally quantified navigation along binary
+relations).  They were proposed "a step beyond UML" for expressing invariants
+over object models; the tutorial covers them as the bridge between the
+monadic Euler/Venn world and quantification over relations.
+
+The implementation models the monadic core faithfully (sets, spiders,
+shading — with the same region semantics as the Venn module) and renders
+arrows as annotated edges; reasoning is again by region enumeration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.diagram import Diagram, DiagramEdge, DiagramGroup, DiagramNode
+from repro.diagrams.syllogism import Region, regions_for, regions_of_intersection
+
+
+class ConstraintError(Exception):
+    """Raised for malformed constraint diagrams."""
+
+
+@dataclass(frozen=True)
+class Spider:
+    """An existential element: it lives in exactly one of its habitat regions."""
+
+    name: str
+    habitat: tuple[Region, ...]
+
+
+@dataclass(frozen=True)
+class Arrow:
+    """A universally quantified navigation: every ``source`` element maps into ``target``."""
+
+    label: str
+    source: str
+    target: str
+
+
+@dataclass
+class ConstraintDiagram:
+    """A constraint diagram: contours, shading, spiders, arrows."""
+
+    contours: tuple[str, ...]
+    shaded: set[Region] = field(default_factory=set)
+    spiders: list[Spider] = field(default_factory=list)
+    arrows: list[Arrow] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.contours = tuple(dict.fromkeys(self.contours))
+
+    # -- construction helpers ------------------------------------------------
+    def shade(self, inside: list[str], outside: list[str] | None = None) -> None:
+        for region in regions_of_intersection(self.contours, inside, outside or []):
+            self.shaded.add(region)
+
+    def add_spider(self, name: str, inside: list[str],
+                   outside: list[str] | None = None) -> Spider:
+        habitat = tuple(regions_of_intersection(self.contours, inside, outside or []))
+        if not habitat:
+            raise ConstraintError(f"spider {name!r} has an empty habitat")
+        spider = Spider(name, habitat)
+        self.spiders.append(spider)
+        return spider
+
+    def add_arrow(self, label: str, source: str, target: str) -> Arrow:
+        arrow = Arrow(label, source, target)
+        self.arrows.append(arrow)
+        return arrow
+
+    # -- semantics -------------------------------------------------------------
+    def is_satisfiable(self) -> bool:
+        """Some placement of spiders avoids all shaded regions."""
+        return all(any(region not in self.shaded for region in spider.habitat)
+                   for spider in self.spiders)
+
+    def asserts_empty(self, inside: list[str], outside: list[str] | None = None) -> bool:
+        """Does the shading entail that the described region is empty of non-spider elements?"""
+        target = regions_of_intersection(self.contours, inside, outside or [])
+        return all(region in self.shaded for region in target)
+
+    # -- rendering --------------------------------------------------------------
+    def to_diagram(self, *, name: str = "constraint diagram") -> Diagram:
+        diagram = Diagram(name, formalism="constraint")
+        frame = diagram.add_group(DiagramGroup("frame", "", None, "solid"))
+        contour_groups: dict[str, str] = {}
+        for contour in self.contours:
+            group = diagram.add_group(DiagramGroup(f"contour_{contour}", contour,
+                                                   frame.id, "solid"))
+            contour_groups[contour] = group.id
+            diagram.add_node(DiagramNode(f"anchor_{contour}", "region", "", (),
+                                         group.id, "point"))
+        for index, region in enumerate(sorted(self.shaded, key=sorted)):
+            label = " ∩ ".join(sorted(region)) or "outside"
+            diagram.add_node(DiagramNode(f"shade{index}", "shading", f"{label}: shaded",
+                                         (), frame.id, "plaintext"))
+        spider_nodes: dict[str, str] = {}
+        for spider in self.spiders:
+            habitat_text = " | ".join(" ∩ ".join(sorted(r)) or "outside"
+                                      for r in spider.habitat)
+            node = diagram.add_node(DiagramNode(
+                f"spider_{spider.name}", "spider", f"• {spider.name} ∈ {habitat_text}",
+                (), frame.id, "plaintext",
+            ))
+            spider_nodes[spider.name] = node.id
+        for index, arrow in enumerate(self.arrows):
+            source = spider_nodes.get(arrow.source) or f"anchor_{arrow.source}"
+            target = spider_nodes.get(arrow.target) or f"anchor_{arrow.target}"
+            if source in diagram.nodes and target in diagram.nodes:
+                diagram.add_edge(DiagramEdge(source, target, arrow.label,
+                                             directed=True, kind="flow"))
+        return diagram

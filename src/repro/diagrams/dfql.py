@@ -1,0 +1,60 @@
+"""DFQL — Dataflow Query Language diagrams (Clark & Wu 1994).
+
+DFQL is the canonical example of a *relationally complete* visual language
+obtained by the simplest possible recipe: draw the Relational Algebra
+operator tree as a dataflow diagram, relations at the top, one bubble per
+operator, data flowing downwards to the result.  Its completeness is
+inherited from RA; its weakness — which the tutorial points out for the whole
+family — is that the user is reading a query plan, not a query pattern.
+"""
+
+from __future__ import annotations
+
+from repro.core.diagram import Diagram, DiagramEdge, DiagramNode
+from repro.data.schema import DatabaseSchema
+from repro.ra.ast import RAExpr, RelationRef
+from repro.ra.pretty import operator_label
+
+
+def dfql_from_ra(expr: RAExpr, *, name: str = "DFQL dataflow") -> Diagram:
+    """Draw an RA expression as a DFQL dataflow diagram."""
+    diagram = Diagram(name, formalism="dfql")
+
+    def visit(node: RAExpr) -> str:
+        kind = "source" if isinstance(node, RelationRef) else "operator"
+        shape = "box" if isinstance(node, RelationRef) else "ellipse"
+        drawn = diagram.add_node(DiagramNode(
+            diagram.fresh_id("op"), kind, operator_label(node, unicode=True), (), None, shape,
+        ))
+        for child in node.children():
+            child_id = visit(child)
+            diagram.add_edge(DiagramEdge(child_id, drawn.id, directed=True, kind="dataflow"))
+        return drawn.id
+
+    result_source = visit(expr)
+    result = diagram.add_node(DiagramNode("result", "sink", "display", (), None, "box"))
+    diagram.add_edge(DiagramEdge(result_source, result.id, directed=True, kind="dataflow"))
+    return diagram
+
+
+def dfql_diagram(query, schema: DatabaseSchema, *, name: str | None = None) -> Diagram:
+    """Build a DFQL diagram from SQL text, a SQL AST, RA text, or an RA expression."""
+    expr = _to_ra(query, schema)
+    return dfql_from_ra(expr, name=name or "DFQL dataflow")
+
+
+def _to_ra(query, schema: DatabaseSchema) -> RAExpr:
+    from repro.ra.parser import parse_ra
+    from repro.sql.ast import SelectQuery, SetOpQuery
+    from repro.translate.sql_to_ra import sql_to_ra
+
+    if isinstance(query, RAExpr):
+        return query
+    if isinstance(query, (SelectQuery, SetOpQuery)):
+        return sql_to_ra(query, schema)
+    if isinstance(query, str):
+        stripped = query.strip()
+        if stripped.lower().startswith("select") or stripped.startswith("("):
+            return sql_to_ra(query, schema)
+        return parse_ra(query)
+    raise TypeError(f"cannot obtain an RA expression from {type(query).__name__}")

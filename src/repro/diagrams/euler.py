@@ -1,0 +1,118 @@
+"""Euler circles.
+
+Euler's letters to a German princess (1768) introduced the idea of drawing
+terms as circles whose *spatial relationship* carries the logical content:
+containment for "All A are B", disjointness for "No A are B", and overlap
+(with the relevant part understood to be occupied) for the particular forms.
+Euler diagrams therefore show only the situations that are possible — unlike
+Venn diagrams, which draw all intersections and annotate them.
+
+The builder derives, for each pair of terms, the strongest spatial relation
+entailed by the given propositions (using the region semantics of
+:mod:`repro.diagrams.syllogism`) and renders containment with nested groups
+and disjointness/overlap with labelled edges.
+"""
+
+from __future__ import annotations
+
+from repro.core.diagram import Diagram, DiagramEdge, DiagramGroup, DiagramNode
+from repro.diagrams.syllogism import (
+    CategoricalProposition,
+    entails,
+)
+
+
+def spatial_relation(propositions: list[CategoricalProposition], a: str, b: str) -> str:
+    """The strongest Euler relation between terms ``a`` and ``b`` entailed by the premises.
+
+    One of ``"inside"`` (a ⊆ b), ``"contains"`` (b ⊆ a), ``"disjoint"``,
+    ``"overlap"`` (entailed to share an element), or ``"unknown"``.
+    """
+    if entails(propositions, CategoricalProposition("A", a, b)):
+        return "inside"
+    if entails(propositions, CategoricalProposition("A", b, a)):
+        return "contains"
+    if entails(propositions, CategoricalProposition("E", a, b)):
+        return "disjoint"
+    if entails(propositions, CategoricalProposition("I", a, b)):
+        return "overlap"
+    return "unknown"
+
+
+def euler_diagram(propositions: list[CategoricalProposition],
+                  *, name: str = "Euler diagram") -> Diagram:
+    """Draw the terms of the propositions as Euler circles."""
+    diagram = Diagram(name, formalism="euler")
+    terms: list[str] = []
+    for proposition in propositions:
+        for term in proposition.terms():
+            if term not in terms:
+                terms.append(term)
+
+    # Containment: compute a parent for each term (innermost container).
+    containers: dict[str, str | None] = {term: None for term in terms}
+    for term in terms:
+        candidates = [other for other in terms if other != term
+                      and spatial_relation(propositions, term, other) == "inside"]
+        # The immediate parent is a container that is itself contained in all others.
+        immediate = None
+        for candidate in candidates:
+            if all(candidate == other
+                   or spatial_relation(propositions, candidate, other) == "inside"
+                   for other in candidates):
+                immediate = candidate
+        containers[term] = immediate
+
+    group_ids: dict[str, str] = {}
+
+    def ensure_group(term: str) -> str:
+        if term in group_ids:
+            return group_ids[term]
+        parent = containers[term]
+        parent_id = ensure_group(parent) if parent else None
+        group = diagram.add_group(DiagramGroup(f"circle_{term}", term, parent_id, "solid"))
+        group_ids[term] = group.id
+        return group.id
+
+    for term in terms:
+        ensure_group(term)
+    # A representative (invisible) node inside each circle so layout gives it area,
+    # and so relation edges have endpoints.
+    node_ids: dict[str, str] = {}
+    for term in terms:
+        node = diagram.add_node(DiagramNode(f"dot_{term}", "region", term, (),
+                                            group_ids[term], "point"))
+        node_ids[term] = node.id
+
+    seen_pairs: set[frozenset] = set()
+    for i, a in enumerate(terms):
+        for b in terms[i + 1:]:
+            pair = frozenset((a, b))
+            if pair in seen_pairs:
+                continue
+            seen_pairs.add(pair)
+            relation = spatial_relation(propositions, a, b)
+            if relation in ("inside", "contains"):
+                continue  # already shown through nesting
+            if relation == "disjoint":
+                diagram.add_edge(DiagramEdge(node_ids[a], node_ids[b], "disjoint",
+                                             style="dashed", kind="membership"))
+            elif relation == "overlap":
+                diagram.add_edge(DiagramEdge(node_ids[a], node_ids[b], "some shared",
+                                             kind="membership"))
+    return diagram
+
+
+def euler_syllogism_figure(major: CategoricalProposition, minor: CategoricalProposition,
+                           conclusion: CategoricalProposition) -> Diagram:
+    """The classic three-circle Euler figure for a syllogism, annotated with validity."""
+    valid = entails([major, minor], conclusion)
+    diagram = euler_diagram([major, minor],
+                            name=f"{major.text()}; {minor.text()} ⊢ {conclusion.text()}")
+    verdict = diagram.add_node(DiagramNode(
+        "verdict", "annotation",
+        f"conclusion {'follows' if valid else 'does NOT follow'}: {conclusion.text()}",
+        (), None, "plaintext",
+    ))
+    del verdict
+    return diagram

@@ -1,0 +1,203 @@
+"""Peirce's alpha existential graphs (propositional logic).
+
+Alpha graphs have exactly three syntactic devices: writing a proposition on
+the *sheet of assertion* asserts it; writing several side by side asserts
+their conjunction; and enclosing a subgraph in a *cut* (a closed curve)
+negates it.  Disjunction and implication are therefore drawn with nested
+cuts: ``A ∨ B`` is ``¬(¬A ∧ ¬B)`` and ``A → B`` is ``¬(A ∧ ¬B)``.
+
+The module gives the graphs a faithful recursive data structure
+(:class:`AlphaGraph`), translation to and from propositional formulas,
+Peirce's inference rules (double cut, erasure, insertion, iteration,
+de-iteration where they are decidable locally), and rendering to the shared
+diagram model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.diagram import Diagram, DiagramGroup, DiagramNode
+from repro.logic.formula import (
+    And,
+    Atom,
+    Formula,
+    Implies,
+    Iff,
+    Not,
+    Or,
+    Truth,
+)
+from repro.logic.propositional import is_propositional, propositionally_equivalent
+
+
+class AlphaError(Exception):
+    """Raised for non-propositional inputs or malformed graphs."""
+
+
+@dataclass(frozen=True)
+class AlphaGraph:
+    """A (sub)graph: a multiset of propositional letters and a list of cuts.
+
+    The empty graph is the always-true sheet; a cut around the empty graph is
+    falsity.
+    """
+
+    letters: tuple[str, ...] = ()
+    cuts: tuple["AlphaGraph", ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "letters", tuple(self.letters))
+        object.__setattr__(self, "cuts", tuple(self.cuts))
+
+    def is_empty(self) -> bool:
+        return not self.letters and not self.cuts
+
+    def depth(self) -> int:
+        return 1 + max((c.depth() for c in self.cuts), default=0) if self.cuts else 0
+
+    def letter_count(self) -> int:
+        return len(self.letters) + sum(c.letter_count() for c in self.cuts)
+
+    def cut_count(self) -> int:
+        return len(self.cuts) + sum(c.cut_count() for c in self.cuts)
+
+
+# ---------------------------------------------------------------------------
+# Formula <-> graph
+# ---------------------------------------------------------------------------
+
+def graph_of(formula: Formula) -> AlphaGraph:
+    """Translate a propositional formula into an alpha graph."""
+    if not is_propositional(formula):
+        raise AlphaError("alpha graphs only represent propositional formulas")
+
+    def juxtapose(parts: list[AlphaGraph]) -> AlphaGraph:
+        letters: list[str] = []
+        cuts: list[AlphaGraph] = []
+        for part in parts:
+            letters.extend(part.letters)
+            cuts.extend(part.cuts)
+        return AlphaGraph(tuple(letters), tuple(cuts))
+
+    def negate(graph: AlphaGraph) -> AlphaGraph:
+        return AlphaGraph((), (graph,))
+
+    def go(node: Formula) -> AlphaGraph:
+        if isinstance(node, Truth):
+            return AlphaGraph() if node.value else negate(AlphaGraph())
+        if isinstance(node, Atom):
+            return AlphaGraph((node.predicate,), ())
+        if isinstance(node, And):
+            return juxtapose([go(o) for o in node.operands])
+        if isinstance(node, Not):
+            return negate(go(node.operand))
+        if isinstance(node, Or):
+            return negate(juxtapose([negate(go(o)) for o in node.operands]))
+        if isinstance(node, Implies):
+            return negate(juxtapose([go(node.antecedent), negate(go(node.consequent))]))
+        if isinstance(node, Iff):
+            return juxtapose([go(Implies(node.left, node.right)),
+                              go(Implies(node.right, node.left))])
+        raise AlphaError(f"unhandled propositional node {type(node).__name__}")
+
+    return go(formula)
+
+
+def formula_of(graph: AlphaGraph) -> Formula:
+    """Read an alpha graph back as a propositional formula."""
+    parts: list[Formula] = [Atom(letter, ()) for letter in graph.letters]
+    parts.extend(Not(formula_of(cut)) for cut in graph.cuts)
+    if not parts:
+        return Truth(True)
+    if len(parts) == 1:
+        return parts[0]
+    return And(tuple(parts))
+
+
+def graphs_equivalent(left: AlphaGraph, right: AlphaGraph) -> bool:
+    """Semantic equivalence of two alpha graphs (via truth tables)."""
+    return propositionally_equivalent(formula_of(left), formula_of(right))
+
+
+# ---------------------------------------------------------------------------
+# Inference rules
+# ---------------------------------------------------------------------------
+
+def double_cut_insert(graph: AlphaGraph) -> AlphaGraph:
+    """Wrap the whole graph in two nested cuts (always sound, both directions)."""
+    return AlphaGraph((), (AlphaGraph((), (graph,)),))
+
+
+def double_cut_remove(graph: AlphaGraph) -> AlphaGraph:
+    """Remove an outermost double cut if one wraps the entire graph."""
+    if not graph.letters and len(graph.cuts) == 1:
+        inner = graph.cuts[0]
+        if not inner.letters and len(inner.cuts) == 1:
+            return inner.cuts[0]
+    return graph
+
+
+def erase_letter(graph: AlphaGraph, letter: str) -> AlphaGraph:
+    """Erasure: delete one occurrence of a letter at the sheet level (even area).
+
+    Erasure is only sound in evenly enclosed areas; the sheet (depth 0) is even.
+    """
+    if letter in graph.letters:
+        letters = list(graph.letters)
+        letters.remove(letter)
+        return AlphaGraph(tuple(letters), graph.cuts)
+    return graph
+
+
+def insert_letter(graph: AlphaGraph, letter: str) -> AlphaGraph:
+    """Insertion: add any subgraph in an oddly enclosed area (here: inside the first cut)."""
+    if not graph.cuts:
+        raise AlphaError("insertion requires an oddly enclosed area (a cut)")
+    first = graph.cuts[0]
+    new_first = AlphaGraph(first.letters + (letter,), first.cuts)
+    return AlphaGraph(graph.letters, (new_first,) + graph.cuts[1:])
+
+
+def iterate_letter(graph: AlphaGraph, letter: str) -> AlphaGraph:
+    """Iteration: copy a sheet-level letter into the first cut (if any)."""
+    if letter not in graph.letters or not graph.cuts:
+        return graph
+    first = graph.cuts[0]
+    new_first = AlphaGraph(first.letters + (letter,), first.cuts)
+    return AlphaGraph(graph.letters, (new_first,) + graph.cuts[1:])
+
+
+def deiterate_letter(graph: AlphaGraph, letter: str) -> AlphaGraph:
+    """De-iteration: remove a copy from the first cut when the letter exists outside."""
+    if letter not in graph.letters or not graph.cuts:
+        return graph
+    first = graph.cuts[0]
+    if letter in first.letters:
+        letters = list(first.letters)
+        letters.remove(letter)
+        new_first = AlphaGraph(tuple(letters), first.cuts)
+        return AlphaGraph(graph.letters, (new_first,) + graph.cuts[1:])
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+def alpha_diagram(source: "Formula | AlphaGraph", *, name: str = "alpha graph") -> Diagram:
+    """Render a propositional formula (or alpha graph) as nested cuts."""
+    graph = source if isinstance(source, AlphaGraph) else graph_of(source)
+    diagram = Diagram(name, formalism="peirce_alpha")
+    sheet = diagram.add_group(DiagramGroup("sheet", "sheet of assertion", None, "dashed"))
+
+    def emit(node: AlphaGraph, parent: str) -> None:
+        for index, letter in enumerate(node.letters):
+            diagram.add_node(DiagramNode(diagram.fresh_id("p"), "proposition", letter,
+                                         (), parent, "plaintext"))
+        for cut in node.cuts:
+            group = diagram.add_group(DiagramGroup(diagram.fresh_id("cut"), "", parent, "cut"))
+            emit(cut, group.id)
+
+    emit(graph, sheet.id)
+    return diagram

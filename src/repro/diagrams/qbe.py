@@ -1,0 +1,160 @@
+"""Query-By-Example (Zloof 1977).
+
+QBE presents one *skeleton table* per relation occurrence; the user fills
+cells with example elements (``_SID``), constants, print markers (``P.``) and
+negation markers on rows.  Complex conditions go to a separate *condition
+box*.  Universal quantification (relational division) is not expressible in
+one screen: the textbook recipe — the one the tutorial contrasts with
+Datalog — breaks the query into two logical steps that materialise a
+temporary relation.
+
+The builder turns a conjunctive query (with simple negated subqueries) into
+skeleton tables, and :func:`qbe_division_steps` produces the two-step plan
+for "all red boats"-style queries, mirroring the Datalog division pattern of
+:func:`repro.translate.ra_datalog.ra_to_datalog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.diagram import Diagram, DiagramGroup, DiagramNode
+from repro.data.schema import DatabaseSchema
+from repro.diagrams.common import CannotRepresent, build_query_graph, to_trc
+
+
+@dataclass
+class SkeletonTable:
+    """One QBE skeleton table: relation name + one example row."""
+
+    relation: str
+    entries: dict[str, str] = field(default_factory=dict)
+    negated: bool = False
+
+    def row_text(self, schema: DatabaseSchema) -> list[str]:
+        try:
+            attributes = [a.name for a in schema.relation(self.relation).attributes]
+        except Exception:
+            # Temporary relations (e.g. the division helper) are not in the schema.
+            attributes = list(self.entries)
+        return [f"{name}: {self.entries.get(name, '')}".rstrip() for name in attributes]
+
+
+@dataclass
+class QBEQuery:
+    """A QBE screen: skeleton tables plus a condition box."""
+
+    tables: list[SkeletonTable] = field(default_factory=list)
+    conditions: list[str] = field(default_factory=list)
+    result_name: str | None = None
+
+    def to_diagram(self, schema: DatabaseSchema, *, name: str = "QBE") -> Diagram:
+        diagram = Diagram(name, formalism="qbe")
+        for index, table in enumerate(self.tables):
+            label = table.relation + ("  (¬)" if table.negated else "")
+            diagram.add_node(DiagramNode(
+                f"tbl{index}", "table", label, tuple(table.row_text(schema)), None, "table",
+            ))
+        if self.conditions:
+            diagram.add_node(DiagramNode(
+                "conditions", "condition-box", "CONDITIONS", tuple(self.conditions),
+                None, "table",
+            ))
+        if self.result_name:
+            diagram.add_node(DiagramNode(
+                "result", "table", f"{self.result_name} (result)", (), None, "table",
+            ))
+        return diagram
+
+
+def qbe_from_query(query, schema: DatabaseSchema) -> QBEQuery:
+    """Build the QBE screen of a query (conjunctive core + one level of negation)."""
+    trc = to_trc(query, schema)
+    graph = build_query_graph(trc)
+    if any(scope.depth > 1 for scope in graph.scopes.values()):
+        raise CannotRepresent(
+            "QBE needs multiple screens (temporary relations) for nested negation; "
+            "use qbe_division_steps for universal quantification"
+        )
+
+    qbe = QBEQuery()
+    # Shared example element per (variable, attribute) that participates in joins/head.
+    example_names: dict[tuple[str, str], str] = {}
+
+    def example_for(var: str, attr: str) -> str:
+        key = (var, attr)
+        if key not in example_names:
+            example_names[key] = f"_{attr.upper()}{'' if len(example_names) < 1 else len(example_names)}"
+        return example_names[key]
+
+    # Join predicates force the same example element in both cells.
+    for join in graph.joins:
+        if join.op != "=":
+            qbe.conditions.append(
+                f"{example_for(join.left_var, join.left_attr)} {join.op} "
+                f"{example_for(join.right_var, join.right_attr)}"
+            )
+            continue
+        shared = example_for(join.left_var, join.left_attr)
+        example_names[(join.right_var, join.right_attr)] = shared
+
+    for box in graph.tables.values():
+        table = SkeletonTable(box.relation, negated=graph.scopes[box.scope].negated)
+        for (var, attr), example in example_names.items():
+            if var == box.var:
+                table.entries[attr] = example
+        for predicate in box.local_predicates:
+            if " = " in predicate and " OR " not in predicate:
+                attr, value = predicate.split(" = ", 1)
+                table.entries[attr.strip()] = value.strip()
+            else:
+                attr = predicate.split(" ", 1)[0]
+                placeholder = example_for(box.var, attr)
+                table.entries.setdefault(attr, placeholder)
+                qbe.conditions.append(predicate.replace(attr, placeholder, 1))
+        for var, attr in graph.head:
+            if var == box.var:
+                existing = table.entries.get(attr, "")
+                table.entries[attr] = f"P.{existing}" if existing else f"P._{attr.upper()}"
+        qbe.tables.append(table)
+    return qbe
+
+
+def qbe_diagram(query, schema: DatabaseSchema, *, name: str | None = None) -> Diagram:
+    """The QBE screen as a diagram (single-screen queries only)."""
+    return qbe_from_query(query, schema).to_diagram(schema, name=name or "QBE skeleton")
+
+
+def qbe_division_steps(schema: DatabaseSchema, *, dividend: str = "Reserves",
+                       divisor_relation: str = "Boats",
+                       divisor_condition: str = "color = 'red'",
+                       quotient_attr: str = "sid",
+                       divisor_attr: str = "bid") -> list[QBEQuery]:
+    """The textbook two-step QBE plan for relational division.
+
+    Step 1 materialises a temporary relation ``BadSid`` of candidates that
+    *miss* some divisor tuple (using a negated skeleton row); step 2 prints
+    the candidates not in ``BadSid``.  This is exactly the dataflow-style,
+    multi-occurrence pattern that Datalog uses, which is why the tutorial
+    asks whether QBE is really more "visual" than Datalog.
+    """
+    attr_cond, value = divisor_condition.split("=")
+    step1 = QBEQuery(result_name="BadSid")
+    step1.tables.append(SkeletonTable(dividend, {quotient_attr: f"_{quotient_attr.upper()}"}))
+    step1.tables.append(SkeletonTable(
+        divisor_relation,
+        {divisor_attr: f"_{divisor_attr.upper()}", attr_cond.strip(): value.strip()},
+    ))
+    step1.tables.append(SkeletonTable(
+        dividend,
+        {quotient_attr: f"_{quotient_attr.upper()}", divisor_attr: f"_{divisor_attr.upper()}"},
+        negated=True,
+    ))
+    step1.conditions.append(f"BadSid({quotient_attr}) ← _{quotient_attr.upper()}")
+
+    step2 = QBEQuery()
+    step2.tables.append(SkeletonTable(dividend, {quotient_attr: f"P._{quotient_attr.upper()}"}))
+    step2.tables.append(SkeletonTable(
+        "BadSid", {quotient_attr: f"_{quotient_attr.upper()}"}, negated=True,
+    ))
+    return [step1, step2]

@@ -1,0 +1,217 @@
+"""Categorical propositions, syllogisms, and region semantics.
+
+The early diagrammatic systems the tutorial surveys (Euler circles, Venn
+diagrams, Venn–Peirce diagrams) were invented to reason about *categorical
+propositions* — "All A are B", "Some A are not B" — and syllogisms built from
+them.  Their shared semantic core is the *region model*: with ``n`` terms
+there are ``2^n`` minimal regions, a proposition constrains which regions are
+empty or occupied, and an argument is valid iff every region assignment
+consistent with the premises satisfies the conclusion.
+
+This module is that semantic core; :mod:`repro.diagrams.euler` and
+:mod:`repro.diagrams.venn` draw it.  The classic numbers fall out as
+theorems: of the 256 syllogistic forms, 15 are valid under modern semantics
+and 24 under existential import (experiment T4).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+#: The four traditional proposition forms.
+FORMS = ("A", "E", "I", "O")
+
+_FORM_TEXT = {
+    "A": "All {s} are {p}",
+    "E": "No {s} are {p}",
+    "I": "Some {s} are {p}",
+    "O": "Some {s} are not {p}",
+}
+
+
+@dataclass(frozen=True)
+class CategoricalProposition:
+    """A categorical proposition: form (A/E/I/O), subject term, predicate term."""
+
+    form: str
+    subject: str
+    predicate: str
+
+    def __post_init__(self) -> None:
+        form = self.form.upper()
+        object.__setattr__(self, "form", form)
+        if form not in FORMS:
+            raise ValueError(f"unknown proposition form {self.form!r}")
+
+    def text(self) -> str:
+        return _FORM_TEXT[self.form].format(s=self.subject, p=self.predicate)
+
+    def terms(self) -> tuple[str, str]:
+        return (self.subject, self.predicate)
+
+    def __str__(self) -> str:
+        return self.text()
+
+
+#: A region is identified by the set of terms it lies inside.
+Region = frozenset
+
+
+def regions_for(terms: Iterable[str]) -> list[Region]:
+    """All 2^n minimal regions over the given terms."""
+    terms = list(dict.fromkeys(terms))
+    out = []
+    for size in range(len(terms) + 1):
+        for subset in itertools.combinations(terms, size):
+            out.append(frozenset(subset))
+    return out
+
+
+def regions_of_intersection(terms: Iterable[str], inside: Iterable[str],
+                            outside: Iterable[str] = ()) -> list[Region]:
+    """Regions lying inside all of ``inside`` and outside all of ``outside``."""
+    inside = set(inside)
+    outside = set(outside)
+    return [region for region in regions_for(terms)
+            if inside <= region and not (outside & region)]
+
+
+def proposition_constraints(proposition: CategoricalProposition,
+                            terms: Iterable[str]) -> tuple[list[Region], list[Region]]:
+    """Return (must-be-empty regions, at-least-one-occupied regions)."""
+    s, p = proposition.subject, proposition.predicate
+    if proposition.form == "A":      # All S are P: S ∩ ¬P is empty
+        return regions_of_intersection(terms, [s], [p]), []
+    if proposition.form == "E":      # No S are P: S ∩ P is empty
+        return regions_of_intersection(terms, [s, p]), []
+    if proposition.form == "I":      # Some S are P: S ∩ P is occupied
+        return [], regions_of_intersection(terms, [s, p])
+    # O: Some S are not P: S ∩ ¬P is occupied
+    return [], regions_of_intersection(terms, [s], [p])
+
+
+def _models(terms: list[str], propositions: Iterable[CategoricalProposition],
+            *, existential_import: bool) -> Iterator[dict[Region, bool]]:
+    """All region-occupancy assignments consistent with the propositions."""
+    all_regions = regions_for(terms)
+    constraints = [proposition_constraints(p, terms) for p in propositions]
+    for bits in itertools.product([False, True], repeat=len(all_regions)):
+        occupancy = dict(zip(all_regions, bits))
+        ok = True
+        for empties, occupied in constraints:
+            if any(occupancy[r] for r in empties):
+                ok = False
+                break
+            if occupied and not any(occupancy[r] for r in occupied):
+                ok = False
+                break
+        if ok and existential_import:
+            for term in terms:
+                if not any(occupancy[r] for r in all_regions if term in r):
+                    ok = False
+                    break
+        if ok:
+            yield occupancy
+
+
+def satisfies(occupancy: dict[Region, bool], proposition: CategoricalProposition,
+              terms: list[str]) -> bool:
+    """Does a region assignment satisfy a proposition?"""
+    empties, occupied = proposition_constraints(proposition, terms)
+    if any(occupancy[r] for r in empties):
+        return False
+    if occupied and not any(occupancy[r] for r in occupied):
+        return False
+    return True
+
+
+def entails(premises: list[CategoricalProposition], conclusion: CategoricalProposition,
+            *, existential_import: bool = False) -> bool:
+    """Semantic entailment over the region model (brute force, ≤ 3 terms ⇒ 256 models)."""
+    terms = []
+    for proposition in [*premises, conclusion]:
+        for term in proposition.terms():
+            if term not in terms:
+                terms.append(term)
+    for occupancy in _models(terms, premises, existential_import=existential_import):
+        if not satisfies(occupancy, conclusion, terms):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Syllogisms
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Syllogism:
+    """A categorical syllogism: major premise, minor premise, conclusion.
+
+    Terms follow the tradition: S (minor), P (major), M (middle).  ``figure``
+    (1–4) determines where M sits in the premises; the ``mood`` is the triple
+    of forms, e.g. ``"AAA"`` in figure 1 is Barbara.
+    """
+
+    mood: str
+    figure: int
+
+    def __post_init__(self) -> None:
+        mood = self.mood.upper()
+        object.__setattr__(self, "mood", mood)
+        if len(mood) != 3 or any(ch not in FORMS for ch in mood):
+            raise ValueError(f"bad mood {self.mood!r}")
+        if self.figure not in (1, 2, 3, 4):
+            raise ValueError(f"bad figure {self.figure!r}")
+
+    def propositions(self, s: str = "S", p: str = "P", m: str = "M") \
+            -> tuple[CategoricalProposition, CategoricalProposition, CategoricalProposition]:
+        major_form, minor_form, conclusion_form = self.mood
+        if self.figure == 1:
+            major = CategoricalProposition(major_form, m, p)
+            minor = CategoricalProposition(minor_form, s, m)
+        elif self.figure == 2:
+            major = CategoricalProposition(major_form, p, m)
+            minor = CategoricalProposition(minor_form, s, m)
+        elif self.figure == 3:
+            major = CategoricalProposition(major_form, m, p)
+            minor = CategoricalProposition(minor_form, m, s)
+        else:
+            major = CategoricalProposition(major_form, p, m)
+            minor = CategoricalProposition(minor_form, m, s)
+        conclusion = CategoricalProposition(conclusion_form, s, p)
+        return major, minor, conclusion
+
+    def is_valid(self, *, existential_import: bool = False) -> bool:
+        major, minor, conclusion = self.propositions()
+        return entails([major, minor], conclusion, existential_import=existential_import)
+
+    def name(self) -> str:
+        return f"{self.mood}-{self.figure}"
+
+
+#: Traditional mnemonic names for the 15 unconditionally valid forms.
+NAMED_SYLLOGISMS = {
+    ("AAA", 1): "Barbara", ("EAE", 1): "Celarent", ("AII", 1): "Darii",
+    ("EIO", 1): "Ferio",
+    ("EAE", 2): "Cesare", ("AEE", 2): "Camestres", ("EIO", 2): "Festino",
+    ("AOO", 2): "Baroco",
+    ("IAI", 3): "Disamis", ("AII", 3): "Datisi", ("OAO", 3): "Bocardo",
+    ("EIO", 3): "Ferison",
+    ("AEE", 4): "Camenes", ("IAI", 4): "Dimaris", ("EIO", 4): "Fresison",
+}
+
+
+def all_syllogisms() -> list[Syllogism]:
+    """All 256 syllogistic forms (64 moods × 4 figures)."""
+    out = []
+    for mood in ("".join(m) for m in itertools.product(FORMS, repeat=3)):
+        for figure in (1, 2, 3, 4):
+            out.append(Syllogism(mood, figure))
+    return out
+
+
+def valid_syllogisms(*, existential_import: bool = False) -> list[Syllogism]:
+    """The forms valid under the chosen semantics (15 modern / 24 with import)."""
+    return [s for s in all_syllogisms() if s.is_valid(existential_import=existential_import)]

@@ -1,0 +1,180 @@
+"""Venn diagrams and Venn–Peirce diagrams.
+
+Venn (1880) fixed Euler's main weakness — that one drawing cannot always show
+*partial* knowledge — by always drawing every intersection of the terms and
+then annotating regions: *shading* a region asserts it is empty.  Peirce
+extended the notation ("Venn–Peirce diagrams") with ``x`` marks for occupied
+regions and, crucially, *x-sequences* (marks connected by lines) to express
+disjunctive information: at least one of the linked regions is occupied.
+That extension is the earliest answer to the disjunction problem the tutorial
+keeps returning to.
+
+The :class:`VennDiagram` here is a faithful symbolic model: a set of terms,
+shaded regions, and occupancy constraints that are either single regions
+(x marks) or sets of regions (x-sequences).  It supports the usual reasoning
+question — does a diagram entail a proposition? — and renders to the generic
+:class:`~repro.core.diagram.Diagram` model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.diagram import Diagram, DiagramEdge, DiagramGroup, DiagramNode
+from repro.diagrams.syllogism import (
+    CategoricalProposition,
+    Region,
+    proposition_constraints,
+    regions_for,
+)
+
+
+class VennError(Exception):
+    """Raised for inconsistent or malformed Venn diagrams."""
+
+
+@dataclass
+class VennDiagram:
+    """A symbolic Venn / Venn–Peirce diagram."""
+
+    terms: tuple[str, ...]
+    shaded: set[Region] = field(default_factory=set)
+    #: Each entry is a set of regions, at least one of which is occupied.
+    #: Singletons are plain x marks; larger sets are Peirce's x-sequences.
+    x_sequences: list[frozenset] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.terms = tuple(dict.fromkeys(self.terms))
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_propositions(cls, propositions: list[CategoricalProposition],
+                          *, peirce: bool = True) -> "VennDiagram":
+        """Build the diagram asserting all the given propositions.
+
+        With ``peirce=False`` (plain Venn), occupied-region constraints that
+        span more than one region cannot be drawn and raise
+        :class:`VennError` — which is exactly Venn's historical limitation.
+        """
+        terms: list[str] = []
+        for proposition in propositions:
+            for term in proposition.terms():
+                if term not in terms:
+                    terms.append(term)
+        diagram = cls(tuple(terms))
+        for proposition in propositions:
+            diagram.assert_proposition(proposition, peirce=peirce)
+        return diagram
+
+    def assert_proposition(self, proposition: CategoricalProposition,
+                           *, peirce: bool = True) -> None:
+        empties, occupied = proposition_constraints(proposition, self.terms)
+        for region in empties:
+            self.shaded.add(region)
+        if occupied:
+            live = [r for r in occupied if r not in self.shaded]
+            if not live:
+                raise VennError(
+                    f"proposition {proposition.text()!r} is inconsistent with the shading"
+                )
+            if len(live) > 1 and not peirce:
+                raise VennError(
+                    "plain Venn diagrams cannot express disjunctive occupancy; "
+                    "use a Venn–Peirce x-sequence"
+                )
+            self.x_sequences.append(frozenset(live))
+
+    # -- reasoning ------------------------------------------------------------
+    def regions(self) -> list[Region]:
+        return regions_for(self.terms)
+
+    def is_consistent(self) -> bool:
+        return all(any(r not in self.shaded for r in sequence)
+                   for sequence in self.x_sequences)
+
+    def entails(self, proposition: CategoricalProposition) -> bool:
+        """Does the information in the diagram entail the proposition?"""
+        empties, occupied = proposition_constraints(proposition, self.terms)
+        for bits in itertools.product([False, True], repeat=len(self.regions())):
+            occupancy = dict(zip(self.regions(), bits))
+            if any(occupancy[r] for r in self.shaded):
+                continue
+            if any(not any(occupancy[r] for r in seq) for seq in self.x_sequences):
+                continue
+            # This occupancy is consistent with the diagram; check the proposition.
+            if any(occupancy[r] for r in empties):
+                return False
+            if occupied and not any(occupancy[r] for r in occupied):
+                return False
+        return True
+
+    def merge(self, other: "VennDiagram") -> "VennDiagram":
+        """Combine the information of two diagrams over the union of their terms."""
+        terms = tuple(dict.fromkeys(self.terms + other.terms))
+        merged = VennDiagram(terms)
+        for source in (self, other):
+            for region in source.shaded:
+                # A shaded region over fewer terms means: every refinement is empty.
+                for refinement in regions_for(terms):
+                    if refinement & set(source.terms) == set(region):
+                        merged.shaded.add(refinement)
+            for sequence in source.x_sequences:
+                expanded = frozenset(
+                    refinement for refinement in regions_for(terms)
+                    if any(refinement & set(source.terms) == set(r) for r in sequence)
+                )
+                merged.x_sequences.append(expanded)
+        return merged
+
+    # -- rendering ------------------------------------------------------------
+    def region_label(self, region: Region) -> str:
+        inside = [t for t in self.terms if t in region]
+        outside = [f"¬{t}" for t in self.terms if t not in region]
+        return " ∩ ".join(inside + outside) if (inside or outside) else "universe"
+
+    def to_diagram(self, *, name: str = "Venn diagram") -> Diagram:
+        diagram = Diagram(name, formalism="venn")
+        frame = diagram.add_group(DiagramGroup("frame", " ∪ ".join(self.terms), None, "solid"))
+        node_ids: dict[Region, str] = {}
+        for region in self.regions():
+            if not region:
+                continue  # the outer region is the background
+            shaded = region in self.shaded
+            style_suffix = " (shaded)" if shaded else ""
+            node = diagram.add_node(DiagramNode(
+                f"region_{'_'.join(sorted(region)) or 'outside'}",
+                "region",
+                self.region_label(region) + style_suffix,
+                (),
+                frame.id,
+                "ellipse",
+            ))
+            node_ids[region] = node.id
+        for index, sequence in enumerate(self.x_sequences):
+            members = [r for r in sequence if r in node_ids]
+            if len(members) == 1:
+                mark = diagram.add_node(DiagramNode(
+                    f"x_{index}", "mark", "x", (), frame.id, "point"))
+                diagram.add_edge(DiagramEdge(mark.id, node_ids[members[0]],
+                                             kind="membership"))
+            else:
+                previous = None
+                for j, region in enumerate(members):
+                    mark = diagram.add_node(DiagramNode(
+                        f"x_{index}_{j}", "mark", "x", (), frame.id, "point"))
+                    diagram.add_edge(DiagramEdge(mark.id, node_ids[region],
+                                                 kind="membership"))
+                    if previous is not None:
+                        diagram.add_edge(DiagramEdge(previous, mark.id, style="bold",
+                                                     kind="membership",
+                                                     label="or"))
+                    previous = mark.id
+        return diagram
+
+
+def venn_syllogism_test(major: CategoricalProposition, minor: CategoricalProposition,
+                        conclusion: CategoricalProposition) -> bool:
+    """Decide a syllogism the way one reads it off a Venn diagram."""
+    diagram = VennDiagram.from_propositions([major, minor])
+    return diagram.entails(conclusion)

@@ -1,0 +1,122 @@
+"""Visual SQL-style clause trees (Jaakkola & Thalheim 2003).
+
+Visual SQL keeps a strict one-to-one correspondence with the SQL text: the
+diagram is essentially the parse tree of the statement, one node per clause,
+nested for subqueries.  That makes it excellent as a *specification* aid and
+weak as a *pattern* visualization — two spellings of the same query produce
+two different trees, the property experiment T3 measures.
+"""
+
+from __future__ import annotations
+
+from repro.core.diagram import Diagram, DiagramEdge, DiagramNode
+from repro.data.schema import DatabaseSchema
+from repro.expr.format import format_expr
+from repro.sql.ast import DerivedTable, Join, Query, SelectQuery, SetOpQuery, TableRef
+from repro.sql.format import format_query
+from repro.sql.parser import parse_sql
+
+
+def visual_sql_diagram(query, schema: DatabaseSchema, *, name: str | None = None) -> Diagram:
+    """Draw the clause tree of a SQL query."""
+    if isinstance(query, str):
+        query = parse_sql(query)
+    diagram = Diagram(name or "Visual SQL", formalism="visual_sql")
+    _emit(diagram, query, None)
+    return diagram
+
+
+def _add(diagram: Diagram, label: str, parent: str | None, *, kind: str = "clause") -> str:
+    node = diagram.add_node(DiagramNode(diagram.fresh_id("n"), kind, label, (), None, "box"))
+    if parent is not None:
+        diagram.add_edge(DiagramEdge(parent, node.id, directed=True, kind="flow"))
+    return node.id
+
+
+def _emit(diagram: Diagram, query: Query, parent: str | None) -> str:
+    if isinstance(query, SetOpQuery):
+        root = _add(diagram, query.op.upper() + (" ALL" if query.all else ""), parent)
+        _emit(diagram, query.left, root)
+        _emit(diagram, query.right, root)
+        return root
+    if not isinstance(query, SelectQuery):
+        raise TypeError(f"unexpected query node {type(query).__name__}")
+
+    root = _add(diagram, "SELECT" + (" DISTINCT" if query.distinct else ""), parent)
+    for item in query.select_items:
+        text = format_expr(item.expr, subquery_formatter=format_query)
+        if item.alias:
+            text += f" AS {item.alias}"
+        _add(diagram, text, root, kind="column")
+    if query.select_star:
+        _add(diagram, "*", root, kind="column")
+
+    if query.from_items:
+        from_node = _add(diagram, "FROM", root)
+        for item in query.from_items:
+            _emit_from(diagram, item, from_node)
+    if query.where is not None:
+        where_node = _add(diagram, "WHERE", root)
+        _emit_expression(diagram, query.where, where_node)
+    if query.group_by:
+        group_node = _add(diagram, "GROUP BY", root)
+        for expr in query.group_by:
+            _add(diagram, format_expr(expr), group_node, kind="column")
+    if query.having is not None:
+        having_node = _add(diagram, "HAVING", root)
+        _emit_expression(diagram, query.having, having_node)
+    if query.order_by:
+        order_node = _add(diagram, "ORDER BY", root)
+        for item in query.order_by:
+            _add(diagram, format_expr(item.expr) + ("" if item.ascending else " DESC"),
+                 order_node, kind="column")
+    if query.limit is not None:
+        _add(diagram, f"LIMIT {query.limit}", root)
+    return root
+
+
+def _emit_from(diagram: Diagram, item, parent: str) -> None:
+    if isinstance(item, TableRef):
+        _add(diagram, f"{item.name} {item.alias}" if item.alias else item.name,
+             parent, kind="table")
+    elif isinstance(item, Join):
+        join_label = ("NATURAL " if item.natural else "") + item.kind.upper() + " JOIN"
+        join_node = _add(diagram, join_label, parent)
+        _emit_from(diagram, item.left, join_node)
+        _emit_from(diagram, item.right, join_node)
+        if item.condition is not None:
+            _add(diagram, "ON " + format_expr(item.condition, subquery_formatter=format_query),
+                 join_node, kind="predicate")
+    elif isinstance(item, DerivedTable):
+        derived = _add(diagram, f"({item.alias})", parent, kind="table")
+        _emit(diagram, item.query, derived)
+
+
+def _emit_expression(diagram: Diagram, expr, parent: str) -> None:
+    from repro.expr import ast as e
+
+    if isinstance(expr, e.And):
+        node = _add(diagram, "AND", parent, kind="connective")
+        for operand in expr.operands:
+            _emit_expression(diagram, operand, node)
+        return
+    if isinstance(expr, e.Or):
+        node = _add(diagram, "OR", parent, kind="connective")
+        for operand in expr.operands:
+            _emit_expression(diagram, operand, node)
+        return
+    if isinstance(expr, e.Not):
+        node = _add(diagram, "NOT", parent, kind="connective")
+        _emit_expression(diagram, expr.operand, node)
+        return
+    if isinstance(expr, (e.Exists, e.InSubquery, e.QuantifiedComparison)) and expr.query is not None:
+        if isinstance(expr, e.Exists):
+            label = "NOT EXISTS" if expr.negated else "EXISTS"
+        elif isinstance(expr, e.InSubquery):
+            label = f"{format_expr(expr.operand)} {'NOT IN' if expr.negated else 'IN'}"
+        else:
+            label = f"{format_expr(expr.left)} {expr.op} {expr.quantifier.upper()}"
+        node = _add(diagram, label, parent, kind="predicate")
+        _emit(diagram, expr.query, node)
+        return
+    _add(diagram, format_expr(expr, subquery_formatter=format_query), parent, kind="predicate")

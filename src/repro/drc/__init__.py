@@ -1,0 +1,28 @@
+"""Domain Relational Calculus: AST, parser, formatter, guarded evaluator."""
+
+from repro.drc.ast import (
+    DRCError,
+    DRCQuery,
+    atom_for,
+    check_arities,
+    head_is_covered,
+    positional_attribute,
+)
+from repro.drc.evaluate import evaluate_drc, evaluate_drc_boolean
+from repro.drc.format import format_drc_formula, format_drc_query
+from repro.drc.parser import parse_drc, parse_drc_formula
+
+__all__ = [
+    "DRCError",
+    "DRCQuery",
+    "atom_for",
+    "check_arities",
+    "evaluate_drc",
+    "evaluate_drc_boolean",
+    "format_drc_formula",
+    "format_drc_query",
+    "head_is_covered",
+    "parse_drc",
+    "parse_drc_formula",
+    "positional_attribute",
+]

@@ -1,0 +1,131 @@
+"""Domain Relational Calculus (DRC) queries.
+
+A DRC query has the shape ``{ <x, y> | φ(x, y) }`` where the head lists
+*domain variables* (or constants) and the body is a first-order formula over
+relation atoms ``R(t1, ..., tn)`` whose positions are the relation's
+attributes.  DRC is the calculus closest to plain first-order logic, which is
+why Peirce's beta existential graphs (and their Lines of Identity) map to DRC
+rather than to TRC — a mapping whose imperfection the tutorial discusses at
+length.
+
+The body reuses the formula machinery of :mod:`repro.logic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.schema import DatabaseSchema
+from repro.logic.formula import (
+    Atom,
+    Formula,
+    atoms_of,
+    free_variables,
+)
+from repro.logic.terms import Const, Term, Var
+
+
+class DRCError(Exception):
+    """Raised for malformed or unsafe DRC queries."""
+
+
+@dataclass(frozen=True)
+class DRCQuery:
+    """``{ <head terms> | body }``."""
+
+    head: tuple[Term, ...]
+    body: Formula
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "head", tuple(self.head))
+        if not self.head:
+            raise DRCError("a DRC query needs at least one head term")
+
+    def head_variables(self) -> list[Var]:
+        """Head variables in order, without duplicates."""
+        out: list[Var] = []
+        for term in self.head:
+            if isinstance(term, Var) and term not in out:
+                out.append(term)
+        return out
+
+    def output_names(self) -> list[str]:
+        """Column names for the answer relation."""
+        names = []
+        for i, term in enumerate(self.head):
+            if isinstance(term, Var):
+                names.append(term.name)
+            else:
+                names.append(f"col{i + 1}")
+        return names
+
+    def to_text(self) -> str:
+        from repro.drc.format import format_drc_query
+
+        return format_drc_query(self)
+
+
+def check_arities(query: DRCQuery, schema: DatabaseSchema) -> list[str]:
+    """Return a list of arity violations of the query's atoms against ``schema``."""
+    problems = []
+    for atom in atoms_of(query.body):
+        try:
+            relation = schema.relation(atom.predicate)
+        except Exception:
+            problems.append(f"unknown relation {atom.predicate!r}")
+            continue
+        if relation.arity != len(atom.terms):
+            problems.append(
+                f"atom {atom.predicate} has {len(atom.terms)} terms "
+                f"but the relation has arity {relation.arity}"
+            )
+    return problems
+
+
+def head_is_covered(query: DRCQuery) -> bool:
+    """True iff every head variable occurs free in the body."""
+    free_names = {v.name for v in free_variables(query.body)}
+    return all(v.name in free_names for v in query.head_variables())
+
+
+def positional_attribute(schema: DatabaseSchema, predicate: str, position: int) -> str:
+    """The attribute name at ``position`` of relation ``predicate``."""
+    relation = schema.relation(predicate)
+    if position < 0 or position >= relation.arity:
+        raise DRCError(f"{predicate} has no position {position}")
+    return relation.attributes[position].name
+
+
+def atom_for(schema: DatabaseSchema, predicate: str, bindings: dict[str, Term],
+             default: "Term | None" = None) -> Atom:
+    """Build a full-arity atom for ``predicate`` from an attribute→term mapping.
+
+    Positions not mentioned in ``bindings`` get ``default`` (or a fresh
+    variable named after the attribute when ``default`` is None).  This is the
+    canonical way translators construct DRC atoms without having to know
+    attribute positions.
+    """
+    relation = schema.relation(predicate)
+    terms: list[Term] = []
+    for attribute in relation.attributes:
+        if attribute.name in bindings:
+            terms.append(bindings[attribute.name])
+        elif default is not None:
+            terms.append(default)
+        else:
+            terms.append(Var(f"{predicate.lower()}_{attribute.name}"))
+    return Atom(relation.name, tuple(terms))
+
+
+__all__ = [
+    "Atom",
+    "Const",
+    "DRCError",
+    "DRCQuery",
+    "Term",
+    "Var",
+    "atom_for",
+    "check_arities",
+    "head_is_covered",
+    "positional_attribute",
+]

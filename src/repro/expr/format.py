@@ -1,0 +1,108 @@
+"""Render expression ASTs back to SQL-ish text.
+
+The formatter is used by the SQL pretty printer, by diagram labels (selection
+predicates shown inside table boxes), and by error messages.  Subqueries are
+rendered through a callback so that the expression package does not import
+the SQL formatter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.expr.ast import (
+    And,
+    Between,
+    BinOp,
+    BoolConst,
+    Col,
+    Comparison,
+    Const,
+    Exists,
+    Expr,
+    ExprError,
+    FuncCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Like,
+    Neg,
+    Not,
+    Or,
+    QuantifiedComparison,
+    ScalarSubquery,
+    Star,
+)
+from repro.data.types import format_value
+
+#: Callback rendering an opaque subquery object to text.
+SubqueryFormatter = Callable[[Any], str]
+
+
+def _default_subquery_formatter(query: Any) -> str:
+    to_sql = getattr(query, "to_sql", None)
+    if callable(to_sql):
+        return to_sql()
+    return str(query)
+
+
+def format_expr(expr: Expr, *, subquery_formatter: SubqueryFormatter | None = None) -> str:
+    """Render ``expr`` as SQL-like text."""
+    fmt = subquery_formatter or _default_subquery_formatter
+
+    def sub(query: Any) -> str:
+        return "(" + fmt(query) + ")"
+
+    def go(node: Expr, parent_precedence: int = 0) -> str:
+        if isinstance(node, Const):
+            return format_value(node.value)
+        if isinstance(node, BoolConst):
+            return "TRUE" if node.value else "FALSE"
+        if isinstance(node, Col):
+            return node.qualified()
+        if isinstance(node, Star):
+            return f"{node.qualifier}.*" if node.qualifier else "*"
+        if isinstance(node, Neg):
+            return "-" + go(node.operand, 100)
+        if isinstance(node, BinOp):
+            return f"{go(node.left, 50)} {node.op} {go(node.right, 50)}"
+        if isinstance(node, FuncCall):
+            inner = ", ".join(go(a) for a in node.args)
+            distinct = "DISTINCT " if node.distinct else ""
+            return f"{node.name.upper()}({distinct}{inner})"
+        if isinstance(node, ScalarSubquery):
+            return sub(node.query)
+        if isinstance(node, Comparison):
+            return f"{go(node.left, 40)} {node.op} {go(node.right, 40)}"
+        if isinstance(node, And):
+            text = " AND ".join(go(o, 20) for o in node.operands)
+            return f"({text})" if parent_precedence > 20 else text
+        if isinstance(node, Or):
+            text = " OR ".join(go(o, 10) for o in node.operands)
+            return f"({text})" if parent_precedence > 10 else text
+        if isinstance(node, Not):
+            return "NOT (" + go(node.operand) + ")"
+        if isinstance(node, IsNull):
+            keyword = "IS NOT NULL" if node.negated else "IS NULL"
+            return f"{go(node.operand, 40)} {keyword}"
+        if isinstance(node, InList):
+            keyword = "NOT IN" if node.negated else "IN"
+            items = ", ".join(go(i) for i in node.items)
+            return f"{go(node.operand, 40)} {keyword} ({items})"
+        if isinstance(node, Between):
+            keyword = "NOT BETWEEN" if node.negated else "BETWEEN"
+            return f"{go(node.operand, 40)} {keyword} {go(node.low, 40)} AND {go(node.high, 40)}"
+        if isinstance(node, Like):
+            keyword = "NOT LIKE" if node.negated else "LIKE"
+            return f"{go(node.operand, 40)} {keyword} {format_value(node.pattern)}"
+        if isinstance(node, Exists):
+            keyword = "NOT EXISTS" if node.negated else "EXISTS"
+            return f"{keyword} {sub(node.query)}"
+        if isinstance(node, InSubquery):
+            keyword = "NOT IN" if node.negated else "IN"
+            return f"{go(node.operand, 40)} {keyword} {sub(node.query)}"
+        if isinstance(node, QuantifiedComparison):
+            return f"{go(node.left, 40)} {node.op} {node.quantifier.upper()} {sub(node.query)}"
+        raise ExprError(f"cannot format node {type(node).__name__}")
+
+    return go(expr)

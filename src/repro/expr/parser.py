@@ -1,0 +1,230 @@
+"""A small text parser for scalar/boolean expressions (no subqueries).
+
+Used for the condition syntax of the Relational Algebra parser
+(``select[color = 'red' and rating >= 7](...)``) and by the calculus
+parsers.  Full SQL expressions — which can contain subqueries — are parsed by
+:mod:`repro.sql.parser`; this parser intentionally covers only the
+subquery-free fragment.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.expr.ast import (
+    And,
+    Between,
+    BinOp,
+    BoolConst,
+    Col,
+    Comparison,
+    Const,
+    Expr,
+    ExprError,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Neg,
+    Not,
+    Or,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*(?:\.[A-Za-z_][A-Za-z_0-9]*)?)
+  | (?P<op><>|!=|<=|>=|=|<|>|\(|\)|,|\+|-|\*|/|%)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"and", "or", "not", "in", "is", "null", "between", "like", "true", "false"}
+
+
+@dataclass
+class _Token:
+    kind: str
+    text: str
+
+
+def tokenize_expression(text: str) -> list[_Token]:
+    """Tokenize an expression string; raises :class:`ExprError` on junk."""
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match:
+            raise ExprError(f"unexpected character {text[pos]!r} at position {pos} in {text!r}")
+        pos = match.end()
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind == "ws":
+            continue
+        if kind == "name" and value.lower() in _KEYWORDS:
+            tokens.append(_Token("keyword", value.lower()))
+        else:
+            tokens.append(_Token(kind, value))
+    tokens.append(_Token("eof", ""))
+    return tokens
+
+
+class _ExpressionParser:
+    """Recursive-descent parser with SQL-ish operator precedence."""
+
+    def __init__(self, tokens: list[_Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ---------------------------------------------------
+    def peek(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def accept(self, kind: str, text: str | None = None) -> _Token | None:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self.accept(kind, text)
+        if token is None:
+            actual = self.peek()
+            raise ExprError(f"expected {text or kind}, found {actual.text!r}")
+        return token
+
+    # -- grammar ---------------------------------------------------------
+    def parse(self) -> Expr:
+        expr = self.parse_or()
+        if self.peek().kind != "eof":
+            raise ExprError(f"unexpected trailing input {self.peek().text!r}")
+        return expr
+
+    def parse_or(self) -> Expr:
+        parts = [self.parse_and()]
+        while self.accept("keyword", "or"):
+            parts.append(self.parse_and())
+        return parts[0] if len(parts) == 1 else Or(tuple(parts))
+
+    def parse_and(self) -> Expr:
+        parts = [self.parse_not()]
+        while self.accept("keyword", "and"):
+            parts.append(self.parse_not())
+        return parts[0] if len(parts) == 1 else And(tuple(parts))
+
+    def parse_not(self) -> Expr:
+        if self.accept("keyword", "not"):
+            return Not(self.parse_not())
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> Expr:
+        left = self.parse_additive()
+        token = self.peek()
+        if token.kind == "op" and token.text in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            self.advance()
+            right = self.parse_additive()
+            return Comparison(left, token.text, right)
+        if token.kind == "keyword" and token.text == "is":
+            self.advance()
+            negated = bool(self.accept("keyword", "not"))
+            self.expect("keyword", "null")
+            return IsNull(left, negated)
+        negated = False
+        if token.kind == "keyword" and token.text == "not":
+            nxt = self.tokens[self.pos + 1]
+            if nxt.kind == "keyword" and nxt.text in ("in", "between", "like"):
+                self.advance()
+                negated = True
+                token = self.peek()
+        if token.kind == "keyword" and token.text == "in":
+            self.advance()
+            self.expect("op", "(")
+            items = [self.parse_additive()]
+            while self.accept("op", ","):
+                items.append(self.parse_additive())
+            self.expect("op", ")")
+            return InList(left, tuple(items), negated)
+        if token.kind == "keyword" and token.text == "between":
+            self.advance()
+            low = self.parse_additive()
+            self.expect("keyword", "and")
+            high = self.parse_additive()
+            return Between(left, low, high, negated)
+        if token.kind == "keyword" and token.text == "like":
+            self.advance()
+            pattern = self.expect("string").text
+            return Like(left, pattern[1:-1].replace("''", "'"), negated)
+        return left
+
+    def parse_additive(self) -> Expr:
+        expr = self.parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.text in ("+", "-"):
+                self.advance()
+                expr = BinOp(token.text, expr, self.parse_multiplicative())
+            else:
+                return expr
+
+    def parse_multiplicative(self) -> Expr:
+        expr = self.parse_unary()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.text in ("*", "/", "%"):
+                self.advance()
+                expr = BinOp(token.text, expr, self.parse_unary())
+            else:
+                return expr
+
+    def parse_unary(self) -> Expr:
+        if self.accept("op", "-"):
+            return Neg(self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            return Const(float(token.text) if "." in token.text else int(token.text))
+        if token.kind == "string":
+            self.advance()
+            return Const(token.text[1:-1].replace("''", "'"))
+        if token.kind == "keyword" and token.text in ("true", "false"):
+            self.advance()
+            return BoolConst(token.text == "true")
+        if token.kind == "keyword" and token.text == "null":
+            self.advance()
+            return Const(None)
+        if token.kind == "name":
+            self.advance()
+            if self.peek().kind == "op" and self.peek().text == "(":
+                self.advance()
+                args: list[Expr] = []
+                if not (self.peek().kind == "op" and self.peek().text == ")"):
+                    args.append(self.parse_or())
+                    while self.accept("op", ","):
+                        args.append(self.parse_or())
+                self.expect("op", ")")
+                return FuncCall(token.text, tuple(args))
+            if "." in token.text:
+                qualifier, name = token.text.split(".", 1)
+                return Col(name, qualifier)
+            return Col(token.text)
+        if self.accept("op", "("):
+            expr = self.parse_or()
+            self.expect("op", ")")
+            return expr
+        raise ExprError(f"unexpected token {token.text!r}")
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse ``text`` into an expression AST (no subqueries supported)."""
+    return _ExpressionParser(tokenize_expression(text)).parse()

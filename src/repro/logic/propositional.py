@@ -1,0 +1,141 @@
+"""Propositional logic utilities.
+
+Peirce's *alpha* existential graphs, Venn diagrams, and Venn–Peirce diagrams
+live in propositional (or monadic) logic.  Propositions are represented as
+zero-arity :class:`~repro.logic.formula.Atom` nodes, so the whole formula
+machinery is shared with FOL; this module adds truth-table based reasoning
+which is feasible because the diagrams in the tutorial involve a handful of
+propositional variables.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Mapping
+
+from repro.logic.formula import (
+    And,
+    Atom,
+    Compare,
+    Exists,
+    ForAll,
+    Formula,
+    Iff,
+    Implies,
+    LogicError,
+    Not,
+    Or,
+    Truth,
+)
+
+
+def prop(name: str) -> Atom:
+    """A propositional variable (zero-arity atom)."""
+    return Atom(name, ())
+
+
+def propositions(*names: str) -> list[Atom]:
+    """Several propositional variables at once."""
+    return [prop(name) for name in names]
+
+
+def is_propositional(formula: Formula) -> bool:
+    """True iff the formula contains no quantifiers, comparisons, or terms."""
+    for node in formula.walk():
+        if isinstance(node, (Exists, ForAll, Compare)):
+            return False
+        if isinstance(node, Atom) and node.terms:
+            return False
+    return True
+
+
+def proposition_names(formula: Formula) -> list[str]:
+    """Distinct propositional variable names, in first-occurrence order."""
+    out: list[str] = []
+    for node in formula.walk():
+        if isinstance(node, Atom) and not node.terms and node.predicate not in out:
+            out.append(node.predicate)
+    return out
+
+
+def eval_propositional(formula: Formula, valuation: Mapping[str, bool]) -> bool:
+    """Evaluate a propositional formula under a truth-value assignment."""
+    if isinstance(formula, Truth):
+        return formula.value
+    if isinstance(formula, Atom):
+        if formula.terms:
+            raise LogicError("not a propositional formula (atom has terms)")
+        if formula.predicate not in valuation:
+            raise LogicError(f"no truth value for proposition {formula.predicate!r}")
+        return bool(valuation[formula.predicate])
+    if isinstance(formula, And):
+        return all(eval_propositional(o, valuation) for o in formula.operands)
+    if isinstance(formula, Or):
+        return any(eval_propositional(o, valuation) for o in formula.operands)
+    if isinstance(formula, Not):
+        return not eval_propositional(formula.operand, valuation)
+    if isinstance(formula, Implies):
+        return (not eval_propositional(formula.antecedent, valuation)) or eval_propositional(
+            formula.consequent, valuation
+        )
+    if isinstance(formula, Iff):
+        return eval_propositional(formula.left, valuation) == eval_propositional(
+            formula.right, valuation
+        )
+    raise LogicError(f"not a propositional formula: {type(formula).__name__}")
+
+
+def truth_table(formula: Formula, names: list[str] | None = None) -> list[tuple[dict[str, bool], bool]]:
+    """The full truth table: (valuation, value) pairs in binary-counting order."""
+    names = names if names is not None else proposition_names(formula)
+    table = []
+    for bits in itertools.product([False, True], repeat=len(names)):
+        valuation = dict(zip(names, bits))
+        table.append((valuation, eval_propositional(formula, valuation)))
+    return table
+
+
+def is_tautology(formula: Formula) -> bool:
+    """True iff the formula is true under every valuation."""
+    return all(value for _, value in truth_table(formula))
+
+
+def is_satisfiable(formula: Formula) -> bool:
+    """True iff some valuation makes the formula true."""
+    return any(value for _, value in truth_table(formula))
+
+
+def is_contradiction(formula: Formula) -> bool:
+    """True iff no valuation makes the formula true."""
+    return not is_satisfiable(formula)
+
+
+def propositionally_equivalent(left: Formula, right: Formula) -> bool:
+    """True iff the two formulas agree under every valuation of their variables."""
+    names = sorted(set(proposition_names(left)) | set(proposition_names(right)))
+    for bits in itertools.product([False, True], repeat=len(names)):
+        valuation = dict(zip(names, bits))
+        if eval_propositional(left, valuation) != eval_propositional(right, valuation):
+            return False
+    return True
+
+
+def entails(premises: Iterable[Formula], conclusion: Formula) -> bool:
+    """Propositional entailment by truth tables."""
+    premises = list(premises)
+    names: list[str] = []
+    for formula in [*premises, conclusion]:
+        for name in proposition_names(formula):
+            if name not in names:
+                names.append(name)
+    for bits in itertools.product([False, True], repeat=len(names)):
+        valuation = dict(zip(names, bits))
+        if all(eval_propositional(p, valuation) for p in premises):
+            if not eval_propositional(conclusion, valuation):
+                return False
+    return True
+
+
+def models_of(formula: Formula) -> list[dict[str, bool]]:
+    """All satisfying valuations."""
+    return [valuation for valuation, value in truth_table(formula) if value]

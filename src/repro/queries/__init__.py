@@ -1,0 +1,29 @@
+"""The canonical tutorial workload: five queries in five textual languages."""
+
+from repro.queries.catalog import (
+    CANONICAL_QUERIES,
+    Q4_ALL_RED_DIVISION_RA,
+    LANGUAGES,
+    CanonicalQuery,
+    Q1_BASIC_JOIN,
+    Q2_RED_BOAT,
+    Q3_RED_NOT_GREEN,
+    Q4_ALL_RED,
+    Q5_RED_OR_GREEN,
+    queries_with_feature,
+    query_by_id,
+)
+
+__all__ = [
+    "CANONICAL_QUERIES",
+    "CanonicalQuery",
+    "LANGUAGES",
+    "Q1_BASIC_JOIN",
+    "Q2_RED_BOAT",
+    "Q3_RED_NOT_GREEN",
+    "Q4_ALL_RED",
+    "Q4_ALL_RED_DIVISION_RA",
+    "Q5_RED_OR_GREEN",
+    "queries_with_feature",
+    "query_by_id",
+]

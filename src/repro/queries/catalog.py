@@ -1,0 +1,238 @@
+"""The tutorial's canonical example queries in all five textual languages.
+
+Part 3 of the tutorial fixes a handful of queries over the sailors–reserves–
+boats schema and expresses each of them in SQL, Relational Algebra, Tuple
+Relational Calculus, Domain Relational Calculus, and Datalog, so that Parts 4
+and 5 can compare how each *visual* formalism renders the same query.  This
+module is that workload: five queries chosen to cover the features the
+tutorial highlights — joins, negation, universal quantification (division),
+and disjunction (the hardest case for diagrams).
+
+Every text below parses with the corresponding parser in this package and
+all five representations of each query return the same answers (experiment
+T1 re-verifies this on random databases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CanonicalQuery:
+    """One query of the tutorial workload in five textual languages."""
+
+    id: str
+    title: str
+    description: str
+    sql: str
+    ra: str
+    trc: str
+    drc: str
+    datalog: str
+    features: tuple[str, ...] = ()
+    expected_names: tuple[str, ...] = ()
+
+    def languages(self) -> dict[str, str]:
+        """The five textual representations keyed by language name."""
+        return {
+            "SQL": self.sql,
+            "RA": self.ra,
+            "TRC": self.trc,
+            "DRC": self.drc,
+            "Datalog": self.datalog,
+        }
+
+
+Q1_BASIC_JOIN = CanonicalQuery(
+    id="Q1",
+    title="Sailors who reserved boat 102",
+    description="A two-table equi-join with a constant selection.",
+    sql=(
+        "SELECT DISTINCT S.sname FROM Sailors S, Reserves R "
+        "WHERE S.sid = R.sid AND R.bid = 102"
+    ),
+    ra="project[sname](Sailors njoin select[bid = 102](Reserves))",
+    trc=(
+        "{ s.sname | Sailors(s) and exists r (Reserves(r) and r.sid = s.sid "
+        "and r.bid = 102) }"
+    ),
+    drc=(
+        "{ n | exists s, r, a (Sailors(s, n, r, a) and "
+        "exists d (Reserves(s, 102, d))) }"
+    ),
+    datalog="ans(N) :- sailors(S, N, R, A), reserves(S, 102, D).",
+    features=("join", "selection"),
+    expected_names=("Dustin", "Lubber", "Horatio"),
+)
+
+Q2_RED_BOAT = CanonicalQuery(
+    id="Q2",
+    title="Sailors who reserved a red boat",
+    description="A three-table join chain (the tutorial's running example).",
+    sql=(
+        "SELECT DISTINCT S.sname FROM Sailors S, Reserves R, Boats B "
+        "WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red'"
+    ),
+    ra="project[sname](Sailors njoin Reserves njoin select[color = 'red'](Boats))",
+    trc=(
+        "{ s.sname | Sailors(s) and exists r, b (Reserves(r) and Boats(b) and "
+        "r.sid = s.sid and r.bid = b.bid and b.color = 'red') }"
+    ),
+    drc=(
+        "{ n | exists s, r, a (Sailors(s, n, r, a) and "
+        "exists b, d, bn (Reserves(s, b, d) and Boats(b, bn, 'red'))) }"
+    ),
+    datalog=(
+        "ans(N) :- sailors(S, N, R, A), reserves(S, B, D), boats(B, BN, 'red')."
+    ),
+    features=("join", "selection", "chain"),
+    expected_names=("Dustin", "Lubber", "Horatio"),
+)
+
+Q3_RED_NOT_GREEN = CanonicalQuery(
+    id="Q3",
+    title="Sailors who reserved a red boat but no green boat",
+    description="Existential quantification combined with negation (NOT IN / EXCEPT).",
+    sql=(
+        "SELECT DISTINCT S.sname FROM Sailors S "
+        "WHERE S.sid IN (SELECT R.sid FROM Reserves R, Boats B "
+        "WHERE R.bid = B.bid AND B.color = 'red') "
+        "AND S.sid NOT IN (SELECT R2.sid FROM Reserves R2, Boats B2 "
+        "WHERE R2.bid = B2.bid AND B2.color = 'green')"
+    ),
+    ra=(
+        "project[sname](Sailors njoin ("
+        "project[sid](Reserves njoin select[color = 'red'](Boats)) "
+        "except project[sid](Reserves njoin select[color = 'green'](Boats))))"
+    ),
+    trc=(
+        "{ s.sname | Sailors(s) and "
+        "exists r, b (Reserves(r) and Boats(b) and r.sid = s.sid and r.bid = b.bid "
+        "and b.color = 'red') and "
+        "not exists r2, b2 (Reserves(r2) and Boats(b2) and r2.sid = s.sid and "
+        "r2.bid = b2.bid and b2.color = 'green') }"
+    ),
+    drc=(
+        "{ n | exists s, r, a (Sailors(s, n, r, a) and "
+        "exists b, d, bn (Reserves(s, b, d) and Boats(b, bn, 'red')) and "
+        "not exists b2, d2, bn2 (Reserves(s, b2, d2) and Boats(b2, bn2, 'green'))) }"
+    ),
+    datalog=(
+        "reserved_color(S, C) :- reserves(S, B, D), boats(B, BN, C).\n"
+        "ans(N) :- sailors(S, N, R, A), reserved_color(S, 'red'), "
+        "not reserved_color(S, 'green')."
+    ),
+    features=("join", "negation", "nesting"),
+    expected_names=("Horatio",),
+)
+
+Q4_ALL_RED = CanonicalQuery(
+    id="Q4",
+    title="Sailors who reserved all red boats",
+    description=(
+        "Relational division / universal quantification — the query the tutorial "
+        "uses to contrast QBE's dataflow pattern, Datalog's double negation, and "
+        "the diagrammatic treatments of FOR ALL."
+    ),
+    sql=(
+        "SELECT DISTINCT S.sname FROM Sailors S "
+        "WHERE NOT EXISTS (SELECT B.bid FROM Boats B WHERE B.color = 'red' "
+        "AND NOT EXISTS (SELECT R.sid FROM Reserves R "
+        "WHERE R.sid = S.sid AND R.bid = B.bid))"
+    ),
+    ra=(
+        "project[sname](Sailors njoin (project[sid](Sailors) except project[sid]("
+        "(project[sid](Sailors) times project[bid](select[color = 'red'](Boats))) "
+        "except project[sid, bid](Reserves))))"
+    ),
+    trc=(
+        "{ s.sname | Sailors(s) and forall b (Boats(b) and b.color = 'red' -> "
+        "exists r (Reserves(r) and r.sid = s.sid and r.bid = b.bid)) }"
+    ),
+    drc=(
+        "{ n | exists s, r, a (Sailors(s, n, r, a) and "
+        "forall b, bn, c (Boats(b, bn, c) and c = 'red' -> "
+        "exists d (Reserves(s, b, d)))) }"
+    ),
+    datalog=(
+        "red_boat(B) :- boats(B, BN, 'red').\n"
+        "reserved(S, B) :- reserves(S, B, D).\n"
+        "misses_red(S) :- sailors(S, N, R, A), red_boat(B), not reserved(S, B).\n"
+        "ans(N) :- sailors(S, N, R, A), not misses_red(S)."
+    ),
+    features=("join", "negation", "universal", "division", "nesting"),
+    expected_names=("Dustin", "Lubber"),
+)
+
+Q5_RED_OR_GREEN = CanonicalQuery(
+    id="Q5",
+    title="Sailors who reserved a red boat or a green boat",
+    description=(
+        "Disjunction / union — identified by the tutorial (following Shin) as the "
+        "greatest challenge for diagrammatic representations."
+    ),
+    sql=(
+        "SELECT DISTINCT S.sname FROM Sailors S, Reserves R, Boats B "
+        "WHERE S.sid = R.sid AND R.bid = B.bid "
+        "AND (B.color = 'red' OR B.color = 'green')"
+    ),
+    ra=(
+        "project[sname](Sailors njoin Reserves njoin select[color = 'red'](Boats)) "
+        "union "
+        "project[sname](Sailors njoin Reserves njoin select[color = 'green'](Boats))"
+    ),
+    trc=(
+        "{ s.sname | Sailors(s) and exists r, b (Reserves(r) and Boats(b) and "
+        "r.sid = s.sid and r.bid = b.bid and "
+        "(b.color = 'red' or b.color = 'green')) }"
+    ),
+    drc=(
+        "{ n | exists s, r, a (Sailors(s, n, r, a) and "
+        "exists b, d, bn, c (Reserves(s, b, d) and Boats(b, bn, c) and "
+        "(c = 'red' or c = 'green'))) }"
+    ),
+    datalog=(
+        "ans(N) :- sailors(S, N, R, A), reserves(S, B, D), boats(B, BN, 'red').\n"
+        "ans(N) :- sailors(S, N, R, A), reserves(S, B, D), boats(B, BN, 'green')."
+    ),
+    features=("join", "disjunction", "union"),
+    expected_names=("Dustin", "Lubber", "Horatio"),
+)
+
+#: The textbook *division* form of Q4.  It is the form DFQL and the QBE
+#: two-step recipe visualise, but it is only equivalent to Q4 on databases
+#: with at least one red boat: with an empty divisor, division returns every
+#: sailor that appears in Reserves, whereas the FOR ALL reading (and the SQL
+#: double negation) vacuously returns *every* sailor.  Q4's canonical ``ra``
+#: field therefore uses the expanded double-difference form; this constant
+#: keeps the division form available for the experiments that discuss it.
+Q4_ALL_RED_DIVISION_RA = (
+    "project[sname](Sailors njoin "
+    "(project[sid, bid](Reserves) divide project[bid](select[color = 'red'](Boats))))"
+)
+
+#: The full workload, in tutorial order.
+CANONICAL_QUERIES: tuple[CanonicalQuery, ...] = (
+    Q1_BASIC_JOIN,
+    Q2_RED_BOAT,
+    Q3_RED_NOT_GREEN,
+    Q4_ALL_RED,
+    Q5_RED_OR_GREEN,
+)
+
+#: The five textual languages of Part 3.
+LANGUAGES: tuple[str, ...] = ("SQL", "RA", "TRC", "DRC", "Datalog")
+
+
+def query_by_id(query_id: str) -> CanonicalQuery:
+    """Look up a canonical query by its id (``"Q1"`` ... ``"Q5"``)."""
+    for query in CANONICAL_QUERIES:
+        if query.id.lower() == query_id.lower():
+            return query
+    raise KeyError(f"no canonical query with id {query_id!r}")
+
+
+def queries_with_feature(feature: str) -> list[CanonicalQuery]:
+    """All canonical queries exhibiting a given feature (e.g. ``"negation"``)."""
+    return [q for q in CANONICAL_QUERIES if feature in q.features]

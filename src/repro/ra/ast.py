@@ -1,0 +1,352 @@
+"""Relational Algebra (RA) expression trees.
+
+RA is the procedural yardstick of the tutorial: most relationally complete
+visual languages (DFQL in particular) are visualizations of RA operator
+trees.  The node set covers the six classic operators plus the derived
+operators needed by the translators and by textbook examples: natural and
+theta joins, semi/anti joins, division, duplicate elimination, and grouping
+with aggregates (extended RA).
+
+Attribute references inside conditions and projection lists may be written
+qualified (``S.sid``) or unqualified (``sid``); :func:`resolve_attribute`
+defines the resolution rules shared by schema inference and evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.data.schema import Attribute, DatabaseSchema, RelationSchema, SchemaError
+from repro.data.types import DataType
+from repro.expr.ast import BoolConst, Expr, FuncCall
+
+
+class RAError(Exception):
+    """Raised for malformed RA expressions."""
+
+
+class RAExpr:
+    """Base class of RA operator nodes."""
+
+    def children(self) -> tuple["RAExpr", ...]:
+        return ()
+
+    def walk(self) -> Iterator["RAExpr"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def relations_used(self) -> list[str]:
+        """Names of base relations referenced anywhere in the tree."""
+        out: list[str] = []
+        for node in self.walk():
+            if isinstance(node, RelationRef) and node.name not in out:
+                out.append(node.name)
+        return out
+
+    def operator_count(self) -> int:
+        """Number of operator nodes (a proxy for query complexity)."""
+        return sum(1 for _ in self.walk())
+
+
+@dataclass(frozen=True)
+class RelationRef(RAExpr):
+    """A base relation."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Rename(RAExpr):
+    """ρ: rename the relation and/or its attributes."""
+
+    input: RAExpr
+    new_name: str | None = None
+    attribute_renames: tuple[tuple[str, str], ...] = ()
+
+    def children(self) -> tuple[RAExpr, ...]:
+        return (self.input,)
+
+    def renames_dict(self) -> dict[str, str]:
+        return dict(self.attribute_renames)
+
+
+@dataclass(frozen=True)
+class Selection(RAExpr):
+    """σ: keep rows satisfying a condition."""
+
+    input: RAExpr
+    condition: Expr = field(default_factory=lambda: BoolConst(True))
+
+    def children(self) -> tuple[RAExpr, ...]:
+        return (self.input,)
+
+
+@dataclass(frozen=True)
+class Projection(RAExpr):
+    """π: project onto a list of (possibly qualified) attribute names."""
+
+    input: RAExpr
+    columns: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "columns", tuple(self.columns))
+        if not self.columns:
+            raise RAError("projection needs at least one column")
+
+    def children(self) -> tuple[RAExpr, ...]:
+        return (self.input,)
+
+
+@dataclass(frozen=True)
+class Product(RAExpr):
+    """× : cartesian product."""
+
+    left: RAExpr
+    right: RAExpr
+
+    def children(self) -> tuple[RAExpr, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class NaturalJoin(RAExpr):
+    """⋈ : equality on all shared attribute names."""
+
+    left: RAExpr
+    right: RAExpr
+
+    def children(self) -> tuple[RAExpr, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class ThetaJoin(RAExpr):
+    """⋈θ : product filtered by an arbitrary condition."""
+
+    left: RAExpr
+    right: RAExpr
+    condition: Expr = field(default_factory=lambda: BoolConst(True))
+
+    def children(self) -> tuple[RAExpr, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class SemiJoin(RAExpr):
+    """⋉ : rows of the left input with at least one match on the right."""
+
+    left: RAExpr
+    right: RAExpr
+    condition: Expr | None = None
+
+    def children(self) -> tuple[RAExpr, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class AntiJoin(RAExpr):
+    """▷ : rows of the left input with no match on the right."""
+
+    left: RAExpr
+    right: RAExpr
+    condition: Expr | None = None
+
+    def children(self) -> tuple[RAExpr, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Union(RAExpr):
+    """∪ (set union of union-compatible inputs)."""
+
+    left: RAExpr
+    right: RAExpr
+
+    def children(self) -> tuple[RAExpr, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Intersection(RAExpr):
+    """∩."""
+
+    left: RAExpr
+    right: RAExpr
+
+    def children(self) -> tuple[RAExpr, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Difference(RAExpr):
+    """− (set difference)."""
+
+    left: RAExpr
+    right: RAExpr
+
+    def children(self) -> tuple[RAExpr, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Division(RAExpr):
+    """÷ : tuples of the left input related to *all* tuples of the right.
+
+    Division is RA's way of expressing universal quantification ("sailors who
+    reserved *all* red boats"), which is why the tutorial singles it out when
+    comparing QBE, Datalog, and the diagrammatic formalisms.
+    """
+
+    left: RAExpr
+    right: RAExpr
+
+    def children(self) -> tuple[RAExpr, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Distinct(RAExpr):
+    """δ : duplicate elimination (only meaningful under bag semantics)."""
+
+    input: RAExpr
+
+    def children(self) -> tuple[RAExpr, ...]:
+        return (self.input,)
+
+
+@dataclass(frozen=True)
+class GroupBy(RAExpr):
+    """γ : grouping with aggregation (extended RA)."""
+
+    input: RAExpr
+    group_columns: tuple[str, ...] = ()
+    aggregates: tuple[tuple[FuncCall, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "group_columns", tuple(self.group_columns))
+        object.__setattr__(self, "aggregates", tuple(self.aggregates))
+
+    def children(self) -> tuple[RAExpr, ...]:
+        return (self.input,)
+
+
+# ---------------------------------------------------------------------------
+# Attribute resolution and schema inference
+# ---------------------------------------------------------------------------
+
+def resolve_attribute(schema: RelationSchema, name: str, qualifier: str | None = None) -> str:
+    """Resolve a possibly-qualified attribute reference to a schema attribute name.
+
+    Resolution order:
+
+    1. exact match of the qualified spelling ``qualifier.name``;
+    2. unique suffix match of ``qualifier.name`` (repeated products prefix an
+       already-prefixed attribute, e.g. ``A_x_B.c`` still ends in ``B.c``);
+    3. exact match of ``name`` alone;
+    4. unique suffix match ``*.name`` (the attribute was prefixed during a
+       product but the reference is unambiguous).
+    """
+    names = schema.attribute_names
+    if qualifier:
+        qualified = f"{qualifier}.{name}"
+        if qualified in names:
+            return qualified
+        qualified_suffix = [n for n in names if n.endswith(f"{qualifier}.{name}")]
+        if len(qualified_suffix) == 1:
+            return qualified_suffix[0]
+    if name in names:
+        return name
+    suffix_matches = [n for n in names if n.endswith(f".{name}")]
+    if len(suffix_matches) == 1:
+        return suffix_matches[0]
+    if len(suffix_matches) > 1:
+        raise RAError(f"ambiguous attribute reference {name!r} in {schema}")
+    raise RAError(
+        f"attribute {qualifier + '.' if qualifier else ''}{name} not found in {schema}"
+    )
+
+
+def _aggregate_output_type(call: FuncCall, input_schema: RelationSchema) -> DataType:
+    if call.name == "count":
+        return DataType.INT
+    if call.name == "avg":
+        return DataType.FLOAT
+    if call.args and hasattr(call.args[0], "name"):
+        arg = call.args[0]
+        try:
+            resolved = resolve_attribute(input_schema, arg.name, getattr(arg, "qualifier", None))
+            return input_schema.dtype_of(resolved)
+        except (RAError, SchemaError):
+            return DataType.FLOAT
+    return DataType.FLOAT
+
+
+def output_schema(expr: RAExpr, db_schema: DatabaseSchema) -> RelationSchema:
+    """Infer the output schema of an RA expression over ``db_schema``."""
+    if isinstance(expr, RelationRef):
+        return db_schema.relation(expr.name)
+    if isinstance(expr, Rename):
+        schema = output_schema(expr.input, db_schema)
+        if expr.attribute_renames:
+            schema = schema.rename_attributes(expr.renames_dict())
+        if expr.new_name:
+            schema = schema.renamed(expr.new_name)
+        return schema
+    if isinstance(expr, (Selection, Distinct)):
+        return output_schema(expr.input, db_schema)
+    if isinstance(expr, Projection):
+        input_schema = output_schema(expr.input, db_schema)
+        resolved = []
+        for column in expr.columns:
+            qualifier, name = _split_reference(column)
+            resolved.append(resolve_attribute(input_schema, name, qualifier))
+        return input_schema.project(resolved, new_name=input_schema.name)
+    if isinstance(expr, (Product, ThetaJoin)):
+        left = output_schema(expr.left, db_schema)
+        right = output_schema(expr.right, db_schema)
+        return left.concat(right)
+    if isinstance(expr, NaturalJoin):
+        left = output_schema(expr.left, db_schema)
+        right = output_schema(expr.right, db_schema)
+        extra = tuple(a for a in right.attributes if a.name not in left.attribute_names)
+        return RelationSchema(f"{left.name}_join_{right.name}", left.attributes + extra)
+    if isinstance(expr, (SemiJoin, AntiJoin)):
+        return output_schema(expr.left, db_schema)
+    if isinstance(expr, (Union, Intersection, Difference)):
+        left = output_schema(expr.left, db_schema)
+        right = output_schema(expr.right, db_schema)
+        if not left.is_union_compatible(right):
+            raise RAError(f"{type(expr).__name__}: schemas {left} and {right} are incompatible")
+        return left
+    if isinstance(expr, Division):
+        left = output_schema(expr.left, db_schema)
+        right = output_schema(expr.right, db_schema)
+        right_names = set(right.attribute_names)
+        missing = right_names - set(left.attribute_names)
+        if missing:
+            raise RAError(f"division: divisor attributes {sorted(missing)} not in dividend {left}")
+        kept = tuple(a for a in left.attributes if a.name not in right_names)
+        if not kept:
+            raise RAError("division result would have an empty schema")
+        return RelationSchema(f"{left.name}_div", kept)
+    if isinstance(expr, GroupBy):
+        input_schema = output_schema(expr.input, db_schema)
+        attrs: list[Attribute] = []
+        for column in expr.group_columns:
+            qualifier, name = _split_reference(column)
+            resolved = resolve_attribute(input_schema, name, qualifier)
+            attrs.append(input_schema.attribute(resolved))
+        for call, alias in expr.aggregates:
+            attrs.append(Attribute(alias, _aggregate_output_type(call, input_schema)))
+        return RelationSchema(f"{input_schema.name}_grouped", tuple(attrs))
+    raise RAError(f"output_schema: unhandled node {type(expr).__name__}")
+
+
+def _split_reference(reference: str) -> tuple[str | None, str]:
+    """Split ``"S.sid"`` into ``("S", "sid")`` and ``"sid"`` into ``(None, "sid")``."""
+    if "." in reference:
+        qualifier, name = reference.split(".", 1)
+        return qualifier, name
+    return None, reference

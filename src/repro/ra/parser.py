@@ -1,0 +1,253 @@
+"""A text syntax for Relational Algebra expressions.
+
+The parser accepts both ASCII operator names and the conventional Greek
+letters, so that textbook-style expressions can be written directly::
+
+    pi[sname](sigma[color = 'red'](Boats njoin Reserves njoin Sailors))
+    project[sid, bid](Reserves) / project[bid](select[color='red'](Boats))
+    (A union B) except C
+
+Grammar (precedence from loosest to tightest)::
+
+    expr     := setexpr
+    setexpr  := joinexpr ((UNION | INTERSECT | EXCEPT | DIVIDE) joinexpr)*
+    joinexpr := unary ((NJOIN | JOIN[cond] | TIMES | SEMIJOIN[cond?] | ANTIJOIN[cond?]) unary)*
+    unary    := OPNAME '[' args ']' '(' expr ')'  |  NAME  |  '(' expr ')'
+
+Operator names: ``project``/``pi``/``π``, ``select``/``sigma``/``σ``,
+``rename``/``rho``/``ρ``, ``distinct``/``delta``, ``gamma``/``groupby``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.expr.ast import FuncCall, Star
+from repro.expr.parser import parse_expression
+from repro.ra.ast import (
+    AntiJoin,
+    Difference,
+    Distinct,
+    Division,
+    GroupBy,
+    Intersection,
+    NaturalJoin,
+    Product,
+    Projection,
+    RAError,
+    RAExpr,
+    RelationRef,
+    Rename,
+    Selection,
+    SemiJoin,
+    ThetaJoin,
+    Union,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<bracket>\[(?:[^\[\]]|\[[^\]]*\])*\])
+  | (?P<symbol>π|σ|ρ|δ|γ|÷|⨝|⋈|×|∪|∩|−|⋉|▷|\(|\)|,|/|\*)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+    """,
+    re.VERBOSE,
+)
+
+_UNARY_OPS = {
+    "project": "project", "pi": "project", "π": "project",
+    "select": "select", "sigma": "select", "σ": "select",
+    "rename": "rename", "rho": "rename", "ρ": "rename",
+    "distinct": "distinct", "delta": "distinct", "δ": "distinct",
+    "groupby": "groupby", "gamma": "groupby", "γ": "groupby",
+}
+
+_SET_OPS = {
+    "union": Union, "∪": Union,
+    "intersect": Intersection, "∩": Intersection,
+    "except": Difference, "minus": Difference, "−": Difference,
+    "divide": Division, "/": Division, "÷": Division,
+}
+
+_JOIN_OPS = {"njoin", "join", "⨝", "⋈", "times", "×", "*", "product",
+             "semijoin", "⋉", "antijoin", "▷"}
+
+
+class _Token:
+    def __init__(self, kind: str, text: str) -> None:
+        self.kind = kind
+        self.text = text
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match:
+            raise RAError(f"unexpected character {text[pos]!r} at position {pos}")
+        pos = match.end()
+        kind = match.lastgroup or ""
+        if kind == "ws":
+            continue
+        tokens.append(_Token(kind, match.group()))
+    tokens.append(_Token("eof", ""))
+    return tokens
+
+
+class _RAParser:
+    def __init__(self, tokens: list[_Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            raise RAError(f"expected {text or kind}, found {token.text!r}")
+        return self.advance()
+
+    # -- grammar ---------------------------------------------------------
+    def parse(self) -> RAExpr:
+        expr = self.parse_set()
+        if self.peek().kind != "eof":
+            raise RAError(f"unexpected trailing input {self.peek().text!r}")
+        return expr
+
+    def parse_set(self) -> RAExpr:
+        expr = self.parse_join()
+        while True:
+            token = self.peek()
+            key = token.text.lower() if token.kind == "name" else token.text
+            if key in _SET_OPS:
+                self.advance()
+                expr = _SET_OPS[key](expr, self.parse_join())
+            else:
+                return expr
+
+    def parse_join(self) -> RAExpr:
+        expr = self.parse_unary()
+        while True:
+            token = self.peek()
+            key = token.text.lower() if token.kind == "name" else token.text
+            if key not in _JOIN_OPS:
+                return expr
+            self.advance()
+            bracket = None
+            if self.peek().kind == "bracket":
+                bracket = self.advance().text[1:-1]
+            right = self.parse_unary()
+            if key in ("njoin", "⨝", "⋈") and bracket is None:
+                expr = NaturalJoin(expr, right)
+            elif key in ("join", "⨝", "⋈"):
+                if bracket is None:
+                    expr = NaturalJoin(expr, right)
+                else:
+                    expr = ThetaJoin(expr, right, parse_expression(bracket))
+            elif key in ("times", "×", "*", "product"):
+                expr = Product(expr, right)
+            elif key in ("semijoin", "⋉"):
+                expr = SemiJoin(expr, right, parse_expression(bracket) if bracket else None)
+            elif key in ("antijoin", "▷"):
+                expr = AntiJoin(expr, right, parse_expression(bracket) if bracket else None)
+            else:  # pragma: no cover - exhaustive
+                raise RAError(f"unhandled join operator {key!r}")
+        return expr
+
+    def parse_unary(self) -> RAExpr:
+        token = self.peek()
+        if token.kind == "symbol" and token.text == "(":
+            self.advance()
+            expr = self.parse_set()
+            self.expect("symbol", ")")
+            return expr
+        key = token.text.lower() if token.kind == "name" else token.text
+        if key in _UNARY_OPS or (token.kind == "symbol" and token.text in _UNARY_OPS):
+            op = _UNARY_OPS[key if key in _UNARY_OPS else token.text]
+            self.advance()
+            bracket = ""
+            if self.peek().kind == "bracket":
+                bracket = self.advance().text[1:-1]
+            self.expect("symbol", "(")
+            inner = self.parse_set()
+            self.expect("symbol", ")")
+            return self._build_unary(op, bracket, inner)
+        if token.kind == "name":
+            self.advance()
+            return RelationRef(token.text)
+        raise RAError(f"unexpected token {token.text!r}")
+
+    def _build_unary(self, op: str, bracket: str, inner: RAExpr) -> RAExpr:
+        if op == "project":
+            columns = tuple(c.strip() for c in bracket.split(",") if c.strip())
+            if not columns:
+                raise RAError("projection needs column names inside [...]")
+            return Projection(inner, columns)
+        if op == "select":
+            if not bracket.strip():
+                raise RAError("selection needs a condition inside [...]")
+            return Selection(inner, parse_expression(bracket))
+        if op == "distinct":
+            return Distinct(inner)
+        if op == "rename":
+            return self._build_rename(bracket, inner)
+        if op == "groupby":
+            return self._build_groupby(bracket, inner)
+        raise RAError(f"unhandled unary operator {op!r}")  # pragma: no cover
+
+    def _build_rename(self, bracket: str, inner: RAExpr) -> Rename:
+        new_name = None
+        renames = []
+        for part in (p.strip() for p in bracket.split(",") if p.strip()):
+            if "->" in part:
+                old, new = (x.strip() for x in part.split("->", 1))
+                renames.append((old, new))
+            else:
+                new_name = part
+        return Rename(inner, new_name, tuple(renames))
+
+    def _build_groupby(self, bracket: str, inner: RAExpr) -> GroupBy:
+        if ";" in bracket:
+            group_part, agg_part = bracket.split(";", 1)
+        else:
+            group_part, agg_part = "", bracket
+        group_columns = tuple(c.strip() for c in group_part.split(",") if c.strip())
+        aggregates = []
+        for part in (p.strip() for p in agg_part.split(",") if p.strip()):
+            if "->" in part:
+                call_text, alias = (x.strip() for x in part.split("->", 1))
+            else:
+                call_text, alias = part, re.sub(r"\W+", "_", part.lower()).strip("_")
+            aggregates.append((self._parse_aggregate(call_text), alias))
+        return GroupBy(inner, group_columns, tuple(aggregates))
+
+    @staticmethod
+    def _parse_aggregate(text: str) -> FuncCall:
+        match = re.match(r"^\s*([A-Za-z_]+)\s*\(\s*(.*?)\s*\)\s*$", text)
+        if not match:
+            raise RAError(f"cannot parse aggregate {text!r}")
+        name, arg = match.groups()
+        if arg == "*":
+            return FuncCall(name, (Star(),))
+        distinct = False
+        if arg.lower().startswith("distinct "):
+            distinct = True
+            arg = arg[len("distinct "):]
+        parsed = parse_expression(arg) if arg else None
+        args = (parsed,) if parsed is not None else ()
+        return FuncCall(name, args, distinct)
+
+
+def parse_ra(text: str) -> RAExpr:
+    """Parse an RA expression from text."""
+    return _RAParser(_tokenize(text)).parse()

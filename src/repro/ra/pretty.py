@@ -1,0 +1,149 @@
+"""Pretty printers for Relational Algebra expressions.
+
+Two renderings are provided: a linear text form that round-trips through the
+parser (used in examples and tests) and an indented tree form (used when
+explaining a translation or when labelling DFQL dataflow nodes).
+"""
+
+from __future__ import annotations
+
+from repro.expr.format import format_expr
+from repro.ra.ast import (
+    AntiJoin,
+    Difference,
+    Distinct,
+    Division,
+    GroupBy,
+    Intersection,
+    NaturalJoin,
+    Product,
+    Projection,
+    RAError,
+    RAExpr,
+    RelationRef,
+    Rename,
+    Selection,
+    SemiJoin,
+    ThetaJoin,
+    Union,
+)
+
+#: Unicode operator glyphs, used when ``unicode=True``.
+_GLYPHS = {
+    "project": "π", "select": "σ", "rename": "ρ", "distinct": "δ", "groupby": "γ",
+    "njoin": "⨝", "times": "×", "union": "∪", "intersect": "∩", "except": "−",
+    "divide": "÷", "semijoin": "⋉", "antijoin": "▷",
+}
+
+_ASCII = {
+    "project": "project", "select": "select", "rename": "rename",
+    "distinct": "distinct", "groupby": "groupby",
+    "njoin": "njoin", "times": "times", "union": "union",
+    "intersect": "intersect", "except": "except", "divide": "divide",
+    "semijoin": "semijoin", "antijoin": "antijoin",
+}
+
+
+def _glyph(name: str, unicode: bool) -> str:
+    return (_GLYPHS if unicode else _ASCII)[name]
+
+
+def to_text(expr: RAExpr, *, unicode: bool = False) -> str:
+    """Linear rendering; the ASCII form round-trips through :func:`parse_ra`."""
+    g = lambda name: _glyph(name, unicode)  # noqa: E731 - tiny local alias
+
+    def go(node: RAExpr) -> str:
+        if isinstance(node, RelationRef):
+            return node.name
+        if isinstance(node, Projection):
+            return f"{g('project')}[{', '.join(node.columns)}]({go(node.input)})"
+        if isinstance(node, Selection):
+            return f"{g('select')}[{format_expr(node.condition)}]({go(node.input)})"
+        if isinstance(node, Rename):
+            parts = []
+            if node.new_name:
+                parts.append(node.new_name)
+            parts.extend(f"{old} -> {new}" for old, new in node.attribute_renames)
+            return f"{g('rename')}[{', '.join(parts)}]({go(node.input)})"
+        if isinstance(node, Distinct):
+            return f"{g('distinct')}({go(node.input)})"
+        if isinstance(node, GroupBy):
+            aggs = ", ".join(f"{format_expr(call)} -> {alias}" for call, alias in node.aggregates)
+            groups = ", ".join(node.group_columns)
+            inner = f"{groups}; {aggs}" if groups else aggs
+            return f"{g('groupby')}[{inner}]({go(node.input)})"
+        if isinstance(node, NaturalJoin):
+            return f"({go(node.left)} {g('njoin')} {go(node.right)})"
+        if isinstance(node, ThetaJoin):
+            return f"({go(node.left)} join[{format_expr(node.condition)}] {go(node.right)})"
+        if isinstance(node, Product):
+            return f"({go(node.left)} {g('times')} {go(node.right)})"
+        if isinstance(node, SemiJoin):
+            cond = f"[{format_expr(node.condition)}]" if node.condition is not None else ""
+            return f"({go(node.left)} {g('semijoin')}{cond} {go(node.right)})"
+        if isinstance(node, AntiJoin):
+            cond = f"[{format_expr(node.condition)}]" if node.condition is not None else ""
+            return f"({go(node.left)} {g('antijoin')}{cond} {go(node.right)})"
+        if isinstance(node, Union):
+            return f"({go(node.left)} {g('union')} {go(node.right)})"
+        if isinstance(node, Intersection):
+            return f"({go(node.left)} {g('intersect')} {go(node.right)})"
+        if isinstance(node, Difference):
+            return f"({go(node.left)} {g('except')} {go(node.right)})"
+        if isinstance(node, Division):
+            return f"({go(node.left)} {g('divide')} {go(node.right)})"
+        raise RAError(f"to_text: unhandled node {type(node).__name__}")
+
+    return go(expr)
+
+
+def operator_label(node: RAExpr, *, unicode: bool = True) -> str:
+    """A short label for one operator node (used by DFQL diagram nodes)."""
+    if isinstance(node, RelationRef):
+        return node.name
+    if isinstance(node, Projection):
+        return f"{_glyph('project', unicode)} {', '.join(node.columns)}"
+    if isinstance(node, Selection):
+        return f"{_glyph('select', unicode)} {format_expr(node.condition)}"
+    if isinstance(node, Rename):
+        parts = ([node.new_name] if node.new_name else []) + [
+            f"{o}->{n}" for o, n in node.attribute_renames
+        ]
+        return f"{_glyph('rename', unicode)} {', '.join(parts)}"
+    if isinstance(node, Distinct):
+        return _glyph("distinct", unicode)
+    if isinstance(node, GroupBy):
+        aggs = ", ".join(alias for _, alias in node.aggregates)
+        return f"{_glyph('groupby', unicode)} [{', '.join(node.group_columns)}] {aggs}"
+    if isinstance(node, NaturalJoin):
+        return _glyph("njoin", unicode)
+    if isinstance(node, ThetaJoin):
+        return f"{_glyph('njoin', unicode)} {format_expr(node.condition)}"
+    if isinstance(node, Product):
+        return _glyph("times", unicode)
+    if isinstance(node, SemiJoin):
+        return _glyph("semijoin", unicode)
+    if isinstance(node, AntiJoin):
+        return _glyph("antijoin", unicode)
+    if isinstance(node, Union):
+        return _glyph("union", unicode)
+    if isinstance(node, Intersection):
+        return _glyph("intersect", unicode)
+    if isinstance(node, Difference):
+        return _glyph("except", unicode)
+    if isinstance(node, Division):
+        return _glyph("divide", unicode)
+    raise RAError(f"operator_label: unhandled node {type(node).__name__}")
+
+
+def to_tree(expr: RAExpr, *, unicode: bool = True) -> str:
+    """Indented operator-tree rendering."""
+    lines: list[str] = []
+
+    def go(node: RAExpr, depth: int) -> None:
+        lines.append("  " * depth + operator_label(node, unicode=unicode))
+        for child in node.children():
+            go(child, depth + 1)
+
+    go(expr, 0)
+    return "\n".join(lines)

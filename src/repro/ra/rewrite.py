@@ -1,0 +1,163 @@
+"""Algebraic rewrites for RA expressions.
+
+These are the textbook equivalences (selection cascade and pushdown, turning
+selections over products into theta joins, projection cascade).  They matter
+here for two reasons: they let the DFQL diagrams show reasonable operator
+trees instead of naive product-then-filter plans, and they provide the
+"syntactic variants map to the same pattern" test cases used by the
+invariance principle (experiment T3).
+"""
+
+from __future__ import annotations
+
+from repro.expr.ast import And, Expr, conjunction, conjuncts
+from repro.ra.ast import (
+    Difference,
+    Distinct,
+    Intersection,
+    NaturalJoin,
+    Product,
+    Projection,
+    RAExpr,
+    RelationRef,
+    Rename,
+    Selection,
+    ThetaJoin,
+    Union,
+    output_schema,
+    resolve_attribute,
+    RAError,
+    _split_reference,
+)
+from repro.data.schema import DatabaseSchema
+
+
+def merge_selections(expr: RAExpr) -> RAExpr:
+    """σ_a(σ_b(E)) → σ_{a ∧ b}(E), applied bottom-up everywhere."""
+    expr = _rebuild(expr, merge_selections)
+    if isinstance(expr, Selection) and isinstance(expr.input, Selection):
+        condition = conjunction([expr.condition, expr.input.condition])
+        return Selection(expr.input.input, condition)
+    return expr
+
+
+def selection_to_join(expr: RAExpr) -> RAExpr:
+    """σ_c(A × B) → A ⋈_c B, applied bottom-up everywhere."""
+    expr = _rebuild(expr, selection_to_join)
+    if isinstance(expr, Selection) and isinstance(expr.input, Product):
+        return ThetaJoin(expr.input.left, expr.input.right, expr.condition)
+    return expr
+
+
+def cascade_projections(expr: RAExpr) -> RAExpr:
+    """π_a(π_b(E)) → π_a(E) when the outer columns are available in E."""
+    expr = _rebuild(expr, cascade_projections)
+    if isinstance(expr, Projection) and isinstance(expr.input, Projection):
+        return Projection(expr.input.input, expr.columns)
+    return expr
+
+
+def remove_redundant_distinct(expr: RAExpr) -> RAExpr:
+    """δ(δ(E)) → δ(E) and δ over set operators → the operator itself."""
+    expr = _rebuild(expr, remove_redundant_distinct)
+    if isinstance(expr, Distinct) and isinstance(
+        expr.input, (Distinct, Union, Intersection, Difference)
+    ):
+        return expr.input
+    return expr
+
+
+def push_selections(expr: RAExpr, db_schema: DatabaseSchema) -> RAExpr:
+    """Push selection conjuncts below products/joins when their columns allow it."""
+    expr = _rebuild(expr, lambda e: push_selections(e, db_schema))
+    if not isinstance(expr, Selection):
+        return expr
+    child = expr.input
+    if not isinstance(child, (Product, ThetaJoin, NaturalJoin)):
+        return expr
+
+    left_schema = output_schema(child.left, db_schema)
+    right_schema = output_schema(child.right, db_schema)
+    left_parts: list[Expr] = []
+    right_parts: list[Expr] = []
+    keep: list[Expr] = []
+    for conjunct in conjuncts(expr.condition):
+        if _condition_fits(conjunct, left_schema):
+            left_parts.append(conjunct)
+        elif _condition_fits(conjunct, right_schema):
+            right_parts.append(conjunct)
+        else:
+            keep.append(conjunct)
+
+    if not left_parts and not right_parts:
+        return expr
+
+    new_left = Selection(child.left, conjunction(left_parts)) if left_parts else child.left
+    new_right = Selection(child.right, conjunction(right_parts)) if right_parts else child.right
+    if isinstance(child, Product):
+        new_child: RAExpr = Product(new_left, new_right)
+    elif isinstance(child, NaturalJoin):
+        new_child = NaturalJoin(new_left, new_right)
+    else:
+        new_child = ThetaJoin(new_left, new_right, child.condition)
+    if keep:
+        return Selection(new_child, conjunction(keep))
+    return new_child
+
+
+def _condition_fits(condition: Expr, schema) -> bool:
+    """True iff every column referenced by ``condition`` resolves in ``schema``."""
+    for col in condition.columns():
+        try:
+            resolve_attribute(schema, col.name, col.qualifier)
+        except RAError:
+            return False
+    return not condition.subqueries()
+
+
+def optimize(expr: RAExpr, db_schema: DatabaseSchema) -> RAExpr:
+    """The standard pipeline: merge, convert to joins, push down, tidy up."""
+    expr = merge_selections(expr)
+    expr = selection_to_join(expr)
+    expr = push_selections(expr, db_schema)
+    expr = cascade_projections(expr)
+    expr = remove_redundant_distinct(expr)
+    return expr
+
+
+def _rebuild(expr: RAExpr, fn) -> RAExpr:
+    """Rebuild one node with ``fn`` applied to its children."""
+    if isinstance(expr, RelationRef):
+        return expr
+    if isinstance(expr, Selection):
+        return Selection(fn(expr.input), expr.condition)
+    if isinstance(expr, Projection):
+        return Projection(fn(expr.input), expr.columns)
+    if isinstance(expr, Rename):
+        return Rename(fn(expr.input), expr.new_name, expr.attribute_renames)
+    if isinstance(expr, Distinct):
+        return Distinct(fn(expr.input))
+    if isinstance(expr, Product):
+        return Product(fn(expr.left), fn(expr.right))
+    if isinstance(expr, NaturalJoin):
+        return NaturalJoin(fn(expr.left), fn(expr.right))
+    if isinstance(expr, ThetaJoin):
+        return ThetaJoin(fn(expr.left), fn(expr.right), expr.condition)
+    if isinstance(expr, Union):
+        return Union(fn(expr.left), fn(expr.right))
+    if isinstance(expr, Intersection):
+        return Intersection(fn(expr.left), fn(expr.right))
+    if isinstance(expr, Difference):
+        return Difference(fn(expr.left), fn(expr.right))
+    # Remaining binary/unary nodes (division, semi/anti join, group by) are
+    # rebuilt generically through their dataclass constructors.
+    import dataclasses
+
+    if dataclasses.is_dataclass(expr):
+        replacements = {}
+        for field in dataclasses.fields(expr):
+            value = getattr(expr, field.name)
+            if isinstance(value, RAExpr):
+                replacements[field.name] = fn(value)
+        return dataclasses.replace(expr, **replacements)
+    return expr  # pragma: no cover - all nodes are dataclasses

@@ -1,0 +1,44 @@
+"""SQL: lexer, parser, AST, formatter, and a direct evaluator."""
+
+from repro.sql.ast import (
+    DerivedTable,
+    FromItem,
+    Join,
+    OrderItem,
+    Query,
+    SelectItem,
+    SelectQuery,
+    SetOpQuery,
+    TableRef,
+    base_tables,
+    count_table_occurrences,
+    walk_queries,
+)
+from repro.sql.evaluate import SQLEvaluationError, evaluate_sql
+from repro.sql.format import format_query, format_query_pretty
+from repro.sql.lexer import SQLSyntaxError, Token, tokenize
+from repro.sql.parser import parse_sql, parse_sql_expression
+
+__all__ = [
+    "DerivedTable",
+    "FromItem",
+    "Join",
+    "OrderItem",
+    "Query",
+    "SQLEvaluationError",
+    "SQLSyntaxError",
+    "SelectItem",
+    "SelectQuery",
+    "SetOpQuery",
+    "TableRef",
+    "Token",
+    "base_tables",
+    "count_table_occurrences",
+    "evaluate_sql",
+    "format_query",
+    "format_query_pretty",
+    "parse_sql",
+    "parse_sql_expression",
+    "tokenize",
+    "walk_queries",
+]

@@ -1,0 +1,223 @@
+"""SQL abstract syntax trees.
+
+The AST covers the SELECT fragment the tutorial works with:
+
+* select lists with expressions, aliases, ``*`` and ``T.*``;
+* FROM lists with table aliases, derived tables, JOIN ... ON,
+  NATURAL JOIN and CROSS JOIN;
+* WHERE with the full expression language of :mod:`repro.expr`, including
+  correlated subqueries via EXISTS / IN / ANY / ALL and scalar subqueries;
+* GROUP BY / HAVING with aggregates;
+* UNION / INTERSECT / EXCEPT (with or without ALL);
+* ORDER BY and LIMIT.
+
+WHERE-clause expressions reuse :mod:`repro.expr.ast`; subquery predicates
+hold :class:`SelectQuery` / :class:`SetOpQuery` objects in their ``query``
+fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union as TypingUnion
+
+from repro.expr.ast import Col, Expr, Exists, InSubquery, QuantifiedComparison, ScalarSubquery
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One entry of the SELECT list: an expression with an optional alias."""
+
+    expr: Expr
+    alias: str | None = None
+
+    def output_name(self, position: int) -> str:
+        """The column name this item contributes to the result schema."""
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, Col):
+            return self.expr.name
+        return f"col{position + 1}"
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A base table in the FROM list, with an optional alias."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class DerivedTable:
+    """A parenthesised subquery in the FROM list (must carry an alias)."""
+
+    query: "Query"
+    alias: str
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias
+
+
+@dataclass(frozen=True)
+class Join:
+    """A join between two FROM items."""
+
+    left: "FromItem"
+    right: "FromItem"
+    kind: str = "inner"  # inner | left | right | full | cross
+    condition: Expr | None = None
+    natural: bool = False
+    using: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kind", self.kind.lower())
+        object.__setattr__(self, "using", tuple(self.using))
+
+
+FromItem = TypingUnion[TableRef, DerivedTable, Join]
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A single SELECT ... FROM ... WHERE ... GROUP BY ... HAVING ... block."""
+
+    select_items: tuple[SelectItem, ...] = ()
+    distinct: bool = False
+    from_items: tuple[FromItem, ...] = ()
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = ()
+    having: Expr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    select_star: bool = False
+    star_qualifiers: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "select_items", tuple(self.select_items))
+        object.__setattr__(self, "from_items", tuple(self.from_items))
+        object.__setattr__(self, "group_by", tuple(self.group_by))
+        object.__setattr__(self, "order_by", tuple(self.order_by))
+        object.__setattr__(self, "star_qualifiers", tuple(self.star_qualifiers))
+
+    def to_sql(self) -> str:
+        from repro.sql.format import format_query
+
+        return format_query(self)
+
+    # -- structural helpers used by translators and diagrams ---------------
+    def table_refs(self) -> list[TableRef]:
+        """All base-table references in this query's own FROM list."""
+        out: list[TableRef] = []
+
+        def visit(item: FromItem) -> None:
+            if isinstance(item, TableRef):
+                out.append(item)
+            elif isinstance(item, DerivedTable):
+                pass
+            elif isinstance(item, Join):
+                visit(item.left)
+                visit(item.right)
+
+        for item in self.from_items:
+            visit(item)
+        return out
+
+    def subqueries(self) -> list["Query"]:
+        """Immediate subqueries appearing in WHERE/HAVING/SELECT/FROM."""
+        out: list[Query] = []
+        for expr in self._expressions():
+            for node in expr.walk():
+                if isinstance(node, (Exists, InSubquery, QuantifiedComparison, ScalarSubquery)):
+                    if node.query is not None:
+                        out.append(node.query)
+        for item in self.from_items:
+            if isinstance(item, DerivedTable):
+                out.append(item.query)
+        return out
+
+    def _expressions(self) -> Iterator[Expr]:
+        for item in self.select_items:
+            yield item.expr
+        if self.where is not None:
+            yield self.where
+        yield from self.group_by
+        if self.having is not None:
+            yield self.having
+        for order in self.order_by:
+            yield order.expr
+
+    def nesting_depth(self) -> int:
+        """Maximum depth of subquery nesting (1 for a flat query)."""
+        depths = [q.nesting_depth() for q in self.subqueries()]
+        return 1 + (max(depths) if depths else 0)
+
+
+@dataclass(frozen=True)
+class SetOpQuery:
+    """UNION / INTERSECT / EXCEPT of two queries."""
+
+    op: str
+    left: "Query"
+    right: "Query"
+    all: bool = False
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "op", self.op.lower())
+        object.__setattr__(self, "order_by", tuple(self.order_by))
+        if self.op not in ("union", "intersect", "except"):
+            raise ValueError(f"unknown set operation {self.op!r}")
+
+    def to_sql(self) -> str:
+        from repro.sql.format import format_query
+
+        return format_query(self)
+
+    def table_refs(self) -> list[TableRef]:
+        return self.left.table_refs() + self.right.table_refs()
+
+    def subqueries(self) -> list["Query"]:
+        return [self.left, self.right]
+
+    def nesting_depth(self) -> int:
+        return max(self.left.nesting_depth(), self.right.nesting_depth())
+
+
+Query = TypingUnion[SelectQuery, SetOpQuery]
+
+
+def walk_queries(query: Query) -> Iterator[Query]:
+    """Yield ``query`` and every (transitively) nested query."""
+    yield query
+    for sub in query.subqueries():
+        yield from walk_queries(sub)
+
+
+def base_tables(query: Query) -> list[str]:
+    """Distinct base-table names used anywhere in the query."""
+    names: list[str] = []
+    for q in walk_queries(query):
+        for ref in q.table_refs():
+            if ref.name not in names:
+                names.append(ref.name)
+    return names
+
+
+def count_table_occurrences(query: Query) -> int:
+    """Total number of table references (table *variables*) in the query."""
+    return sum(len(q.table_refs()) for q in walk_queries(query))

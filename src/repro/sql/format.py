@@ -1,0 +1,121 @@
+"""SQL formatting: render query ASTs back to readable SQL text."""
+
+from __future__ import annotations
+
+from repro.expr.format import format_expr
+from repro.sql.ast import (
+    DerivedTable,
+    FromItem,
+    Join,
+    Query,
+    SelectQuery,
+    SetOpQuery,
+    TableRef,
+)
+
+
+def _format_from_item(item: FromItem) -> str:
+    if isinstance(item, TableRef):
+        return f"{item.name} {item.alias}" if item.alias else item.name
+    if isinstance(item, DerivedTable):
+        return f"({format_query(item.query)}) {item.alias}"
+    if isinstance(item, Join):
+        left = _format_from_item(item.left)
+        right = _format_from_item(item.right)
+        words = []
+        if item.natural:
+            words.append("NATURAL")
+        if item.kind == "inner":
+            words.append("JOIN")
+        elif item.kind == "cross":
+            words.append("CROSS JOIN")
+        else:
+            words.append(f"{item.kind.upper()} OUTER JOIN")
+        text = f"{left} {' '.join(words)} {right}"
+        if item.condition is not None:
+            text += f" ON {format_expr(item.condition, subquery_formatter=format_query)}"
+        elif item.using:
+            text += f" USING ({', '.join(item.using)})"
+        return text
+    raise TypeError(f"unknown FROM item {type(item).__name__}")
+
+
+def format_query(query: Query, *, indent: int = 0) -> str:
+    """Render a query AST as SQL text (single line per clause)."""
+    if isinstance(query, SetOpQuery):
+        op = query.op.upper() + (" ALL" if query.all else "")
+        text = f"{format_query(query.left)} {op} {format_query(query.right)}"
+        if query.order_by:
+            keys = ", ".join(
+                format_expr(o.expr) + ("" if o.ascending else " DESC") for o in query.order_by
+            )
+            text += f" ORDER BY {keys}"
+        if query.limit is not None:
+            text += f" LIMIT {query.limit}"
+        return text
+
+    if not isinstance(query, SelectQuery):
+        raise TypeError(f"unknown query node {type(query).__name__}")
+
+    fmt = lambda e: format_expr(e, subquery_formatter=format_query)  # noqa: E731
+
+    select_parts = []
+    if query.select_star:
+        select_parts.append("*")
+    select_parts.extend(f"{q}.*" for q in query.star_qualifiers)
+    for item in query.select_items:
+        text = fmt(item.expr)
+        if item.alias:
+            text += f" AS {item.alias}"
+        select_parts.append(text)
+
+    parts = ["SELECT " + ("DISTINCT " if query.distinct else "") + ", ".join(select_parts)]
+    if query.from_items:
+        parts.append("FROM " + ", ".join(_format_from_item(i) for i in query.from_items))
+    if query.where is not None:
+        parts.append("WHERE " + fmt(query.where))
+    if query.group_by:
+        parts.append("GROUP BY " + ", ".join(fmt(e) for e in query.group_by))
+    if query.having is not None:
+        parts.append("HAVING " + fmt(query.having))
+    if query.order_by:
+        keys = ", ".join(fmt(o.expr) + ("" if o.ascending else " DESC") for o in query.order_by)
+        parts.append("ORDER BY " + keys)
+    if query.limit is not None:
+        parts.append(f"LIMIT {query.limit}")
+    return " ".join(parts)
+
+
+def format_query_pretty(query: Query, *, indent_width: int = 2) -> str:
+    """Multi-line rendering with one clause per line and indented subqueries."""
+    def go(q: Query, depth: int) -> str:
+        pad = " " * (indent_width * depth)
+        if isinstance(q, SetOpQuery):
+            op = q.op.upper() + (" ALL" if q.all else "")
+            return f"{go(q.left, depth)}\n{pad}{op}\n{go(q.right, depth)}"
+        fmt = lambda e: format_expr(e, subquery_formatter=lambda s: format_query(s))  # noqa: E731
+        lines = []
+        select_parts = []
+        if q.select_star:
+            select_parts.append("*")
+        select_parts.extend(f"{qq}.*" for qq in q.star_qualifiers)
+        select_parts.extend(
+            fmt(i.expr) + (f" AS {i.alias}" if i.alias else "") for i in q.select_items
+        )
+        lines.append(pad + "SELECT " + ("DISTINCT " if q.distinct else "") + ", ".join(select_parts))
+        if q.from_items:
+            lines.append(pad + "FROM " + ", ".join(_format_from_item(i) for i in q.from_items))
+        if q.where is not None:
+            lines.append(pad + "WHERE " + fmt(q.where))
+        if q.group_by:
+            lines.append(pad + "GROUP BY " + ", ".join(fmt(e) for e in q.group_by))
+        if q.having is not None:
+            lines.append(pad + "HAVING " + fmt(q.having))
+        if q.order_by:
+            keys = ", ".join(fmt(o.expr) + ("" if o.ascending else " DESC") for o in q.order_by)
+            lines.append(pad + "ORDER BY " + keys)
+        if q.limit is not None:
+            lines.append(pad + f"LIMIT {q.limit}")
+        return "\n".join(lines)
+
+    return go(query, 0)

@@ -1,0 +1,90 @@
+"""SQL lexer.
+
+Produces a flat token stream for the recursive-descent parser.  The token
+vocabulary covers the SELECT fragment used throughout the tutorial: nested
+subqueries with EXISTS / IN / ANY / ALL, set operations, grouping and
+ordering.  Identifiers may be double-quoted; strings use single quotes with
+``''`` escaping; comments (``-- ...`` and ``/* ... */``) are skipped.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+
+class SQLSyntaxError(Exception):
+    """Raised for lexical or grammatical errors in SQL text."""
+
+
+#: Keywords recognised by the parser (case-insensitive).
+KEYWORDS = frozenset(
+    """
+    select distinct from where group by having order asc desc limit offset
+    as and or not in exists between like is null true false
+    union intersect except all any some
+    join inner left right full outer natural cross on using
+    count sum avg min max
+    """.split()
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|--[^\n]*|/\*.*?\*/)
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<quoted_ident>"(?:[^"]|"")*")
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><>|!=|<=|>=|=|<|>|\(|\)|,|\.|\*|\+|-|/|%|;)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    kind: str
+    text: str
+    position: int = 0
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind == "keyword" and self.text in names
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize SQL text; raises :class:`SQLSyntaxError` on illegal characters."""
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(sql):
+        match = _TOKEN_RE.match(sql, pos)
+        if not match:
+            raise SQLSyntaxError(
+                f"unexpected character {sql[pos]!r} at position {pos}"
+            )
+        start = pos
+        pos = match.end()
+        kind = match.lastgroup or ""
+        text = match.group()
+        if kind == "ws":
+            continue
+        if kind == "name":
+            lowered = text.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("keyword", lowered, start))
+            else:
+                tokens.append(Token("name", text, start))
+        elif kind == "string":
+            tokens.append(Token("string", text[1:-1].replace("''", "'"), start))
+        elif kind == "quoted_ident":
+            tokens.append(Token("name", text[1:-1].replace('""', '"'), start))
+        elif kind == "number":
+            tokens.append(Token("number", text, start))
+        else:
+            tokens.append(Token("op", text, start))
+    tokens.append(Token("eof", "", len(sql)))
+    return tokens

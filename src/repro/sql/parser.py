@@ -1,0 +1,475 @@
+"""Recursive-descent SQL parser.
+
+Grammar sketch (loosest to tightest binding)::
+
+    query        := select_core ((UNION|INTERSECT|EXCEPT) [ALL] select_core)*
+                    [ORDER BY order_list] [LIMIT n]
+    select_core  := SELECT [DISTINCT] select_list FROM from_list
+                    [WHERE expr] [GROUP BY expr_list] [HAVING expr]
+    from_list    := from_item (',' from_item)*
+    from_item    := table [alias] | '(' query ')' alias | from_item join_clause
+    expr         := or_expr
+    or_expr      := and_expr (OR and_expr)*
+    and_expr     := not_expr (AND not_expr)*
+    not_expr     := NOT not_expr | predicate
+    predicate    := additive [comparison | IS NULL | IN ... | BETWEEN ... |
+                    LIKE ... | EXISTS ...]
+    primary      := literal | column | function | '(' query ')' | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from repro.expr.ast import (
+    And,
+    Between,
+    BinOp,
+    BoolConst,
+    Col,
+    Comparison,
+    Const,
+    Exists,
+    Expr,
+    FuncCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Like,
+    Neg,
+    Not,
+    Or,
+    QuantifiedComparison,
+    ScalarSubquery,
+    Star,
+)
+from repro.sql.ast import (
+    DerivedTable,
+    FromItem,
+    Join,
+    OrderItem,
+    Query,
+    SelectItem,
+    SelectQuery,
+    SetOpQuery,
+    TableRef,
+)
+from repro.sql.lexer import SQLSyntaxError, Token, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], source: str) -> None:
+        self.tokens = tokens
+        self.source = source
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def accept_keyword(self, *names: str) -> Token | None:
+        if self.peek().is_keyword(*names):
+            return self.advance()
+        return None
+
+    def accept_op(self, *texts: str) -> Token | None:
+        token = self.peek()
+        if token.kind == "op" and token.text in texts:
+            return self.advance()
+        return None
+
+    def expect_keyword(self, *names: str) -> Token:
+        token = self.accept_keyword(*names)
+        if token is None:
+            raise self._error(f"expected {'/'.join(n.upper() for n in names)}")
+        return token
+
+    def expect_op(self, text: str) -> Token:
+        token = self.accept_op(text)
+        if token is None:
+            raise self._error(f"expected {text!r}")
+        return token
+
+    def _error(self, message: str) -> SQLSyntaxError:
+        token = self.peek()
+        found = token.text or "end of input"
+        return SQLSyntaxError(f"{message}, found {found!r} (at position {token.position})")
+
+    # -- queries -------------------------------------------------------------
+    def parse_query(self) -> Query:
+        query = self.parse_set_expression()
+        order_by: tuple[OrderItem, ...] = ()
+        limit: int | None = None
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            order_by = tuple(self.parse_order_list())
+        if self.accept_keyword("limit"):
+            token = self.advance()
+            if token.kind != "number":
+                raise self._error("expected a number after LIMIT")
+            limit = int(token.text)
+        if order_by or limit is not None:
+            if isinstance(query, SelectQuery):
+                query = SelectQuery(
+                    query.select_items, query.distinct, query.from_items, query.where,
+                    query.group_by, query.having, order_by or query.order_by,
+                    limit if limit is not None else query.limit,
+                    query.select_star, query.star_qualifiers,
+                )
+            else:
+                query = SetOpQuery(query.op, query.left, query.right, query.all,
+                                   order_by, limit)
+        return query
+
+    def parse_set_expression(self) -> Query:
+        left = self.parse_select_core()
+        while True:
+            token = self.peek()
+            if token.is_keyword("union", "intersect", "except"):
+                self.advance()
+                all_flag = bool(self.accept_keyword("all"))
+                right = self.parse_select_core()
+                left = SetOpQuery(token.text, left, right, all_flag)
+            else:
+                return left
+
+    def parse_select_core(self) -> Query:
+        if self.accept_op("("):
+            inner = self.parse_set_expression()
+            self.expect_op(")")
+            return inner
+        self.expect_keyword("select")
+        distinct = bool(self.accept_keyword("distinct"))
+        self.accept_keyword("all")
+
+        select_items: list[SelectItem] = []
+        select_star = False
+        star_qualifiers: list[str] = []
+        while True:
+            if self.accept_op("*"):
+                select_star = True
+            elif (self.peek().kind == "name" and self.peek(1).kind == "op"
+                  and self.peek(1).text == "." and self.peek(2).kind == "op"
+                  and self.peek(2).text == "*"):
+                qualifier = self.advance().text
+                self.advance()
+                self.advance()
+                star_qualifiers.append(qualifier)
+            else:
+                expr = self.parse_expression()
+                alias = None
+                if self.accept_keyword("as"):
+                    alias = self._expect_identifier()
+                elif self.peek().kind == "name":
+                    alias = self.advance().text
+                select_items.append(SelectItem(expr, alias))
+            if not self.accept_op(","):
+                break
+
+        from_items: list[FromItem] = []
+        if self.accept_keyword("from"):
+            from_items.append(self.parse_from_item())
+            while self.accept_op(","):
+                from_items.append(self.parse_from_item())
+
+        where = None
+        if self.accept_keyword("where"):
+            where = self.parse_expression()
+
+        group_by: list[Expr] = []
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            group_by.append(self.parse_expression())
+            while self.accept_op(","):
+                group_by.append(self.parse_expression())
+
+        having = None
+        if self.accept_keyword("having"):
+            having = self.parse_expression()
+
+        return SelectQuery(
+            tuple(select_items), distinct, tuple(from_items), where,
+            tuple(group_by), having, (), None, select_star, tuple(star_qualifiers),
+        )
+
+    def parse_order_list(self) -> list[OrderItem]:
+        items = [self.parse_order_item()]
+        while self.accept_op(","):
+            items.append(self.parse_order_item())
+        return items
+
+    def parse_order_item(self) -> OrderItem:
+        expr = self.parse_expression()
+        ascending = True
+        if self.accept_keyword("asc"):
+            ascending = True
+        elif self.accept_keyword("desc"):
+            ascending = False
+        return OrderItem(expr, ascending)
+
+    # -- FROM clause -----------------------------------------------------
+    def parse_from_item(self) -> FromItem:
+        item = self.parse_table_primary()
+        while True:
+            natural = False
+            if self.peek().is_keyword("natural"):
+                natural = True
+                self.advance()
+            token = self.peek()
+            if token.is_keyword("join", "inner", "left", "right", "full", "cross"):
+                kind = "inner"
+                if token.is_keyword("inner", "left", "right", "full", "cross"):
+                    kind = token.text
+                    self.advance()
+                    self.accept_keyword("outer")
+                self.expect_keyword("join")
+                right = self.parse_table_primary()
+                condition = None
+                using: tuple[str, ...] = ()
+                if not natural and kind != "cross":
+                    if self.accept_keyword("on"):
+                        condition = self.parse_expression()
+                    elif self.accept_keyword("using"):
+                        self.expect_op("(")
+                        names = [self._expect_identifier()]
+                        while self.accept_op(","):
+                            names.append(self._expect_identifier())
+                        self.expect_op(")")
+                        using = tuple(names)
+                item = Join(item, right, kind, condition, natural, using)
+            elif natural:
+                raise self._error("expected JOIN after NATURAL")
+            else:
+                return item
+
+    def parse_table_primary(self) -> FromItem:
+        if self.accept_op("("):
+            query = self.parse_set_expression()
+            self.expect_op(")")
+            self.accept_keyword("as")
+            alias = self._expect_identifier()
+            return DerivedTable(query, alias)
+        name = self._expect_identifier()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self._expect_identifier()
+        elif self.peek().kind == "name":
+            alias = self.advance().text
+        return TableRef(name, alias)
+
+    def _expect_identifier(self) -> str:
+        token = self.peek()
+        if token.kind == "name":
+            self.advance()
+            return token.text
+        # Aggregate names double as identifiers when not followed by "(".
+        if token.kind == "keyword" and token.text in ("count", "sum", "avg", "min", "max"):
+            self.advance()
+            return token.text
+        raise self._error("expected an identifier")
+
+    # -- expressions -------------------------------------------------------
+    def parse_expression(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        parts = [self.parse_and()]
+        while self.accept_keyword("or"):
+            parts.append(self.parse_and())
+        return parts[0] if len(parts) == 1 else Or(tuple(parts))
+
+    def parse_and(self) -> Expr:
+        parts = [self.parse_not()]
+        while self.accept_keyword("and"):
+            parts.append(self.parse_not())
+        return parts[0] if len(parts) == 1 else And(tuple(parts))
+
+    def parse_not(self) -> Expr:
+        if self.accept_keyword("not"):
+            # NOT EXISTS is a single predicate, not a negated EXISTS, so that
+            # syntax-oriented visualizations can label it faithfully.
+            if self.peek().is_keyword("exists"):
+                self.advance()
+                self.expect_op("(")
+                query = self.parse_set_expression()
+                self.expect_op(")")
+                return Exists(query, negated=True)
+            return Not(self.parse_not())
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> Expr:
+        if self.peek().is_keyword("exists"):
+            self.advance()
+            self.expect_op("(")
+            query = self.parse_set_expression()
+            self.expect_op(")")
+            return Exists(query, negated=False)
+
+        left = self.parse_additive()
+        token = self.peek()
+
+        if token.kind == "op" and token.text in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            self.advance()
+            if self.peek().is_keyword("all", "any", "some"):
+                quantifier = self.advance().text
+                self.expect_op("(")
+                query = self.parse_set_expression()
+                self.expect_op(")")
+                return QuantifiedComparison(left, token.text, quantifier, query)
+            right = self.parse_additive()
+            return Comparison(left, token.text, right)
+
+        if token.is_keyword("is"):
+            self.advance()
+            negated = bool(self.accept_keyword("not"))
+            self.expect_keyword("null")
+            return IsNull(left, negated)
+
+        negated = False
+        if token.is_keyword("not"):
+            nxt = self.peek(1)
+            if nxt.is_keyword("in", "between", "like"):
+                self.advance()
+                negated = True
+                token = self.peek()
+
+        if token.is_keyword("in"):
+            self.advance()
+            self.expect_op("(")
+            if self.peek().is_keyword("select") or (
+                self.peek().kind == "op" and self.peek().text == "("
+            ):
+                query = self.parse_set_expression()
+                self.expect_op(")")
+                return InSubquery(left, query, negated)
+            items = [self.parse_additive()]
+            while self.accept_op(","):
+                items.append(self.parse_additive())
+            self.expect_op(")")
+            return InList(left, tuple(items), negated)
+
+        if token.is_keyword("between"):
+            self.advance()
+            low = self.parse_additive()
+            self.expect_keyword("and")
+            high = self.parse_additive()
+            return Between(left, low, high, negated)
+
+        if token.is_keyword("like"):
+            self.advance()
+            pattern_token = self.advance()
+            if pattern_token.kind != "string":
+                raise self._error("expected a string literal after LIKE")
+            return Like(left, pattern_token.text, negated)
+
+        return left
+
+    def parse_additive(self) -> Expr:
+        expr = self.parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.text in ("+", "-"):
+                self.advance()
+                expr = BinOp(token.text, expr, self.parse_multiplicative())
+            else:
+                return expr
+
+    def parse_multiplicative(self) -> Expr:
+        expr = self.parse_unary()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.text in ("*", "/", "%"):
+                self.advance()
+                expr = BinOp(token.text, expr, self.parse_unary())
+            else:
+                return expr
+
+    def parse_unary(self) -> Expr:
+        if self.accept_op("-"):
+            return Neg(self.parse_unary())
+        if self.accept_op("+"):
+            return self.parse_unary()
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        token = self.peek()
+
+        if token.kind == "number":
+            self.advance()
+            return Const(float(token.text) if "." in token.text else int(token.text))
+        if token.kind == "string":
+            self.advance()
+            return Const(token.text)
+        if token.is_keyword("null"):
+            self.advance()
+            return Const(None)
+        if token.is_keyword("true"):
+            self.advance()
+            return BoolConst(True)
+        if token.is_keyword("false"):
+            self.advance()
+            return BoolConst(False)
+
+        if token.is_keyword("count", "sum", "avg", "min", "max"):
+            self.advance()
+            self.expect_op("(")
+            distinct = bool(self.accept_keyword("distinct"))
+            if self.accept_op("*"):
+                args: tuple[Expr, ...] = (Star(),)
+            else:
+                args = (self.parse_expression(),)
+            self.expect_op(")")
+            return FuncCall(token.text, args, distinct)
+
+        if token.kind == "name":
+            self.advance()
+            if self.accept_op("("):
+                args = ()
+                if not (self.peek().kind == "op" and self.peek().text == ")"):
+                    parsed = [self.parse_expression()]
+                    while self.accept_op(","):
+                        parsed.append(self.parse_expression())
+                    args = tuple(parsed)
+                self.expect_op(")")
+                return FuncCall(token.text, args)
+            if self.peek().kind == "op" and self.peek().text == ".":
+                self.advance()
+                column = self._expect_identifier()
+                return Col(column, token.text)
+            return Col(token.text)
+
+        if token.kind == "op" and token.text == "(":
+            self.advance()
+            if self.peek().is_keyword("select"):
+                query = self.parse_set_expression()
+                self.expect_op(")")
+                return ScalarSubquery(query)
+            expr = self.parse_expression()
+            self.expect_op(")")
+            return expr
+
+        raise self._error("expected an expression")
+
+
+def parse_sql(sql: str) -> Query:
+    """Parse a SQL query string into an AST."""
+    parser = _Parser(tokenize(sql), sql)
+    query = parser.parse_query()
+    parser.accept_op(";")
+    if parser.peek().kind != "eof":
+        raise parser._error("unexpected trailing input")
+    return query
+
+
+def parse_sql_expression(text: str) -> Expr:
+    """Parse a standalone SQL expression (used by tests and condition boxes)."""
+    parser = _Parser(tokenize(text), text)
+    expr = parser.parse_expression()
+    if parser.peek().kind != "eof":
+        raise parser._error("unexpected trailing input")
+    return expr

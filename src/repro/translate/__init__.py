@@ -1,0 +1,40 @@
+"""Translators between the five textual query languages, plus equivalence checking."""
+
+from repro.translate.equivalence import (
+    EquivalenceError,
+    EquivalenceResult,
+    agreement_matrix,
+    answer_relation,
+    answer_set,
+    check_equivalence,
+    standard_database_battery,
+)
+from repro.translate.ra_datalog import (
+    RATranslationError,
+    datalog_to_ra,
+    ra_to_datalog,
+)
+from repro.translate.sql_to_ra import UnsupportedSQLForRA, sql_to_ra
+from repro.translate.sql_to_trc import SQLToTRCTranslator, UnsupportedSQL, sql_to_trc
+from repro.translate.trc_to_drc import TRCToDRCError, trc_formula_to_drc, trc_to_drc
+
+__all__ = [
+    "EquivalenceError",
+    "EquivalenceResult",
+    "RATranslationError",
+    "SQLToTRCTranslator",
+    "TRCToDRCError",
+    "UnsupportedSQL",
+    "UnsupportedSQLForRA",
+    "agreement_matrix",
+    "answer_relation",
+    "answer_set",
+    "check_equivalence",
+    "datalog_to_ra",
+    "ra_to_datalog",
+    "sql_to_ra",
+    "sql_to_trc",
+    "standard_database_battery",
+    "trc_formula_to_drc",
+    "trc_to_drc",
+]

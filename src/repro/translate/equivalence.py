@@ -1,0 +1,149 @@
+"""Empirical equivalence checking across query languages.
+
+Logical equivalence of first-order queries is undecidable in general, so the
+project follows the route any reproducibility harness would: evaluate both
+representations on a battery of database instances (the cow-book instance,
+the empty instance, and a family of random instances) and compare the answer
+*sets*.  Agreement on all instances is reported as equivalence; the first
+disagreeing instance is reported as a counterexample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.data.database import Database
+from repro.data.generate import random_database
+from repro.data.relation import Relation
+from repro.data.sailors import empty_sailors_database, sailors_database
+from repro.datalog.ast import Program
+from repro.datalog.evaluate import evaluate_datalog
+from repro.drc.ast import DRCQuery
+from repro.drc.evaluate import evaluate_drc
+from repro.ra.ast import RAExpr
+from repro.ra.evaluate import evaluate as evaluate_ra
+from repro.sql.ast import SelectQuery, SetOpQuery
+from repro.sql.evaluate import evaluate_sql
+from repro.trc.ast import TRCQuery
+from repro.trc.evaluate import evaluate_trc
+
+
+class EquivalenceError(Exception):
+    """Raised when a query object cannot be dispatched to an evaluator."""
+
+
+def answer_set(query: Any, db: Database, *, datalog_answer: str = "ans") -> frozenset[tuple]:
+    """Evaluate any supported query representation and return its answer set.
+
+    Accepted representations: SQL text or AST, RA expressions, TRC queries,
+    DRC queries, Datalog programs (text or AST), and
+    :class:`~repro.data.relation.Relation` objects (already-computed answers).
+    """
+    relation = answer_relation(query, db, datalog_answer=datalog_answer)
+    return frozenset(relation.distinct_rows())
+
+
+def answer_relation(query: Any, db: Database, *, datalog_answer: str = "ans") -> Relation:
+    """Evaluate any supported query representation and return the result relation."""
+    if isinstance(query, Relation):
+        return query
+    if isinstance(query, str):
+        stripped = query.strip()
+        if stripped.lower().startswith("select") or stripped.startswith("("):
+            return evaluate_sql(query, db)
+        if stripped.startswith("{"):
+            if _looks_like_drc(stripped):
+                return evaluate_drc(query, db)
+            return evaluate_trc(query, db)
+        if ":-" in stripped or stripped.endswith("."):
+            return evaluate_datalog(query, db, query=datalog_answer)
+        from repro.ra.parser import parse_ra
+
+        return evaluate_ra(parse_ra(query), db)
+    if isinstance(query, (SelectQuery, SetOpQuery)):
+        return evaluate_sql(query, db)
+    if isinstance(query, RAExpr):
+        return evaluate_ra(query, db)
+    if isinstance(query, TRCQuery):
+        return evaluate_trc(query, db)
+    if isinstance(query, DRCQuery):
+        return evaluate_drc(query, db)
+    if isinstance(query, Program):
+        return evaluate_datalog(query, db, query=datalog_answer)
+    raise EquivalenceError(f"cannot evaluate query of type {type(query).__name__}")
+
+
+def _looks_like_drc(text: str) -> bool:
+    """Heuristic: DRC atoms have several comma-separated terms; TRC atoms have one.
+
+    A query written as ``{ x | R(x, y) ... }`` (multi-term atom) is DRC;
+    ``{ t.a | R(t) ... }`` (attribute references in the head) is TRC.
+    """
+    head = text.split("|", 1)[0]
+    return "." not in head
+
+
+@dataclass
+class EquivalenceResult:
+    """Outcome of comparing several query representations."""
+
+    equivalent: bool
+    databases_checked: int = 0
+    counterexample: "Database | None" = None
+    details: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def standard_database_battery(*, extra_random: int = 5, seed: int = 0,
+                              rows: int = 10) -> list[Database]:
+    """The instances used by the T1 experiment: cow book + empty + random."""
+    from repro.data.sailors import random_sailors_database
+
+    databases = [sailors_database(), empty_sailors_database()]
+    for i in range(extra_random):
+        databases.append(
+            random_sailors_database(
+                n_sailors=rows, n_boats=max(3, rows // 2),
+                n_reserves=rows * 3, seed=seed + i,
+            )
+        )
+    return databases
+
+
+def check_equivalence(queries: Sequence[Any], databases: Sequence[Database] | None = None,
+                      *, datalog_answer: str = "ans") -> EquivalenceResult:
+    """Check that all given query representations agree on all databases."""
+    if databases is None:
+        databases = standard_database_battery()
+    details: list[str] = []
+    for index, db in enumerate(databases):
+        answers = [answer_set(q, db, datalog_answer=datalog_answer) for q in queries]
+        reference = answers[0]
+        for position, answer in enumerate(answers[1:], start=1):
+            if answer != reference:
+                details.append(
+                    f"database #{index}: representation 0 returned {len(reference)} rows, "
+                    f"representation {position} returned {len(answer)} rows"
+                )
+                return EquivalenceResult(False, index + 1, db, details)
+    return EquivalenceResult(True, len(databases), None, details)
+
+
+def agreement_matrix(queries_by_language: dict[str, Any],
+                     databases: Sequence[Database] | None = None) -> dict[tuple[str, str], bool]:
+    """Pairwise agreement between named representations (used by experiment T1)."""
+    if databases is None:
+        databases = standard_database_battery()
+    names = list(queries_by_language)
+    matrix: dict[tuple[str, str], bool] = {}
+    answers = {
+        name: [answer_set(queries_by_language[name], db) for db in databases]
+        for name in names
+    }
+    for a in names:
+        for b in names:
+            matrix[(a, b)] = answers[a] == answers[b]
+    return matrix

@@ -1,0 +1,378 @@
+"""RA ↔ Datalog translation.
+
+``ra_to_datalog`` compiles an RA operator tree into a non-recursive Datalog
+program, one intensional predicate per operator — the dataflow decomposition
+that QBE mimics with temporary tables (experiment T6 compares the two).
+``datalog_to_ra`` goes the other way for non-recursive programs, which is how
+DFQL diagrams can be produced for Datalog queries.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.data.schema import DatabaseSchema, RelationSchema
+from repro.datalog.ast import BuiltinComparison, DatalogError, Literal, Program, Rule
+from repro.expr import ast as e
+from repro.logic.terms import Const as LConst, Var as LVar
+from repro.ra.ast import (
+    AntiJoin,
+    Difference,
+    Distinct,
+    Division,
+    Intersection,
+    NaturalJoin,
+    Product,
+    Projection,
+    RAError,
+    RAExpr,
+    RelationRef,
+    Rename,
+    Selection,
+    SemiJoin,
+    ThetaJoin,
+    Union,
+    output_schema,
+    resolve_attribute,
+    _split_reference,
+)
+
+
+class RATranslationError(Exception):
+    """Raised when an RA expression cannot be compiled to Datalog (or back)."""
+
+
+# ---------------------------------------------------------------------------
+# RA -> Datalog
+# ---------------------------------------------------------------------------
+
+class _RAToDatalog:
+    def __init__(self, schema: DatabaseSchema, answer: str = "ans") -> None:
+        self.schema = schema
+        self.answer = answer
+        self.rules: list[Rule] = []
+        self._counter = itertools.count(1)
+
+    def fresh_predicate(self, hint: str) -> str:
+        return f"{hint}_{next(self._counter)}"
+
+    def var_for(self, attribute: str) -> LVar:
+        # Datalog variables must start with an upper-case letter.
+        cleaned = attribute.replace(".", "_")
+        return LVar("V_" + cleaned)
+
+    def compile(self, expr: RAExpr) -> Program:
+        predicate, attributes = self.visit(expr)
+        head_vars = tuple(self.var_for(a) for a in attributes)
+        self.rules.append(
+            Rule(Literal(self.answer, head_vars),
+                 (Literal(predicate, head_vars),))
+        )
+        return Program(tuple(self.rules))
+
+    # Returns (predicate name, attribute names of that predicate).
+    def visit(self, expr: RAExpr) -> tuple[str, tuple[str, ...]]:
+        schema = output_schema(expr, self.schema)
+        attributes = schema.attribute_names
+
+        if isinstance(expr, RelationRef):
+            return self.schema.relation(expr.name).name.lower(), attributes
+
+        if isinstance(expr, Rename):
+            inner_pred, _inner_attrs = self.visit(expr.input)
+            predicate = self.fresh_predicate("rename")
+            # Values flow positionally through a rename, so head and body
+            # share the same variables position by position.
+            head_vars = tuple(self.var_for(a) for a in attributes)
+            self.rules.append(Rule(Literal(predicate, head_vars),
+                                   (Literal(inner_pred, head_vars),)))
+            return predicate, attributes
+
+        if isinstance(expr, Selection):
+            inner_pred, inner_attrs = self.visit(expr.input)
+            predicate = self.fresh_predicate("select")
+            inner_schema = output_schema(expr.input, self.schema)
+            inner_vars = tuple(self.var_for(a) for a in inner_attrs)
+            for disjunct in e.disjuncts(expr.condition):
+                comparisons = tuple(
+                    self._comparison(c, inner_schema) for c in e.conjuncts(disjunct)
+                )
+                self.rules.append(Rule(Literal(predicate, inner_vars),
+                                       (Literal(inner_pred, inner_vars),) + comparisons))
+            return predicate, inner_attrs
+
+        if isinstance(expr, Projection):
+            inner_pred, inner_attrs = self.visit(expr.input)
+            inner_schema = output_schema(expr.input, self.schema)
+            predicate = self.fresh_predicate("project")
+            inner_vars = tuple(self.var_for(a) for a in inner_attrs)
+            head_vars = []
+            for column in expr.columns:
+                qualifier, name = _split_reference(column)
+                resolved = resolve_attribute(inner_schema, name, qualifier)
+                head_vars.append(self.var_for(resolved))
+            self.rules.append(Rule(Literal(predicate, tuple(head_vars)),
+                                   (Literal(inner_pred, inner_vars),)))
+            return predicate, tuple(attributes)
+
+        if isinstance(expr, (Product, ThetaJoin, NaturalJoin)):
+            left_pred, left_attrs = self.visit(expr.left)
+            right_pred, right_attrs = self.visit(expr.right)
+            predicate = self.fresh_predicate("join")
+            combined_schema = output_schema(expr, self.schema)
+            if isinstance(expr, NaturalJoin):
+                left_schema = output_schema(expr.left, self.schema)
+                right_schema = output_schema(expr.right, self.schema)
+                shared = [n for n in left_schema.attribute_names
+                          if n in right_schema.attribute_names]
+                left_vars = tuple(self.var_for(a) for a in left_attrs)
+                right_vars = tuple(
+                    self.var_for(a) if a in shared else self.var_for(a)
+                    for a in right_attrs
+                )
+                head_vars = tuple(self.var_for(a) for a in combined_schema.attribute_names)
+                self.rules.append(Rule(Literal(predicate, head_vars),
+                                       (Literal(left_pred, left_vars),
+                                        Literal(right_pred, right_vars))))
+                return predicate, combined_schema.attribute_names
+            # Product / ThetaJoin: prefixed attribute names keep variables distinct.
+            head_vars = tuple(self.var_for(a) for a in combined_schema.attribute_names)
+            left_vars = head_vars[: len(left_attrs)]
+            right_vars = head_vars[len(left_attrs):]
+            body: list = [Literal(left_pred, left_vars), Literal(right_pred, right_vars)]
+            if isinstance(expr, ThetaJoin):
+                for conjunct in e.conjuncts(expr.condition):
+                    body.append(self._comparison(conjunct, combined_schema))
+            self.rules.append(Rule(Literal(predicate, head_vars), tuple(body)))
+            return predicate, combined_schema.attribute_names
+
+        if isinstance(expr, Union):
+            left_pred, left_attrs = self.visit(expr.left)
+            right_pred, right_attrs = self.visit(expr.right)
+            predicate = self.fresh_predicate("union")
+            head_vars = tuple(self.var_for(a) for a in left_attrs)
+            right_vars = tuple(self.var_for(a) for a in right_attrs)
+            self.rules.append(Rule(Literal(predicate, head_vars),
+                                   (Literal(left_pred, head_vars),)))
+            self.rules.append(Rule(Literal(predicate, right_vars),
+                                   (Literal(right_pred, right_vars),)))
+            return predicate, left_attrs
+
+        if isinstance(expr, (Intersection, Difference, SemiJoin, AntiJoin)):
+            return self._binary_filter(expr)
+
+        if isinstance(expr, Division):
+            return self._division(expr)
+
+        if isinstance(expr, Distinct):
+            return self.visit(expr.input)
+
+        raise RATranslationError(
+            f"RA operator {type(expr).__name__} cannot be compiled to Datalog"
+        )
+
+    def _binary_filter(self, expr) -> tuple[str, tuple[str, ...]]:
+        left_pred, left_attrs = self.visit(expr.left)
+        right_pred, right_attrs = self.visit(expr.right)
+        left_vars = tuple(self.var_for(a) for a in left_attrs)
+        predicate = self.fresh_predicate(type(expr).__name__.lower())
+
+        if isinstance(expr, (Intersection, Difference)):
+            right_literal = Literal(right_pred, left_vars,
+                                    negated=isinstance(expr, Difference))
+            self.rules.append(Rule(Literal(predicate, left_vars),
+                                   (Literal(left_pred, left_vars), right_literal)))
+            return predicate, left_attrs
+
+        # Semi / anti join on the natural shared attributes (condition-less form).
+        if expr.condition is not None:
+            raise RATranslationError(
+                "semi/anti joins with explicit conditions are not compiled to Datalog"
+            )
+        shared = [a for a in left_attrs if a in right_attrs]
+        right_vars = tuple(
+            self.var_for(a) if a in shared else LVar(f"_R{index}")
+            for index, a in enumerate(right_attrs)
+        )
+        if isinstance(expr, SemiJoin):
+            self.rules.append(Rule(Literal(predicate, left_vars),
+                                   (Literal(left_pred, left_vars),
+                                    Literal(right_pred, right_vars))))
+            return predicate, left_attrs
+        # Anti join: negated literals must be safe, so project the right side
+        # onto the shared attributes first.
+        helper = self.fresh_predicate("present")
+        shared_vars = tuple(self.var_for(a) for a in shared)
+        self.rules.append(Rule(Literal(helper, shared_vars),
+                               (Literal(right_pred, right_vars),)))
+        self.rules.append(Rule(Literal(predicate, left_vars),
+                               (Literal(left_pred, left_vars),
+                                Literal(helper, shared_vars, negated=True))))
+        return predicate, left_attrs
+
+    def _division(self, expr: Division) -> tuple[str, tuple[str, ...]]:
+        """The classic two-negation division pattern (QBE's "two logical steps")."""
+        left_pred, left_attrs = self.visit(expr.left)
+        right_pred, right_attrs = self.visit(expr.right)
+        quotient_attrs = tuple(a for a in left_attrs if a not in right_attrs)
+        quotient_vars = tuple(self.var_for(a) for a in quotient_attrs)
+        divisor_vars = tuple(self.var_for(a) for a in right_attrs)
+        left_vars = tuple(self.var_for(a) for a in left_attrs)
+
+        candidates = self.fresh_predicate("candidates")
+        self.rules.append(Rule(Literal(candidates, quotient_vars),
+                               (Literal(left_pred, left_vars),)))
+
+        missing = self.fresh_predicate("missing_pair")
+        self.rules.append(Rule(Literal(missing, quotient_vars),
+                               (Literal(candidates, quotient_vars),
+                                Literal(right_pred, divisor_vars),
+                                Literal(left_pred, left_vars, negated=True))))
+
+        predicate = self.fresh_predicate("division")
+        self.rules.append(Rule(Literal(predicate, quotient_vars),
+                               (Literal(candidates, quotient_vars),
+                                Literal(missing, quotient_vars, negated=True))))
+        return predicate, quotient_attrs
+
+    def _comparison(self, condition: e.Expr, schema: RelationSchema) -> BuiltinComparison:
+        if not isinstance(condition, e.Comparison):
+            raise RATranslationError(
+                f"selection conditions must be comparisons, got {type(condition).__name__}"
+            )
+        return BuiltinComparison(self._term(condition.left, schema), condition.op,
+                                 self._term(condition.right, schema))
+
+    def _term(self, expr: e.Expr, schema: RelationSchema):
+        if isinstance(expr, e.Col):
+            resolved = resolve_attribute(schema, expr.name, expr.qualifier)
+            return self.var_for(resolved)
+        if isinstance(expr, e.Const):
+            return LConst(expr.value)
+        raise RATranslationError(f"unsupported term {type(expr).__name__}")
+
+
+def ra_to_datalog(expr: RAExpr, schema: DatabaseSchema, *, answer: str = "ans") -> Program:
+    """Compile an RA expression into a non-recursive Datalog program."""
+    return _RAToDatalog(schema, answer).compile(expr)
+
+
+# ---------------------------------------------------------------------------
+# Datalog -> RA (non-recursive programs)
+# ---------------------------------------------------------------------------
+
+def datalog_to_ra(program: Program, schema: DatabaseSchema,
+                  query: str = "ans") -> RAExpr:
+    """Translate a non-recursive Datalog program into an RA expression.
+
+    Each rule becomes a select–project–join block over its positive literals;
+    negated literals become anti-joins; multiple rules for the same predicate
+    become unions.  Recursion is rejected.
+    """
+    if program.is_recursive():
+        raise RATranslationError("recursive programs have no RA equivalent")
+
+    memo: dict[str, RAExpr] = {}
+
+    def expr_for(predicate: str) -> RAExpr:
+        key = predicate.lower()
+        if key in memo:
+            return memo[key]
+        rules = program.rules_for(predicate)
+        if not rules:
+            # EDB relation.
+            expr: RAExpr = RelationRef(schema.relation(predicate).name)
+            memo[key] = expr
+            return expr
+        parts = [_rule_to_ra(rule, expr_for, schema) for rule in rules]
+        expr = parts[0]
+        for part in parts[1:]:
+            expr = Union(expr, part)
+        memo[key] = expr
+        return expr
+
+    return expr_for(query)
+
+
+def _rule_to_ra(rule: Rule, expr_for, schema: DatabaseSchema) -> RAExpr:
+    positives = rule.positive_literals()
+    if not positives:
+        raise RATranslationError(f"rule {rule} has no positive body literals")
+
+    # Build the product of positive literals, renaming columns to "occurrence"
+    # names so that repeated predicates and repeated variables stay distinct.
+    source: RAExpr | None = None
+    column_names: list[str] = []
+    var_positions: dict[str, str] = {}
+    const_conditions: list[e.Expr] = []
+
+    for index, literal in enumerate(positives):
+        base = expr_for(literal.predicate)
+        base_schema = output_schema(base, schema)
+        if base_schema.arity != literal.arity:
+            raise RATranslationError(
+                f"literal {literal.predicate} has arity {literal.arity} but the "
+                f"relation has arity {base_schema.arity}"
+            )
+        prefix = f"t{index}"
+        renames = tuple(
+            (attr.name, f"{prefix}_{attr.name}") for attr in base_schema.attributes
+        )
+        renamed = Rename(base, prefix, renames)
+        these_columns = [f"{prefix}_{attr.name}" for attr in base_schema.attributes]
+        source = renamed if source is None else Product(source, renamed)
+        column_names.extend(these_columns)
+
+        for term, column in zip(literal.terms, these_columns):
+            if isinstance(term, LVar):
+                if term.name in var_positions:
+                    const_conditions.append(
+                        e.Comparison(e.Col(var_positions[term.name]), "=", e.Col(column))
+                    )
+                else:
+                    var_positions[term.name] = column
+            else:
+                const_conditions.append(e.Comparison(e.Col(column), "=", e.Const(term.value)))
+
+    assert source is not None
+    expr: RAExpr = source
+
+    for comparison in rule.comparisons():
+        const_conditions.append(
+            e.Comparison(_dl_term_to_expr(comparison.left, var_positions),
+                         comparison.op,
+                         _dl_term_to_expr(comparison.right, var_positions))
+        )
+    if const_conditions:
+        expr = Selection(expr, e.conjunction(const_conditions))
+
+    for literal in rule.negative_literals():
+        negative = expr_for(literal.predicate)
+        negative_schema = output_schema(negative, schema)
+        renames = tuple(
+            (attr.name, f"neg_{attr.name}_{i}")
+            for i, attr in enumerate(negative_schema.attributes)
+        )
+        renamed = Rename(negative, None, renames)
+        conditions = []
+        for term, (_, new_name) in zip(literal.terms, renames):
+            if isinstance(term, LVar):
+                conditions.append(e.Comparison(e.Col(var_positions[term.name]), "=",
+                                               e.Col(new_name)))
+            else:
+                conditions.append(e.Comparison(e.Col(new_name), "=", e.Const(term.value)))
+        expr = AntiJoin(expr, renamed, e.conjunction(conditions))
+
+    head_columns = []
+    for term in rule.head.terms:
+        if isinstance(term, LVar):
+            head_columns.append(var_positions[term.name])
+        else:
+            raise RATranslationError("constants in rule heads are not supported")
+    return Projection(expr, tuple(head_columns))
+
+
+def _dl_term_to_expr(term, var_positions: dict[str, str]) -> e.Expr:
+    if isinstance(term, LVar):
+        return e.Col(var_positions[term.name])
+    return e.Const(term.value)

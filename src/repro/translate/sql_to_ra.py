@@ -1,0 +1,182 @@
+"""SQL → Relational Algebra translation.
+
+The translator covers the classic select–project–join fragment plus set
+operations and *uncorrelated* IN / NOT IN subqueries (which become semi- and
+anti-joins).  Correlated subqueries and universal quantification are better
+expressed in RA via division or double negation; the canonical hand-written
+RA versions of those queries live in :mod:`repro.queries`.  Constructs
+outside the fragment raise :class:`UnsupportedSQLForRA` with an explanation,
+which the pipeline surfaces to the user.
+"""
+
+from __future__ import annotations
+
+from repro.data.schema import DatabaseSchema
+from repro.expr import ast as e
+from repro.ra.ast import (
+    AntiJoin,
+    Difference,
+    Distinct,
+    Intersection,
+    Product,
+    Projection,
+    RAExpr,
+    RelationRef,
+    Rename,
+    Selection,
+    SemiJoin,
+    Union,
+    output_schema,
+)
+from repro.sql.ast import Join, Query, SelectQuery, SetOpQuery, TableRef
+
+
+class UnsupportedSQLForRA(Exception):
+    """Raised when a SQL construct cannot be translated to RA by this translator."""
+
+
+def sql_to_ra(query: "Query | str", schema: DatabaseSchema) -> RAExpr:
+    """Translate a SQL query (text or AST) into an RA expression."""
+    if isinstance(query, str):
+        from repro.sql.parser import parse_sql
+
+        query = parse_sql(query)
+    return _translate_query(query, schema)
+
+
+def _translate_query(query: Query, schema: DatabaseSchema) -> RAExpr:
+    if isinstance(query, SetOpQuery):
+        left = _translate_query(query.left, schema)
+        right = _translate_query(query.right, schema)
+        if query.op == "union":
+            return Union(left, right)
+        if query.op == "intersect":
+            return Intersection(left, right)
+        return Difference(left, right)
+    if isinstance(query, SelectQuery):
+        return _translate_select(query, schema)
+    raise UnsupportedSQLForRA(f"unsupported query node {type(query).__name__}")
+
+
+def _translate_select(query: SelectQuery, schema: DatabaseSchema) -> RAExpr:
+    if query.group_by or query.having is not None:
+        raise UnsupportedSQLForRA("GROUP BY / HAVING are not translated to RA here")
+    if any(e.contains_aggregate(item.expr) for item in query.select_items):
+        raise UnsupportedSQLForRA("aggregates are not translated to RA here")
+    if not query.from_items:
+        raise UnsupportedSQLForRA("a FROM clause is required")
+
+    local_aliases: set[str] = set()
+    source, join_conditions = _translate_from(query.from_items, schema, local_aliases)
+
+    plain_conjuncts: list[e.Expr] = list(join_conditions)
+    subquery_conjuncts: list[e.Expr] = []
+    if query.where is not None:
+        for conjunct in e.conjuncts(query.where):
+            if e.contains_subquery(conjunct):
+                subquery_conjuncts.append(conjunct)
+            else:
+                plain_conjuncts.append(conjunct)
+
+    expr: RAExpr = source
+    if plain_conjuncts:
+        expr = Selection(expr, e.conjunction(plain_conjuncts))
+
+    for index, conjunct in enumerate(subquery_conjuncts):
+        expr = _apply_subquery_conjunct(expr, conjunct, schema, index, local_aliases)
+
+    if query.select_star:
+        result: RAExpr = expr
+    else:
+        columns = []
+        for item in query.select_items:
+            if not isinstance(item.expr, e.Col):
+                raise UnsupportedSQLForRA(
+                    "SELECT list entries must be plain columns for RA translation"
+                )
+            columns.append(item.expr.qualified())
+        if query.star_qualifiers:
+            raise UnsupportedSQLForRA("T.* projections are not supported")
+        result = Projection(expr, tuple(columns))
+
+    if query.distinct and query.select_star:
+        result = Distinct(result)
+    return result
+
+
+def _translate_from(from_items, schema: DatabaseSchema,
+                    local_aliases: set[str]) -> tuple[RAExpr, list[e.Expr]]:
+    sources: list[RAExpr] = []
+    conditions: list[e.Expr] = []
+
+    def add(item) -> None:
+        if isinstance(item, TableRef):
+            binding = item.alias or item.name
+            local_aliases.add(binding.lower())
+            relation_schema = schema.relation(item.name)
+            ref: RAExpr = RelationRef(relation_schema.name)
+            # Prefix every attribute with the binding name so that arbitrary
+            # products never produce ambiguous names and qualified column
+            # references (S.sid) resolve exactly.
+            renames = tuple(
+                (attr.name, f"{binding}.{attr.name}") for attr in relation_schema.attributes
+            )
+            ref = Rename(ref, binding, renames)
+            sources.append(ref)
+            return
+        if isinstance(item, Join):
+            if item.kind not in ("inner", "cross"):
+                raise UnsupportedSQLForRA("outer joins are not part of classic RA")
+            if item.natural or item.using:
+                raise UnsupportedSQLForRA("write NATURAL JOIN conditions explicitly for RA")
+            add(item.left)
+            add(item.right)
+            if item.condition is not None:
+                conditions.append(item.condition)
+            return
+        raise UnsupportedSQLForRA("derived tables are not supported in RA translation")
+
+    for item in from_items:
+        add(item)
+
+    expr = sources[0]
+    for other in sources[1:]:
+        expr = Product(expr, other)
+    return expr, conditions
+
+
+def _apply_subquery_conjunct(expr: RAExpr, conjunct: e.Expr, schema: DatabaseSchema,
+                             index: int, local_aliases: set[str]) -> RAExpr:
+    if isinstance(conjunct, e.InSubquery):
+        sub_ra = _translate_query(conjunct.query, schema)
+        _require_uncorrelated(conjunct.query, schema, local_aliases)
+        sub_schema = output_schema(sub_ra, schema)
+        if sub_schema.arity != 1:
+            raise UnsupportedSQLForRA("IN subqueries must return exactly one column")
+        out_name = f"subq{index}_{sub_schema.attributes[0].name}"
+        renamed = Rename(sub_ra, f"subq{index}", ((sub_schema.attributes[0].name, out_name),))
+        condition = e.Comparison(conjunct.operand, "=", e.Col(out_name))
+        if conjunct.negated:
+            return AntiJoin(expr, renamed, condition)
+        return SemiJoin(expr, renamed, condition)
+    raise UnsupportedSQLForRA(
+        "only uncorrelated [NOT] IN subqueries are translated to RA; "
+        "use division or the hand-written RA form for EXISTS / ALL queries"
+    )
+
+
+def _require_uncorrelated(query: Query, schema: DatabaseSchema,
+                          outer_aliases: set[str]) -> None:
+    """Reject subqueries that reference an outer alias (correlated subqueries)."""
+    if isinstance(query, SetOpQuery):
+        _require_uncorrelated(query.left, schema, outer_aliases)
+        _require_uncorrelated(query.right, schema, outer_aliases)
+        return
+    own_aliases = {ref.binding_name.lower() for ref in query.table_refs()}
+    for expr in list(query._expressions()):
+        for col in expr.columns():
+            if col.qualifier and col.qualifier.lower() in outer_aliases \
+                    and col.qualifier.lower() not in own_aliases:
+                raise UnsupportedSQLForRA(
+                    f"correlated subquery (references outer alias {col.qualifier!r})"
+                )

@@ -1,0 +1,142 @@
+"""TRC → DRC translation (and the positional view DRC needs).
+
+A tuple variable ``s`` ranging over ``Sailors(sid, sname, rating, age)``
+becomes four domain variables ``s_sid, s_sname, s_rating, s_age``; the
+relation atom ``Sailors(s)`` becomes ``Sailors(s_sid, s_sname, s_rating,
+s_age)``, and attribute references become the corresponding domain variable.
+Quantifiers over a tuple variable become quantifiers over its domain
+variables.  This is the textbook equivalence proof turned into code, and it
+is also the bridge from QueryVis-style diagrams (TRC) to Peirce beta graphs
+(DRC).
+"""
+
+from __future__ import annotations
+
+from repro.data.schema import DatabaseSchema
+from repro.drc.ast import DRCQuery
+from repro.logic.formula import (
+    And,
+    Atom,
+    Compare,
+    Exists,
+    ForAll,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Truth,
+)
+from repro.logic.terms import Const, Term, Var
+from repro.trc.ast import (
+    AttrRef,
+    ConstTerm,
+    RelAtom,
+    TRCAnd,
+    TRCCompare,
+    TRCError,
+    TRCExists,
+    TRCForAll,
+    TRCFormula,
+    TRCImplies,
+    TRCNot,
+    TRCOr,
+    TRCQuery,
+    TRCTerm,
+    TRCTrue,
+    TupleVar,
+    variable_ranges,
+)
+
+
+class TRCToDRCError(Exception):
+    """Raised when a TRC query cannot be expanded (e.g. unknown variable range)."""
+
+
+def _domain_var(var: TupleVar, attribute: str) -> Var:
+    return Var(f"{var.name}_{attribute}")
+
+
+def _domain_vars(var: TupleVar, relation: str, schema: DatabaseSchema) -> list[Var]:
+    rel_schema = schema.relation(relation)
+    return [_domain_var(var, attr.name) for attr in rel_schema.attributes]
+
+
+def _convert_term(term: TRCTerm) -> Term:
+    if isinstance(term, AttrRef):
+        return _domain_var(term.var, term.attr)
+    if isinstance(term, ConstTerm):
+        return Const(term.value)
+    raise TRCToDRCError(f"not a TRC term: {term!r}")
+
+
+def trc_formula_to_drc(formula: TRCFormula, schema: DatabaseSchema,
+                       ranges: dict[str, str] | None = None) -> Formula:
+    """Convert a TRC formula to a DRC (first-order) formula."""
+    if ranges is None:
+        ranges = variable_ranges(formula)
+
+    def relation_of(var: TupleVar) -> str:
+        relation = ranges.get(var.name)
+        if relation is None:
+            raise TRCToDRCError(
+                f"tuple variable {var.name!r} has no relation atom; cannot expand"
+            )
+        return relation
+
+    def go(node: TRCFormula) -> Formula:
+        if isinstance(node, TRCTrue):
+            return Truth(node.value)
+        if isinstance(node, RelAtom):
+            variables = _domain_vars(node.var, node.relation, schema)
+            return Atom(schema.relation(node.relation).name, tuple(variables))
+        if isinstance(node, TRCCompare):
+            return Compare(_convert_term(node.left), node.op, _convert_term(node.right))
+        if isinstance(node, TRCAnd):
+            return And(tuple(go(o) for o in node.operands))
+        if isinstance(node, TRCOr):
+            return Or(tuple(go(o) for o in node.operands))
+        if isinstance(node, TRCNot):
+            return Not(go(node.operand))
+        if isinstance(node, TRCImplies):
+            return Implies(go(node.antecedent), go(node.consequent))
+        if isinstance(node, (TRCExists, TRCForAll)):
+            domain_variables: list[Var] = []
+            for var in node.variables:
+                domain_variables.extend(_domain_vars(var, relation_of(var), schema))
+            body = go(node.body)
+            cls = Exists if isinstance(node, TRCExists) else ForAll
+            return cls(tuple(domain_variables), body)
+        raise TRCToDRCError(f"unhandled TRC node {type(node).__name__}")
+
+    return go(formula)
+
+
+def trc_to_drc(query: TRCQuery, schema: DatabaseSchema) -> DRCQuery:
+    """Translate a full TRC query into an equivalent DRC query.
+
+    The head attribute references become head domain variables; the free
+    tuple variables' remaining attributes are existentially quantified so the
+    DRC query's free variables are exactly its head variables.
+    """
+    try:
+        ranges = variable_ranges(query.body)
+    except TRCError as exc:
+        raise TRCToDRCError(str(exc)) from exc
+
+    head_terms: list[Term] = []
+    head_var_names: set[str] = set()
+    for item in query.head:
+        term = _convert_term(item.term)
+        head_terms.append(term)
+        if isinstance(term, Var):
+            head_var_names.add(term.name)
+
+    body = trc_formula_to_drc(query.body, schema, ranges)
+
+    # Existentially close the non-head domain variables of the free tuple vars.
+    from repro.logic.formula import free_variables
+
+    to_close = [v for v in free_variables(body) if v.name not in head_var_names]
+    if to_close:
+        body = Exists(tuple(to_close), body)
+    return DRCQuery(tuple(head_terms), body)

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Allow running the tests from a source checkout without installation.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.data import Database, sailors_database, empty_sailors_database  # noqa: E402
+from repro.queries import CANONICAL_QUERIES  # noqa: E402
+
+
+@pytest.fixture()
+def db() -> Database:
+    """A fresh copy of the cow-book sailors database."""
+    return sailors_database()
+
+
+@pytest.fixture()
+def empty_db() -> Database:
+    """The sailors schema with no rows."""
+    return empty_sailors_database()
+
+
+@pytest.fixture()
+def schema(db):
+    """The sailors database schema."""
+    return db.schema
+
+
+@pytest.fixture(params=[q.id for q in CANONICAL_QUERIES])
+def canonical_query(request):
+    """Parametrised fixture running a test once per canonical query."""
+    from repro.queries import query_by_id
+
+    return query_by_id(request.param)
+
+
+def names_of(relation) -> set[str]:
+    """The set of first-column values of a result relation (helper for assertions)."""
+    return {row[0] for row in relation.distinct_rows()}

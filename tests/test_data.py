@@ -1,0 +1,290 @@
+"""Tests for the relational data substrate (types, schemas, relations, databases)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import (
+    Attribute,
+    Database,
+    DataType,
+    Relation,
+    RelationError,
+    RelationSchema,
+    SchemaError,
+    check_value,
+    coerce_value,
+    comparable,
+    database_family,
+    empty_sailors_database,
+    format_value,
+    infer_type,
+    make_schema,
+    merge_databases,
+    parse_type,
+    random_database,
+    random_relation,
+    random_sailors_database,
+    relation_from_rows,
+    sailors_database,
+    union_compatible,
+)
+from repro.data.sailors import BOATS_SCHEMA, RESERVES_SCHEMA, SAILORS_SCHEMA
+
+
+class TestTypes:
+    def test_parse_type_aliases(self):
+        assert parse_type("integer") is DataType.INT
+        assert parse_type("varchar") is DataType.STRING
+        assert parse_type("real") is DataType.FLOAT
+        assert parse_type("boolean") is DataType.BOOL
+        assert parse_type(DataType.INT) is DataType.INT
+
+    def test_parse_type_unknown(self):
+        with pytest.raises(ValueError):
+            parse_type("blob")
+
+    def test_infer_type(self):
+        assert infer_type(3) is DataType.INT
+        assert infer_type(3.5) is DataType.FLOAT
+        assert infer_type("x") is DataType.STRING
+        assert infer_type(True) is DataType.BOOL
+
+    def test_infer_type_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            infer_type([1, 2])
+
+    def test_check_value_null_handling(self):
+        assert check_value(None, DataType.INT)
+        assert not check_value(None, DataType.INT, allow_null=False)
+
+    def test_check_value_bool_is_not_int(self):
+        assert not check_value(True, DataType.INT)
+        assert check_value(True, DataType.BOOL)
+
+    def test_check_value_int_widens_to_float(self):
+        assert check_value(3, DataType.FLOAT)
+        assert not check_value("3", DataType.FLOAT)
+
+    def test_coerce_value(self):
+        assert coerce_value("12", DataType.INT) == 12
+        assert coerce_value(12, DataType.STRING) == "12"
+        assert coerce_value("true", DataType.BOOL) is True
+        assert coerce_value(None, DataType.INT) is None
+
+    def test_coerce_value_failure(self):
+        with pytest.raises(ValueError):
+            coerce_value("abc", DataType.INT)
+
+    def test_format_value(self):
+        assert format_value(None) == "NULL"
+        assert format_value(True) == "TRUE"
+        assert format_value("o'brien") == "'o''brien'"
+        assert format_value(45.0) == "45.0"
+        assert format_value(7) == "7"
+
+    def test_comparable(self):
+        assert comparable(1, 2.5)
+        assert comparable("a", "b")
+        assert not comparable(1, "a")
+        assert not comparable(None, 3)
+        assert comparable(True, False)
+        assert not comparable(True, 1)
+
+
+class TestSchema:
+    def test_attribute_requires_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_schema_basic_accessors(self):
+        assert SAILORS_SCHEMA.arity == 4
+        assert SAILORS_SCHEMA.attribute_names == ("sid", "sname", "rating", "age")
+        assert SAILORS_SCHEMA.index_of("rating") == 2
+        assert SAILORS_SCHEMA.dtype_of("age") is DataType.FLOAT
+        assert "sid" in SAILORS_SCHEMA
+        assert "color" not in SAILORS_SCHEMA
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", (Attribute("a"), Attribute("a")))
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(SchemaError):
+            SAILORS_SCHEMA.attribute("color")
+
+    def test_project_and_rename(self):
+        projected = SAILORS_SCHEMA.project(["sname", "sid"])
+        assert projected.attribute_names == ("sname", "sid")
+        renamed = SAILORS_SCHEMA.rename_attributes({"sid": "id"})
+        assert renamed.attribute_names[0] == "id"
+        assert SAILORS_SCHEMA.renamed("S").name == "S"
+
+    def test_concat_prefixes_clashing_names(self):
+        combined = SAILORS_SCHEMA.concat(RESERVES_SCHEMA)
+        assert "Sailors.sid" in combined.attribute_names
+        assert "Reserves.sid" in combined.attribute_names
+        assert "bid" in combined.attribute_names
+
+    def test_union_compatibility(self):
+        assert SAILORS_SCHEMA.is_union_compatible(SAILORS_SCHEMA)
+        assert not SAILORS_SCHEMA.is_union_compatible(BOATS_SCHEMA)
+
+    def test_make_schema(self):
+        schema = make_schema("T", [("a", "int"), ("b", "text")])
+        assert schema.arity == 2
+        assert schema.dtype_of("b") is DataType.STRING
+
+    def test_database_schema_lookup_case_insensitive(self):
+        db = sailors_database()
+        assert db.schema.relation("sailors").name == "Sailors"
+        with pytest.raises(SchemaError):
+            db.schema.relation("Pirates")
+
+
+class TestRelation:
+    def test_rows_and_dicts(self):
+        rel = relation_from_rows("T", [("a", "int"), ("b", "string")], [(1, "x"), (2, "y")])
+        assert len(rel) == 2
+        assert rel.to_dicts()[0] == {"a": 1, "b": "x"}
+        assert rel.column("b") == ["x", "y"]
+
+    def test_add_from_mapping(self):
+        rel = Relation(make_schema("T", [("a", "int"), ("b", "string")]))
+        rel.add({"b": "x", "a": 1})
+        assert rel.rows() == [(1, "x")]
+
+    def test_arity_mismatch_rejected(self):
+        rel = Relation(make_schema("T", [("a", "int")]))
+        with pytest.raises(RelationError):
+            rel.add((1, 2))
+
+    def test_type_validation(self):
+        rel = Relation(make_schema("T", [("a", "int")]))
+        with pytest.raises(RelationError):
+            rel.add(("not an int",))
+        rel.add((None,))  # NULL is allowed
+        assert rel.rows() == [(None,)]
+
+    def test_bag_vs_set_semantics(self):
+        rel = relation_from_rows("T", [("a", "int")], [(1,), (1,), (2,)])
+        assert rel.cardinality() == 3
+        assert rel.cardinality(distinct=True) == 2
+        assert rel.distinct().rows() == [(1,), (2,)]
+
+    def test_equality_is_bag_based(self):
+        a = relation_from_rows("T", [("a", "int")], [(1,), (1,)])
+        b = relation_from_rows("T", [("a", "int")], [(1,)])
+        assert not a.bag_equal(b)
+        assert a.set_equal(b)
+        assert a != b
+
+    def test_projection_and_filter(self):
+        db = sailors_database()
+        sailors = db.relation("Sailors")
+        names = sailors.project_columns(["sname"])
+        assert ("Dustin",) in names.rows()
+        old = sailors.filter(lambda row: row["age"] > 50)
+        assert set(old.column("sname")) == {"Lubber", "Bob"}
+
+    def test_to_table_renders(self):
+        db = sailors_database()
+        text = db.relation("Boats").to_table()
+        assert "Interlake" in text
+        assert text.count("\n") >= 6
+
+    def test_to_table_truncation(self):
+        rel = relation_from_rows("T", [("a", "int")], [(i,) for i in range(30)])
+        text = rel.to_table(max_rows=5)
+        assert "more row(s)" in text
+
+    def test_union_compatibility_helpers(self):
+        a = relation_from_rows("A", [("x", "int")], [])
+        b = relation_from_rows("B", [("y", "int")], [])
+        c = relation_from_rows("C", [("z", "string")], [])
+        assert union_compatible(a, b)
+        assert not union_compatible(a, c)
+
+    def test_relations_are_not_hashable(self):
+        rel = relation_from_rows("T", [("a", "int")], [])
+        with pytest.raises(TypeError):
+            hash(rel)
+
+
+class TestDatabase:
+    def test_sailors_instance_shape(self):
+        db = sailors_database()
+        assert set(db.relation_names) == {"Sailors", "Boats", "Reserves"}
+        assert len(db.relation("Sailors")) == 10
+        assert len(db.relation("Boats")) == 4
+        assert len(db.relation("Reserves")) == 10
+        assert db.total_rows() == 24
+
+    def test_lookup_case_insensitive(self):
+        db = sailors_database()
+        assert db["sailors"].schema.name == "Sailors"
+        assert "RESERVES" in db
+
+    def test_active_domain(self):
+        db = sailors_database()
+        domain = db.active_domain()
+        assert 102 in domain
+        assert "red" in domain
+        assert "Dustin" in domain
+
+    def test_copy_is_independent(self):
+        db = sailors_database()
+        copy = db.copy()
+        copy.relation("Boats").add((105, "Dinghy", "white"))
+        assert len(db.relation("Boats")) == 4
+        assert len(copy.relation("Boats")) == 5
+
+    def test_drop_relation(self):
+        db = sailors_database()
+        db.drop_relation("Boats")
+        assert "Boats" not in db
+        with pytest.raises(SchemaError):
+            db.drop_relation("Boats")
+
+    def test_merge_databases(self):
+        merged = merge_databases(empty_sailors_database(), sailors_database())
+        assert len(merged.relation("Sailors")) == 10
+
+    def test_from_dict(self):
+        db = Database.from_dict({"T": ([("a", "int")], [(1,), (2,)])})
+        assert len(db.relation("T")) == 2
+
+    def test_summary(self):
+        assert "Sailors: 4 columns, 10 rows" in sailors_database().summary()
+
+
+class TestGenerators:
+    def test_random_sailors_database_sizes(self):
+        db = random_sailors_database(n_sailors=20, n_boats=5, n_reserves=40, seed=1)
+        assert len(db.relation("Sailors")) == 20
+        assert len(db.relation("Boats")) == 5
+        assert len(db.relation("Reserves")) == 40
+
+    def test_random_sailors_database_reproducible(self):
+        a = random_sailors_database(seed=7, n_sailors=10, n_boats=4, n_reserves=20)
+        b = random_sailors_database(seed=7, n_sailors=10, n_boats=4, n_reserves=20)
+        assert a.relation("Sailors").rows() == b.relation("Sailors").rows()
+
+    def test_reserves_reference_existing_keys(self):
+        db = random_sailors_database(seed=3, n_sailors=8, n_boats=4, n_reserves=30)
+        sids = set(db.relation("Sailors").column("sid"))
+        bids = set(db.relation("Boats").column("bid"))
+        for sid, bid, _day in db.relation("Reserves").rows():
+            assert sid in sids
+            assert bid in bids
+
+    def test_random_relation_and_database(self):
+        rel = random_relation(SAILORS_SCHEMA, n_rows=12, seed=0)
+        assert len(rel) == 12
+        db = random_database(sailors_database().schema, rows_per_relation=5, seed=2)
+        assert all(len(r) == 5 for r in db)
+
+    def test_database_family_distinct_seeds(self):
+        family = database_family(sailors_database().schema, count=3, seed=0)
+        assert len(family) == 3
+        assert family[0].relation("Sailors").rows() != family[1].relation("Sailors").rows()

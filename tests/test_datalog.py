@@ -1,0 +1,188 @@
+"""Tests for the Datalog engine: parsing, stratification, evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog import (
+    BuiltinComparison,
+    DatalogError,
+    Literal,
+    Program,
+    Rule,
+    dependency_graph,
+    evaluate_datalog,
+    evaluate_program,
+    evaluation_order,
+    is_stratifiable,
+    make_program,
+    parse_datalog,
+    parse_rule,
+    stratify,
+)
+from repro.logic.terms import Const, Var
+
+
+def names(relation) -> set:
+    return {row[0] for row in relation.distinct_rows()}
+
+
+class TestParsing:
+    def test_parse_rule_structure(self):
+        rule = parse_rule("ans(N) :- sailors(S, N, R, A), reserves(S, 102, D).")
+        assert rule.head.predicate == "ans"
+        assert len(rule.body) == 2
+        assert rule.body[1].terms[1] == Const(102)
+        assert not rule.is_fact
+
+    def test_parse_fact_and_constants(self):
+        rule = parse_rule("edge(1, 'a').")
+        assert rule.is_fact
+        assert rule.head.terms == (Const(1), Const("a"))
+        lower = parse_rule("color(red).")
+        assert lower.head.terms == (Const("red"),)
+
+    def test_parse_negation_and_comparison(self):
+        rule = parse_rule("old(S) :- sailors(S, N, R, A), A > 40.0, not reserves(S, 102, D).")
+        assert len(rule.positive_literals()) == 1
+        assert len(rule.negative_literals()) == 1
+        assert len(rule.comparisons()) == 1
+
+    def test_parse_prolog_style_negation(self):
+        rule = parse_rule("p(X) :- q(X), \\+ r(X).")
+        assert rule.negative_literals()[0].predicate == "r"
+
+    def test_comments_and_multiple_rules(self):
+        program = parse_datalog("""
+            % red boats
+            red(B) :- boats(B, N, 'red').   # trailing comment
+            ans(B) :- red(B).
+        """)
+        assert len(program) == 2
+        assert program.idb_predicates() == ["red", "ans"]
+        assert program.edb_predicates() == ["boats"]
+
+    def test_parse_errors(self):
+        with pytest.raises(DatalogError):
+            parse_datalog("p(X) :- q(X)")  # missing final period
+        with pytest.raises(DatalogError):
+            parse_rule("p(X) :- .")
+        with pytest.raises(DatalogError):
+            parse_rule("p(X) :- q(X) r(X).")
+
+    def test_negated_head_rejected(self):
+        with pytest.raises(DatalogError):
+            Rule(Literal("p", (Var("X"),), negated=True), ())
+
+
+class TestSafetyAndStratification:
+    def test_safety_violations(self):
+        unsafe_head = parse_rule("p(X, Y) :- q(X).")
+        assert unsafe_head.check_safety()
+        unsafe_negation = parse_rule("p(X) :- q(X), not r(Y).")
+        assert unsafe_negation.check_safety()
+        unsafe_comparison = parse_rule("p(X) :- q(X), Y > 3.")
+        assert unsafe_comparison.check_safety()
+        safe = parse_rule("p(X) :- q(X, Y), not r(Y), X > 3.")
+        assert not safe.check_safety()
+
+    def test_make_program_rejects_unsafe(self):
+        with pytest.raises(DatalogError):
+            make_program([parse_rule("p(X) :- q(Y).")])
+
+    def test_dependency_graph_and_strata(self):
+        program = parse_datalog("""
+            a(X) :- e(X).
+            b(X) :- a(X), not c(X).
+            c(X) :- e(X), X > 5.
+        """)
+        graph = dependency_graph(program)
+        assert ("c", True) in graph["b"]
+        strata = stratify(program)
+        assert strata["e"] == 0
+        assert strata["c"] < strata["b"]
+        order = evaluation_order(program)
+        flattened = [p for level in order for p in level]
+        assert flattened.index("c") < flattened.index("b")
+
+    def test_unstratifiable_program(self):
+        program = parse_datalog("p(X) :- q(X), not p(X).")
+        assert not is_stratifiable(program)
+        with pytest.raises(DatalogError):
+            stratify(program)
+
+    def test_recursion_detection(self):
+        recursive = parse_datalog("path(X, Y) :- edge(X, Y). path(X, Z) :- path(X, Y), edge(Y, Z).")
+        assert recursive.is_recursive()
+        flat = parse_datalog("ans(X) :- edge(X, Y).")
+        assert not flat.is_recursive()
+
+
+class TestEvaluation:
+    def test_canonical_queries(self, db, canonical_query):
+        result = evaluate_datalog(canonical_query.datalog, db)
+        assert names(result) == set(canonical_query.expected_names)
+
+    def test_canonical_queries_empty_db(self, empty_db, canonical_query):
+        assert evaluate_datalog(canonical_query.datalog, empty_db).is_empty()
+
+    def test_facts_participate(self, db):
+        program = """
+            favorite(102). favorite(103).
+            ans(N) :- sailors(S, N, R, A), reserves(S, B, D), favorite(B).
+        """
+        assert names(evaluate_datalog(program, db)) == {"Dustin", "Lubber", "Horatio"}
+
+    def test_comparison_builtins(self, db):
+        program = "ans(N) :- sailors(S, N, R, A), A >= 55.0."
+        assert names(evaluate_datalog(program, db)) == {"Lubber", "Bob"}
+
+    def test_stratified_negation(self, db):
+        program = """
+            reserver(S) :- reserves(S, B, D).
+            ans(N) :- sailors(S, N, R, A), not reserver(S).
+        """
+        assert names(evaluate_datalog(program, db)) == {
+            "Brutus", "Andy", "Rusty", "Zorba", "Art", "Bob"}
+
+    def test_recursive_transitive_closure(self, db):
+        program = """
+            edge(1, 2). edge(2, 3). edge(3, 4).
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- path(X, Y), edge(Y, Z).
+        """
+        result = evaluate_datalog(program, db, query="path")
+        assert (1, 4) in set(result.rows())
+        assert len(result) == 6
+
+    def test_division_pattern(self, db):
+        result = evaluate_datalog(
+            """
+            red_boat(B) :- boats(B, BN, 'red').
+            reserved(S, B) :- reserves(S, B, D).
+            misses(S) :- sailors(S, N, R, A), red_boat(B), not reserved(S, B).
+            ans(S, N) :- sailors(S, N, R, A), not misses(S).
+            """,
+            db,
+        )
+        assert set(result.rows()) == {(22, "Dustin"), (31, "Lubber")}
+        assert result.attribute_names == ("s", "n")
+
+    def test_unknown_answer_predicate(self, db):
+        with pytest.raises(DatalogError):
+            evaluate_datalog("p(X) :- sailors(X, N, R, A).", db, query="missing")
+
+    def test_unsafe_program_rejected_at_evaluation(self, db):
+        with pytest.raises(DatalogError):
+            evaluate_program("ans(Y) :- sailors(X, N, R, A).", db)
+
+    def test_evaluate_program_returns_all_idb_facts(self, db):
+        facts = evaluate_program("red(B) :- boats(B, N, 'red'). ans(B) :- red(B).", db)
+        assert facts["red"] == {(102,), (104,)}
+        assert facts["ans"] == {(102,), (104,)}
+
+    def test_constants_in_head_are_rejected_for_column_names_only(self, db):
+        # Constants in heads are legal Datalog; output falls back to generic names.
+        result = evaluate_datalog("ans(N, 1) :- sailors(S, N, R, A), S = 22.", db)
+        assert result.rows() == [("Dustin", 1)]
+        assert result.attribute_names == ("col1", "col2")

@@ -1,0 +1,286 @@
+"""Tests for the pre-database formalisms: syllogisms, Euler, Venn/Venn–Peirce,
+Peirce alpha and beta graphs, constraint diagrams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.sailors import SAILORS_DATABASE_SCHEMA
+from repro.diagrams.constraint import ConstraintDiagram, ConstraintError
+from repro.diagrams.euler import euler_diagram, euler_syllogism_figure, spatial_relation
+from repro.diagrams.peirce_alpha import (
+    AlphaError,
+    AlphaGraph,
+    alpha_diagram,
+    deiterate_letter,
+    double_cut_insert,
+    double_cut_remove,
+    erase_letter,
+    formula_of,
+    graph_of,
+    graphs_equivalent,
+    insert_letter,
+    iterate_letter,
+)
+from repro.diagrams.peirce_beta import (
+    BetaError,
+    beta_diagram,
+    beta_diagram_for_query,
+    beta_graph_of,
+    drc_of_beta,
+)
+from repro.diagrams.syllogism import (
+    CategoricalProposition,
+    NAMED_SYLLOGISMS,
+    Syllogism,
+    all_syllogisms,
+    entails,
+    regions_for,
+    valid_syllogisms,
+)
+from repro.diagrams.venn import VennDiagram, VennError, venn_syllogism_test
+from repro.drc import evaluate_drc_boolean, parse_drc, parse_drc_formula
+from repro.logic import And, Exists, ForAll, Implies, Not, Or, Var, prop
+from repro.queries import Q2_RED_BOAT, Q4_ALL_RED
+
+
+class TestSyllogisms:
+    def test_proposition_text_and_validation(self):
+        assert CategoricalProposition("A", "Greeks", "mortals").text() == "All Greeks are mortals"
+        with pytest.raises(ValueError):
+            CategoricalProposition("Z", "a", "b")
+
+    def test_region_model_size(self):
+        assert len(regions_for(["A", "B", "C"])) == 8
+
+    def test_barbara_is_valid(self):
+        assert Syllogism("AAA", 1).is_valid()
+        assert Syllogism("AAA", 1).name() == "AAA-1"
+
+    def test_existential_import_distinction(self):
+        darapti = Syllogism("AAI", 3)
+        assert not darapti.is_valid()
+        assert darapti.is_valid(existential_import=True)
+
+    def test_classic_counts(self):
+        assert len(all_syllogisms()) == 256
+        assert len(valid_syllogisms()) == 15
+        assert len(valid_syllogisms(existential_import=True)) == 24
+
+    def test_named_forms_are_valid(self):
+        valid = {(s.mood, s.figure) for s in valid_syllogisms()}
+        assert set(NAMED_SYLLOGISMS) <= valid
+
+    def test_entailment_examples(self):
+        all_a_b = CategoricalProposition("A", "A", "B")
+        all_b_c = CategoricalProposition("A", "B", "C")
+        assert entails([all_a_b, all_b_c], CategoricalProposition("A", "A", "C"))
+        assert not entails([all_a_b], CategoricalProposition("I", "A", "B"))
+        assert entails([all_a_b], CategoricalProposition("I", "A", "B"),
+                       existential_import=True)
+
+
+class TestEuler:
+    def test_spatial_relations(self):
+        premises = [CategoricalProposition("A", "dogs", "mammals"),
+                    CategoricalProposition("E", "mammals", "reptiles")]
+        assert spatial_relation(premises, "dogs", "mammals") == "inside"
+        assert spatial_relation(premises, "mammals", "dogs") == "contains"
+        assert spatial_relation(premises, "dogs", "reptiles") == "disjoint"
+        assert spatial_relation([], "dogs", "cats") == "unknown"
+
+    def test_euler_diagram_nesting(self):
+        premises = [CategoricalProposition("A", "dogs", "mammals")]
+        diagram = euler_diagram(premises)
+        dogs = diagram.groups["circle_dogs"]
+        mammals = diagram.groups["circle_mammals"]
+        assert dogs.parent == mammals.id
+        assert diagram.validate() == []
+
+    def test_euler_disjoint_edge(self):
+        premises = [CategoricalProposition("E", "cats", "dogs")]
+        diagram = euler_diagram(premises)
+        assert any(e.label == "disjoint" for e in diagram.edges)
+
+    def test_syllogism_figure_annotation(self):
+        major, minor, conclusion = Syllogism("AAA", 1).propositions("Greeks", "mortal", "men")
+        diagram = euler_syllogism_figure(major, minor, conclusion)
+        verdict = [n for n in diagram.nodes.values() if n.kind == "annotation"][0]
+        assert "follows" in verdict.label and "NOT" not in verdict.label
+
+
+class TestVenn:
+    def test_shading_and_x_marks(self):
+        diagram = VennDiagram.from_propositions([
+            CategoricalProposition("A", "A", "B"),
+            CategoricalProposition("I", "B", "C"),
+        ])
+        assert diagram.shaded  # All A are B shades A∩¬B refinements
+        assert diagram.x_sequences
+        assert diagram.is_consistent()
+
+    def test_plain_venn_cannot_do_disjunctive_occupancy(self):
+        # "Some A are B" over three terms spans two minimal regions.
+        with pytest.raises(VennError):
+            VennDiagram(("A", "B", "C")).assert_proposition(
+                CategoricalProposition("I", "A", "B"), peirce=False)
+        # With only the two terms drawn there is a single region, so plain Venn copes.
+        VennDiagram(("A", "B")).assert_proposition(
+            CategoricalProposition("I", "A", "B"), peirce=False)
+
+    def test_inconsistent_information_detected(self):
+        diagram = VennDiagram(("A", "B"))
+        diagram.assert_proposition(CategoricalProposition("E", "A", "B"))
+        with pytest.raises(VennError):
+            diagram.assert_proposition(CategoricalProposition("I", "A", "B"))
+
+    def test_entailment_matches_syllogism_semantics(self):
+        for mood, figure in [("AAA", 1), ("EAE", 1), ("AII", 3), ("AEE", 2)]:
+            syllogism = Syllogism(mood, figure)
+            major, minor, conclusion = syllogism.propositions()
+            assert venn_syllogism_test(major, minor, conclusion) == syllogism.is_valid()
+
+    def test_invalid_syllogism_rejected_by_venn(self):
+        major, minor, conclusion = Syllogism("AAI", 1).propositions()
+        assert not venn_syllogism_test(major, minor, conclusion)
+
+    def test_render_contains_shading_and_x(self):
+        diagram = VennDiagram.from_propositions([
+            CategoricalProposition("A", "A", "B"),
+            CategoricalProposition("I", "A", "C"),
+        ])
+        rendered = diagram.to_diagram()
+        labels = [n.label for n in rendered.nodes.values()]
+        assert any("shaded" in label for label in labels)
+        assert any(label == "x" for label in labels)
+        assert rendered.validate() == []
+
+    def test_merge_combines_information(self):
+        a = VennDiagram.from_propositions([CategoricalProposition("A", "A", "B")])
+        b = VennDiagram.from_propositions([CategoricalProposition("A", "B", "C")])
+        merged = a.merge(b)
+        assert merged.entails(CategoricalProposition("A", "A", "C"))
+
+
+class TestPeirceAlpha:
+    def test_graph_of_and_back(self):
+        p, q = prop("p"), prop("q")
+        for formula in [p, And((p, q)), Or((p, q)), Implies(p, q), Not(p)]:
+            graph = graph_of(formula)
+            assert graphs_equivalent(graph, graph_of(formula_of(graph)))
+
+    def test_or_uses_three_cuts(self):
+        graph = graph_of(Or((prop("p"), prop("q"))))
+        assert graph.cut_count() == 3
+        assert graph.depth() == 2
+
+    def test_non_propositional_rejected(self):
+        with pytest.raises(AlphaError):
+            graph_of(Exists((Var("x"),), prop("p")))
+
+    def test_double_cut_rules_preserve_meaning(self):
+        graph = graph_of(And((prop("p"), prop("q"))))
+        wrapped = double_cut_insert(graph)
+        assert graphs_equivalent(graph, wrapped)
+        assert double_cut_remove(wrapped) == graph
+
+    def test_erasure_weakens_insertion_strengthens(self):
+        p, q = prop("p"), prop("q")
+        graph = graph_of(And((p, q)))
+        erased = erase_letter(graph, "q")
+        # erasure in a positive area is sound: the result is implied.
+        assert formula_of(erased) == p or graphs_equivalent(erased, graph_of(p))
+        implication = graph_of(Implies(p, q))
+        strengthened = insert_letter(implication, "r")
+        assert strengthened.letter_count() == implication.letter_count() + 1
+
+    def test_iteration_and_deiteration_are_inverse(self):
+        graph = graph_of(Implies(prop("p"), prop("q")))
+        iterated = iterate_letter(graph, "p")
+        assert graphs_equivalent(graph, iterated)
+        assert deiterate_letter(iterated, "p") == graph
+
+    def test_insertion_requires_a_cut(self):
+        with pytest.raises(AlphaError):
+            insert_letter(AlphaGraph(("p",)), "q")
+
+    def test_alpha_diagram_rendering(self):
+        diagram = alpha_diagram(Implies(prop("rain"), prop("wet")))
+        assert diagram.element_counts()["groups"] >= 3  # sheet + 2 cuts
+        assert "rain" in diagram.to_ascii()
+
+
+class TestPeirceBeta:
+    def test_sentence_round_trip_preserves_truth(self, db):
+        sentences = [
+            "exists b, n (Boats(b, n, 'red'))",
+            "forall s, b, d (Reserves(s, b, d) -> exists n, r, a (Sailors(s, n, r, a)))",
+            "not exists b, n (Boats(b, n, 'purple'))",
+        ]
+        for text in sentences:
+            formula = parse_drc_formula(text)
+            graph = beta_graph_of(formula)
+            back = drc_of_beta(graph)
+            assert evaluate_drc_boolean(formula, db) == evaluate_drc_boolean(back, db)
+
+    def test_forall_uses_two_cuts(self):
+        formula = parse_drc_formula(
+            "forall b, n, c (Boats(b, n, c) -> exists s, d (Reserves(s, b, d)))")
+        graph = beta_graph_of(formula)
+        assert graph.cut_depth() == 2
+        assert {line.variable for line in graph.lines} >= {"b", "n", "c", "s", "d"}
+
+    def test_lines_of_identity_connect_hooks(self):
+        formula = parse_drc_formula("exists s, b, d, n, r, a "
+                                    "(Reserves(s, b, d) and Sailors(s, n, r, a))")
+        graph = beta_graph_of(formula)
+        line_s = graph.line_for("s")
+        assert len(line_s.hooks) == 2  # s appears in both atoms
+
+    def test_query_diagram_flags_free_lines(self, schema):
+        diagram = beta_diagram_for_query(Q2_RED_BOAT.sql, schema)
+        assert "free lines" in diagram.formalism
+        assert diagram.element_counts()["negation_groups"] == 0
+        diagram4 = beta_diagram_for_query(Q4_ALL_RED.sql, schema)
+        assert diagram4.element_counts()["negation_groups"] == 2
+
+    def test_identity_edges_are_bold(self, schema):
+        diagram = beta_diagram_for_query(Q2_RED_BOAT.sql, schema)
+        identity_edges = [e for e in diagram.edges if e.kind == "identity"]
+        assert identity_edges and all(e.style == "bold" for e in identity_edges)
+
+    def test_boolean_sentence_diagram(self):
+        formula = parse_drc_formula("not exists b, n (Boats(b, n, 'purple'))")
+        diagram = beta_diagram(beta_graph_of(formula))
+        assert diagram.element_counts()["negation_groups"] == 1
+
+
+class TestConstraintDiagrams:
+    def test_shading_and_spiders(self):
+        diagram = ConstraintDiagram(("Sailors", "Reserving"))
+        diagram.shade(["Reserving"], ["Sailors"])      # reserving ⊆ sailors
+        spider = diagram.add_spider("s", ["Sailors"])
+        assert diagram.asserts_empty(["Reserving"], ["Sailors"])
+        assert not diagram.asserts_empty(["Sailors"])
+        assert diagram.is_satisfiable()
+        assert spider.habitat
+
+    def test_unsatisfiable_when_spider_fully_shaded(self):
+        diagram = ConstraintDiagram(("A",))
+        diagram.shade(["A"])
+        diagram.add_spider("x", ["A"])
+        assert not diagram.is_satisfiable()
+
+    def test_empty_habitat_rejected(self):
+        diagram = ConstraintDiagram(("A",))
+        with pytest.raises(ConstraintError):
+            diagram.add_spider("x", ["B"], ["A", "B"])  # no such region
+
+    def test_rendering_with_arrows(self):
+        diagram = ConstraintDiagram(("Sailors", "Boats"))
+        diagram.add_spider("s", ["Sailors"])
+        diagram.add_spider("b", ["Boats"])
+        diagram.add_arrow("reserves", "s", "b")
+        rendered = diagram.to_diagram()
+        assert any(e.label == "reserves" and e.directed for e in rendered.edges)
+        assert rendered.validate() == []

@@ -1,0 +1,66 @@
+"""Integration tests: the example scripts must run end to end."""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                            "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "language_tour.py",
+    "voice_assistant_loop.py",
+    "peirce_and_syllogisms.py",
+    "diagram_gallery.py",
+]
+
+
+def _load(name: str):
+    path = os.path.join(EXAMPLES_DIR, name)
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys, tmp_path, monkeypatch):
+    module = _load(name)
+    if name == "diagram_gallery.py":
+        monkeypatch.setattr(module, "OUT_DIR", str(tmp_path))
+    module.main()
+    output = capsys.readouterr().out
+    assert output.strip()
+
+
+def test_quickstart_mentions_answers(capsys):
+    _load("quickstart.py").main()
+    output = capsys.readouterr().out
+    assert "Answers" in output
+    assert "Dustin" in output
+
+
+def test_language_tour_reports_agreement(capsys):
+    _load("language_tour.py").main()
+    output = capsys.readouterr().out
+    assert output.count("all five languages agree: yes") == 5
+
+
+def test_voice_assistant_verifies_refinement(capsys):
+    _load("voice_assistant_loop.py").main()
+    output = capsys.readouterr().out
+    assert "same relational query pattern: yes" in output
+
+
+def test_gallery_writes_svgs(capsys, tmp_path, monkeypatch):
+    module = _load("diagram_gallery.py")
+    monkeypatch.setattr(module, "OUT_DIR", str(tmp_path))
+    module.main()
+    svgs = list(tmp_path.glob("*.svg"))
+    assert len(svgs) >= 8
+    assert all(p.read_text().startswith("<svg") for p in svgs)

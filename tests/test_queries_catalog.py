@@ -1,0 +1,79 @@
+"""Tests for the canonical query catalog (the tutorial's Part-3 workload)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog import parse_datalog
+from repro.drc import parse_drc
+from repro.queries import (
+    CANONICAL_QUERIES,
+    LANGUAGES,
+    Q4_ALL_RED,
+    Q4_ALL_RED_DIVISION_RA,
+    Q5_RED_OR_GREEN,
+    queries_with_feature,
+    query_by_id,
+)
+from repro.ra import parse_ra
+from repro.sql import parse_sql
+from repro.translate import answer_set
+from repro.trc import parse_trc
+
+
+class TestCatalogStructure:
+    def test_five_queries_five_languages(self):
+        assert len(CANONICAL_QUERIES) == 5
+        assert LANGUAGES == ("SQL", "RA", "TRC", "DRC", "Datalog")
+        for query in CANONICAL_QUERIES:
+            assert set(query.languages()) == set(LANGUAGES)
+
+    def test_lookup_by_id(self):
+        assert query_by_id("q4") is Q4_ALL_RED
+        with pytest.raises(KeyError):
+            query_by_id("Q9")
+
+    def test_feature_index(self):
+        assert Q4_ALL_RED in queries_with_feature("universal")
+        assert Q5_RED_OR_GREEN in queries_with_feature("disjunction")
+        assert not queries_with_feature("aggregation")
+
+    def test_every_representation_parses(self):
+        for query in CANONICAL_QUERIES:
+            parse_sql(query.sql)
+            parse_ra(query.ra)
+            parse_trc(query.trc)
+            parse_drc(query.drc)
+            assert len(parse_datalog(query.datalog)) >= 1
+
+    def test_expected_names_are_nonempty_and_distinct(self):
+        for query in CANONICAL_QUERIES:
+            assert query.expected_names
+            assert len(set(query.expected_names)) == len(query.expected_names)
+
+
+class TestCatalogSemantics:
+    def test_expected_names_match_every_language(self, db, canonical_query):
+        expected = set(canonical_query.expected_names)
+        for language, text in canonical_query.languages().items():
+            names = {row[0] for row in answer_set(text, db)}
+            assert names == expected, f"{canonical_query.id} disagrees in {language}"
+
+    def test_division_constant_matches_on_cow_book_instance(self, db):
+        assert answer_set(Q4_ALL_RED_DIVISION_RA, db) == answer_set(Q4_ALL_RED.ra, db)
+
+    def test_q5_union_and_local_disjunction_agree(self, db):
+        union_sql = (
+            "SELECT S.sname FROM Sailors S, Reserves R, Boats B "
+            "WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red' "
+            "UNION "
+            "SELECT S.sname FROM Sailors S, Reserves R, Boats B "
+            "WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'green'"
+        )
+        assert answer_set(union_sql, db) == answer_set(Q5_RED_OR_GREEN.sql, db)
+
+    def test_features_reflect_query_structure(self):
+        assert "division" in Q4_ALL_RED.features
+        assert "union" in Q5_RED_OR_GREEN.features
+        flat = query_by_id("Q1")
+        assert "negation" not in flat.features

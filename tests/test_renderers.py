@@ -1,0 +1,123 @@
+"""Focused tests for the renderers (SVG, DOT, ASCII) and diagram metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Diagram, DiagramEdge, DiagramGroup, DiagramNode, save_svg
+from repro.core.layout import compute_layout, node_size
+from repro.core.metrics import LINE_ROLES, measure
+from repro.core.render_dot import render_dot
+from repro.core.render_svg import render_svg
+from repro.core.render_text import render_text
+
+
+def build_showcase() -> Diagram:
+    """A diagram exercising every node shape, edge style, and group style."""
+    d = Diagram("showcase", formalism="test")
+    d.add_group(DiagramGroup("plain", "plain"))
+    d.add_group(DiagramGroup("neg", "not", "plain", "negation"))
+    d.add_group(DiagramGroup("cut", "", "plain", "cut"))
+    d.add_group(DiagramGroup("shade", "", None, "shaded"))
+    d.add_node(DiagramNode("t", "table", "Sailors s", ("sid", "sname = 'Bob'"), "plain", "table"))
+    d.add_node(DiagramNode("e", "operator", "join", (), "neg", "ellipse"))
+    d.add_node(DiagramNode("p", "mark", "x", (), "cut", "point"))
+    d.add_node(DiagramNode("x", "annotation", "free text", ("row one",), "shade", "plaintext"))
+    d.add_edge(DiagramEdge("t", "e", "on sid", "solid", True, "sid", None, "join"))
+    d.add_edge(DiagramEdge("e", "p", "", "dashed", True, kind="reading-order"))
+    d.add_edge(DiagramEdge("p", "x", "", "bold", False, kind="identity"))
+    return d
+
+
+class TestSVG:
+    def test_every_element_is_rendered(self):
+        svg = render_svg(build_showcase())
+        assert svg.count("<circle") == 1                 # the point node
+        assert "Sailors s" in svg and "free text" in svg
+        assert "marker-end" in svg                       # directed edges get arrowheads
+        assert "stroke-dasharray" in svg                 # dashed edge / group
+        assert svg.count("<line") >= 3
+
+    def test_save_svg_writes_file(self, tmp_path):
+        path = save_svg(build_showcase(), str(tmp_path / "d.svg"))
+        content = (tmp_path / "d.svg").read_text()
+        assert path.endswith("d.svg")
+        assert content.startswith("<svg") and content.rstrip().endswith("</svg>")
+
+    def test_escaping_of_labels(self):
+        d = Diagram("esc")
+        d.add_node(DiagramNode("n", label="a < b & c > 'd'"))
+        svg = render_svg(d)
+        assert "&lt;" in svg and "&amp;" in svg
+        assert "a < b &" not in svg
+
+
+class TestDOT:
+    def test_clusters_styles_and_ports(self):
+        dot = render_dot(build_showcase())
+        assert dot.count("subgraph") == 4
+        assert "color=red3" in dot                       # negation cluster
+        assert "shape=point" in dot
+        assert "style=dashed" in dot
+        assert "dir=none" in dot                         # undirected edge
+        assert '"t":r0' in dot                           # row port reference
+
+    def test_quote_escaping(self):
+        d = Diagram("q")
+        d.add_node(DiagramNode("n", label='say "hi"'))
+        assert '\\"hi\\"' in render_dot(d)
+
+    def test_html_escaping_in_table_labels(self):
+        d = Diagram("h")
+        d.add_node(DiagramNode("n", label="T", rows=("a < 3",)))
+        assert "a &lt; 3" in render_dot(d)
+
+
+class TestASCII:
+    def test_nested_blocks_and_connections(self):
+        text = render_text(build_showcase())
+        assert "=NOT=" in text
+        assert "connections:" in text
+        assert "Sailors s.sid --> join  [on sid]" in text
+
+    def test_empty_diagram(self):
+        text = render_text(Diagram("empty"))
+        assert "(empty)" in text
+
+
+class TestLayout:
+    def test_node_size_grows_with_content(self):
+        small = node_size(DiagramNode("a", label="x"))
+        large = node_size(DiagramNode("b", label="x", rows=("a long attribute row", "another")))
+        assert large[0] > small[0] and large[1] > small[1]
+        assert node_size(DiagramNode("p", shape="point")) == (10.0, 10.0)
+
+    def test_groups_contain_their_content(self):
+        d = build_showcase()
+        layout = compute_layout(d)
+        for node_id, node in d.nodes.items():
+            if node.group:
+                node_box = layout.node_boxes[node_id]
+                group_box = layout.group_boxes[node.group]
+                assert node_box.x >= group_box.x - 1e-6
+                assert node_box.right <= group_box.right + 1e-6
+                assert node_box.y >= group_box.y - 1e-6
+                assert node_box.bottom <= group_box.bottom + 1e-6
+
+    def test_anchor_points_inside_nodes(self):
+        d = build_showcase()
+        layout = compute_layout(d)
+        x, y = layout.anchor(d, "t", "sid")
+        box = layout.node_boxes["t"]
+        assert box.x <= x <= box.right and box.y <= y <= box.bottom
+
+
+class TestMetrics:
+    def test_line_roles_cover_all_known_kinds(self):
+        assert set(LINE_ROLES.values()) <= {"identity", "membership", "flow", "other"}
+
+    def test_distinct_roles_counted(self):
+        metric = measure(build_showcase())
+        assert metric.line_roles["identity"] == 2   # join + identity edges
+        assert metric.line_roles["flow"] == 1
+        assert metric.distinct_line_roles == 2

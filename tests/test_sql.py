@@ -1,0 +1,288 @@
+"""Tests for the SQL substrate: lexer, parser, formatter, and evaluator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.expr import Col, Comparison, Exists, InSubquery, QuantifiedComparison
+from repro.sql import (
+    Join,
+    SQLEvaluationError,
+    SQLSyntaxError,
+    SelectQuery,
+    SetOpQuery,
+    TableRef,
+    base_tables,
+    count_table_occurrences,
+    evaluate_sql,
+    format_query,
+    format_query_pretty,
+    parse_sql,
+    parse_sql_expression,
+    tokenize,
+    walk_queries,
+)
+
+
+def names(relation) -> set:
+    return {row[0] for row in relation.distinct_rows()}
+
+
+class TestLexer:
+    def test_keywords_and_identifiers(self):
+        tokens = tokenize("SELECT sname FROM Sailors")
+        assert [t.kind for t in tokens] == ["keyword", "name", "keyword", "name", "eof"]
+        assert tokens[0].text == "select"
+
+    def test_strings_and_numbers(self):
+        tokens = tokenize("WHERE x = 'O''Brien' AND y >= 3.5")
+        strings = [t for t in tokens if t.kind == "string"]
+        assert strings[0].text == "O'Brien"
+        assert any(t.kind == "number" and t.text == "3.5" for t in tokens)
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("SELECT 1 -- comment\n/* block */ FROM T")
+        assert [t.text for t in tokens if t.kind == "keyword"] == ["select", "from"]
+
+    def test_quoted_identifiers(self):
+        tokens = tokenize('SELECT "weird name" FROM T')
+        assert any(t.kind == "name" and t.text == "weird name" for t in tokens)
+
+    def test_illegal_character(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT ? FROM T")
+
+
+class TestParser:
+    def test_basic_structure(self):
+        query = parse_sql("SELECT DISTINCT S.sname AS name FROM Sailors S WHERE S.rating > 7")
+        assert isinstance(query, SelectQuery)
+        assert query.distinct
+        assert query.select_items[0].alias == "name"
+        assert query.from_items[0] == TableRef("Sailors", "S")
+        assert isinstance(query.where, Comparison)
+
+    def test_subquery_predicates(self):
+        query = parse_sql(
+            "SELECT S.sname FROM Sailors S WHERE EXISTS (SELECT 1 FROM Reserves R "
+            "WHERE R.sid = S.sid) AND S.sid IN (SELECT sid FROM Reserves) "
+            "AND S.rating >= ALL (SELECT rating FROM Sailors)"
+        )
+        kinds = [type(c).__name__ for c in query.where.operands]
+        assert kinds == ["Exists", "InSubquery", "QuantifiedComparison"]
+        assert query.nesting_depth() == 2
+
+    def test_set_operations_and_order_limit(self):
+        query = parse_sql(
+            "SELECT sname FROM Sailors UNION SELECT bname FROM Boats ORDER BY sname LIMIT 3"
+        )
+        assert isinstance(query, SetOpQuery)
+        assert query.op == "union"
+        assert query.limit == 3
+        assert len(query.order_by) == 1
+
+    def test_joins(self):
+        query = parse_sql(
+            "SELECT * FROM Sailors S JOIN Reserves R ON S.sid = R.sid "
+            "LEFT OUTER JOIN Boats B ON R.bid = B.bid"
+        )
+        join = query.from_items[0]
+        assert isinstance(join, Join) and join.kind == "left"
+        assert isinstance(join.left, Join) and join.left.kind == "inner"
+        assert query.select_star
+
+    def test_natural_and_using_joins(self):
+        natural = parse_sql("SELECT sname FROM Sailors NATURAL JOIN Reserves")
+        assert natural.from_items[0].natural
+        using = parse_sql("SELECT sname FROM Sailors JOIN Reserves USING (sid)")
+        assert using.from_items[0].using == ("sid",)
+
+    def test_group_by_having(self):
+        query = parse_sql(
+            "SELECT B.color, COUNT(*) AS n FROM Boats B GROUP BY B.color HAVING COUNT(*) > 1"
+        )
+        assert len(query.group_by) == 1
+        assert query.having is not None
+
+    def test_star_qualifier_and_scalar_subquery(self):
+        query = parse_sql("SELECT S.*, (SELECT MAX(rating) FROM Sailors) FROM Sailors S")
+        assert query.star_qualifiers == ("S",)
+        query2 = parse_sql_expression("(SELECT MAX(rating) FROM Sailors) > 5")
+        assert isinstance(query2, Comparison)
+
+    def test_between_like_in_list(self):
+        query = parse_sql(
+            "SELECT sname FROM Sailors WHERE age BETWEEN 20 AND 40 AND sname LIKE 'D%' "
+            "AND rating IN (7, 8, 9) AND bname IS NOT NULL"
+        )
+        assert len(query.where.operands) == 4
+
+    def test_syntax_errors(self):
+        for bad in [
+            "SELECT FROM Sailors",
+            "SELECT sname FROM Sailors WHERE rating >",
+            "SELECT sname FROM Sailors WHERE",
+            "SELECT sname FROM Sailors GROUP",
+            "SELECT sname FROM (SELECT * FROM Sailors)",  # missing alias
+            "SELECT sname FROM Sailors LIMIT x",
+        ]:
+            with pytest.raises(SQLSyntaxError):
+                parse_sql(bad)
+
+    def test_structural_helpers(self):
+        query = parse_sql(
+            "SELECT S.sname FROM Sailors S WHERE S.sid IN "
+            "(SELECT R.sid FROM Reserves R WHERE R.bid IN (SELECT bid FROM Boats))"
+        )
+        assert base_tables(query) == ["Sailors", "Reserves", "Boats"]
+        assert count_table_occurrences(query) == 3
+        assert len(list(walk_queries(query))) == 3
+
+
+class TestFormatter:
+    def test_round_trip_preserves_semantics(self, db, canonical_query):
+        query = parse_sql(canonical_query.sql)
+        text = format_query(query)
+        again = parse_sql(text)
+        assert evaluate_sql(query, db).set_equal(evaluate_sql(again, db))
+
+    def test_pretty_format_is_multiline(self):
+        query = parse_sql("SELECT sname FROM Sailors WHERE rating > 7 ORDER BY sname")
+        pretty = format_query_pretty(query)
+        assert pretty.count("\n") >= 2
+        assert pretty.startswith("SELECT")
+
+    def test_formats_joins_and_setops(self):
+        text = format_query(parse_sql(
+            "SELECT sname FROM Sailors NATURAL JOIN Reserves UNION ALL SELECT bname FROM Boats"))
+        assert "NATURAL JOIN" in text and "UNION ALL" in text
+
+
+class TestEvaluator:
+    def test_canonical_queries(self, db, canonical_query):
+        result = evaluate_sql(canonical_query.sql, db)
+        assert names(result) == set(canonical_query.expected_names)
+
+    def test_canonical_queries_on_empty_database(self, empty_db, canonical_query):
+        assert evaluate_sql(canonical_query.sql, empty_db).is_empty()
+
+    def test_projection_aliases_and_expressions(self, db):
+        result = evaluate_sql("SELECT S.sname AS who, S.age + 1 AS older FROM Sailors S "
+                              "WHERE S.sid = 22", db)
+        assert result.attribute_names == ("who", "older")
+        assert result.rows() == [("Dustin", 46.0)]
+
+    def test_select_star_and_qualified_star(self, db):
+        result = evaluate_sql("SELECT * FROM Boats", db)
+        assert len(result.attribute_names) == 3
+        result = evaluate_sql("SELECT B.* , B.bid FROM Boats B WHERE B.color = 'green'", db)
+        assert result.rows() == [(103, "Clipper", "green", 103)]
+
+    def test_bag_semantics_without_distinct(self, db):
+        rows = evaluate_sql("SELECT S.sname FROM Sailors S, Reserves R WHERE S.sid = R.sid", db)
+        assert len(rows) == 10  # one per reservation
+        distinct = evaluate_sql(
+            "SELECT DISTINCT S.sname FROM Sailors S, Reserves R WHERE S.sid = R.sid", db)
+        assert len(distinct) == 3
+
+    def test_correlated_exists(self, db):
+        sql = ("SELECT S.sname FROM Sailors S WHERE EXISTS "
+               "(SELECT * FROM Reserves R WHERE R.sid = S.sid AND R.bid = 103)")
+        assert names(evaluate_sql(sql, db)) == {"Dustin", "Lubber", "Horatio"}
+
+    def test_not_exists_is_complementary(self, db):
+        base = "SELECT S.sid FROM Sailors S WHERE {} (SELECT * FROM Reserves R WHERE R.sid = S.sid)"
+        some = names(evaluate_sql(base.format("EXISTS"), db))
+        none = names(evaluate_sql(base.format("NOT EXISTS"), db))
+        assert some | none == set(sailor[0] for sailor in db.relation("Sailors").rows())
+        assert some & none == set()
+
+    def test_all_any_quantifiers(self, db):
+        top = evaluate_sql(
+            "SELECT sname FROM Sailors WHERE rating >= ALL (SELECT rating FROM Sailors)", db)
+        assert names(top) == {"Rusty", "Zorba"}
+        some = evaluate_sql(
+            "SELECT DISTINCT S.sname FROM Sailors S WHERE S.sid = ANY "
+            "(SELECT R.sid FROM Reserves R WHERE R.bid = 102)", db)
+        assert names(some) == {"Dustin", "Lubber", "Horatio"}
+
+    def test_scalar_subquery(self, db):
+        result = evaluate_sql(
+            "SELECT S.sname FROM Sailors S WHERE S.rating = (SELECT MAX(S2.rating) FROM Sailors S2)",
+            db)
+        assert names(result) == {"Rusty", "Zorba"}
+
+    def test_group_by_having_order(self, db):
+        result = evaluate_sql(
+            "SELECT B.color, COUNT(*) AS n FROM Boats B GROUP BY B.color "
+            "HAVING COUNT(*) >= 1 ORDER BY n DESC, B.color", db)
+        assert result.rows()[0] == ("red", 2)
+        assert set(result.rows()) == {("red", 2), ("blue", 1), ("green", 1)}
+
+    def test_aggregates_without_group_by(self, db):
+        result = evaluate_sql(
+            "SELECT COUNT(*) AS n, AVG(S.age) AS a, MIN(S.age) AS lo, MAX(S.age) AS hi "
+            "FROM Sailors S", db)
+        n, avg, lo, hi = result.rows()[0]
+        assert n == 10 and lo == 16.0 and hi == 63.5
+        assert avg == pytest.approx(36.9)
+
+    def test_count_distinct(self, db):
+        assert evaluate_sql("SELECT COUNT(DISTINCT sname) FROM Sailors", db).rows() == [(9,)]
+
+    def test_aggregate_on_empty_database(self, empty_db):
+        result = evaluate_sql("SELECT COUNT(*) AS n, SUM(age) AS s FROM Sailors", empty_db)
+        assert result.rows() == [(0, None)]
+
+    def test_group_by_with_star_rejected(self, db):
+        with pytest.raises(SQLEvaluationError):
+            evaluate_sql("SELECT * FROM Sailors GROUP BY rating", db)
+
+    def test_outer_joins(self, db):
+        left = evaluate_sql(
+            "SELECT S.sname FROM Sailors S LEFT OUTER JOIN Reserves R ON S.sid = R.sid "
+            "WHERE R.sid IS NULL", db)
+        assert names(left) == {"Brutus", "Andy", "Rusty", "Zorba", "Art", "Bob"}
+        full = evaluate_sql(
+            "SELECT COUNT(*) FROM Sailors S FULL OUTER JOIN Reserves R ON S.sid = R.sid", db)
+        assert full.rows() == [(16,)]
+
+    def test_natural_join_and_using(self, db):
+        natural = evaluate_sql("SELECT sname FROM Sailors NATURAL JOIN Reserves WHERE bid = 103", db)
+        assert names(natural) == {"Dustin", "Lubber", "Horatio"}
+        using = evaluate_sql("SELECT sname FROM Sailors JOIN Reserves USING (sid) WHERE bid = 103", db)
+        assert names(using) == names(natural)
+
+    def test_derived_table(self, db):
+        result = evaluate_sql(
+            "SELECT T.sname FROM (SELECT S.sname, S.rating FROM Sailors S WHERE S.rating > 8) T "
+            "WHERE T.rating = 10", db)
+        assert names(result) == {"Rusty", "Zorba"}
+
+    def test_set_operations(self, db):
+        union = evaluate_sql("SELECT bid FROM Boats WHERE color = 'red' UNION "
+                             "SELECT bid FROM Boats WHERE bid = 102", db)
+        assert len(union) == 2
+        union_all = evaluate_sql("SELECT bid FROM Boats WHERE color = 'red' UNION ALL "
+                                 "SELECT bid FROM Boats WHERE bid = 102", db)
+        assert len(union_all) == 3
+        intersect = evaluate_sql("SELECT sid FROM Reserves INTERSECT SELECT sid FROM Sailors "
+                                 "WHERE rating > 7", db)
+        assert set(intersect.rows()) == {(31,), (74,)}
+        except_ = evaluate_sql("SELECT sid FROM Sailors EXCEPT SELECT sid FROM Reserves", db)
+        assert len(except_) == 6
+
+    def test_set_operation_arity_mismatch(self, db):
+        with pytest.raises(SQLEvaluationError):
+            evaluate_sql("SELECT sid, sname FROM Sailors UNION SELECT sid FROM Sailors", db)
+
+    def test_order_by_and_limit(self, db):
+        result = evaluate_sql("SELECT sname, age FROM Sailors ORDER BY age DESC LIMIT 2", db)
+        assert result.rows() == [("Bob", 63.5), ("Lubber", 55.5)]
+        by_alias = evaluate_sql("SELECT sname, age AS years FROM Sailors ORDER BY years LIMIT 1", db)
+        assert by_alias.rows() == [("Zorba", 16.0)]
+
+    def test_duplicate_output_names_are_made_unique(self, db):
+        result = evaluate_sql("SELECT S.sid, R.sid FROM Sailors S, Reserves R "
+                              "WHERE S.sid = R.sid LIMIT 1", db)
+        assert result.attribute_names == ("sid", "sid_2")
