@@ -1,8 +1,9 @@
 """The five tutorial queries in the five textual languages (Part 3 of the paper).
 
 For every canonical query, print its SQL / RA / TRC / DRC / Datalog spelling,
-evaluate all five with their own engines, and confirm they agree — the T1
-experiment as a narrative walk-through.
+evaluate all five with their own reference interpreters *and* with the
+unified plan engine, and confirm everything agrees — the T1 experiment as a
+narrative walk-through, now with a six-way semantic cross-check.
 
 Run with::
 
@@ -12,6 +13,7 @@ Run with::
 from __future__ import annotations
 
 from repro.data import sailors_database
+from repro.engine import run_query
 from repro.queries import CANONICAL_QUERIES
 from repro.translate import answer_set
 
@@ -24,8 +26,11 @@ def main() -> None:
         print(f"    {query.description}")
         print()
         answers = {}
+        engine_agrees = True
         for language, text in query.languages().items():
             answers[language] = answer_set(text, db)
+            engine = frozenset(run_query(text, db, language.lower()).distinct_rows())
+            engine_agrees = engine_agrees and engine == answers[language]
             indented = "\n        ".join(text.splitlines())
             print(f"    {language}:")
             print(f"        {indented}")
@@ -35,6 +40,7 @@ def main() -> None:
         print()
         print(f"    answers ({len(names)}): {', '.join(str(n) for n in names)}")
         print(f"    all five languages agree: {'yes' if agreement else 'NO'}")
+        print(f"    unified engine matches all five: {'yes' if engine_agrees else 'NO'}")
         print()
 
 

@@ -31,8 +31,13 @@ __all__ = [
 
 def __getattr__(name: str):
     """Lazy access to the heavier subsystems (keeps ``import repro`` light)."""
-    if name in ("visualize_sql", "QueryVisualizationPipeline", "explain_sql"):
+    if name in ("visualize_sql", "QueryVisualizationPipeline", "explain_sql",
+                "answer_any"):
         from repro.core import pipeline
 
         return getattr(pipeline, name)
+    if name == "run_query":
+        from repro.engine import run_query
+
+        return run_query
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

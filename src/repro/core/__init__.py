@@ -22,8 +22,11 @@ from repro.core.patterns import (
     same_pattern,
 )
 from repro.core.pipeline import (
+    PIPELINE_LANGUAGES,
     PipelineResult,
     QueryVisualizationPipeline,
+    answer_any,
+    explain_calculus,
     explain_query,
     explain_sql,
     visualize_sql,
@@ -59,10 +62,13 @@ __all__ = [
     "FormalismInfo",
     "Layout",
     "PRINCIPLES",
+    "PIPELINE_LANGUAGES",
     "PatternError",
     "PatternPredicate",
     "PatternVariable",
     "PipelineResult",
+    "answer_any",
+    "explain_calculus",
     "Principle",
     "PrincipleScore",
     "QueryPattern",

@@ -1,4 +1,4 @@
-"""The query-visualization pipeline of Figs. 1 and 2.
+"""The query-visualization pipeline of Figs. 1 and 2 — for all five languages.
 
 The paper's two figures sketch the intended interaction: a user states a
 query (spoken, typed, or LLM-generated), the system parses it, *shows the
@@ -6,6 +6,12 @@ query back* as a diagram (and in other textual languages), and returns the
 answers, so the user can verify that the system understood the right query.
 This module is that loop, minus the microphone: text in, diagram + answers +
 explanation out.
+
+Queries may be stated in any of the five textual languages of the tutorial
+(SQL, RA, TRC, DRC, Datalog).  Answers are computed by the unified plan
+engine (:mod:`repro.engine`) — parse → lower → optimize → execute — with the
+per-language reference interpreters as a fallback for constructs outside the
+engine fragment, so ``run`` never rejects a query the interpreters accept.
 """
 
 from __future__ import annotations
@@ -19,21 +25,31 @@ from repro.core.patterns import QueryPattern, pattern_of
 from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.data.sailors import sailors_database
-from repro.sql.ast import Query
-from repro.sql.evaluate import evaluate_sql
-from repro.sql.parser import parse_sql
-from repro.translate.sql_to_trc import UnsupportedSQL, sql_to_trc
 from repro.trc.ast import TRCQuery, relation_atoms
 from repro.trc.format import format_trc_query
+
+#: The languages ``QueryVisualizationPipeline.run`` accepts.
+PIPELINE_LANGUAGES = ("sql", "ra", "trc", "drc", "datalog")
+
+#: Default diagram formalism per input language (only formalisms that can
+#: represent that language's ASTs directly).
+_DEFAULT_FORMALISMS = {
+    "sql": "queryvis",
+    "ra": "dfql",
+    "trc": "queryvis",
+    "drc": "peirce_beta",
+    "datalog": "dfql",
+}
 
 
 @dataclass
 class PipelineResult:
     """Everything the pipeline produces for one query."""
 
-    sql: str
-    query: Query
+    sql: str  # the original query text (named for backward compatibility)
+    query: Any
     diagram: Diagram
+    language: str = "sql"
     answers: Relation | None = None
     trc: TRCQuery | None = None
     pattern: QueryPattern | None = None
@@ -41,10 +57,21 @@ class PipelineResult:
     explanation: str = ""
     warnings: list[str] = field(default_factory=list)
     timings: dict[str, float] = field(default_factory=dict)
+    plan: Any = None  # the optimized engine plan, when the engine was used
+
+    @property
+    def text(self) -> str:
+        """The query text as given (alias of the legacy ``sql`` field)."""
+        return self.sql
+
+    @property
+    def used_engine(self) -> bool:
+        return self.plan is not None
 
     def summary(self, *, max_rows: int = 10) -> str:
         """A terminal-friendly rendering of the whole interaction (Fig. 1)."""
-        parts = [f"SQL: {self.sql}", ""]
+        label = self.language.upper() if self.language != "datalog" else "Datalog"
+        parts = [f"{label}: {self.sql}", ""]
         if self.explanation:
             parts.append("Interpretation:")
             parts.append(self.explanation)
@@ -61,53 +88,170 @@ class PipelineResult:
 
 
 class QueryVisualizationPipeline:
-    """Parse → translate → visualize → answer, per Figs. 1–2 of the paper."""
+    """Parse → lower → optimize → execute → visualize, per Figs. 1–2."""
 
-    def __init__(self, db: Database | None = None, *, formalism: str = "queryvis") -> None:
+    def __init__(self, db: Database | None = None, *, formalism: str = "queryvis",
+                 use_engine: bool = True) -> None:
         self.db = db if db is not None else sailors_database()
         self.formalism = formalism
+        self.use_engine = use_engine
 
-    def run(self, sql: str, *, evaluate: bool = True,
+    def run(self, text: str, *, language: str = "sql", evaluate: bool = True,
             formalism: str | None = None) -> PipelineResult:
-        """Run the full pipeline for one SQL query."""
-        from repro.diagrams import build_diagram
-
-        formalism = formalism or self.formalism
+        """Run the full pipeline for one query in any of the five languages."""
+        language = language.lower()
+        if language not in PIPELINE_LANGUAGES:
+            raise ValueError(
+                f"unknown language {language!r}; expected one of {PIPELINE_LANGUAGES}"
+            )
         timings: dict[str, float] = {}
         warnings: list[str] = []
 
         start = time.perf_counter()
-        query = parse_sql(sql)
+        query = _parse(text, language)
         timings["parse"] = time.perf_counter() - start
 
-        trc: TRCQuery | None = None
-        pattern: QueryPattern | None = None
-        languages: dict[str, str] = {"SQL": sql}
         start = time.perf_counter()
-        try:
-            trc = sql_to_trc(query, self.db.schema)
-            languages["TRC"] = format_trc_query(trc)
-            pattern = pattern_of(trc)
-        except UnsupportedSQL as exc:
-            warnings.append(f"TRC translation unavailable: {exc}")
+        trc, pattern, languages, explanation = self._interpret(
+            text, query, language, warnings)
         timings["translate"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        diagram = build_diagram(formalism, query, self.db.schema)
+        diagram = self._build_diagram(query, language, formalism, warnings)
         timings["diagram"] = time.perf_counter() - start
 
         answers: Relation | None = None
+        plan = None
         if evaluate:
             start = time.perf_counter()
-            answers = evaluate_sql(query, self.db)
+            answers, plan = self._evaluate(text, query, language, warnings, timings)
             timings["evaluate"] = time.perf_counter() - start
 
-        explanation = explain_query(query, trc)
         return PipelineResult(
-            sql=sql, query=query, diagram=diagram, answers=answers, trc=trc,
-            pattern=pattern, languages=languages, explanation=explanation,
-            warnings=warnings, timings=timings,
+            sql=text, query=query, diagram=diagram, language=language,
+            answers=answers, trc=trc, pattern=pattern, languages=languages,
+            explanation=explanation, warnings=warnings, timings=timings,
+            plan=plan,
         )
+
+    # -- stages ----------------------------------------------------------
+
+    def _interpret(self, text: str, query: Any, language: str,
+                   warnings: list[str]):
+        """Recover the TRC form / query pattern and the textual explanation."""
+        from repro.translate.sql_to_trc import UnsupportedSQL, sql_to_trc
+
+        trc: TRCQuery | None = None
+        pattern: QueryPattern | None = None
+        label = {"sql": "SQL", "ra": "RA", "trc": "TRC", "drc": "DRC",
+                 "datalog": "Datalog"}[language]
+        languages: dict[str, str] = {label: text}
+        explanation = ""
+        if language == "sql":
+            try:
+                trc = sql_to_trc(query, self.db.schema)
+                languages["TRC"] = format_trc_query(trc)
+                pattern = pattern_of(trc)
+            except UnsupportedSQL as exc:
+                warnings.append(f"TRC translation unavailable: {exc}")
+            explanation = explain_query(query, trc)
+        elif language == "trc":
+            trc = query
+            try:
+                pattern = pattern_of(trc)
+            except Exception as exc:  # pattern extraction is best-effort
+                warnings.append(f"pattern extraction unavailable: {exc}")
+            explanation = explain_calculus(trc)
+        elif language == "drc":
+            from repro.logic.formula import atoms_of
+
+            atoms = atoms_of(query.body)
+            relations = sorted({a.predicate for a in atoms})
+            explanation = (
+                f"- ranges over {len(relations)} relation(s): {', '.join(relations)}\n"
+                f"- the query pattern has {len(atoms)} relation atom(s)"
+            )
+        elif language == "ra":
+            explanation = f"- an RA operator tree with {query.operator_count()} node(s)"
+        elif language == "datalog":
+            explanation = (
+                f"- a Datalog program with {len(query)} rule(s)"
+                + (" (recursive)" if query.is_recursive() else "")
+            )
+        return trc, pattern, languages, explanation
+
+    def _build_diagram(self, query: Any, language: str, formalism: str | None,
+                       warnings: list[str]) -> Diagram:
+        from repro.diagrams import build_diagram
+
+        if formalism is None:
+            formalism = self.formalism if language == "sql" \
+                else _DEFAULT_FORMALISMS[language]
+        target: Any = query
+        if language == "datalog":
+            # DFQL draws RA trees; non-recursive programs translate exactly.
+            from repro.translate.ra_datalog import datalog_to_ra
+
+            try:
+                target = datalog_to_ra(query, self.db.schema)
+            except Exception as exc:
+                warnings.append(f"diagram unavailable: {exc}")
+                return Diagram("datalog program", formalism="dfql")
+        if language == "sql":
+            # Preserve the original single-language behavior: SQL diagram
+            # failures (including CannotRepresent) are real errors, not
+            # degradable warnings.
+            return build_diagram(formalism, target, self.db.schema)
+        try:
+            return build_diagram(formalism, target, self.db.schema)
+        except Exception as exc:  # CannotRepresent, translation gaps, builder bugs
+            warnings.append(f"{formalism} diagram unavailable: {exc}")
+            return Diagram(f"{language} query", formalism=formalism)
+
+    def _evaluate(self, text: str, query: Any, language: str,
+                  warnings: list[str], timings: dict[str, float]):
+        """Answer the query: unified engine first, reference interpreter fallback."""
+        from repro.engine import LoweringError, PlanError
+        from repro.expr.ast import ExprError
+
+        if self.use_engine:
+            try:
+                return self._evaluate_engine(query, language, timings)
+            except (LoweringError, PlanError, ExprError) as exc:
+                # ExprError covers runtime divergences (the engine compiles
+                # comparisons with SQL's raising semantics; the calculi treat
+                # type mismatches as FALSE) — the reference decides.
+                for stage in ("lower", "optimize", "execute"):
+                    timings.pop(stage, None)  # stages of the failed attempt
+                warnings.append(
+                    f"engine fallback to the {language.upper()} interpreter: {exc}"
+                )
+        return self._evaluate_reference(query, language), None
+
+    def _evaluate_engine(self, query: Any, language: str, timings: dict[str, float]):
+        from repro.engine import execute_datalog, execute_plan, lower, optimize
+
+        if language == "datalog":
+            start = time.perf_counter()
+            answers = execute_datalog(query, self.db)
+            timings["execute"] = time.perf_counter() - start
+            return answers, query
+        start = time.perf_counter()
+        plan = lower(query, self.db.schema, language)
+        timings["lower"] = time.perf_counter() - start
+        start = time.perf_counter()
+        plan = optimize(plan, self.db)
+        timings["optimize"] = time.perf_counter() - start
+        start = time.perf_counter()
+        answers = execute_plan(plan, self.db)
+        timings["execute"] = time.perf_counter() - start
+        return answers, plan
+
+    def _evaluate_reference(self, query: Any, language: str) -> Relation:
+        del language  # dispatch is by AST type
+        from repro.translate.equivalence import answer_relation
+
+        return answer_relation(query, self.db)
 
     def round_trip_consistent(self, sql_a: str, sql_b: str) -> bool:
         """Fig. 2's verification step: do two phrasings show the same pattern?"""
@@ -120,7 +264,29 @@ class QueryVisualizationPipeline:
         return isomorphic(result_a.pattern, result_b.pattern)
 
 
-def explain_query(query: Query, trc: TRCQuery | None = None) -> str:
+def _parse(text: str, language: str) -> Any:
+    if language == "sql":
+        from repro.sql.parser import parse_sql
+
+        return parse_sql(text)
+    if language == "ra":
+        from repro.ra.parser import parse_ra
+
+        return parse_ra(text)
+    if language == "trc":
+        from repro.trc.parser import parse_trc
+
+        return parse_trc(text)
+    if language == "drc":
+        from repro.drc.parser import parse_drc
+
+        return parse_drc(text)
+    from repro.datalog.parser import parse_datalog
+
+    return parse_datalog(text)
+
+
+def explain_query(query: Any, trc: TRCQuery | None = None) -> str:
     """A short natural-language-ish reading of the query structure.
 
     This is the textual complement of the diagram: which tables participate,
@@ -154,6 +320,20 @@ def explain_query(query: Query, trc: TRCQuery | None = None) -> str:
     return "\n".join(lines)
 
 
+def explain_calculus(trc: TRCQuery) -> str:
+    """The TRC-side analogue of :func:`explain_query`."""
+    atoms = relation_atoms(trc.body)
+    relations = sorted({a.relation for a in atoms})
+    lines = [f"- ranges over {len(relations)} relation(s): {', '.join(relations)}"]
+    negations = format_trc_query(trc).count("not ")
+    if negations >= 2:
+        lines.append("- double negation: universal quantification in disguise")
+    elif negations == 1:
+        lines.append("- contains one negated subformula")
+    lines.append(f"- the query pattern has {len(atoms)} table variable(s)")
+    return "\n".join(lines)
+
+
 def visualize_sql(sql: str, db: Database | None = None, *,
                   formalism: str = "queryvis") -> Diagram:
     """One-call convenience: SQL text in, diagram out (Fig. 1's visual reply)."""
@@ -165,3 +345,15 @@ def explain_sql(sql: str, db: Database | None = None) -> str:
     """One-call convenience: SQL text in, textual interpretation out."""
     pipeline = QueryVisualizationPipeline(db)
     return pipeline.run(sql, evaluate=False).explanation
+
+
+def answer_any(text: str, db: Database | None = None, *,
+               language: str | None = None) -> Relation:
+    """One-call convenience: any-language text in, answers out (engine path)."""
+    from repro.engine import detect_language
+
+    pipeline = QueryVisualizationPipeline(db)
+    resolved = (language or detect_language(text)).lower()
+    result = pipeline.run(text, language=resolved)
+    assert result.answers is not None
+    return result.answers

@@ -71,6 +71,10 @@ class Database:
     def __getitem__(self, name: str) -> Relation:
         return self.relation(name)
 
+    def index_on(self, relation: str, attribute: str) -> Mapping[Any, list]:
+        """A per-attribute hash index of one relation (cached by the relation)."""
+        return self.relation(relation).index_on(attribute)
+
     # -- whole-database properties ----------------------------------------
     def active_domain(self) -> set[Any]:
         """The set of all values appearing anywhere in the database.

@@ -34,6 +34,10 @@ class Relation:
     ) -> None:
         self.schema = schema
         self._rows: list[Row] = []
+        # Lazily built caches; invalidated whenever a row is added.
+        self._row_set: set[Row] | None = None
+        self._distinct: list[Row] | None = None
+        self._indexes: dict[str, dict[Any, list[Row]]] = {}
         for row in rows:
             self.add(row, validate=validate)
 
@@ -67,6 +71,17 @@ class Relation:
                         f"{self.schema.name}.{attr.name}"
                     )
         self._rows.append(row)
+        # Incrementally maintain whatever caches are already built; this keeps
+        # membership tests O(1) even for workloads that interleave adds and
+        # lookups (the Datalog fixpoint does exactly that).
+        if self._row_set is not None:
+            if row not in self._row_set:
+                self._row_set.add(row)
+                if self._distinct is not None:
+                    self._distinct.append(row)
+        for name, index in self._indexes.items():
+            idx = self.schema.index_of(name)
+            index.setdefault(row[idx], []).append(row)
 
     # -- views -----------------------------------------------------------
     @property
@@ -82,14 +97,43 @@ class Relation:
         return list(self._rows)
 
     def distinct_rows(self) -> list[Row]:
-        """Rows with duplicates removed, in first-occurrence order (set view)."""
-        seen: set[Row] = set()
-        out: list[Row] = []
-        for row in self._rows:
-            if row not in seen:
-                seen.add(row)
-                out.append(row)
-        return out
+        """Rows with duplicates removed, in first-occurrence order (set view).
+
+        The deduplicated view is cached (and maintained incrementally by
+        :meth:`add`), so repeated calls do not re-scan the bag.
+        """
+        if self._distinct is None:
+            seen: set[Row] = set()
+            out: list[Row] = []
+            for row in self._rows:
+                if row not in seen:
+                    seen.add(row)
+                    out.append(row)
+            self._row_set = seen
+            self._distinct = out
+        return list(self._distinct)
+
+    def row_set(self) -> set[Row]:
+        """The set of distinct rows (cached; treat as read-only)."""
+        if self._row_set is None:
+            self.distinct_rows()
+        assert self._row_set is not None
+        return self._row_set
+
+    def index_on(self, attribute: str) -> dict[Any, list[Row]]:
+        """A hash index mapping each value of ``attribute`` to its rows.
+
+        Built lazily, cached, and maintained incrementally on :meth:`add`.
+        The executor uses these for constant-equality scans; treat the
+        returned mapping as read-only.
+        """
+        if attribute not in self._indexes:
+            idx = self.schema.index_of(attribute)
+            index: dict[Any, list[Row]] = {}
+            for row in self._rows:
+                index.setdefault(row[idx], []).append(row)
+            self._indexes[attribute] = index
+        return self._indexes[attribute]
 
     def row_multiset(self) -> Counter:
         """Rows with multiplicities."""
@@ -110,13 +154,18 @@ class Relation:
 
     def cardinality(self, *, distinct: bool = False) -> int:
         """Number of rows, optionally after duplicate elimination."""
-        return len(self.distinct_rows()) if distinct else len(self._rows)
+        if distinct:
+            if self._distinct is None:
+                self.distinct_rows()
+            assert self._distinct is not None
+            return len(self._distinct)
+        return len(self._rows)
 
     def __iter__(self) -> Iterator[Row]:
         return iter(self._rows)
 
     def __contains__(self, row: object) -> bool:
-        return tuple(row) in set(self._rows) if isinstance(row, Sequence) else False
+        return tuple(row) in self.row_set() if isinstance(row, Sequence) else False
 
     def is_empty(self) -> bool:
         return not self._rows
@@ -124,7 +173,7 @@ class Relation:
     # -- comparisons -----------------------------------------------------
     def set_equal(self, other: "Relation") -> bool:
         """True iff both relations hold the same *set* of rows."""
-        return set(self._rows) == set(other._rows)
+        return self.row_set() == other.row_set()
 
     def bag_equal(self, other: "Relation") -> bool:
         """True iff both relations hold the same *multiset* of rows."""

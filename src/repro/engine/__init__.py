@@ -1,0 +1,106 @@
+"""The unified logical-plan engine behind all five query languages.
+
+The paper's central observation is that one diagrammatic pattern underlies
+SQL, RA, TRC, DRC, and Datalog; this package is the executable counterpart:
+one logical plan IR (:mod:`repro.engine.plan`) that every frontend compiles
+into (:mod:`repro.engine.lower`), one rule-based optimizer
+(:mod:`repro.engine.optimize` — predicate pushdown, cardinality-greedy join
+reordering, common subexpression elimination), and one physical executor
+(:mod:`repro.engine.execute` — hash joins, hash set operations, index scans,
+semi-naive Datalog recursion).
+
+The per-language interpreters under ``repro.sql`` / ``ra`` / ``trc`` /
+``drc`` / ``datalog`` remain the *reference semantics*; the differential
+harness in ``tests/test_engine.py`` asserts the engine agrees with all five
+of them on the full canonical-query catalog.
+
+Quickstart::
+
+    from repro.data import sailors_database
+    from repro.engine import run_query
+
+    db = sailors_database()
+    run_query("SELECT S.sname FROM Sailors S WHERE S.rating > 7", db)
+    run_query("project[sname](Sailors njoin Reserves)", db, language="ra")
+    run_query("ans(N) :- sailors(S, N, R, A), reserves(S, 102, D).", db)
+"""
+
+from repro.engine.execute import (
+    Executor,
+    build_result_relation,
+    compute_datalog_facts,
+    execute_datalog,
+    execute_plan,
+    run_query,
+)
+from repro.engine.lower import (
+    LoweringError,
+    detect_language,
+    lower,
+    lower_datalog_rule,
+    lower_drc,
+    lower_ra,
+    lower_sql,
+    lower_trc,
+)
+from repro.engine.optimize import (
+    common_subplan_count,
+    eliminate_common_subexpressions,
+    estimate_rows,
+    optimize,
+    promote_hash_keys,
+    push_down_filters,
+    reorder_joins,
+)
+from repro.engine.plan import (
+    AggregateP,
+    DistinctP,
+    DivideP,
+    FilterP,
+    JoinP,
+    Plan,
+    PlanError,
+    ProjectP,
+    ScanP,
+    SetOpP,
+    SortLimitP,
+    explain,
+    resolve_column,
+)
+
+__all__ = [
+    "AggregateP",
+    "DistinctP",
+    "DivideP",
+    "Executor",
+    "FilterP",
+    "JoinP",
+    "LoweringError",
+    "Plan",
+    "PlanError",
+    "ProjectP",
+    "ScanP",
+    "SetOpP",
+    "SortLimitP",
+    "build_result_relation",
+    "common_subplan_count",
+    "compute_datalog_facts",
+    "detect_language",
+    "eliminate_common_subexpressions",
+    "estimate_rows",
+    "execute_datalog",
+    "execute_plan",
+    "explain",
+    "lower",
+    "lower_datalog_rule",
+    "lower_drc",
+    "lower_ra",
+    "lower_sql",
+    "lower_trc",
+    "optimize",
+    "promote_hash_keys",
+    "push_down_filters",
+    "reorder_joins",
+    "resolve_column",
+    "run_query",
+]

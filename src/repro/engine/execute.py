@@ -1,0 +1,724 @@
+"""The physical executor: hash joins, hash set operations, index scans.
+
+One executor runs the plans of every frontend.  Physical choices:
+
+* equi-joins build a hash table on the right input (semi/anti joins build a
+  key set) instead of the reference interpreters' nested loops;
+* DISTINCT and the set operations are hash-based;
+* constant-equality filters directly over a base-table scan use the
+  per-attribute indexes that :class:`repro.data.relation.Relation` maintains;
+* every subplan's result is memoized *by plan value* for the duration of one
+  :func:`execute_plan` call — the operational half of common subexpression
+  elimination, and what makes the dependent-join compilation of correlated
+  subqueries cheap (the embedded outer plan is evaluated once).
+
+:func:`execute_datalog` drives recursive Datalog programs with **semi-naive
+evaluation**: per stratum, each rule is re-lowered once per occurrence of a
+same-stratum predicate so that occurrence reads the delta relation, and the
+fixpoint loop only re-derives from last round's new facts.
+"""
+
+from __future__ import annotations
+
+import operator
+from collections import Counter
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.data.schema import Attribute, RelationSchema
+from repro.data.types import DataType, check_value, infer_type
+from repro.expr import ast as e
+from repro.expr.eval import _and3, _compare, _like_to_regex, _not3, _or3
+from repro.sql.evaluate import _dedupe
+from repro.engine.lower import (
+    LoweringError,
+    _PositionCol,
+    _dedupe_names,
+    detect_language,
+    lower,
+    lower_datalog_rule,
+)
+from repro.engine.plan import (
+    AggregateP,
+    DistinctP,
+    DivideP,
+    FilterP,
+    JoinP,
+    Plan,
+    PlanError,
+    ProjectP,
+    ScanP,
+    SetOpP,
+    SortLimitP,
+    resolve_column,
+)
+
+Row = tuple
+RowFn = Callable[[Row], Any]
+
+
+# ---------------------------------------------------------------------------
+# Expression compilation (row -> value closures)
+# ---------------------------------------------------------------------------
+
+def compile_expr(expr: e.Expr, columns: Sequence[str]) -> RowFn:
+    """Compile an expression into a closure over row tuples (3-valued logic)."""
+    if isinstance(expr, _PositionCol):
+        position = expr.position
+        return lambda row: row[position]
+    if isinstance(expr, (e.Const, e.BoolConst)):
+        value = expr.value
+        return lambda row: value
+    if isinstance(expr, e.Col):
+        idx = resolve_column(columns, expr.name, expr.qualifier)
+        return operator.itemgetter(idx)
+    if isinstance(expr, e.Comparison):
+        left = compile_expr(expr.left, columns)
+        right = compile_expr(expr.right, columns)
+        op = expr.op
+        return lambda row: _compare(left(row), op, right(row))
+    if isinstance(expr, e.And):
+        parts = [compile_expr(o, columns) for o in expr.operands]
+        return lambda row: _and3(p(row) for p in parts)
+    if isinstance(expr, e.Or):
+        parts = [compile_expr(o, columns) for o in expr.operands]
+        return lambda row: _or3(p(row) for p in parts)
+    if isinstance(expr, e.Not):
+        inner = compile_expr(expr.operand, columns)
+        return lambda row: _not3(inner(row))
+    if isinstance(expr, e.Neg):
+        inner = compile_expr(expr.operand, columns)
+
+        def neg(row: Row) -> Any:
+            value = inner(row)
+            return None if value is None else -value
+
+        return neg
+    if isinstance(expr, e.BinOp):
+        left = compile_expr(expr.left, columns)
+        right = compile_expr(expr.right, columns)
+        return _compile_binop(expr.op, left, right)
+    if isinstance(expr, e.IsNull):
+        inner = compile_expr(expr.operand, columns)
+        if expr.negated:
+            return lambda row: inner(row) is not None
+        return lambda row: inner(row) is None
+    if isinstance(expr, e.InList):
+        inner = compile_expr(expr.operand, columns)
+        items = [compile_expr(i, columns) for i in expr.items]
+        negated = expr.negated
+
+        def in_list(row: Row) -> Any:
+            value = inner(row)
+            result = _in_membership(value, [i(row) for i in items])
+            return _not3(result) if negated else result
+
+        return in_list
+    if isinstance(expr, e.Between):
+        inner = compile_expr(expr.operand, columns)
+        low = compile_expr(expr.low, columns)
+        high = compile_expr(expr.high, columns)
+        negated = expr.negated
+
+        def between(row: Row) -> Any:
+            value = inner(row)
+            result = _and3([_compare(value, ">=", low(row)),
+                            _compare(value, "<=", high(row))])
+            return _not3(result) if negated else result
+
+        return between
+    if isinstance(expr, e.Like):
+        inner = compile_expr(expr.operand, columns)
+        pattern = _like_to_regex(expr.pattern)
+        negated = expr.negated
+
+        def like(row: Row) -> Any:
+            value = inner(row)
+            if value is None:
+                return None
+            result = bool(pattern.match(str(value)))
+            return not result if negated else result
+
+        return like
+    if isinstance(expr, e.FuncCall) and not expr.is_aggregate:
+        args = [compile_expr(a, columns) for a in expr.args]
+        return _compile_scalar_function(expr.name, args)
+    raise PlanError(f"cannot compile expression node {type(expr).__name__}")
+
+
+def _in_membership(value: Any, items: Sequence[Any]) -> Any:
+    if value is None:
+        return None if items else False
+    saw_null = False
+    for item in items:
+        if item is None:
+            saw_null = True
+            continue
+        try:
+            if _compare(value, "=", item) is True:
+                return True
+        except e.ExprError:
+            continue
+    return None if saw_null else False
+
+
+def _compile_binop(op: str, left: RowFn, right: RowFn) -> RowFn:
+    def apply(row: Row) -> Any:
+        lhs = left(row)
+        rhs = right(row)
+        if lhs is None or rhs is None:
+            return None
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if op == "/":
+            if rhs == 0:
+                raise e.ExprError("division by zero")
+            return lhs / rhs
+        if op == "%":
+            if rhs == 0:
+                raise e.ExprError("division by zero")
+            return lhs % rhs
+        raise e.ExprError(f"unknown operator {op!r}")
+
+    return apply
+
+
+def _compile_scalar_function(name: str, args: list[RowFn]) -> RowFn:
+    def apply(row: Row) -> Any:
+        values = [a(row) for a in args]
+        if name == "abs":
+            return None if values[0] is None else abs(values[0])
+        if name == "lower":
+            return None if values[0] is None else str(values[0]).lower()
+        if name == "upper":
+            return None if values[0] is None else str(values[0]).upper()
+        if name == "length":
+            return None if values[0] is None else len(str(values[0]))
+        if name == "coalesce":
+            for value in values:
+                if value is not None:
+                    return value
+            return None
+        raise e.ExprError(f"unknown function {name!r}")
+
+    return apply
+
+
+def compile_predicate(expr: e.Expr, columns: Sequence[str]) -> Callable[[Row], bool]:
+    fn = compile_expr(expr, columns)
+    return lambda row: fn(row) is True
+
+
+# ---------------------------------------------------------------------------
+# Plan execution
+# ---------------------------------------------------------------------------
+
+class Executor:
+    """Evaluates plans against one database, memoizing per plan value."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self._memo: dict[Plan, list[Row]] = {}
+
+    def rows(self, plan: Plan) -> list[Row]:
+        cached = self._memo.get(plan)
+        if cached is None:
+            cached = self._compute(plan)
+            self._memo[plan] = cached
+        return cached
+
+    # -- operators -------------------------------------------------------
+
+    def _compute(self, plan: Plan) -> list[Row]:
+        if isinstance(plan, ScanP):
+            relation = self.db.relation(plan.relation)
+            if len(plan.columns) != relation.schema.arity:
+                raise PlanError(
+                    f"scan of {plan.relation} expects arity {len(plan.columns)}, "
+                    f"relation has {relation.schema.arity}"
+                )
+            return relation.rows()
+        if isinstance(plan, FilterP):
+            return self._filter(plan)
+        if isinstance(plan, ProjectP):
+            rows = self.rows(plan.input)
+            if all(isinstance(x, (e.Col, _PositionCol)) for x in plan.exprs):
+                # Pure column picks: batch via itemgetter.
+                indices = [
+                    x.position if isinstance(x, _PositionCol)
+                    else resolve_column(plan.input.columns, x.name, x.qualifier)
+                    for x in plan.exprs
+                ]
+                if len(indices) == 1:
+                    i0 = indices[0]
+                    return [(row[i0],) for row in rows]
+                getter = operator.itemgetter(*indices)
+                return [getter(row) for row in rows]
+            fns = [compile_expr(x, plan.input.columns) for x in plan.exprs]
+            return [tuple(fn(row) for fn in fns) for row in rows]
+        if isinstance(plan, DistinctP):
+            return _dedupe(self.rows(plan.input))
+        if isinstance(plan, JoinP):
+            return self._join(plan)
+        if isinstance(plan, SetOpP):
+            return self._setop(plan)
+        if isinstance(plan, AggregateP):
+            return self._aggregate(plan)
+        if isinstance(plan, DivideP):
+            return self._divide(plan)
+        if isinstance(plan, SortLimitP):
+            return self._sort_limit(plan)
+        raise PlanError(f"cannot execute {type(plan).__name__}")
+
+    def _filter(self, plan: FilterP) -> list[Row]:
+        conjuncts = e.conjuncts(plan.condition)
+        source = plan.input
+        rows: list[Row] | None = None
+        # Index fast path: a constant-equality conjunct directly over a scan.
+        if isinstance(source, ScanP) and source not in self._memo:
+            for conjunct in conjuncts:
+                lookup = self._index_lookup(source, conjunct)
+                if lookup is not None:
+                    rows = lookup
+                    conjuncts = [c for c in conjuncts if c is not conjunct]
+                    break
+        if rows is None:
+            rows = self.rows(source)
+        if not conjuncts:
+            return list(rows)
+        predicate = compile_predicate(e.conjunction(conjuncts), source.columns)
+        return [row for row in rows if predicate(row)]
+
+    def _index_lookup(self, scan: ScanP, conjunct: e.Expr) -> list[Row] | None:
+        if not (isinstance(conjunct, e.Comparison) and conjunct.op == "="):
+            return None
+        for col, const in ((conjunct.left, conjunct.right),
+                           (conjunct.right, conjunct.left)):
+            if isinstance(col, e.Col) and isinstance(const, e.Const) \
+                    and const.value is not None:
+                try:
+                    idx = resolve_column(scan.columns, col.name, col.qualifier)
+                except PlanError:
+                    return None
+                relation = self.db.relation(scan.relation)
+                attribute = relation.schema.attributes[idx]
+                if not check_value(const.value, attribute.dtype):
+                    # A type-mismatched constant must go through the compiled
+                    # predicate so it raises like the reference's _compare
+                    # would, instead of silently probing the hash index.
+                    return None
+                index = relation.index_on(attribute.name)
+                return list(index.get(const.value, ()))
+        return None
+
+    def _join(self, plan: JoinP) -> list[Row]:
+        left_rows = self.rows(plan.left)
+        if plan.kind in ("inner", "cross") and not plan.left_keys \
+                and plan.residual is None:
+            right_rows = self.rows(plan.right)
+            return [l + r for l in left_rows for r in right_rows]
+
+        left_cols = plan.left.columns
+        right_cols = plan.right.columns
+        left_idx = [resolve_column(left_cols, *_split_name(k)) for k in plan.left_keys]
+        right_idx = [resolve_column(right_cols, *_split_name(k)) for k in plan.right_keys]
+        residual = None
+        if plan.residual is not None:
+            residual = compile_predicate(plan.residual, left_cols + right_cols)
+
+        right_rows = self.rows(plan.right)
+        if plan.kind in ("semi", "anti"):
+            return self._semi_anti(plan, left_rows, right_rows, left_idx, right_idx,
+                                   residual)
+
+        # Inner hash join: build on the right.
+        table: dict[tuple, list[Row]] = {}
+        for row in right_rows:
+            key = tuple(row[i] for i in right_idx)
+            if not plan.null_matches and any(v is None for v in key):
+                continue
+            table.setdefault(key, []).append(row)
+        out: list[Row] = []
+        for l in left_rows:
+            key = tuple(l[i] for i in left_idx)
+            if not plan.null_matches and any(v is None for v in key):
+                continue
+            for r in table.get(key, ()):
+                row = l + r
+                if residual is None or residual(row):
+                    out.append(row)
+        return out
+
+    def _semi_anti(self, plan: JoinP, left_rows: list[Row], right_rows: list[Row],
+                   left_idx: list[int], right_idx: list[int],
+                   residual: Callable[[Row], bool] | None) -> list[Row]:
+        want_match = plan.kind == "semi"
+        if residual is None:
+            keys = set()
+            for row in right_rows:
+                key = tuple(row[i] for i in right_idx)
+                if not plan.null_matches and any(v is None for v in key):
+                    continue
+                keys.add(key)
+            out = []
+            for row in left_rows:
+                key = tuple(row[i] for i in left_idx)
+                if not plan.null_matches and any(v is None for v in key):
+                    matched = False
+                else:
+                    matched = key in keys
+                if matched == want_match:
+                    out.append(row)
+            return out
+        # Residual condition: hash on the equi part, test residual per match.
+        table: dict[tuple, list[Row]] = {}
+        for row in right_rows:
+            key = tuple(row[i] for i in right_idx)
+            if not plan.null_matches and any(v is None for v in key):
+                continue
+            table.setdefault(key, []).append(row)
+        out = []
+        for l in left_rows:
+            key = tuple(l[i] for i in left_idx)
+            if not plan.null_matches and any(v is None for v in key):
+                matched = False
+            else:
+                matched = any(residual(l + r) for r in table.get(key, ()))
+            if matched == want_match:
+                out.append(l)
+        return out
+
+    def _setop(self, plan: SetOpP) -> list[Row]:
+        left = self.rows(plan.left)
+        right = self.rows(plan.right)
+        if plan.op == "union":
+            rows = left + right
+            return _dedupe(rows) if plan.distinct else rows
+        if plan.op == "intersect":
+            if plan.distinct:
+                right_set = set(right)
+                return _dedupe([row for row in left if row in right_set])
+            counts = Counter(right)
+            out = []
+            for row in left:
+                if counts.get(row, 0) > 0:
+                    counts[row] -= 1
+                    out.append(row)
+            return out
+        # except
+        if plan.distinct:
+            right_set = set(right)
+            return _dedupe([row for row in left if row not in right_set])
+        counts = Counter(right)
+        out = []
+        for row in left:
+            if counts.get(row, 0) > 0:
+                counts[row] -= 1
+            else:
+                out.append(row)
+        return out
+
+    def _aggregate(self, plan: AggregateP) -> list[Row]:
+        rows = self.rows(plan.input)
+        columns = plan.input.columns
+        key_fns = [compile_expr(x, columns) for x in plan.group_exprs]
+        groups: dict[tuple, list[Row]] = {}
+        order: list[tuple] = []
+        for row in rows:
+            key = tuple(fn(row) for fn in key_fns)
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = bucket = []
+                order.append(key)
+            bucket.append(row)
+        if not plan.group_exprs and not groups:
+            groups[()] = []
+            order.append(())
+        agg_fns = [self._compile_aggregate(call, columns)
+                   for call, _name in plan.aggregates]
+        out: list[Row] = []
+        width = len(columns)
+        for key in order:
+            members = groups[key]
+            representative = members[0] if members else (None,) * width
+            out.append(representative + tuple(fn(members) for fn in agg_fns))
+        return out
+
+    def _compile_aggregate(self, call: e.FuncCall,
+                           columns: tuple[str, ...]) -> Callable[[list[Row]], Any]:
+        name = call.name
+        if name == "count" and call.args and isinstance(call.args[0], e.Star):
+            return len
+        if not call.args:
+            raise PlanError(f"aggregate {name.upper()} needs an argument")
+        arg = compile_expr(call.args[0], columns)
+        distinct = call.distinct
+
+        def apply(rows: list[Row]) -> Any:
+            values = [v for v in (arg(row) for row in rows) if v is not None]
+            if distinct:
+                values = list(dict.fromkeys(values))
+            if name == "count":
+                return len(values)
+            if not values:
+                return None
+            if name == "sum":
+                return sum(values)
+            if name == "avg":
+                return sum(values) / len(values)
+            if name == "min":
+                return min(values)
+            if name == "max":
+                return max(values)
+            raise PlanError(f"unknown aggregate {name!r}")
+
+        return apply
+
+    def _divide(self, plan: DivideP) -> list[Row]:
+        left_cols = plan.left.columns
+        right_names = {c.lower() for c in plan.right.columns}
+        quotient_idx = [i for i, c in enumerate(left_cols)
+                        if c.lower() not in right_names]
+        divisor_pos = {c.lower(): i for i, c in enumerate(left_cols)}
+        divisor_idx = [divisor_pos[c.lower()] for c in plan.right.columns]
+        divisor_rows = set(_dedupe(self.rows(plan.right)))
+        groups: dict[tuple, set[tuple]] = {}
+        order: list[tuple] = []
+        for row in _dedupe(self.rows(plan.left)):
+            key = tuple(row[i] for i in quotient_idx)
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = bucket = set()
+                order.append(key)
+            bucket.add(tuple(row[i] for i in divisor_idx))
+        return [key for key in order if divisor_rows <= groups[key]]
+
+    def _sort_limit(self, plan: SortLimitP) -> list[Row]:
+        rows = list(self.rows(plan.input))
+        if plan.keys:
+            from repro.sql.evaluate import _sort_key
+
+            fns = [(compile_expr(expr, plan.input.columns), ascending)
+                   for expr, ascending in plan.keys]
+
+            def key(row: Row) -> tuple:
+                return tuple(_sort_key(fn(row), ascending) for fn, ascending in fns)
+
+            rows.sort(key=key)
+        if plan.limit is not None:
+            rows = rows[:plan.limit]
+        return rows
+
+
+def _split_name(column: str) -> tuple[str, str | None]:
+    # Join keys are stored as full column spellings; resolve by exact name
+    # first (resolve_column tries the bare spelling before suffix rules).
+    return column, None
+
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+def execute_plan(plan: Plan, db: Database) -> Relation:
+    """Execute a plan and package the rows as a Relation (types inferred)."""
+    rows = Executor(db).rows(plan)
+    return build_result_relation(plan.columns, rows)
+
+
+def build_result_relation(columns: Sequence[str], rows: list[Row],
+                          *, name: str = "result") -> Relation:
+    """Build an untyped-until-observed result relation (shared helper)."""
+    names = _dedupe_names([c.split(".")[-1] or c for c in columns])
+    attributes = []
+    for i, attr_name in enumerate(names):
+        dtype = DataType.STRING
+        for row in rows:
+            if row[i] is not None:
+                try:
+                    dtype = infer_type(row[i])
+                except ValueError:
+                    dtype = DataType.STRING
+                break
+        attributes.append(Attribute(attr_name, dtype))
+    return Relation(RelationSchema(name, tuple(attributes)), rows, validate=False)
+
+
+def run_query(query: Any, db: Database, language: str | None = None,
+              *, use_optimizer: bool = True) -> Relation:
+    """Parse/lower/optimize/execute any of the five languages on the engine.
+
+    Raises :class:`LoweringError` (never silently falls back) when the query
+    is outside the engine fragment — callers that want interpreter fallback
+    handle that explicitly.
+    """
+    from repro.datalog.ast import Program
+
+    if isinstance(query, Program) or (
+            isinstance(query, str)
+            and (language or detect_language(query)).lower() == "datalog"):
+        return execute_datalog(query, db, use_optimizer=use_optimizer)
+    plan = lower(query, db.schema, language)
+    if use_optimizer:
+        from repro.engine.optimize import optimize
+
+        plan = optimize(plan, db)
+    return execute_plan(plan, db)
+
+
+# ---------------------------------------------------------------------------
+# Semi-naive Datalog
+# ---------------------------------------------------------------------------
+
+def execute_datalog(program: Any, db: Database, query: str = "ans",
+                    *, use_optimizer: bool = True) -> Relation:
+    """Evaluate a stratified Datalog program with semi-naive iteration."""
+    from repro.datalog.ast import Program
+    from repro.datalog.evaluate import _build_relation, _output_names
+    from repro.datalog.parser import parse_datalog
+
+    if isinstance(program, str):
+        program = parse_datalog(program)
+    assert isinstance(program, Program)
+    problems = program.check_safety()
+    if problems:
+        raise LoweringError("unsafe program: " + "; ".join(problems))
+
+    facts = compute_datalog_facts(program, db, use_optimizer=use_optimizer)
+    key = query.lower()
+    if key not in facts:
+        raise LoweringError(f"program defines no predicate {query!r}")
+    rows = sorted(facts[key], key=lambda r: tuple(str(v) for v in r))
+    names = _output_names(program, query, rows)
+    return _build_relation(names, list(rows))
+
+
+def compute_datalog_facts(program: Any, db: Database,
+                          *, use_optimizer: bool = True) -> dict[str, set[Row]]:
+    """All IDB (and EDB) facts of a program, via plans + semi-naive fixpoint."""
+    from repro.datalog.ast import Literal
+    from repro.datalog.stratify import evaluation_order
+    from repro.engine.optimize import optimize as optimize_plan
+
+    arities: dict[str, int] = {}
+    for rel in db:
+        arities[rel.schema.name.lower()] = rel.schema.arity
+    for rule in program.rules:
+        arities.setdefault(rule.head.predicate.lower(), rule.head.arity)
+        for item in rule.body:
+            if isinstance(item, Literal):
+                arities.setdefault(item.predicate.lower(), item.arity)
+
+    # Working database: EDB relations (shared) plus materialized IDB facts.
+    working = Database()
+    facts: dict[str, set[Row]] = {}
+    for rel in db:
+        working.add_relation(rel)
+        facts[rel.schema.name.lower()] = set(rel.row_set())
+
+    def generic_schema(predicate: str) -> RelationSchema:
+        arity = arities[predicate]
+        return RelationSchema(predicate, tuple(
+            Attribute(f"col{i + 1}", DataType.STRING) for i in range(arity)))
+
+    def materialize(predicate: str, rows: Iterable[Row]) -> None:
+        working.add_relation(
+            Relation(generic_schema(predicate), rows, validate=False))
+
+    idb = [p.lower() for p in program.idb_predicates()]
+    for predicate in idb:
+        initial = facts.get(predicate, set())
+        facts[predicate] = set(initial)
+        materialize(predicate, facts[predicate])
+
+    for stratum in evaluation_order(program):
+        stratum_preds = {p.lower() for p in stratum}
+        for predicate in stratum_preds:
+            arities[f"{predicate}@delta"] = arities[predicate]
+        stratum_rules = [r for r in program.rules
+                         if r.head.predicate.lower() in stratum_preds]
+
+        # Base plans (all occurrences read the full relations) and delta
+        # variants (one per occurrence of a same-stratum predicate).
+        base_plans: list[tuple[Any, Plan | None]] = []
+        delta_variants: list[tuple[Any, Plan]] = []
+        for rule in stratum_rules:
+            if rule.is_fact:
+                base_plans.append((rule, None))
+                continue
+            plan = lower_datalog_rule(rule, arities)
+            if use_optimizer:
+                plan = optimize_plan(plan, working)
+            base_plans.append((rule, plan))
+            for position, item in enumerate(rule.body):
+                if isinstance(item, Literal) and not item.negated \
+                        and item.predicate.lower() in stratum_preds:
+                    variant = lower_datalog_rule(
+                        rule, arities,
+                        {position: f"{item.predicate.lower()}@delta"})
+                    if use_optimizer:
+                        variant = optimize_plan(variant, working)
+                    delta_variants.append((rule, variant))
+
+        # Round 0: full evaluation of every rule.  One shared executor so the
+        # per-plan memo reuses common subplans across the stratum's rules
+        # (`working` is not mutated until after the round).
+        delta: dict[str, set[Row]] = {p: set() for p in stratum_preds}
+        executor = Executor(working)
+        for rule, plan in base_plans:
+            head = rule.head.predicate.lower()
+            if plan is None:
+                row = _fact_row(rule)
+                if row not in facts[head]:
+                    facts[head].add(row)
+                    delta[head].add(row)
+                continue
+            for row in executor.rows(plan):
+                if row not in facts[head]:
+                    facts[head].add(row)
+                    delta[head].add(row)
+        for predicate in stratum_preds:
+            materialize(predicate, facts[predicate])
+
+        # Semi-naive iteration (only needed if some rule reads a
+        # same-stratum predicate).
+        while delta_variants and any(delta[p] for p in stratum_preds):
+            for predicate in stratum_preds:
+                materialize(f"{predicate}@delta", delta[predicate])
+                arities.setdefault(f"{predicate}@delta", arities[predicate])
+            new_delta: dict[str, set[Row]] = {p: set() for p in stratum_preds}
+            executor = Executor(working)
+            for rule, variant in delta_variants:
+                head = rule.head.predicate.lower()
+                for row in executor.rows(variant):
+                    if row not in facts[head]:
+                        facts[head].add(row)
+                        new_delta[head].add(row)
+            delta = new_delta
+            for predicate in stratum_preds:
+                if delta[predicate]:
+                    materialize(predicate, facts[predicate])
+        for predicate in stratum_preds:
+            if f"{predicate}@delta" in working:
+                working.drop_relation(f"{predicate}@delta")
+
+    return facts
+
+
+def _fact_row(rule: Any) -> Row:
+    from repro.logic.terms import Const as LConst
+
+    row = []
+    for term in rule.head.terms:
+        if not isinstance(term, LConst):
+            raise LoweringError(
+                f"head variable of fact {rule.head.predicate} is unbound"
+            )
+        row.append(term.value)
+    return tuple(row)

@@ -1,0 +1,1291 @@
+"""Lowering of all five query languages onto the logical plan IR.
+
+One compiler per frontend:
+
+* :func:`lower_sql` — the SQL select/project/join fragment with set
+  operations, DISTINCT, GROUP BY / HAVING aggregates, ORDER BY / LIMIT, and
+  (possibly correlated) EXISTS / IN subqueries.  Correlated subqueries are
+  decorrelated with *dependent joins*: the subquery's FROM list is crossed
+  onto the current plan, its predicates applied, and the result semi- or
+  anti-joined back on the outer plan's own columns.  Because the outer plan
+  appears structurally inside the dependent side, the executor's
+  common-subexpression memoization evaluates it only once.
+* :func:`lower_ra` — a structural mapping of the RA operator tree, with the
+  reference evaluator's set/bag mode switching (``GroupBy`` inputs are bags,
+  set mode adds a final duplicate elimination).
+* :func:`lower_trc` / :func:`lower_drc` — safe-calculus compilation:
+  ∀ and → are rewritten away (∀x φ ⇒ ¬∃x ¬φ), negations pushed to
+  quantifiers and leaves, positive atoms become guard scans, negated
+  existentials become dependent anti-joins.
+* :func:`lower_datalog_rule` — one conjunctive plan per rule (shared by the
+  semi-naive fixpoint driver in :mod:`repro.engine.execute`).
+
+Anything outside a frontend's supported fragment raises
+:class:`LoweringError`; callers (the pipeline) fall back to the reference
+interpreter for those, so lowering never has to guess at semantics.
+
+Known, documented deviations from the reference interpreters (none are
+observable on NULL-free databases such as the generated test batteries):
+``NOT IN (subquery)`` is compiled as an anti join (NOT EXISTS semantics),
+and comparisons between incompatible types behave as the target calculus'
+evaluator does only when no rows exercise them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Mapping, Sequence
+
+from repro.data.schema import DatabaseSchema, SchemaError
+from repro.expr import ast as e
+from repro.engine.plan import (
+    AggregateP,
+    DistinctP,
+    DivideP,
+    FilterP,
+    JoinP,
+    Plan,
+    PlanError,
+    ProjectP,
+    ScanP,
+    SetOpP,
+    SortLimitP,
+    has_column,
+    resolve_column,
+)
+
+
+class LoweringError(Exception):
+    """Raised when a query lies outside the engine's supported fragment."""
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+def _cross(left: Plan | None, right: Plan) -> Plan:
+    if left is None:
+        return right
+    return JoinP(left, right, "cross")
+
+
+def _filter(plan: Plan, condition: e.Expr) -> Plan:
+    if isinstance(condition, e.BoolConst) and condition.value:
+        return plan
+    return FilterP(plan, condition)
+
+
+def _project_to(plan: Plan, columns: Sequence[str]) -> Plan:
+    """Project ``plan`` onto the named columns (by resolution), keeping names."""
+    if tuple(plan.columns) == tuple(columns):
+        return plan
+    exprs = tuple(e.Col(name) for name in columns)
+    # Column names may be dotted ("S.sid"); build Col refs that resolve by
+    # exact spelling: resolve_column tries the bare spelling first.
+    return ProjectP(plan, exprs, tuple(columns))
+
+
+def _dedupe_names(names: Sequence[str]) -> tuple[str, ...]:
+    unique: list[str] = []
+    counts: dict[str, int] = {}
+    for name in names:
+        if name in counts:
+            counts[name] += 1
+            unique.append(f"{name}_{counts[name]}")
+        else:
+            counts[name] = 1
+            unique.append(name)
+    return tuple(unique)
+
+
+def detect_language(text: str) -> str:
+    """Guess the language of a textual query (same heuristic as the
+    equivalence harness)."""
+    stripped = text.strip()
+    if stripped.lower().startswith("select") or stripped.startswith("("):
+        return "sql"
+    if stripped.startswith("{"):
+        head = stripped.split("|", 1)[0]
+        return "trc" if "." in head else "drc"
+    if ":-" in stripped or stripped.endswith("."):
+        return "datalog"
+    return "ra"
+
+
+def lower(query: Any, schema: DatabaseSchema, language: str | None = None) -> Plan:
+    """Lower any non-Datalog query representation to a plan.
+
+    ``query`` may be text (language auto-detected unless given) or a parsed
+    AST of any frontend.  Datalog programs have no single static plan (their
+    recursion is driven by :func:`repro.engine.execute.execute_datalog`) and
+    are rejected here.
+    """
+    from repro.datalog.ast import Program
+    from repro.drc.ast import DRCQuery
+    from repro.ra.ast import RAExpr
+    from repro.sql.ast import SelectQuery, SetOpQuery
+    from repro.trc.ast import TRCQuery
+
+    if isinstance(query, str):
+        language = (language or detect_language(query)).lower()
+        if language == "sql":
+            return lower_sql(query, schema)
+        if language == "ra":
+            return lower_ra(query, schema)
+        if language == "trc":
+            return lower_trc(query, schema)
+        if language == "drc":
+            return lower_drc(query, schema)
+        if language == "datalog":
+            raise LoweringError(
+                "Datalog programs are executed by execute_datalog (semi-naive), "
+                "not by a single static plan"
+            )
+        raise LoweringError(f"unknown language {language!r}")
+    if isinstance(query, (SelectQuery, SetOpQuery)):
+        return lower_sql(query, schema)
+    if isinstance(query, RAExpr):
+        return lower_ra(query, schema)
+    if isinstance(query, TRCQuery):
+        return lower_trc(query, schema)
+    if isinstance(query, DRCQuery):
+        return lower_drc(query, schema)
+    if isinstance(query, Program):
+        raise LoweringError("use execute_datalog for Datalog programs")
+    raise LoweringError(f"cannot lower query of type {type(query).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# SQL
+# ---------------------------------------------------------------------------
+
+def lower_sql(query: "Any | str", schema: DatabaseSchema) -> Plan:
+    """Lower a SQL query (text or AST) to a plan (bag semantics)."""
+    if isinstance(query, str):
+        from repro.sql.parser import parse_sql
+
+        query = parse_sql(query)
+    return _lower_sql_query(query, schema)
+
+
+def _lower_sql_query(query: Any, schema: DatabaseSchema) -> Plan:
+    from repro.sql.ast import SelectQuery, SetOpQuery
+
+    if isinstance(query, SetOpQuery):
+        left = _lower_sql_query(query.left, schema)
+        right = _lower_sql_query(query.right, schema)
+        plan: Plan = SetOpP(query.op, left, right, distinct=not query.all)
+        if query.order_by or query.limit is not None:
+            plan = _sql_sort_limit(plan, query.order_by, query.limit)
+        return plan
+    if isinstance(query, SelectQuery):
+        plan, _from_cols = _lower_select(query, schema, base=None)
+        return plan
+    raise LoweringError(f"unsupported SQL node {type(query).__name__}")
+
+
+def _lower_select(query: Any, schema: DatabaseSchema, base: Plan | None,
+                  *, project: bool = True) -> tuple[Plan, tuple[str, ...]]:
+    """Lower one SELECT block.
+
+    ``base`` is the dependent-join prefix: the outer plan whose columns a
+    correlated subquery may reference.  With ``project=False`` the plan stops
+    before the SELECT list (used for EXISTS subqueries, where only row
+    existence matters); the second return value is the columns contributed by
+    this block's own FROM list.
+    """
+    plan = base
+    from_cols: list[str] = []
+    outer_aliases = set()
+    if base is not None:
+        outer_aliases = {c.split(".", 1)[0].lower() for c in base.columns if "." in c}
+    for item in query.from_items:
+        item_plan = _lower_from_item(item, schema)
+        for col in item_plan.columns:
+            # A correlated subquery that reuses an outer alias would make the
+            # outer column shadow the inner one (the inverse of SQL scoping);
+            # those queries go to the reference interpreter instead.
+            if "." in col and col.split(".", 1)[0].lower() in outer_aliases:
+                raise LoweringError(
+                    f"correlated subquery reuses outer alias {col.split('.', 1)[0]!r}"
+                )
+            from_cols.append(col)
+        plan = _cross(plan, item_plan)
+    if plan is None:
+        raise LoweringError("a FROM clause is required")
+
+    if query.where is not None:
+        plan = _apply_sql_predicates(plan, query.where, schema)
+
+    if not project:
+        return plan, tuple(from_cols)
+
+    grouped = bool(query.group_by) or query.having is not None or any(
+        e.contains_aggregate(item.expr) for item in query.select_items
+    )
+    if grouped:
+        plan = _lower_grouped(query, plan, from_cols)
+    else:
+        plan = _sql_projection(query, plan, from_cols)
+
+    if query.distinct:
+        plan = DistinctP(plan)
+    if query.order_by or query.limit is not None:
+        plan = _sql_sort_limit(plan, query.order_by, query.limit)
+    return plan, tuple(from_cols)
+
+
+def _lower_from_item(item: Any, schema: DatabaseSchema) -> Plan:
+    from repro.sql.ast import DerivedTable, Join, TableRef
+
+    if isinstance(item, TableRef):
+        try:
+            rel = schema.relation(item.name)
+        except SchemaError as exc:
+            raise LoweringError(str(exc)) from exc
+        binding = item.binding_name
+        return ScanP(rel.name, tuple(f"{binding}.{a.name}" for a in rel.attributes))
+    if isinstance(item, DerivedTable):
+        sub = _lower_sql_query(item.query, schema)
+        names = tuple(f"{item.alias}.{c.split('.')[-1]}" for c in sub.columns)
+        return ProjectP(sub, tuple(e.Col(c) for c in sub.columns), _dedupe_names(names))
+    if isinstance(item, Join):
+        if item.natural or item.using:
+            raise LoweringError("NATURAL JOIN / USING are not lowered; write the condition")
+        if item.kind not in ("inner", "cross"):
+            raise LoweringError(f"{item.kind.upper()} JOIN is not in the engine fragment")
+        left = _lower_from_item(item.left, schema)
+        right = _lower_from_item(item.right, schema)
+        plan: Plan = JoinP(left, right, "cross")
+        if item.condition is not None:
+            if e.contains_subquery(item.condition):
+                raise LoweringError("subqueries in JOIN conditions are not lowered")
+            plan = FilterP(plan, item.condition)
+        return plan
+    raise LoweringError(f"unknown FROM item {type(item).__name__}")
+
+
+def _apply_sql_predicates(plan: Plan, where: e.Expr, schema: DatabaseSchema) -> Plan:
+    plain: list[e.Expr] = []
+    for conjunct in e.conjuncts(where):
+        if not e.contains_subquery(conjunct):
+            plain.append(conjunct)
+    if plain:
+        plan = _filter(plan, e.conjunction(plain))
+    for conjunct in e.conjuncts(where):
+        if e.contains_subquery(conjunct):
+            plan = _apply_subquery_conjunct(plan, conjunct, schema)
+    return plan
+
+
+def _apply_subquery_conjunct(plan: Plan, conjunct: e.Expr,
+                             schema: DatabaseSchema) -> Plan:
+    from repro.sql.ast import SelectQuery
+
+    if isinstance(conjunct, e.Exists):
+        if not isinstance(conjunct.query, SelectQuery):
+            raise LoweringError("EXISTS over set operations is not lowered")
+        sub = conjunct.query
+        if sub.group_by or sub.having is not None or any(
+                e.contains_aggregate(item.expr) for item in sub.select_items):
+            # A grouped subquery's row count is not its FROM/WHERE row count
+            # (an ungrouped aggregate yields one row even over empty input),
+            # so a plain existence check would be wrong.
+            raise LoweringError("aggregating EXISTS subqueries are not lowered")
+        dependent, _ = _lower_select(sub, schema, base=plan, project=False)
+        kind = "anti" if conjunct.negated else "semi"
+        return JoinP(plan, dependent, kind,
+                     left_keys=plan.columns, right_keys=plan.columns,
+                     null_matches=True)
+    if isinstance(conjunct, e.InSubquery):
+        if not isinstance(conjunct.query, SelectQuery):
+            raise LoweringError("IN over set operations is not lowered")
+        sub = conjunct.query
+        if sub.select_star or sub.star_qualifiers or len(sub.select_items) != 1:
+            raise LoweringError("IN subqueries must select exactly one column")
+        item = sub.select_items[0]
+        if e.contains_aggregate(item.expr) or sub.group_by or sub.having is not None:
+            raise LoweringError("aggregating IN subqueries are not lowered")
+        dependent, _ = _lower_select(sub, schema, base=plan, project=False)
+        dependent = _filter(dependent, e.Comparison(conjunct.operand, "=", item.expr))
+        kind = "anti" if conjunct.negated else "semi"
+        return JoinP(plan, dependent, kind,
+                     left_keys=plan.columns, right_keys=plan.columns,
+                     null_matches=True)
+    raise LoweringError(
+        f"predicate {type(conjunct).__name__} with a subquery is not in the engine fragment"
+    )
+
+
+def _sql_projection(query: Any, plan: Plan, from_cols: Sequence[str]) -> Plan:
+    exprs: list[e.Expr] = []
+    names: list[str] = []
+    if query.select_star or query.star_qualifiers:
+        for col in from_cols:
+            alias, _, bare = col.rpartition(".")
+            if query.select_star or alias in query.star_qualifiers:
+                exprs.append(e.Col(col))
+                names.append(bare)
+    for i, item in enumerate(query.select_items):
+        if e.contains_subquery(item.expr):
+            raise LoweringError("subqueries in the SELECT list are not lowered")
+        exprs.append(item.expr)
+        names.append(item.output_name(i))
+    if not exprs:
+        raise LoweringError("empty SELECT list")
+    return ProjectP(plan, tuple(exprs), _dedupe_names(names))
+
+
+def _collect_aggregates(expr: e.Expr) -> list[e.FuncCall]:
+    return [n for n in expr.walk() if isinstance(n, e.FuncCall) and n.is_aggregate]
+
+
+def _replace_aggregates(expr: e.Expr, mapping: Mapping[e.FuncCall, str]) -> e.Expr:
+    if isinstance(expr, e.FuncCall) and expr.is_aggregate:
+        return e.Col(mapping[expr])
+    if isinstance(expr, e.FuncCall):  # scalar function over an aggregate
+        return e.FuncCall(expr.name,
+                          tuple(_replace_aggregates(a, mapping) for a in expr.args),
+                          expr.distinct)
+    if isinstance(expr, e.Comparison):
+        return e.Comparison(_replace_aggregates(expr.left, mapping), expr.op,
+                            _replace_aggregates(expr.right, mapping))
+    if isinstance(expr, e.BinOp):
+        return e.BinOp(expr.op, _replace_aggregates(expr.left, mapping),
+                       _replace_aggregates(expr.right, mapping))
+    if isinstance(expr, e.Neg):
+        return e.Neg(_replace_aggregates(expr.operand, mapping))
+    if isinstance(expr, e.And):
+        return e.And(tuple(_replace_aggregates(o, mapping) for o in expr.operands))
+    if isinstance(expr, e.Or):
+        return e.Or(tuple(_replace_aggregates(o, mapping) for o in expr.operands))
+    if isinstance(expr, e.Not):
+        return e.Not(_replace_aggregates(expr.operand, mapping))
+    if isinstance(expr, e.IsNull):
+        return e.IsNull(_replace_aggregates(expr.operand, mapping), expr.negated)
+    if isinstance(expr, e.Between):
+        return e.Between(_replace_aggregates(expr.operand, mapping),
+                         _replace_aggregates(expr.low, mapping),
+                         _replace_aggregates(expr.high, mapping), expr.negated)
+    if isinstance(expr, e.InList):
+        return e.InList(_replace_aggregates(expr.operand, mapping),
+                        tuple(_replace_aggregates(i, mapping) for i in expr.items),
+                        expr.negated)
+    return expr
+
+
+def _lower_grouped(query: Any, plan: Plan, from_cols: Sequence[str]) -> Plan:
+    if query.select_star or query.star_qualifiers:
+        raise LoweringError("SELECT * cannot be combined with GROUP BY / aggregates")
+    for expr in query.group_by:
+        if e.contains_subquery(expr) or e.contains_aggregate(expr):
+            raise LoweringError("GROUP BY expressions must be plain")
+
+    calls: list[e.FuncCall] = []
+    for item in query.select_items:
+        calls.extend(_collect_aggregates(item.expr))
+    if query.having is not None:
+        if e.contains_subquery(query.having):
+            raise LoweringError("subqueries in HAVING are not lowered")
+        calls.extend(_collect_aggregates(query.having))
+    mapping: dict[e.FuncCall, str] = {}
+    aggregates: list[tuple[e.FuncCall, str]] = []
+    for call in calls:
+        if call not in mapping:
+            name = f"__agg{len(mapping)}"
+            mapping[call] = name
+            aggregates.append((call, name))
+
+    out: Plan = AggregateP(plan, tuple(query.group_by), tuple(aggregates))
+    if query.having is not None:
+        out = FilterP(out, _replace_aggregates(query.having, mapping))
+    exprs = tuple(_replace_aggregates(item.expr, mapping) for item in query.select_items)
+    names = _dedupe_names([item.output_name(i) for i, item in enumerate(query.select_items)])
+    return ProjectP(out, exprs, names)
+
+
+def _sql_sort_limit(plan: Plan, order_by: Sequence[Any], limit: int | None) -> Plan:
+    keys = []
+    for item in order_by:
+        expr = item.expr
+        if e.contains_subquery(expr) or e.contains_aggregate(expr):
+            raise LoweringError("ORDER BY expressions must be plain")
+        # The reference orders over *output* columns, retrying a qualified
+        # reference by its bare name; mirror that by stripping qualifiers
+        # that do not resolve against the output.
+        for col in expr.columns():
+            if not has_column(plan.columns, col.name, col.qualifier):
+                if col.qualifier and has_column(plan.columns, col.name):
+                    expr = e.map_columns(
+                        expr, lambda c: e.Col(c.name) if c == col else c)  # noqa: B023
+                else:
+                    raise LoweringError(
+                        f"ORDER BY column {col.qualified()} does not resolve "
+                        "against the output"
+                    )
+        keys.append((expr, item.ascending))
+    return SortLimitP(plan, tuple(keys), limit)
+
+
+# ---------------------------------------------------------------------------
+# Relational Algebra
+# ---------------------------------------------------------------------------
+
+def lower_ra(expr: "Any | str", schema: DatabaseSchema, *, bag: bool = False) -> Plan:
+    """Lower an RA expression (text or AST); set semantics by default."""
+    from repro.ra.ast import RAError
+
+    if isinstance(expr, str):
+        from repro.ra.parser import parse_ra
+
+        expr = parse_ra(expr)
+    try:
+        plan = _lower_ra(expr, schema, bag=bag)
+    except (RAError, SchemaError) as exc:
+        raise LoweringError(str(exc)) from exc
+    if not bag:
+        plan = DistinctP(plan)
+    return plan
+
+
+def _lower_ra(expr: Any, schema: DatabaseSchema, *, bag: bool) -> Plan:
+    from repro.ra import ast as ra
+    from repro.ra.ast import output_schema
+
+    def names_of(node: Any) -> tuple[str, ...]:
+        return output_schema(node, schema).attribute_names
+
+    if isinstance(expr, ra.RelationRef):
+        return ScanP(schema.relation(expr.name).name, names_of(expr))
+    if isinstance(expr, ra.Rename):
+        inner = _lower_ra(expr.input, schema, bag=bag)
+        return ProjectP(inner, tuple(e.Col(c) for c in inner.columns), names_of(expr))
+    if isinstance(expr, ra.Selection):
+        return FilterP(_lower_ra(expr.input, schema, bag=bag), expr.condition)
+    if isinstance(expr, ra.Projection):
+        inner = _lower_ra(expr.input, schema, bag=bag)
+        exprs = []
+        for column in expr.columns:
+            qualifier, name = ra._split_reference(column)
+            exprs.append(e.Col(name, qualifier))
+        plan: Plan = ProjectP(inner, tuple(exprs), names_of(expr))
+        return plan if bag else DistinctP(plan)
+    if isinstance(expr, ra.ThetaJoin):
+        joined = JoinP(_lower_ra(expr.left, schema, bag=bag),
+                       _lower_ra(expr.right, schema, bag=bag), "cross")
+        # The concatenated schema prefixes clashing attribute names; re-expose
+        # every position under those names before filtering (positional, since
+        # the raw concatenation may contain duplicates).
+        renamed = _project_positions(joined, range(len(joined.columns)), names_of(expr))
+        return FilterP(renamed, expr.condition)
+    if isinstance(expr, ra.Product):
+        joined = JoinP(_lower_ra(expr.left, schema, bag=bag),
+                       _lower_ra(expr.right, schema, bag=bag), "cross")
+        names = names_of(expr)
+        if joined.columns == names:
+            return joined
+        return _project_positions(joined, range(len(joined.columns)), names)
+    if isinstance(expr, ra.NaturalJoin):
+        left = _lower_ra(expr.left, schema, bag=bag)
+        right = _lower_ra(expr.right, schema, bag=bag)
+        shared = [c for c in left.columns if c in right.columns]
+        kept = [c for c in right.columns if c not in shared]
+        joined = JoinP(left, right, "inner",
+                       left_keys=tuple(shared), right_keys=tuple(shared),
+                       null_matches=True)
+        if not kept:
+            return _project_positions(joined, range(len(left.columns)), left.columns)
+        return _project_positions(
+            joined,
+            list(range(len(left.columns)))
+            + [len(left.columns) + right.columns.index(c) for c in kept],
+            names_of(expr),
+        )
+    if isinstance(expr, (ra.SemiJoin, ra.AntiJoin)):
+        left = _lower_ra(expr.left, schema, bag=bag)
+        right = _lower_ra(expr.right, schema, bag=bag)
+        kind = "semi" if isinstance(expr, ra.SemiJoin) else "anti"
+        if expr.condition is None:
+            shared = [c for c in left.columns if c in right.columns]
+            return JoinP(left, right, kind,
+                         left_keys=tuple(shared), right_keys=tuple(shared),
+                         null_matches=True)
+        return JoinP(left, right, kind, residual=expr.condition)
+    if isinstance(expr, ra.Union):
+        plan = SetOpP("union", _lower_ra(expr.left, schema, bag=bag),
+                      _lower_ra(expr.right, schema, bag=bag), distinct=not bag)
+        return plan
+    if isinstance(expr, ra.Intersection):
+        return SetOpP("intersect", _lower_ra(expr.left, schema, bag=bag),
+                      _lower_ra(expr.right, schema, bag=bag), distinct=True)
+    if isinstance(expr, ra.Difference):
+        return SetOpP("except", _lower_ra(expr.left, schema, bag=bag),
+                      _lower_ra(expr.right, schema, bag=bag), distinct=True)
+    if isinstance(expr, ra.Division):
+        return DivideP(_lower_ra(expr.left, schema, bag=False),
+                       _lower_ra(expr.right, schema, bag=False))
+    if isinstance(expr, ra.Distinct):
+        return DistinctP(_lower_ra(expr.input, schema, bag=bag))
+    if isinstance(expr, ra.GroupBy):
+        # The reference evaluator always feeds GroupBy a bag.
+        inner = _lower_ra(expr.input, schema, bag=True)
+        group_exprs = []
+        group_positions = []
+        for column in expr.group_columns:
+            qualifier, name = ra._split_reference(column)
+            group_exprs.append(e.Col(name, qualifier))
+            group_positions.append(resolve_column(inner.columns, name, qualifier))
+        agg = AggregateP(inner, tuple(group_exprs), tuple(expr.aggregates))
+        return _project_positions(
+            agg,
+            group_positions
+            + list(range(len(inner.columns), len(inner.columns) + len(expr.aggregates))),
+            names_of(expr),
+        )
+    raise LoweringError(f"unhandled RA node {type(expr).__name__}")
+
+
+class _PositionCol(e.Expr):
+    """Internal marker expression: fetch an input column by position."""
+
+    __slots__ = ("position",)
+
+    def __init__(self, position: int) -> None:
+        self.position = position
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _PositionCol) and other.position == self.position
+
+    def __hash__(self) -> int:
+        return hash(("_PositionCol", self.position))
+
+    def walk(self):
+        yield self
+
+    def children(self) -> tuple:
+        return ()
+
+
+def _project_positions(plan: Plan, positions: Sequence[int],
+                       names: Sequence[str]) -> Plan:
+    return ProjectP(plan, tuple(_PositionCol(p) for p in positions),
+                    _dedupe_names(names))
+
+
+# ---------------------------------------------------------------------------
+# Tuple Relational Calculus
+# ---------------------------------------------------------------------------
+
+def lower_trc(query: "Any | str", schema: DatabaseSchema) -> Plan:
+    """Lower a safe TRC query (text or AST) to a plan (set semantics)."""
+    from repro.trc.ast import (
+        AttrRef,
+        ConstTerm,
+        TRCError,
+        free_tuple_variables,
+        variable_ranges,
+    )
+
+    if isinstance(query, str):
+        from repro.trc.parser import parse_trc
+
+        query = parse_trc(query)
+
+    try:
+        body = _alpha_rename_trc(query.body)
+        ranges = variable_ranges(body)
+    except TRCError as exc:
+        raise LoweringError(str(exc)) from exc
+    body = _rewrite_trc(body)
+
+    plan: Plan | None = None
+    for var in free_tuple_variables(body):
+        if var.name not in ranges:
+            raise LoweringError(f"free tuple variable {var.name!r} has no relation atom")
+        plan = _cross(plan, _trc_scan(var.name, ranges, schema))
+    if plan is None:
+        raise LoweringError("TRC query has no free tuple variables")
+    plan = _apply_trc(plan, body, ranges, schema)
+
+    exprs: list[e.Expr] = []
+    for item in query.head:
+        if isinstance(item.term, AttrRef):
+            exprs.append(e.Col(item.term.attr, item.term.var.name))
+        elif isinstance(item.term, ConstTerm):
+            exprs.append(e.Const(item.term.value))
+        else:
+            raise LoweringError(f"unsupported head term {item.term!r}")
+    names = _dedupe_names([item.output_name(i) for i, item in enumerate(query.head)])
+    return DistinctP(ProjectP(plan, tuple(exprs), names))
+
+
+def _trc_scan(var_name: str, ranges: Mapping[str, str], schema: DatabaseSchema) -> Plan:
+    try:
+        rel = schema.relation(ranges[var_name])
+    except SchemaError as exc:
+        raise LoweringError(str(exc)) from exc
+    return ScanP(rel.name, tuple(f"{var_name}.{a.name}" for a in rel.attributes))
+
+
+def _alpha_rename_trc(formula: Any) -> Any:
+    """Rename quantifier-bound tuple variables apart (so sibling scopes that
+    reuse a name compile to distinct plan columns)."""
+    from repro.trc import ast as t
+
+    used: set[str] = {v.name for v in t.all_tuple_variables(formula)}
+    counter = itertools.count(1)
+
+    def fresh(name: str) -> str:
+        while True:
+            candidate = f"{name}_{next(counter)}"
+            if candidate not in used:
+                used.add(candidate)
+                return candidate
+
+    def rename(node: Any, env: Mapping[str, str], seen: set[str]) -> Any:
+        if isinstance(node, t.RelAtom):
+            name = env.get(node.var.name, node.var.name)
+            return t.RelAtom(node.relation, t.TupleVar(name))
+        if isinstance(node, t.TRCCompare):
+            def term(x: Any) -> Any:
+                if isinstance(x, t.AttrRef):
+                    return t.AttrRef(t.TupleVar(env.get(x.var.name, x.var.name)), x.attr)
+                return x
+            return t.TRCCompare(term(node.left), node.op, term(node.right))
+        if isinstance(node, (t.TRCExists, t.TRCForAll)):
+            new_env = dict(env)
+            new_vars = []
+            for var in node.variables:
+                if var.name in seen:
+                    new_name = fresh(var.name)
+                else:
+                    new_name = var.name
+                seen.add(new_name)
+                new_env[var.name] = new_name
+                new_vars.append(t.TupleVar(new_name))
+            body = rename(node.body, new_env, seen)
+            cls = t.TRCExists if isinstance(node, t.TRCExists) else t.TRCForAll
+            return cls(tuple(new_vars), body)
+        if isinstance(node, t.TRCAnd):
+            return t.TRCAnd(tuple(rename(o, env, seen) for o in node.operands))
+        if isinstance(node, t.TRCOr):
+            return t.TRCOr(tuple(rename(o, env, seen) for o in node.operands))
+        if isinstance(node, t.TRCNot):
+            return t.TRCNot(rename(node.operand, env, seen))
+        if isinstance(node, t.TRCImplies):
+            return t.TRCImplies(rename(node.antecedent, env, seen),
+                                rename(node.consequent, env, seen))
+        return node
+
+    from repro.trc.ast import free_tuple_variables
+
+    seen = {v.name for v in free_tuple_variables(formula)}
+    return rename(formula, {}, seen)
+
+
+def _rewrite_trc(formula: Any) -> Any:
+    """Eliminate →/∀ and push negations down to quantifiers and leaves."""
+    from repro.trc import ast as t
+
+    def elim(node: Any) -> Any:
+        if isinstance(node, t.TRCImplies):
+            return t.TRCOr((t.TRCNot(elim(node.antecedent)), elim(node.consequent)))
+        if isinstance(node, t.TRCForAll):
+            return t.TRCNot(t.TRCExists(node.variables, t.TRCNot(elim(node.body))))
+        if isinstance(node, t.TRCAnd):
+            return t.TRCAnd(tuple(elim(o) for o in node.operands))
+        if isinstance(node, t.TRCOr):
+            return t.TRCOr(tuple(elim(o) for o in node.operands))
+        if isinstance(node, t.TRCNot):
+            return t.TRCNot(elim(node.operand))
+        if isinstance(node, t.TRCExists):
+            return t.TRCExists(node.variables, elim(node.body))
+        return node
+
+    def push(node: Any, negate: bool) -> Any:
+        if isinstance(node, t.TRCTrue):
+            return t.TRCTrue(node.value != negate)
+        if isinstance(node, (t.RelAtom, t.TRCCompare)):
+            return t.TRCNot(node) if negate else node
+        if isinstance(node, t.TRCNot):
+            return push(node.operand, not negate)
+        if isinstance(node, t.TRCAnd):
+            parts = tuple(push(o, negate) for o in node.operands)
+            return t.TRCOr(parts) if negate else t.TRCAnd(parts)
+        if isinstance(node, t.TRCOr):
+            parts = tuple(push(o, negate) for o in node.operands)
+            return t.TRCAnd(parts) if negate else t.TRCOr(parts)
+        if isinstance(node, t.TRCExists):
+            inner = t.TRCExists(node.variables, push(node.body, False))
+            return t.TRCNot(inner) if negate else inner
+        raise LoweringError(f"unexpected TRC node {type(node).__name__}")
+
+    return push(elim(formula), False)
+
+
+class _NotLocal(Exception):
+    """Internal: a formula is not a plain predicate over bound columns."""
+
+
+def _trc_conjuncts(formula: Any) -> list[Any]:
+    from repro.trc import ast as t
+
+    if isinstance(formula, t.TRCAnd):
+        out: list[Any] = []
+        for operand in formula.operands:
+            out.extend(_trc_conjuncts(operand))
+        return out
+    if isinstance(formula, t.TRCTrue) and formula.value:
+        return []
+    return [formula]
+
+
+def _trc_var_bound(columns: Sequence[str], var_name: str) -> bool:
+    prefix = f"{var_name.lower()}."
+    return any(c.lower().startswith(prefix) for c in columns)
+
+
+def _trc_local_expr(formula: Any, columns: Sequence[str]) -> e.Expr:
+    from repro.trc import ast as t
+
+    if isinstance(formula, t.TRCTrue):
+        return e.BoolConst(formula.value)
+    if isinstance(formula, t.RelAtom):
+        if _trc_var_bound(columns, formula.var.name):
+            return e.BoolConst(True)
+        raise _NotLocal()
+    if isinstance(formula, t.TRCCompare):
+        def term(x: Any) -> e.Expr:
+            if isinstance(x, t.AttrRef):
+                if not _trc_var_bound(columns, x.var.name):
+                    raise _NotLocal()
+                return e.Col(x.attr, x.var.name)
+            return e.Const(x.value)
+        return e.Comparison(term(formula.left), formula.op, term(formula.right))
+    if isinstance(formula, t.TRCAnd):
+        return e.conjunction([_trc_local_expr(o, columns) for o in formula.operands])
+    if isinstance(formula, t.TRCOr):
+        return e.disjunction([_trc_local_expr(o, columns) for o in formula.operands])
+    if isinstance(formula, t.TRCNot):
+        inner = _trc_local_expr(formula.operand, columns)
+        if isinstance(inner, e.BoolConst):
+            return e.BoolConst(not inner.value)
+        return e.Not(inner)
+    raise _NotLocal()
+
+
+def _apply_trc(plan: Plan, formula: Any, ranges: Mapping[str, str],
+               schema: DatabaseSchema) -> Plan:
+    """Filter/extend ``plan`` so its rows satisfy ``formula``.
+
+    Positive relation atoms introduce guard scans for not-yet-bound
+    variables; quantifiers compile to dependent semi/anti joins keyed on the
+    current plan's own columns.
+    """
+    from repro.trc import ast as t
+
+    conjuncts = _trc_conjuncts(formula)
+
+    # Guards first: they bind variables the other conjuncts reference.
+    for conjunct in conjuncts:
+        if isinstance(conjunct, t.RelAtom) and not _trc_var_bound(plan.columns, conjunct.var.name):
+            plan = _cross(plan, _trc_scan(conjunct.var.name, ranges, schema))
+
+    deferred: list[Any] = []
+    local_parts: list[e.Expr] = []
+    for conjunct in conjuncts:
+        try:
+            local_parts.append(_trc_local_expr(conjunct, plan.columns))
+        except _NotLocal:
+            deferred.append(conjunct)
+    if local_parts:
+        plan = _filter(plan, e.conjunction(local_parts))
+
+    for conjunct in deferred:
+        plan = _apply_trc_quantified(plan, conjunct, ranges, schema)
+    return plan
+
+
+def _apply_trc_quantified(plan: Plan, conjunct: Any, ranges: Mapping[str, str],
+                          schema: DatabaseSchema) -> Plan:
+    from repro.trc import ast as t
+
+    if isinstance(conjunct, t.TRCExists):
+        dependent = _trc_extend(plan, conjunct, ranges, schema)
+        return JoinP(plan, dependent, "semi",
+                     left_keys=plan.columns, right_keys=plan.columns,
+                     null_matches=True)
+    if isinstance(conjunct, t.TRCNot):
+        inner = conjunct.operand
+        if isinstance(inner, t.TRCExists):
+            dependent = _trc_extend(plan, inner, ranges, schema)
+            return JoinP(plan, dependent, "anti",
+                         left_keys=plan.columns, right_keys=plan.columns,
+                         null_matches=True)
+        raise LoweringError(
+            f"negation of {type(inner).__name__} is not in the safe TRC fragment"
+        )
+    if isinstance(conjunct, t.TRCOr):
+        branches = []
+        for operand in conjunct.operands:
+            branch = _apply_trc(plan, operand, ranges, schema)
+            branches.append(_project_to(branch, plan.columns))
+        out = branches[0]
+        for branch in branches[1:]:
+            out = SetOpP("union", out, branch, distinct=True)
+        return out
+    raise LoweringError(f"cannot lower TRC conjunct {type(conjunct).__name__}")
+
+
+def _trc_extend(plan: Plan, quantified: Any, ranges: Mapping[str, str],
+                schema: DatabaseSchema) -> Plan:
+    """The dependent side of a quantifier: plan × ranges of the bound
+    variables, filtered by the quantifier body."""
+    extended = plan
+    for var in quantified.variables:
+        if var.name not in ranges:
+            raise LoweringError(
+                f"quantified variable {var.name!r} has no relation atom (unsafe)"
+            )
+        if not _trc_var_bound(extended.columns, var.name):
+            extended = _cross(extended, _trc_scan(var.name, ranges, schema))
+    return _apply_trc(extended, quantified.body, ranges, schema)
+
+
+# ---------------------------------------------------------------------------
+# Domain Relational Calculus
+# ---------------------------------------------------------------------------
+
+def lower_drc(query: "Any | str", schema: DatabaseSchema) -> Plan:
+    """Lower a safe (guarded) DRC query (text or AST) to a plan."""
+    from repro.drc.ast import DRCError
+    from repro.drc.evaluate import _rewrite as drc_rewrite
+    from repro.logic.terms import Const as LConst, Var as LVar
+
+    if isinstance(query, str):
+        from repro.drc.parser import parse_drc
+
+        query = parse_drc(query)
+
+    try:
+        body = drc_rewrite(_alpha_rename_drc(query.body))
+    except DRCError as exc:
+        raise LoweringError(str(exc)) from exc
+
+    plan = _apply_drc(None, body, schema)
+    if plan is None:
+        raise LoweringError("DRC query has no positive relation atoms")
+
+    exprs: list[e.Expr] = []
+    for term in query.head:
+        if isinstance(term, LVar):
+            if not has_column(plan.columns, term.name):
+                raise LoweringError(
+                    f"head variable {term.name!r} is not bound by a positive atom"
+                )
+            exprs.append(e.Col(term.name))
+        elif isinstance(term, LConst):
+            exprs.append(e.Const(term.value))
+        else:
+            raise LoweringError(f"unsupported head term {term!r}")
+    names = _dedupe_names(query.output_names())
+    return DistinctP(ProjectP(plan, tuple(exprs), names))
+
+
+def _alpha_rename_drc(formula: Any) -> Any:
+    """Rename quantifier-bound domain variables apart (so sibling scopes that
+    reuse a name compile to distinct plan columns)."""
+    from repro.logic import formula as f
+    from repro.logic.formula import free_variables
+    from repro.logic.terms import Var as LVar
+
+    used: set[str] = set()
+    for node in _walk_drc(formula):
+        if isinstance(node, f.Atom):
+            used.update(t.name for t in node.terms if isinstance(t, LVar))
+        elif isinstance(node, f.Compare):
+            used.update(t.name for t in (node.left, node.right) if isinstance(t, LVar))
+        elif isinstance(node, (f.Exists, f.ForAll)):
+            used.update(v.name for v in node.variables)
+    counter = itertools.count(1)
+
+    def fresh(name: str) -> str:
+        while True:
+            candidate = f"{name}_{next(counter)}"
+            if candidate not in used:
+                used.add(candidate)
+                return candidate
+
+    def rename(node: Any, env: Mapping[str, str], seen: set[str]) -> Any:
+        if isinstance(node, f.Truth):
+            return node
+        if isinstance(node, f.Atom):
+            return f.Atom(node.predicate, tuple(
+                LVar(env.get(t.name, t.name)) if isinstance(t, LVar) else t
+                for t in node.terms))
+        if isinstance(node, f.Compare):
+            def term(x: Any) -> Any:
+                if isinstance(x, LVar):
+                    return LVar(env.get(x.name, x.name))
+                return x
+            return f.Compare(term(node.left), node.op, term(node.right))
+        if isinstance(node, f.And):
+            return f.And(tuple(rename(o, env, seen) for o in node.operands))
+        if isinstance(node, f.Or):
+            return f.Or(tuple(rename(o, env, seen) for o in node.operands))
+        if isinstance(node, f.Not):
+            return f.Not(rename(node.operand, env, seen))
+        if isinstance(node, f.Implies):
+            return f.Implies(rename(node.antecedent, env, seen),
+                             rename(node.consequent, env, seen))
+        if isinstance(node, f.Iff):
+            return f.Iff(rename(node.left, env, seen), rename(node.right, env, seen))
+        if isinstance(node, (f.Exists, f.ForAll)):
+            new_env = dict(env)
+            new_vars = []
+            for var in node.variables:
+                new_name = fresh(var.name) if var.name in seen else var.name
+                seen.add(new_name)
+                new_env[var.name] = new_name
+                new_vars.append(LVar(new_name))
+            body = rename(node.body, new_env, seen)
+            cls = f.Exists if isinstance(node, f.Exists) else f.ForAll
+            return cls(tuple(new_vars), body)
+        raise LoweringError(f"unexpected DRC node {type(node).__name__}")
+
+    seen = {v.name for v in free_variables(formula)}
+    return rename(formula, {}, seen)
+
+
+def _walk_drc(formula: Any):
+    yield formula
+    for child in formula.children():
+        yield from _walk_drc(child)
+
+
+def _apply_drc(plan: Plan | None, formula: Any, schema: DatabaseSchema) -> Plan | None:
+    from repro.logic import formula as f
+
+    conjuncts = _drc_conjuncts(formula)
+
+    # Positive atoms first: they bind variables.
+    for conjunct in conjuncts:
+        if isinstance(conjunct, f.Atom):
+            plan = _drc_join_atom(plan, conjunct, schema)
+
+    deferred: list[Any] = []
+    local_parts: list[e.Expr] = []
+    for conjunct in conjuncts:
+        if isinstance(conjunct, f.Atom):
+            continue
+        try:
+            local_parts.append(_drc_local_expr(conjunct, () if plan is None else plan.columns))
+        except _NotLocal:
+            deferred.append(conjunct)
+    if local_parts:
+        if plan is None:
+            raise LoweringError("comparison over unguarded variables (unsafe DRC)")
+        plan = _filter(plan, e.conjunction(local_parts))
+
+    for conjunct in deferred:
+        plan = _apply_drc_quantified(plan, conjunct, schema)
+    return plan
+
+
+def _drc_conjuncts(formula: Any) -> list[Any]:
+    from repro.logic import formula as f
+
+    if isinstance(formula, f.And):
+        out: list[Any] = []
+        for operand in formula.operands:
+            out.extend(_drc_conjuncts(operand))
+        return out
+    if isinstance(formula, f.Truth) and formula.value:
+        return []
+    return [formula]
+
+
+def _drc_atom_plan(atom: Any, schema: DatabaseSchema) -> tuple[Plan, list[str]]:
+    """A plan for one positive atom, projected onto its variables."""
+    from repro.logic.terms import Const as LConst, Var as LVar
+
+    try:
+        rel = schema.relation(atom.predicate)
+    except SchemaError as exc:
+        raise LoweringError(str(exc)) from exc
+    if rel.arity != len(atom.terms):
+        raise LoweringError(
+            f"atom {atom.predicate} has {len(atom.terms)} terms but the relation "
+            f"has arity {rel.arity}"
+        )
+    temp = tuple(f"__{atom.predicate.lower()}.{i}" for i in range(rel.arity))
+    plan: Plan = ScanP(rel.name, temp)
+    conditions: list[e.Expr] = []
+    var_first: dict[str, int] = {}
+    for i, term in enumerate(atom.terms):
+        if isinstance(term, LConst):
+            conditions.append(e.Comparison(e.Col(temp[i]), "=", e.Const(term.value)))
+        elif isinstance(term, LVar):
+            if term.name in var_first:
+                conditions.append(e.Comparison(e.Col(temp[i]), "=",
+                                               e.Col(temp[var_first[term.name]])))
+            else:
+                var_first[term.name] = i
+        else:
+            raise LoweringError(f"unsupported atom term {term!r}")
+    if conditions:
+        plan = FilterP(plan, e.conjunction(conditions))
+    variables = list(var_first)
+    if not variables:
+        # A fully-constant atom: keep a single marker column so the plan has
+        # a schema; membership is what matters.
+        return ProjectP(plan, (e.Col(temp[0]),), (f"__{atom.predicate.lower()}_witness",)), []
+    plan = ProjectP(plan, tuple(e.Col(temp[var_first[v]]) for v in variables),
+                    tuple(variables))
+    return plan, variables
+
+
+def _drc_join_atom(plan: Plan | None, atom: Any, schema: DatabaseSchema) -> Plan:
+    atom_plan, variables = _drc_atom_plan(atom, schema)
+    if plan is None:
+        return atom_plan
+    shared = [v for v in variables if has_column(plan.columns, v)]
+    new = [v for v in variables if v not in shared]
+    if not new:
+        # Pure membership test.
+        return JoinP(plan, atom_plan, "semi",
+                     left_keys=tuple(shared), right_keys=tuple(shared),
+                     null_matches=True)
+    joined = JoinP(plan, atom_plan, "inner",
+                   left_keys=tuple(shared), right_keys=tuple(shared),
+                   null_matches=True)
+    positions = list(range(len(plan.columns))) + [
+        len(plan.columns) + variables.index(v) for v in new
+    ]
+    return _project_positions(joined, positions, tuple(plan.columns) + tuple(new))
+
+
+def _drc_local_expr(formula: Any, columns: Sequence[str]) -> e.Expr:
+    from repro.logic import formula as f
+    from repro.logic.terms import Const as LConst, Var as LVar
+
+    if isinstance(formula, f.Truth):
+        return e.BoolConst(formula.value)
+    if isinstance(formula, f.Compare):
+        def term(x: Any) -> e.Expr:
+            if isinstance(x, LVar):
+                if not has_column(columns, x.name):
+                    raise _NotLocal()
+                return e.Col(x.name)
+            if isinstance(x, LConst):
+                return e.Const(x.value)
+            raise _NotLocal()
+        return e.Comparison(term(formula.left), formula.op, term(formula.right))
+    if isinstance(formula, f.And):
+        return e.conjunction([_drc_local_expr(o, columns) for o in formula.operands])
+    if isinstance(formula, f.Or):
+        return e.disjunction([_drc_local_expr(o, columns) for o in formula.operands])
+    if isinstance(formula, f.Not):
+        inner = _drc_local_expr(formula.operand, columns)
+        if isinstance(inner, e.BoolConst):
+            return e.BoolConst(not inner.value)
+        return e.Not(inner)
+    raise _NotLocal()
+
+
+def _apply_drc_quantified(plan: Plan | None, conjunct: Any,
+                          schema: DatabaseSchema) -> Plan:
+    from repro.logic import formula as f
+
+    if isinstance(conjunct, f.Exists):
+        extended = _apply_drc(plan, conjunct.body, schema)
+        if extended is None:
+            raise LoweringError("existential body binds no variables (unsafe DRC)")
+        if plan is None:
+            return extended
+        return extended
+    if isinstance(conjunct, f.Not):
+        if plan is None:
+            raise LoweringError("top-level negation is unsafe DRC")
+        inner = conjunct.operand
+        if isinstance(inner, f.Exists):
+            dependent = _apply_drc(plan, inner.body, schema)
+            assert dependent is not None
+            return JoinP(plan, dependent, "anti",
+                         left_keys=plan.columns, right_keys=plan.columns,
+                         null_matches=True)
+        if isinstance(inner, f.Atom):
+            atom_plan, variables = _drc_atom_plan(inner, schema)
+            if variables and not all(has_column(plan.columns, v) for v in variables):
+                raise LoweringError(
+                    f"negated atom {inner.predicate} has unguarded variables"
+                )
+            return JoinP(plan, atom_plan, "anti",
+                         left_keys=tuple(variables), right_keys=tuple(variables),
+                         null_matches=True)
+        raise LoweringError(
+            f"negation of {type(inner).__name__} is not in the guarded DRC fragment"
+        )
+    if isinstance(conjunct, f.Or):
+        if plan is None:
+            branches = [_apply_drc(None, operand, schema) for operand in conjunct.operands]
+            if any(b is None for b in branches):
+                raise LoweringError("disjunct binds no variables (unsafe DRC)")
+            shared = [c for c in branches[0].columns
+                      if all(has_column(b.columns, c) for b in branches[1:])]
+            if not shared:
+                raise LoweringError("disjuncts share no variables (unsafe DRC)")
+            out = _project_to(branches[0], shared)
+            for branch in branches[1:]:
+                out = SetOpP("union", out, _project_to(branch, shared), distinct=True)
+            return out
+        branches = []
+        for operand in conjunct.operands:
+            branch = _apply_drc(plan, operand, schema)
+            assert branch is not None
+            branches.append(_project_to(branch, plan.columns))
+        out = branches[0]
+        for branch in branches[1:]:
+            out = SetOpP("union", out, branch, distinct=True)
+        return out
+    raise LoweringError(f"cannot lower DRC conjunct {type(conjunct).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Datalog (per-rule; the fixpoint loop lives in engine.execute)
+# ---------------------------------------------------------------------------
+
+def lower_datalog_rule(rule: Any, arities: Mapping[str, int],
+                       scan_overrides: Mapping[int, str] | None = None) -> Plan:
+    """Lower one Datalog rule body to a plan producing head rows.
+
+    ``arities`` maps (lower-cased) predicate names to arities — needed for
+    IDB predicates that may be empty when the plan is built.
+    ``scan_overrides`` maps *positions in the rule body* to replacement
+    relation names; the semi-naive driver uses this to point one occurrence
+    of a recursive predicate at its delta relation.
+    """
+    from repro.datalog.ast import BuiltinComparison, Literal
+    from repro.logic.terms import Const as LConst, Var as LVar
+
+    overrides = scan_overrides or {}
+    plan: Plan | None = None
+
+    # Positive literals, in body order.
+    for position, item in enumerate(rule.body):
+        if not (isinstance(item, Literal) and not item.negated):
+            continue
+        relation = overrides.get(position, item.predicate)
+        plan = _datalog_join_literal(plan, item, relation, arities)
+
+    # Comparisons, then negated literals (all their variables are bound by
+    # the positive part — rule safety guarantees it).
+    for item in rule.body:
+        if isinstance(item, BuiltinComparison):
+            if plan is None:
+                raise LoweringError("comparison with no positive literals (unsafe rule)")
+            plan = _filter(plan, e.Comparison(
+                _datalog_term_expr(item.left, plan.columns),
+                item.op,
+                _datalog_term_expr(item.right, plan.columns),
+            ))
+    for position, item in enumerate(rule.body):
+        if isinstance(item, Literal) and item.negated:
+            if plan is None:
+                raise LoweringError("negated literal with no positive literals (unsafe rule)")
+            atom_plan, variables = _datalog_literal_plan(
+                item, overrides.get(position, item.predicate), arities)
+            if not all(has_column(plan.columns, v) for v in variables):
+                raise LoweringError(
+                    f"negated literal {item.predicate} has unbound variables"
+                )
+            plan = JoinP(plan, atom_plan, "anti",
+                         left_keys=tuple(variables), right_keys=tuple(variables),
+                         null_matches=True)
+
+    # Head projection.
+    exprs: list[e.Expr] = []
+    for term in rule.head.terms:
+        if isinstance(term, LVar):
+            if plan is None or not has_column(plan.columns, term.name):
+                raise LoweringError(
+                    f"head variable {term.name} of {rule.head.predicate} is unbound"
+                )
+            exprs.append(e.Col(term.name))
+        elif isinstance(term, LConst):
+            exprs.append(e.Const(term.value))
+        else:
+            raise LoweringError(f"unsupported head term {term!r}")
+    if plan is None:
+        raise LoweringError("facts are materialised directly, not lowered")
+    names = _dedupe_names([f"col{i + 1}" for i in range(len(exprs))])
+    return DistinctP(ProjectP(plan, tuple(exprs), names))
+
+
+def _datalog_literal_plan(literal: Any, relation: str,
+                          arities: Mapping[str, int]) -> tuple[Plan, list[str]]:
+    from repro.logic.terms import Const as LConst, Var as LVar
+
+    arity = arities.get(literal.predicate.lower())
+    if arity is None:
+        raise LoweringError(f"unknown predicate {literal.predicate!r}")
+    if arity != literal.arity:
+        raise LoweringError(
+            f"literal {literal.predicate} has arity {literal.arity}, expected {arity}"
+        )
+    temp = tuple(f"__{literal.predicate.lower()}.{i}" for i in range(arity))
+    plan: Plan = ScanP(relation, temp)
+    conditions: list[e.Expr] = []
+    var_first: dict[str, int] = {}
+    for i, term in enumerate(literal.terms):
+        if isinstance(term, LConst):
+            conditions.append(e.Comparison(e.Col(temp[i]), "=", e.Const(term.value)))
+        elif isinstance(term, LVar):
+            if term.name in var_first:
+                conditions.append(e.Comparison(e.Col(temp[i]), "=",
+                                               e.Col(temp[var_first[term.name]])))
+            else:
+                var_first[term.name] = i
+        else:
+            raise LoweringError(f"unsupported literal term {term!r}")
+    if conditions:
+        plan = FilterP(plan, e.conjunction(conditions))
+    variables = list(var_first)
+    if not variables:
+        return ProjectP(plan, (e.Col(temp[0]) if temp else e.Const(1),),
+                        (f"__{literal.predicate.lower()}_witness",)), []
+    plan = ProjectP(plan, tuple(e.Col(temp[var_first[v]]) for v in variables),
+                    tuple(variables))
+    return plan, variables
+
+
+def _datalog_join_literal(plan: Plan | None, literal: Any, relation: str,
+                          arities: Mapping[str, int]) -> Plan:
+    literal_plan, variables = _datalog_literal_plan(literal, relation, arities)
+    if plan is None:
+        return literal_plan
+    shared = [v for v in variables if has_column(plan.columns, v)]
+    new = [v for v in variables if v not in shared]
+    if not new:
+        return JoinP(plan, literal_plan, "semi",
+                     left_keys=tuple(shared), right_keys=tuple(shared),
+                     null_matches=True)
+    joined = JoinP(plan, literal_plan, "inner",
+                   left_keys=tuple(shared), right_keys=tuple(shared),
+                   null_matches=True)
+    positions = list(range(len(plan.columns))) + [
+        len(plan.columns) + variables.index(v) for v in new
+    ]
+    return _project_positions(joined, positions, tuple(plan.columns) + tuple(new))
+
+
+def _datalog_term_expr(term: Any, columns: Sequence[str]) -> e.Expr:
+    from repro.logic.terms import Const as LConst, Var as LVar
+
+    if isinstance(term, LVar):
+        if not has_column(columns, term.name):
+            raise LoweringError(f"comparison variable {term.name} is unbound")
+        return e.Col(term.name)
+    if isinstance(term, LConst):
+        return e.Const(term.value)
+    raise LoweringError(f"unsupported term {term!r}")

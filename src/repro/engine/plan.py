@@ -1,0 +1,343 @@
+"""The logical plan IR shared by all five query-language frontends.
+
+Every frontend (SQL, RA, TRC, DRC, Datalog) compiles — via
+:mod:`repro.engine.lower` — into the small operator algebra defined here;
+:mod:`repro.engine.optimize` rewrites plans and :mod:`repro.engine.execute`
+runs them with hash-based physical operators.  This is the raco-style
+logical→physical split: the per-language evaluators remain the semantic
+oracles, the plan IR is the single hot path.
+
+Plans are immutable, hashable trees.  Hashability is load-bearing: the
+executor memoizes results *by plan value*, which is what makes common
+subexpression elimination (and the dependent-join compilation of correlated
+subqueries, which duplicates the outer plan structurally) cheap at runtime.
+
+Every node exposes ``columns``, its ordered output column names.  Scalar and
+boolean expressions attached to nodes reuse :mod:`repro.expr.ast`; column
+references are resolved against ``columns`` with the same qualified /
+suffix-matching rules as :func:`repro.ra.ast.resolve_attribute`, but case-
+insensitively (SQL identifiers and calculus attributes both compare that
+way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.expr.ast import BoolConst, Expr, FuncCall
+
+
+class PlanError(Exception):
+    """Raised for malformed plans or unresolvable column references."""
+
+
+class Plan:
+    """Base class of logical plan nodes."""
+
+    columns: tuple[str, ...]
+
+    def children(self) -> tuple["Plan", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Plan"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def operator_count(self) -> int:
+        return sum(1 for _ in self.walk())
+
+
+@dataclass(frozen=True)
+class ScanP(Plan):
+    """Read one base relation, exposing its rows under ``columns``."""
+
+    relation: str
+    columns: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "columns", tuple(self.columns))
+
+
+@dataclass(frozen=True)
+class FilterP(Plan):
+    """Keep rows whose predicate evaluates to TRUE (3-valued logic)."""
+
+    input: Plan
+    condition: Expr = field(default_factory=lambda: BoolConst(True))
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.input.columns
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.input,)
+
+
+@dataclass(frozen=True)
+class ProjectP(Plan):
+    """Evaluate one expression per output column (projection + rename)."""
+
+    input: Plan
+    exprs: tuple[Expr, ...] = ()
+    names: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "exprs", tuple(self.exprs))
+        object.__setattr__(self, "names", tuple(self.names))
+        if len(self.exprs) != len(self.names):
+            raise PlanError("projection exprs and names must have the same length")
+        if not self.exprs:
+            raise PlanError("projection needs at least one column")
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.names
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.input,)
+
+
+@dataclass(frozen=True)
+class DistinctP(Plan):
+    """Hash-based duplicate elimination."""
+
+    input: Plan
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.input.columns
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.input,)
+
+
+#: Join kinds understood by the executor.
+JOIN_KINDS = ("inner", "cross", "semi", "anti")
+
+
+@dataclass(frozen=True)
+class JoinP(Plan):
+    """A join; with equi-keys it executes as a hash join.
+
+    ``kind``:
+
+    * ``inner`` / ``cross`` — output is ``left.columns + right.columns``;
+    * ``semi`` — left rows with at least one match on the right;
+    * ``anti`` — left rows with no match on the right.
+
+    ``left_keys`` / ``right_keys`` name equi-join columns (hashed).  The
+    optional ``residual`` condition is evaluated over the concatenated row.
+    ``null_matches`` selects the key-comparison semantics: ``False`` means
+    SQL equality (NULL never matches, used for keys extracted from
+    predicates); ``True`` means plain Python equality (used for natural
+    joins, calculus variable joins, and dependent joins, mirroring the
+    reference evaluators).
+    """
+
+    left: Plan
+    right: Plan
+    kind: str = "inner"
+    left_keys: tuple[str, ...] = ()
+    right_keys: tuple[str, ...] = ()
+    residual: Expr | None = None
+    null_matches: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "left_keys", tuple(self.left_keys))
+        object.__setattr__(self, "right_keys", tuple(self.right_keys))
+        if self.kind not in JOIN_KINDS:
+            raise PlanError(f"unknown join kind {self.kind!r}")
+        if len(self.left_keys) != len(self.right_keys):
+            raise PlanError("left and right join keys must have the same length")
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        if self.kind in ("semi", "anti"):
+            return self.left.columns
+        return self.left.columns + self.right.columns
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class SetOpP(Plan):
+    """Union / intersection / difference, positionally, with bag or set semantics.
+
+    ``distinct=False`` gives the SQL ``ALL`` variants (bag union,
+    multiplicity-respecting intersect/except); ``distinct=True`` the set
+    variants.  Output columns are the left input's.
+    """
+
+    op: str
+    left: Plan
+    right: Plan
+    distinct: bool = True
+
+    def __post_init__(self) -> None:
+        if self.op not in ("union", "intersect", "except"):
+            raise PlanError(f"unknown set operation {self.op!r}")
+        if len(self.left.columns) != len(self.right.columns):
+            raise PlanError(
+                f"{self.op}: operands have different arities "
+                f"({len(self.left.columns)} vs {len(self.right.columns)})"
+            )
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.left.columns
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class AggregateP(Plan):
+    """Group by ``group_exprs`` and compute ``aggregates`` per group.
+
+    The output row is the group's *first input row* (representative values
+    for every input column) followed by one value per aggregate; projections
+    above pick out the columns a query actually asked for.  With no grouping
+    expressions and empty input, one all-NULL representative row is emitted
+    (``COUNT`` → 0, other aggregates → NULL), matching SQL.
+    """
+
+    input: Plan
+    group_exprs: tuple[Expr, ...] = ()
+    aggregates: tuple[tuple[FuncCall, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "group_exprs", tuple(self.group_exprs))
+        object.__setattr__(self, "aggregates", tuple(self.aggregates))
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.input.columns + tuple(name for _call, name in self.aggregates)
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.input,)
+
+
+@dataclass(frozen=True)
+class DivideP(Plan):
+    """Relational division: left ÷ right (set semantics)."""
+
+    left: Plan
+    right: Plan
+
+    def __post_init__(self) -> None:
+        right_names = {c.lower() for c in self.right.columns}
+        kept = tuple(c for c in self.left.columns if c.lower() not in right_names)
+        if not kept:
+            raise PlanError("division result would have an empty schema")
+        missing = right_names - {c.lower() for c in self.left.columns}
+        if missing:
+            raise PlanError(f"division: divisor columns {sorted(missing)} not in dividend")
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        right_names = {c.lower() for c in self.right.columns}
+        return tuple(c for c in self.left.columns if c.lower() not in right_names)
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class SortLimitP(Plan):
+    """ORDER BY (over the input's own columns) and/or LIMIT."""
+
+    input: Plan
+    keys: tuple[tuple[Expr, bool], ...] = ()  # (expression, ascending)
+    limit: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "keys", tuple(tuple(k) for k in self.keys))
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.input.columns
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.input,)
+
+
+# ---------------------------------------------------------------------------
+# Column resolution
+# ---------------------------------------------------------------------------
+
+def resolve_column(columns: Sequence[str], name: str, qualifier: str | None = None,
+                   *, strict: bool = False) -> int:
+    """Resolve a possibly-qualified column reference to a position.
+
+    Resolution order mirrors :func:`repro.ra.ast.resolve_attribute` (so RA
+    conditions behave identically on the engine and on the reference
+    interpreter), case-insensitively:
+
+    1. a column spelled (or suffixed) ``qualifier.name``;
+    2. a column spelled exactly ``name``;
+    3. a unique column suffixed ``.name``.
+
+    With ``strict=True`` a qualified reference never falls back to rules 2–3:
+    the optimizer uses strict mode to decide which side of a join a predicate
+    belongs to (where the lenient fallback would mis-place it), while the
+    executor compiles with the lenient, reference-compatible rules.
+    """
+    lowered = [c.lower() for c in columns]
+    if qualifier:
+        qualified = f"{qualifier}.{name}".lower()
+        for i, c in enumerate(lowered):
+            if c == qualified:
+                return i
+        suffix_hits = [i for i, c in enumerate(lowered) if c.endswith(qualified)]
+        if len(suffix_hits) == 1:
+            return suffix_hits[0]
+        if strict:
+            raise PlanError(
+                f"column {qualifier}.{name} not found in {tuple(columns)}"
+            )
+    target = name.lower()
+    for i, c in enumerate(lowered):
+        if c == target:
+            return i
+    suffix = f".{target}"
+    suffix_hits = [i for i, c in enumerate(lowered) if c.endswith(suffix)]
+    if len(suffix_hits) == 1:
+        return suffix_hits[0]
+    if len(suffix_hits) > 1:
+        raise PlanError(f"ambiguous column reference {name!r} in {tuple(columns)}")
+    raise PlanError(
+        f"column {qualifier + '.' if qualifier else ''}{name} not found in {tuple(columns)}"
+    )
+
+
+def has_column(columns: Sequence[str], name: str, qualifier: str | None = None,
+               *, strict: bool = False) -> bool:
+    """True iff :func:`resolve_column` would succeed."""
+    try:
+        resolve_column(columns, name, qualifier, strict=strict)
+        return True
+    except PlanError:
+        return False
+
+
+def explain(plan: Plan, *, indent: int = 0) -> str:
+    """A compact, indented rendering of a plan tree (for debugging/benchmarks)."""
+    pad = "  " * indent
+    label = type(plan).__name__.removesuffix("P")
+    details = ""
+    if isinstance(plan, ScanP):
+        details = f" {plan.relation}"
+    elif isinstance(plan, JoinP):
+        keys = ", ".join(f"{l}={r}" for l, r in zip(plan.left_keys, plan.right_keys))
+        details = f" [{plan.kind}{': ' + keys if keys else ''}]"
+    elif isinstance(plan, SetOpP):
+        details = f" [{plan.op}{'' if plan.distinct else ' all'}]"
+    elif isinstance(plan, ProjectP):
+        details = f" -> ({', '.join(plan.names)})"
+    lines = [f"{pad}{label}{details}"]
+    for child in plan.children():
+        lines.append(explain(child, indent=indent + 1))
+    return "\n".join(lines)

@@ -351,6 +351,11 @@ def _replace_aggregates(expr: Expr, member_scopes: list[Scope], subquery_eval) -
     """Replace aggregate calls by constants computed over the group."""
     if isinstance(expr, FuncCall) and expr.is_aggregate:
         return Const(compute_aggregate(expr, member_scopes, subquery_eval))
+    if isinstance(expr, FuncCall):  # scalar function over an aggregate
+        return FuncCall(expr.name,
+                        tuple(_replace_aggregates(a, member_scopes, subquery_eval)
+                              for a in expr.args),
+                        expr.distinct)
     if isinstance(expr, BinOp):
         return BinOp(expr.op,
                      _replace_aggregates(expr.left, member_scopes, subquery_eval),

@@ -49,14 +49,16 @@ def answer_relation(query: Any, db: Database, *, datalog_answer: str = "ans") ->
     if isinstance(query, Relation):
         return query
     if isinstance(query, str):
-        stripped = query.strip()
-        if stripped.lower().startswith("select") or stripped.startswith("("):
+        from repro.engine.lower import detect_language
+
+        language = detect_language(query)
+        if language == "sql":
             return evaluate_sql(query, db)
-        if stripped.startswith("{"):
-            if _looks_like_drc(stripped):
-                return evaluate_drc(query, db)
+        if language == "drc":
+            return evaluate_drc(query, db)
+        if language == "trc":
             return evaluate_trc(query, db)
-        if ":-" in stripped or stripped.endswith("."):
+        if language == "datalog":
             return evaluate_datalog(query, db, query=datalog_answer)
         from repro.ra.parser import parse_ra
 
@@ -72,16 +74,6 @@ def answer_relation(query: Any, db: Database, *, datalog_answer: str = "ans") ->
     if isinstance(query, Program):
         return evaluate_datalog(query, db, query=datalog_answer)
     raise EquivalenceError(f"cannot evaluate query of type {type(query).__name__}")
-
-
-def _looks_like_drc(text: str) -> bool:
-    """Heuristic: DRC atoms have several comma-separated terms; TRC atoms have one.
-
-    A query written as ``{ x | R(x, y) ... }`` (multi-term atom) is DRC;
-    ``{ t.a | R(t) ... }`` (attribute references in the head) is TRC.
-    """
-    head = text.split("|", 1)[0]
-    return "." not in head
 
 
 @dataclass

@@ -1,0 +1,354 @@
+"""Differential tests: the unified plan engine vs. the five reference interpreters.
+
+The engine (`repro.engine`) compiles SQL, RA, TRC, DRC, and Datalog into one
+logical plan IR and executes it with hash-based physical operators.  The
+per-language evaluators remain the semantic oracles: every test here asserts
+bag-equality (set-equality for the calculi, whose outputs are sets by
+construction) between the engine and the reference on the full canonical
+catalog, with and without the optimizer, on the cow-book instance and on
+random instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.relation import Relation, relation_from_rows
+from repro.data.sailors import random_sailors_database, sailors_database
+from repro.datalog.evaluate import evaluate_datalog
+from repro.engine import (
+    DistinctP,
+    FilterP,
+    JoinP,
+    LoweringError,
+    ProjectP,
+    ScanP,
+    common_subplan_count,
+    estimate_rows,
+    execute_plan,
+    lower,
+    optimize,
+    run_query,
+)
+from repro.queries import CANONICAL_QUERIES, LANGUAGES
+from repro.translate.equivalence import answer_relation, standard_database_battery
+
+pytestmark = []
+
+ALL_CELLS = [
+    pytest.param(query, language, id=f"{query.id}-{language}")
+    for query in CANONICAL_QUERIES
+    for language in LANGUAGES
+]
+
+
+class TestDifferentialCatalog:
+    """Engine results match all five interpreters over the whole catalog."""
+
+    @pytest.mark.parametrize("query,language", ALL_CELLS)
+    def test_catalog_matches_reference(self, db, query, language):
+        text = query.languages()[language]
+        engine = run_query(text, db, language.lower())
+        reference = answer_relation(text, db)
+        assert engine.bag_equal(reference), (
+            f"{query.id}/{language}: engine {sorted(engine.rows())} "
+            f"!= reference {sorted(reference.rows())}"
+        )
+
+    @pytest.mark.parametrize("query,language", ALL_CELLS)
+    def test_catalog_matches_without_optimizer(self, db, query, language):
+        text = query.languages()[language]
+        engine = run_query(text, db, language.lower(), use_optimizer=False)
+        reference = answer_relation(text, db)
+        assert engine.bag_equal(reference)
+
+    @pytest.mark.parametrize("query,language", ALL_CELLS)
+    def test_catalog_matches_on_random_instances(self, query, language):
+        text = query.languages()[language]
+        for instance in standard_database_battery(extra_random=2, rows=8):
+            engine = run_query(text, instance, language.lower())
+            reference = answer_relation(text, instance)
+            assert engine.bag_equal(reference), f"{query.id}/{language} disagrees"
+
+    def test_expected_names(self, db, canonical_query):
+        for language, text in canonical_query.languages().items():
+            result = run_query(text, db, language.lower())
+            assert {row[0] for row in result.distinct_rows()} == set(
+                canonical_query.expected_names), f"{canonical_query.id}/{language}"
+
+
+class TestSQLFragment:
+    """Engine coverage of SQL beyond the catalog queries."""
+
+    EXTRA_SQL = [
+        "SELECT B.color, COUNT(*) AS n FROM Boats B GROUP BY B.color",
+        "SELECT B.color, COUNT(*) AS n FROM Boats B GROUP BY B.color HAVING COUNT(*) > 1",
+        "SELECT S.sname FROM Sailors S WHERE S.rating > 7 ORDER BY S.sname LIMIT 3",
+        "SELECT S.sname, S.age FROM Sailors S ORDER BY S.age DESC, S.sname",
+        "SELECT S.sid FROM Sailors S INTERSECT SELECT R.sid FROM Reserves R",
+        "SELECT S.sid FROM Sailors S EXCEPT SELECT R.sid FROM Reserves R",
+        "SELECT R.sid FROM Reserves R UNION ALL SELECT R2.sid FROM Reserves R2",
+        "SELECT * FROM Boats B WHERE B.color = 'red'",
+        "SELECT DISTINCT S.sname FROM Sailors S JOIN Reserves R ON S.sid = R.sid",
+        "SELECT MAX(S.age) AS m, MIN(S.rating) AS lo FROM Sailors S",
+        "SELECT AVG(S.age) AS a FROM Sailors S WHERE S.rating > 100",
+        "SELECT T.sname FROM (SELECT S.sname, S.rating FROM Sailors S) T "
+        "WHERE T.rating >= 9",
+        "SELECT COUNT(*) AS n FROM Sailors S, Reserves R WHERE S.sid = R.sid",
+        "SELECT S.sname FROM Sailors S WHERE S.age BETWEEN 20 AND 30",
+        "SELECT S.sname FROM Sailors S WHERE S.sname LIKE 'H%'",
+        "SELECT S.sname FROM Sailors S WHERE S.rating IN (9, 10)",
+    ]
+
+    @pytest.mark.parametrize("sql", EXTRA_SQL)
+    def test_extra_sql_matches_reference(self, db, sql):
+        assert run_query(sql, db, "sql").bag_equal(answer_relation(sql, db))
+
+    def test_unsupported_sql_raises_lowering_error(self, db):
+        with pytest.raises(LoweringError):
+            run_query("SELECT S.sname FROM Sailors S LEFT JOIN Reserves R "
+                      "ON S.sid = R.sid", db, "sql")
+
+    def test_subquery_reusing_outer_alias_is_rejected_not_mislowered(self, db):
+        # SQL scoping says the inner S shadows the outer S; the flat dependent
+        # join cannot express that, so the engine must refuse (and the
+        # pipeline falls back) rather than silently bind to the outer alias.
+        sql = ("SELECT S.sname FROM Sailors S WHERE EXISTS "
+               "(SELECT S.rating FROM Sailors S WHERE S.rating > 9)")
+        with pytest.raises(LoweringError):
+            run_query(sql, db, "sql")
+        from repro.core import QueryVisualizationPipeline
+        from repro.sql.evaluate import evaluate_sql
+
+        result = QueryVisualizationPipeline(db).run(sql)
+        assert not result.used_engine
+        assert result.answers is not None
+        assert result.answers.bag_equal(evaluate_sql(sql, db))
+
+
+class TestSemiNaiveDatalog:
+    def _edge_db(self, n: int, extra=()) -> Database:
+        edges = [(i, i + 1) for i in range(1, n)] + list(extra)
+        return Database([
+            relation_from_rows("edge", [("src", "int"), ("dst", "int")], edges)
+        ])
+
+    def test_transitive_closure_matches_naive(self):
+        db = self._edge_db(25, extra=[(10, 2), (20, 5)])
+        program = ("tc(X, Y) :- edge(X, Y).\n"
+                   "tc(X, Z) :- tc(X, Y), edge(Y, Z).\n"
+                   "ans(X, Y) :- tc(X, Y).")
+        engine = run_query(program, db, "datalog")
+        reference = evaluate_datalog(program, db)
+        assert engine.bag_equal(reference)
+
+    def test_nonlinear_recursion(self):
+        db = self._edge_db(12)
+        program = ("tc(X, Y) :- edge(X, Y).\n"
+                   "tc(X, Z) :- tc(X, Y), tc(Y, Z).\n"
+                   "ans(X, Y) :- tc(X, Y).")
+        engine = run_query(program, db, "datalog")
+        reference = evaluate_datalog(program, db)
+        assert engine.bag_equal(reference)
+
+    def test_stratified_negation_over_recursion(self):
+        db = self._edge_db(10, extra=[(30, 31)])
+        program = ("reach(Y) :- edge(1, Y).\n"
+                   "reach(Z) :- reach(Y), edge(Y, Z).\n"
+                   "isolated(X) :- edge(X, Y), not reach(X).\n"
+                   "ans(X) :- isolated(X).")
+        engine = run_query(program, db, "datalog")
+        reference = evaluate_datalog(program, db)
+        assert engine.bag_equal(reference)
+
+    def test_facts_and_constants(self, db):
+        program = ("special(102).\n"
+                   "ans(N) :- sailors(S, N, R, A), reserves(S, B, D), special(B).")
+        engine = run_query(program, db, "datalog")
+        reference = evaluate_datalog(program, db)
+        assert engine.bag_equal(reference)
+
+
+class TestOptimizer:
+    def test_pushdown_and_key_promotion_produce_hash_joins(self, db):
+        sql = ("SELECT DISTINCT S.sname FROM Sailors S, Reserves R, Boats B "
+               "WHERE S.sid = R.sid AND R.bid = B.bid AND B.color = 'red'")
+        plan = optimize(lower(sql, db.schema, "sql"), db)
+        keyed_joins = [n for n in plan.walk()
+                       if isinstance(n, JoinP) and n.left_keys]
+        assert keyed_joins, "expected equi-joins to be promoted to hash joins"
+        # The constant selection must sit on (or below) the Boats scan, not
+        # above a product.
+        for node in plan.walk():
+            if isinstance(node, FilterP):
+                assert not isinstance(node.input, JoinP) or node.input.kind != "cross"
+
+    def test_optimizer_preserves_results_on_random_instances(self):
+        for seed in range(3):
+            instance = random_sailors_database(
+                n_sailors=12, n_boats=5, n_reserves=30, seed=seed)
+            for query in CANONICAL_QUERIES:
+                for language, text in query.languages().items():
+                    if language == "Datalog":
+                        continue
+                    plain = execute_plan(lower(text, instance.schema,
+                                               language.lower()), instance)
+                    tuned = execute_plan(
+                        optimize(lower(text, instance.schema, language.lower()),
+                                 instance), instance)
+                    assert plain.bag_equal(tuned), f"{query.id}/{language} seed={seed}"
+
+    def test_cse_dedupes_dependent_join_copies(self, db):
+        # Q4's nested NOT EXISTS embeds the outer plan twice; after CSE the
+        # shared subtrees are literally the same object.
+        plan = lower(CANONICAL_QUERIES[3].sql, db.schema, "sql")
+        assert common_subplan_count(optimize(plan, db)) > 0
+
+    def test_reordering_keeps_dependent_joins_shared(self, db):
+        # Join reordering must not flatten through the outer plan embedded in
+        # a dependent join's right side — the left plan has to stay a
+        # structural subtree of the right so the executor evaluates it once.
+        sql = ("SELECT S.sname FROM Sailors S, Reserves R WHERE S.sid = R.sid "
+               "AND EXISTS (SELECT B.bid FROM Boats B WHERE B.bid = R.bid "
+               "AND B.color = 'red')")
+        optimized = optimize(lower(sql, db.schema, "sql"), db)
+        dependent = [n for n in optimized.walk()
+                     if isinstance(n, JoinP) and n.kind == "semi"]
+        assert dependent
+        join = dependent[0]
+        assert any(sub == join.left for sub in join.right.walk())
+        assert execute_plan(optimized, db).bag_equal(answer_relation(sql, db))
+
+    def test_aggregating_exists_is_rejected_not_mislowered(self, db):
+        # An ungrouped aggregate subquery yields a row even over empty input,
+        # so a plain existence check would be wrong; the engine must refuse.
+        sql = ("SELECT S.sid FROM Sailors S WHERE EXISTS "
+               "(SELECT COUNT(*) FROM Reserves R WHERE R.sid = S.sid "
+               "HAVING COUNT(*) > 1)")
+        with pytest.raises(LoweringError):
+            run_query(sql, db, "sql")
+
+    def test_scalar_function_over_aggregate(self, db):
+        sql = "SELECT ABS(COUNT(*)) AS n FROM Sailors S"
+        assert run_query(sql, db, "sql").bag_equal(answer_relation(sql, db))
+
+    def test_estimates_are_positive_and_monotone_in_data(self):
+        small = random_sailors_database(n_sailors=5, n_boats=3, n_reserves=10, seed=0)
+        large = random_sailors_database(n_sailors=50, n_boats=10, n_reserves=150, seed=0)
+        plan = lower("SELECT S.sname FROM Sailors S, Reserves R "
+                     "WHERE S.sid = R.sid", small.schema, "sql")
+        assert 0 < estimate_rows(plan, small) <= estimate_rows(plan, large)
+
+
+class TestDataLayer:
+    def test_contains_uses_cached_set(self):
+        rel = relation_from_rows("R", [("a", "int")], [(i,) for i in range(100)])
+        assert (5,) in rel
+        assert (200,) not in rel
+        rel.add((200,))
+        assert (200,) in rel  # cache is maintained incrementally
+
+    def test_distinct_rows_cached_and_consistent(self):
+        rel = relation_from_rows("R", [("a", "int")], [(1,), (1,), (2,)])
+        first = rel.distinct_rows()
+        assert first == [(1,), (2,)]
+        assert rel.cardinality(distinct=True) == 2
+        rel.add((3,))
+        assert rel.distinct_rows() == [(1,), (2,), (3,)]
+        assert rel.cardinality(distinct=True) == 3
+        first.append((99,))  # callers get a copy, the cache is unaffected
+        assert rel.distinct_rows() == [(1,), (2,), (3,)]
+
+    def test_index_on_maintained_on_add(self):
+        rel = relation_from_rows("R", [("a", "int"), ("b", "str")],
+                                 [(1, "x"), (2, "y"), (1, "z")])
+        index = rel.index_on("a")
+        assert sorted(index[1]) == [(1, "x"), (1, "z")]
+        rel.add((1, "w"))
+        assert len(rel.index_on("a")[1]) == 3
+
+    def test_database_index_on(self, db):
+        index = db.index_on("Boats", "color")
+        assert {row[0] for row in index["red"]} == {102, 104}
+
+
+class TestMultiLanguagePipeline:
+    def test_pipeline_runs_sql_ra_and_datalog_with_diagrams(self, db):
+        from repro.core import QueryVisualizationPipeline
+
+        pipeline = QueryVisualizationPipeline(db)
+        for query in CANONICAL_QUERIES:
+            for language in ("sql", "ra", "datalog"):
+                text = query.languages()[
+                    {"sql": "SQL", "ra": "RA", "datalog": "Datalog"}[language]]
+                result = pipeline.run(text, language=language)
+                assert result.answers is not None
+                names = {row[0] for row in result.answers.distinct_rows()}
+                assert names == set(query.expected_names), f"{query.id}/{language}"
+                assert result.diagram.nodes, f"{query.id}/{language} has no diagram"
+
+    def test_pipeline_runs_the_calculi(self, db, canonical_query):
+        from repro.core import QueryVisualizationPipeline
+
+        pipeline = QueryVisualizationPipeline(db)
+        for language, key in (("trc", "TRC"), ("drc", "DRC")):
+            result = pipeline.run(canonical_query.languages()[key], language=language)
+            assert result.answers is not None
+            assert {row[0] for row in result.answers.distinct_rows()} == set(
+                canonical_query.expected_names)
+
+    def test_pipeline_records_engine_plan_and_timings(self, db):
+        from repro.core import QueryVisualizationPipeline
+
+        result = QueryVisualizationPipeline(db).run(CANONICAL_QUERIES[0].sql)
+        assert result.used_engine
+        assert {"parse", "lower", "optimize", "execute", "evaluate"} <= set(result.timings)
+
+    def test_pipeline_falls_back_outside_the_fragment(self, db):
+        from repro.core import QueryVisualizationPipeline
+
+        sql = ("SELECT S.sname FROM Sailors S LEFT JOIN Reserves R "
+               "ON S.sid = R.sid WHERE R.sid IS NULL")
+        result = QueryVisualizationPipeline(db, formalism="sqlvis").run(sql)
+        assert result.answers is not None
+        assert not result.used_engine
+        assert any("fallback" in w for w in result.warnings)
+        from repro.sql.evaluate import evaluate_sql
+
+        assert result.answers.bag_equal(evaluate_sql(sql, db))
+
+    def test_answer_any_autodetects_language(self, db):
+        from repro.core import answer_any
+
+        for query in CANONICAL_QUERIES:
+            for text in query.languages().values():
+                names = {row[0] for row in answer_any(text, db).distinct_rows()}
+                assert names == set(query.expected_names)
+
+
+class TestPlanStructure:
+    def test_scan_filter_project_roundtrip(self, db):
+        from repro.expr.ast import Col, Comparison, Const
+
+        plan = DistinctP(ProjectP(
+            FilterP(ScanP("Boats", ("bid", "bname", "color")),
+                    Comparison(Col("color"), "=", Const("red"))),
+            (Col("bid"),),
+            ("bid",),
+        ))
+        result = execute_plan(plan, db)
+        assert {row[0] for row in result.rows()} == {102, 104}
+
+    def test_hand_built_hash_join(self, db):
+        from repro.expr.ast import Col
+
+        join = JoinP(ScanP("Sailors", ("sid", "sname", "rating", "age")),
+                     ScanP("Reserves", ("rsid", "bid", "day")),
+                     "inner", left_keys=("sid",), right_keys=("rsid",))
+        plan = DistinctP(ProjectP(join, (Col("sname"),), ("sname",)))
+        result = execute_plan(plan, db)
+        reference = answer_relation(
+            "SELECT DISTINCT S.sname FROM Sailors S, Reserves R WHERE S.sid = R.sid",
+            db)
+        assert result.bag_equal(reference)
