@@ -23,12 +23,14 @@ from repro.core.patterns import (
 )
 from repro.core.pipeline import (
     PIPELINE_LANGUAGES,
+    CacheStats,
     PipelineResult,
     QueryVisualizationPipeline,
     answer_any,
     explain_calculus,
     explain_query,
     explain_sql,
+    fingerprint_query,
     visualize_sql,
 )
 from repro.core.principles import (
@@ -66,8 +68,10 @@ __all__ = [
     "PatternError",
     "PatternPredicate",
     "PatternVariable",
+    "CacheStats",
     "PipelineResult",
     "answer_any",
+    "fingerprint_query",
     "explain_calculus",
     "Principle",
     "PrincipleScore",

@@ -16,7 +16,9 @@ engine fragment, so ``run`` never rejects a query the interpreters accept.
 
 from __future__ import annotations
 
+import hashlib
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -40,6 +42,62 @@ _DEFAULT_FORMALISMS = {
     "drc": "peirce_beta",
     "datalog": "dfql",
 }
+
+
+def fingerprint_query(text: str, language: str) -> str:
+    """A stable fingerprint of one query: language + query text.
+
+    Only outer whitespace is stripped — interior whitespace can be
+    significant (string literals), so two texts share a fingerprint only if
+    they are byte-identical apart from leading/trailing space.  This keys
+    both pipeline caches: the plan cache maps a fingerprint to its optimized
+    plan, and the result cache maps ``(fingerprint, db.version)`` to the
+    answer relation — so any write to the database (which bumps
+    :attr:`repro.data.database.Database.version`) invalidates results
+    without touching the plans.
+    """
+    digest = hashlib.sha256(f"{language.lower()}\n{text.strip()}".encode())
+    return digest.hexdigest()[:24]
+
+
+class _LRUCache:
+    """A bounded mapping with least-recently-used eviction (capacity 0 = off)."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key: Any) -> Any:
+        try:
+            value = self._data.pop(key)
+        except KeyError:
+            return None
+        self._data[key] = value
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        if self.capacity <= 0:
+            return
+        self._data.pop(key, None)
+        self._data[key] = value
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for the pipeline's plan and result caches."""
+
+    plan_hits: int = 0
+    plan_misses: int = 0
+    result_hits: int = 0
+    result_misses: int = 0
 
 
 @dataclass
@@ -88,13 +146,49 @@ class PipelineResult:
 
 
 class QueryVisualizationPipeline:
-    """Parse → lower → optimize → execute → visualize, per Figs. 1–2."""
+    """Parse → lower → optimize → execute → visualize, per Figs. 1–2.
+
+    ``backend`` picks the physical executor (``"vectorized"`` — the default
+    columnar engine — or ``"row"``, the reference executor).  Two bounded
+    caches keep repeated queries cheap: a plan cache (query fingerprint →
+    optimized plan, so a repeated query skips parse/lower/optimize) and an
+    LRU result cache (fingerprint + database version → answers, so a
+    repeated query against unchanged data skips execution entirely;
+    ``Relation.add`` bumps the version and thereby invalidates).  Set either
+    size to 0 to disable that cache.
+    """
 
     def __init__(self, db: Database | None = None, *, formalism: str = "queryvis",
-                 use_engine: bool = True) -> None:
+                 use_engine: bool = True, backend: str = "vectorized",
+                 plan_cache_size: int = 128,
+                 result_cache_size: int = 256) -> None:
+        from repro.engine import get_backend
+
         self.db = db if db is not None else sailors_database()
         self.formalism = formalism
         self.use_engine = use_engine
+        self.backend = get_backend(backend).name  # validates the name
+        self._plan_cache = _LRUCache(plan_cache_size)
+        self._result_cache = _LRUCache(result_cache_size)
+        self.cache_stats = CacheStats()
+
+    # -- cache plumbing --------------------------------------------------
+
+    def cache_info(self) -> dict[str, int]:
+        """Sizes and hit/miss counters of both caches (for tests/benchmarks)."""
+        return {
+            "plan_entries": len(self._plan_cache),
+            "result_entries": len(self._result_cache),
+            "plan_hits": self.cache_stats.plan_hits,
+            "plan_misses": self.cache_stats.plan_misses,
+            "result_hits": self.cache_stats.result_hits,
+            "result_misses": self.cache_stats.result_misses,
+        }
+
+    def clear_caches(self) -> None:
+        self._plan_cache.clear()
+        self._result_cache.clear()
+        self.cache_stats = CacheStats()
 
     def run(self, text: str, *, language: str = "sql", evaluate: bool = True,
             formalism: str | None = None) -> PipelineResult:
@@ -216,7 +310,7 @@ class QueryVisualizationPipeline:
 
         if self.use_engine:
             try:
-                return self._evaluate_engine(query, language, timings)
+                return self._evaluate_engine(text, query, language, timings)
             except (LoweringError, PlanError, ExprError) as exc:
                 # ExprError covers runtime divergences (the engine compiles
                 # comparisons with SQL's raising semantics; the calculi treat
@@ -228,24 +322,72 @@ class QueryVisualizationPipeline:
                 )
         return self._evaluate_reference(query, language), None
 
-    def _evaluate_engine(self, query: Any, language: str, timings: dict[str, float]):
+    def _evaluate_engine(self, text: str, query: Any, language: str,
+                         timings: dict[str, float]):
         from repro.engine import execute_datalog, execute_plan, lower, optimize
+
+        fingerprint = fingerprint_query(text, language)
+        result_key = (fingerprint, self.db.version)
+        cached = self._result_cache.get(result_key)
+        if cached is not None:
+            self.cache_stats.result_hits += 1
+            timings["execute"] = 0.0
+            plan, answers = cached
+            return answers, plan
+        self.cache_stats.result_misses += 1
 
         if language == "datalog":
             start = time.perf_counter()
             answers = execute_datalog(query, self.db)
             timings["execute"] = time.perf_counter() - start
+            self._result_cache.put(result_key, (query, answers))
             return answers, query
+
+        # Plans depend on the schema (column resolution) but not on row
+        # contents, so the key includes the coarser structure version:
+        # add_relation/drop_relation invalidates plans, plain adds do not.
+        plan_key = (fingerprint, self.db.structure_version)
+        plan = self._plan_cache.get(plan_key)
+        if plan is None:
+            self.cache_stats.plan_misses += 1
+            start = time.perf_counter()
+            plan = lower(query, self.db.schema, language)
+            timings["lower"] = time.perf_counter() - start
+            start = time.perf_counter()
+            plan = optimize(plan, self.db)
+            timings["optimize"] = time.perf_counter() - start
+            self._plan_cache.put(plan_key, plan)
+        else:
+            self.cache_stats.plan_hits += 1
         start = time.perf_counter()
-        plan = lower(query, self.db.schema, language)
-        timings["lower"] = time.perf_counter() - start
-        start = time.perf_counter()
-        plan = optimize(plan, self.db)
-        timings["optimize"] = time.perf_counter() - start
-        start = time.perf_counter()
-        answers = execute_plan(plan, self.db)
+        answers = execute_plan(plan, self.db, backend=self.backend)
         timings["execute"] = time.perf_counter() - start
+        self._result_cache.put(result_key, (plan, answers))
         return answers, plan
+
+    def answer(self, text: str, *, language: str | None = None) -> Relation:
+        """The serving path: any-language text in, answers out — no diagram.
+
+        Warm requests never parse: a result-cache hit is two dictionary
+        lookups, and a plan-cache hit skips parse/lower/optimize and goes
+        straight to the executor.  Falls back to the reference interpreter
+        exactly like :meth:`run` for queries outside the engine fragment.
+        """
+        from repro.engine import LoweringError, PlanError, detect_language
+        from repro.expr.ast import ExprError
+
+        resolved = (language or detect_language(text)).lower()
+        if resolved not in PIPELINE_LANGUAGES:
+            raise ValueError(
+                f"unknown language {resolved!r}; expected one of {PIPELINE_LANGUAGES}"
+            )
+        if self.use_engine:
+            try:
+                answers, _plan = self._evaluate_engine(text, text, resolved, {})
+                return answers
+            except (LoweringError, PlanError, ExprError):
+                pass
+        return self._evaluate_reference(_parse(text, resolved), resolved)
 
     def _evaluate_reference(self, query: Any, language: str) -> Relation:
         del language  # dispatch is by AST type
@@ -350,10 +492,4 @@ def explain_sql(sql: str, db: Database | None = None) -> str:
 def answer_any(text: str, db: Database | None = None, *,
                language: str | None = None) -> Relation:
     """One-call convenience: any-language text in, answers out (engine path)."""
-    from repro.engine import detect_language
-
-    pipeline = QueryVisualizationPipeline(db)
-    resolved = (language or detect_language(text)).lower()
-    result = pipeline.run(text, language=resolved)
-    assert result.answers is not None
-    return result.answers
+    return QueryVisualizationPipeline(db).answer(text, language=language)

@@ -11,6 +11,7 @@ Public API::
 from repro.data.database import Database, merge_databases
 from repro.data.generate import database_family, random_database, random_relation
 from repro.data.relation import (
+    ColumnStore,
     Relation,
     RelationError,
     relation_from_rows,
@@ -47,6 +48,7 @@ from repro.data.types import (
 __all__ = [
     "Attribute",
     "BOATS_SCHEMA",
+    "ColumnStore",
     "Database",
     "DatabaseSchema",
     "DataType",

@@ -19,6 +19,7 @@ class Database:
 
     def __init__(self, relations: Iterable[Relation] = ()) -> None:
         self._relations: dict[str, Relation] = {}
+        self._structure_version = 0
         for rel in relations:
             self.add_relation(rel)
 
@@ -37,14 +38,46 @@ class Database:
 
     def add_relation(self, relation: Relation) -> None:
         """Add or replace a relation."""
-        self._relations[relation.schema.name.lower()] = relation
+        key = relation.schema.name.lower()
+        replaced = self._relations.get(key)
+        if replaced is not None:
+            # Fold the outgoing relation's contribution into the structural
+            # counter so `version` never moves backwards when a relation is
+            # replaced by one with fewer rows.
+            self._structure_version += replaced.version
+        self._relations[key] = relation
+        self._structure_version += 1
 
     def drop_relation(self, name: str) -> None:
         """Remove a relation; raises if it does not exist."""
         key = name.lower()
         if key not in self._relations:
             raise SchemaError(f"database has no relation {name!r}")
+        self._structure_version += self._relations[key].version + 1
         del self._relations[key]
+
+    @property
+    def version(self) -> int:
+        """A monotonic database version: changes whenever any content does.
+
+        Combines the structural counter (relations added/replaced/dropped —
+        each absorbing the departing relation's own counter, so the sum can
+        only grow) with every live relation's
+        :attr:`~repro.data.relation.Relation.version` counter (rows added).
+        Caches keyed on ``(query, version)`` — the pipeline's result cache
+        in particular — are therefore invalidated by any write.
+        """
+        return self._structure_version + sum(
+            rel.version for rel in self._relations.values())
+
+    @property
+    def structure_version(self) -> int:
+        """Bumped only by :meth:`add_relation` / :meth:`drop_relation`.
+
+        Plans depend on the schema but not on row contents, so the
+        pipeline's plan cache keys on this coarser counter.
+        """
+        return self._structure_version
 
     # -- lookup ----------------------------------------------------------
     @property

@@ -22,6 +22,46 @@ class RelationError(Exception):
     """Raised for operations on incompatible relations or malformed rows."""
 
 
+class ColumnStore:
+    """Columnar twin of a relation's bag of rows: one Python list per attribute.
+
+    The vectorized executor (:mod:`repro.engine.vectorized`) scans these
+    arrays directly instead of iterating row tuples.  A store is lazily
+    materialized from the row form by :meth:`Relation.column_store` and then
+    maintained incrementally on :meth:`Relation.add`, so building it is a
+    one-time cost per relation, not per query.
+    """
+
+    __slots__ = ("names", "arrays")
+
+    def __init__(self, names: Sequence[str], arrays: Sequence[list[Any]]) -> None:
+        self.names = tuple(names)
+        self.arrays = tuple(arrays)
+
+    @classmethod
+    def from_rows(cls, names: Sequence[str], rows: Sequence[Row]) -> "ColumnStore":
+        """Transpose a bag of row tuples into per-attribute arrays."""
+        if rows:
+            arrays = [list(column) for column in zip(*rows)]
+        else:
+            arrays = [[] for _ in names]
+        return cls(names, arrays)
+
+    def __len__(self) -> int:
+        return len(self.arrays[0]) if self.arrays else 0
+
+    def append_row(self, row: Row) -> None:
+        for array, value in zip(self.arrays, row):
+            array.append(value)
+
+    def row(self, i: int) -> Row:
+        return tuple(array[i] for array in self.arrays)
+
+    def to_rows(self) -> list[Row]:
+        """Materialize the row view (zip of the arrays)."""
+        return list(zip(*self.arrays)) if self.arrays else []
+
+
 class Relation:
     """A named, typed multiset of tuples."""
 
@@ -34,10 +74,18 @@ class Relation:
     ) -> None:
         self.schema = schema
         self._rows: list[Row] = []
-        # Lazily built caches; invalidated whenever a row is added.
+        # Lazily built caches, maintained incrementally by :meth:`add`.  The
+        # monotonic version counter is bumped on every mutation so external
+        # caches (table statistics, the pipeline's result cache) can key on
+        # ``(relation, version)`` instead of being invalidated wholesale.
+        self._version = 0
         self._row_set: set[Row] | None = None
         self._distinct: list[Row] | None = None
         self._indexes: dict[str, dict[Any, list[Row]]] = {}
+        self._column_store: ColumnStore | None = None
+        # Positional join-key indexes, tagged with the version they were
+        # built at (rebuilt lazily when stale rather than maintained).
+        self._key_indexes: dict[tuple, tuple[int, dict[Any, list[int]]]] = {}
         for row in rows:
             self.add(row, validate=validate)
 
@@ -71,9 +119,12 @@ class Relation:
                         f"{self.schema.name}.{attr.name}"
                     )
         self._rows.append(row)
+        self._version += 1
         # Incrementally maintain whatever caches are already built; this keeps
         # membership tests O(1) even for workloads that interleave adds and
         # lookups (the Datalog fixpoint does exactly that).
+        if self._column_store is not None:
+            self._column_store.append_row(row)
         if self._row_set is not None:
             if row not in self._row_set:
                 self._row_set.add(row)
@@ -87,6 +138,16 @@ class Relation:
     @property
     def name(self) -> str:
         return self.schema.name
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter: bumped once per :meth:`add`.
+
+        Caches derived from this relation's contents (table statistics, the
+        pipeline's result cache) record the version they were computed at and
+        compare instead of subscribing to invalidation.
+        """
+        return self._version
 
     @property
     def attribute_names(self) -> tuple[str, ...]:
@@ -135,6 +196,55 @@ class Relation:
             self._indexes[attribute] = index
         return self._indexes[attribute]
 
+    def column_store(self) -> ColumnStore:
+        """The columnar view: one array per attribute (bag order preserved).
+
+        Lazily transposed from the row form on first call, then maintained
+        incrementally by :meth:`add`.  Treat the returned arrays as
+        read-only; the row view stays authoritative.
+        """
+        if self._column_store is None:
+            self._column_store = ColumnStore.from_rows(
+                self.schema.attribute_names, self._rows)
+        return self._column_store
+
+    def key_index(self, positions: Sequence[int], *,
+                  skip_nulls: bool = True) -> dict[Any, list[int]]:
+        """A hash index from key values to *row positions* (bag order).
+
+        Keys are raw values for a single position and tuples otherwise —
+        the convention the vectorized hash join probes with.  With
+        ``skip_nulls`` (SQL key equality) rows with a NULL key component are
+        left out.  The index is cached per (positions, skip_nulls) and
+        tagged with the relation :attr:`version` it was built at; a stale
+        index is rebuilt on demand, so interleaved :meth:`add` calls are
+        always observed.
+        """
+        key = (tuple(positions), skip_nulls)
+        cached = self._key_indexes.get(key)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        arrays = self.column_store().arrays
+        columns = [arrays[p] for p in key[0]]
+        table: dict[Any, list[int]] = {}
+        get = table.get
+        if len(columns) == 1:
+            keys: Any = columns[0]
+        else:
+            keys = zip(*columns) if columns else iter(() for _ in self._rows)
+        check_nulls = skip_nulls and any(None in column for column in columns)
+        single = len(columns) == 1
+        for j, value in enumerate(keys):
+            if check_nulls and ((value is None) if single else (None in value)):
+                continue
+            bucket = get(value)
+            if bucket is None:
+                table[value] = [j]
+            else:
+                bucket.append(j)
+        self._key_indexes[key] = (self._version, table)
+        return table
+
     def row_multiset(self) -> Counter:
         """Rows with multiplicities."""
         return Counter(self._rows)
@@ -147,6 +257,8 @@ class Relation:
     def column(self, name: str) -> list[Any]:
         """All values of one attribute (bag view)."""
         idx = self.schema.index_of(name)
+        if self._column_store is not None:
+            return list(self._column_store.arrays[idx])
         return [row[idx] for row in self._rows]
 
     def __len__(self) -> int:

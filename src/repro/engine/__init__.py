@@ -27,12 +27,19 @@ Quickstart::
 
 from repro.engine.execute import (
     Executor,
+    ExecutorBackend,
+    RowBackend,
     build_result_relation,
+    clear_compiled_cache,
+    compiled_expr,
+    compiled_predicate,
     compute_datalog_facts,
     execute_datalog,
     execute_plan,
+    get_backend,
     run_query,
 )
+from repro.engine.vectorized import VectorizedBackend, VectorizedExecutor
 from repro.engine.lower import (
     LoweringError,
     detect_language,
@@ -52,6 +59,12 @@ from repro.engine.optimize import (
     push_down_filters,
     reorder_joins,
 )
+from repro.engine.stats import (
+    ColumnStats,
+    StatsCatalog,
+    TableStats,
+    collect_table_stats,
+)
 from repro.engine.plan import (
     AggregateP,
     DistinctP,
@@ -70,22 +83,34 @@ from repro.engine.plan import (
 
 __all__ = [
     "AggregateP",
+    "ColumnStats",
     "DistinctP",
     "DivideP",
     "Executor",
+    "ExecutorBackend",
     "FilterP",
     "JoinP",
     "LoweringError",
     "Plan",
     "PlanError",
     "ProjectP",
+    "RowBackend",
     "ScanP",
     "SetOpP",
     "SortLimitP",
+    "StatsCatalog",
+    "TableStats",
+    "VectorizedBackend",
+    "VectorizedExecutor",
     "build_result_relation",
+    "clear_compiled_cache",
+    "collect_table_stats",
     "common_subplan_count",
+    "compiled_expr",
+    "compiled_predicate",
     "compute_datalog_facts",
     "detect_language",
+    "get_backend",
     "eliminate_common_subexpressions",
     "estimate_rows",
     "execute_datalog",

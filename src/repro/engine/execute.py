@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import operator
 from collections import Counter
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Protocol, Sequence
 
 from repro.data.database import Database
 from repro.data.relation import Relation
@@ -215,6 +215,59 @@ def compile_predicate(expr: e.Expr, columns: Sequence[str]) -> Callable[[Row], b
 
 
 # ---------------------------------------------------------------------------
+# Compiled-closure cache
+# ---------------------------------------------------------------------------
+#
+# Compilation is pure — a closure depends only on the (immutable, hashable)
+# expression node and the column layout — so compiled closures are cached
+# process-wide.  Re-executing the same Plan object (the pipeline's plan cache
+# does exactly that on every warm request, and the Datalog fixpoint re-runs
+# its delta plans every round) therefore compiles each expression once, not
+# once per `_filter`/`_join` call.
+
+_COMPILED_CACHE_LIMIT = 4096
+_compiled_exprs: dict[tuple, RowFn] = {}
+_compiled_predicates: dict[tuple, Callable[[Row], bool]] = {}
+
+
+def _cache_slot(cache: dict, key: tuple, build: Callable[[], Any]) -> Any:
+    try:
+        cached = cache.get(key)
+    except TypeError:  # unhashable payload (opaque subquery nodes): no caching
+        return build()
+    if cached is None:
+        cached = build()
+        if len(cache) >= _COMPILED_CACHE_LIMIT:
+            cache.clear()
+        cache[key] = cached
+    return cached
+
+
+def compiled_expr(expr: e.Expr, columns: Sequence[str]) -> RowFn:
+    """Cached :func:`compile_expr` (keyed on expression + column layout)."""
+    columns = tuple(columns)
+    return _cache_slot(_compiled_exprs, (expr, columns),
+                       lambda: compile_expr(expr, columns))
+
+
+def compiled_predicate(expr: e.Expr, columns: Sequence[str]) -> Callable[[Row], bool]:
+    """Cached :func:`compile_predicate` (keyed on expression + column layout)."""
+    columns = tuple(columns)
+
+    def build() -> Callable[[Row], bool]:
+        fn = compiled_expr(expr, columns)
+        return lambda row: fn(row) is True
+
+    return _cache_slot(_compiled_predicates, (expr, columns), build)
+
+
+def clear_compiled_cache() -> None:
+    """Drop all cached closures (test/benchmark isolation)."""
+    _compiled_exprs.clear()
+    _compiled_predicates.clear()
+
+
+# ---------------------------------------------------------------------------
 # Plan execution
 # ---------------------------------------------------------------------------
 
@@ -259,7 +312,7 @@ class Executor:
                     return [(row[i0],) for row in rows]
                 getter = operator.itemgetter(*indices)
                 return [getter(row) for row in rows]
-            fns = [compile_expr(x, plan.input.columns) for x in plan.exprs]
+            fns = [compiled_expr(x, plan.input.columns) for x in plan.exprs]
             return [tuple(fn(row) for fn in fns) for row in rows]
         if isinstance(plan, DistinctP):
             return _dedupe(self.rows(plan.input))
@@ -291,7 +344,7 @@ class Executor:
             rows = self.rows(source)
         if not conjuncts:
             return list(rows)
-        predicate = compile_predicate(e.conjunction(conjuncts), source.columns)
+        predicate = compiled_predicate(e.conjunction(conjuncts), source.columns)
         return [row for row in rows if predicate(row)]
 
     def _index_lookup(self, scan: ScanP, conjunct: e.Expr) -> list[Row] | None:
@@ -329,7 +382,7 @@ class Executor:
         right_idx = [resolve_column(right_cols, *_split_name(k)) for k in plan.right_keys]
         residual = None
         if plan.residual is not None:
-            residual = compile_predicate(plan.residual, left_cols + right_cols)
+            residual = compiled_predicate(plan.residual, left_cols + right_cols)
 
         right_rows = self.rows(plan.right)
         if plan.kind in ("semi", "anti"):
@@ -426,7 +479,7 @@ class Executor:
     def _aggregate(self, plan: AggregateP) -> list[Row]:
         rows = self.rows(plan.input)
         columns = plan.input.columns
-        key_fns = [compile_expr(x, columns) for x in plan.group_exprs]
+        key_fns = [compiled_expr(x, columns) for x in plan.group_exprs]
         groups: dict[tuple, list[Row]] = {}
         order: list[tuple] = []
         for row in rows:
@@ -456,7 +509,7 @@ class Executor:
             return len
         if not call.args:
             raise PlanError(f"aggregate {name.upper()} needs an argument")
-        arg = compile_expr(call.args[0], columns)
+        arg = compiled_expr(call.args[0], columns)
         distinct = call.distinct
 
         def apply(rows: list[Row]) -> Any:
@@ -503,7 +556,7 @@ class Executor:
         if plan.keys:
             from repro.sql.evaluate import _sort_key
 
-            fns = [(compile_expr(expr, plan.input.columns), ascending)
+            fns = [(compiled_expr(expr, plan.input.columns), ascending)
                    for expr, ascending in plan.keys]
 
             def key(row: Row) -> tuple:
@@ -523,12 +576,61 @@ def _split_name(column: str) -> tuple[str, str | None]:
 
 
 # ---------------------------------------------------------------------------
+# Executor backends
+# ---------------------------------------------------------------------------
+
+class ExecutorBackend(Protocol):
+    """The physical-execution seam: logical plan + database in, rows out.
+
+    Two implementations ship: the row-at-a-time reference backend in this
+    module (``"row"``) and the columnar, batch-at-a-time backend in
+    :mod:`repro.engine.vectorized` (``"vectorized"``).  Both must agree
+    bag-for-bag on every plan — ``tests/test_vectorized.py`` pins that over
+    the whole canonical catalog.
+    """
+
+    name: str
+
+    def execute(self, plan: Plan, db: Database) -> list[Row]:
+        """Evaluate ``plan`` against ``db`` and return its rows (bag order)."""
+        ...
+
+
+class RowBackend:
+    """The PR-1 row-at-a-time executor, kept as the reference backend."""
+
+    name = "row"
+
+    def execute(self, plan: Plan, db: Database) -> list[Row]:
+        return Executor(db).rows(plan)
+
+
+def get_backend(name: "str | ExecutorBackend") -> "ExecutorBackend":
+    """Resolve a backend by name (``"row"`` / ``"vectorized"``) or pass through."""
+    if not isinstance(name, str):
+        return name
+    key = name.lower()
+    if key == "row":
+        return _ROW_BACKEND
+    if key == "vectorized":
+        from repro.engine.vectorized import VectorizedBackend
+
+        return VectorizedBackend()
+    raise PlanError(f"unknown executor backend {name!r} "
+                    "(expected 'row' or 'vectorized')")
+
+
+_ROW_BACKEND = RowBackend()
+
+
+# ---------------------------------------------------------------------------
 # Public entry points
 # ---------------------------------------------------------------------------
 
-def execute_plan(plan: Plan, db: Database) -> Relation:
+def execute_plan(plan: Plan, db: Database, *,
+                 backend: "str | ExecutorBackend" = "row") -> Relation:
     """Execute a plan and package the rows as a Relation (types inferred)."""
-    rows = Executor(db).rows(plan)
+    rows = get_backend(backend).execute(plan, db)
     return build_result_relation(plan.columns, rows)
 
 
@@ -551,12 +653,15 @@ def build_result_relation(columns: Sequence[str], rows: list[Row],
 
 
 def run_query(query: Any, db: Database, language: str | None = None,
-              *, use_optimizer: bool = True) -> Relation:
+              *, use_optimizer: bool = True,
+              backend: "str | ExecutorBackend" = "row") -> Relation:
     """Parse/lower/optimize/execute any of the five languages on the engine.
 
     Raises :class:`LoweringError` (never silently falls back) when the query
     is outside the engine fragment — callers that want interpreter fallback
-    handle that explicitly.
+    handle that explicitly.  ``backend`` selects the physical executor for
+    plan execution; the Datalog fixpoint always drives the row executor
+    (delta relations are small, and the fixpoint leans on its per-plan memo).
     """
     from repro.datalog.ast import Program
 
@@ -569,7 +674,7 @@ def run_query(query: Any, db: Database, language: str | None = None,
         from repro.engine.optimize import optimize
 
         plan = optimize(plan, db)
-    return execute_plan(plan, db)
+    return execute_plan(plan, db, backend=backend)
 
 
 # ---------------------------------------------------------------------------
@@ -605,6 +710,7 @@ def compute_datalog_facts(program: Any, db: Database,
     from repro.datalog.ast import Literal
     from repro.datalog.stratify import evaluation_order
     from repro.engine.optimize import optimize as optimize_plan
+    from repro.engine.stats import StatsCatalog
 
     arities: dict[str, int] = {}
     for rel in db:
@@ -616,7 +722,14 @@ def compute_datalog_facts(program: Any, db: Database,
                 arities.setdefault(item.predicate.lower(), item.arity)
 
     # Working database: EDB relations (shared) plus materialized IDB facts.
+    # One statistics catalog serves every optimize() call of the fixpoint —
+    # its per-relation profiles are version-tagged, so re-materialized IDB
+    # relations are re-profiled automatically while the (never-mutated) EDB
+    # profiles are collected exactly once.  Delta relations are estimated
+    # tiny before they exist, which makes the cost-based join ordering place
+    # each rule's delta occurrence first: the semi-join reduction decision.
     working = Database()
+    stats = StatsCatalog(working)
     facts: dict[str, set[Row]] = {}
     for rel in db:
         working.add_relation(rel)
@@ -654,7 +767,7 @@ def compute_datalog_facts(program: Any, db: Database,
                 continue
             plan = lower_datalog_rule(rule, arities)
             if use_optimizer:
-                plan = optimize_plan(plan, working)
+                plan = optimize_plan(plan, working, stats=stats)
             base_plans.append((rule, plan))
             for position, item in enumerate(rule.body):
                 if isinstance(item, Literal) and not item.negated \
@@ -663,7 +776,7 @@ def compute_datalog_facts(program: Any, db: Database,
                         rule, arities,
                         {position: f"{item.predicate.lower()}@delta"})
                     if use_optimizer:
-                        variant = optimize_plan(variant, working)
+                        variant = optimize_plan(variant, working, stats=stats)
                     delta_variants.append((rule, variant))
 
         # Round 0: full evaluation of every rule.  One shared executor so the

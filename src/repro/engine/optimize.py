@@ -8,9 +8,13 @@ Three families of rewrites, applied in order by :func:`optimize`:
    join stay at the join as its residual condition.
 2. **Join planning** — equality conjuncts ``left.col = right.col`` left at a
    join are promoted to hash keys, and maximal trees of inner/cross joins are
-   flattened and re-ordered greedily by estimated cardinality (smallest
-   intermediate result first, preferring equi-connected leaves), with a final
-   projection restoring the original column order.
+   flattened and re-ordered greedily by *estimated cost*: each step joins the
+   leaf whose (statistics-driven) estimated result is smallest, using the
+   per-attribute distinct counts and min/max profiles of
+   :mod:`repro.engine.stats`, with a final projection restoring the original
+   column order.  Delta relations of the semi-naive Datalog fixpoint are
+   estimated tiny, which seeds each delta-variant plan at the delta
+   occurrence — the semi-join reduction of classical semi-naive evaluation.
 3. **Common subexpression elimination** — structurally identical subtrees are
    interned to a single object.  The executor memoizes results per plan
    value, so a deduplicated subtree (for example the outer plan that a
@@ -42,14 +46,33 @@ from repro.engine.plan import (
     has_column,
     resolve_column,
 )
+from repro.engine.stats import StatsCatalog, estimate_rows
+
+__all__ = [
+    "common_subplan_count",
+    "eliminate_common_subexpressions",
+    "estimate_rows",
+    "optimize",
+    "promote_hash_keys",
+    "push_down_filters",
+    "reorder_joins",
+]
 
 
-def optimize(plan: Plan, db: Database | None = None) -> Plan:
-    """Apply all rewrite families; ``db`` enables cardinality-based reordering."""
+def optimize(plan: Plan, db: Database | None = None, *,
+             stats: StatsCatalog | None = None) -> Plan:
+    """Apply all rewrite families; ``db`` enables cost-based reordering.
+
+    Pass a shared :class:`StatsCatalog` via ``stats`` when optimizing many
+    plans over one database (the Datalog fixpoint does), so per-relation
+    profiles are collected once instead of per plan.
+    """
     plan = push_down_filters(plan)
     plan = promote_hash_keys(plan)
-    if db is not None:
-        plan = reorder_joins(plan, db)
+    if stats is None and db is not None:
+        stats = StatsCatalog(db)
+    if stats is not None:
+        plan = reorder_joins(plan, stats.db, stats=stats)
         plan = promote_hash_keys(plan)
     plan = eliminate_common_subexpressions(plan)
     return plan
@@ -242,55 +265,8 @@ def promote_hash_keys(plan: Plan) -> Plan:
 
 
 # ---------------------------------------------------------------------------
-# Cardinality estimation and greedy join reordering
+# Cost-based greedy join reordering (estimation lives in repro.engine.stats)
 # ---------------------------------------------------------------------------
-
-def estimate_rows(plan: Plan, db: Database) -> float:
-    """A coarse cardinality estimate used to order joins (not a cost model)."""
-    if isinstance(plan, ScanP):
-        try:
-            return float(len(db.relation(plan.relation)))
-        except Exception:
-            return 100.0
-    if isinstance(plan, FilterP):
-        selectivity = 1.0
-        for conjunct in e.conjuncts(plan.condition):
-            if isinstance(conjunct, e.Comparison) and conjunct.op == "=" and (
-                    isinstance(conjunct.left, e.Const) or isinstance(conjunct.right, e.Const)):
-                selectivity *= 0.1
-            else:
-                selectivity *= 0.4
-        return max(1.0, estimate_rows(plan.input, db) * selectivity)
-    if isinstance(plan, (ProjectP, SortLimitP)):
-        base = estimate_rows(plan.children()[0], db)
-        if isinstance(plan, SortLimitP) and plan.limit is not None:
-            return min(base, float(plan.limit))
-        return base
-    if isinstance(plan, DistinctP):
-        return max(1.0, estimate_rows(plan.input, db) * 0.8)
-    if isinstance(plan, JoinP):
-        left = estimate_rows(plan.left, db)
-        right = estimate_rows(plan.right, db)
-        if plan.kind in ("semi", "anti"):
-            return max(1.0, left * 0.5)
-        if plan.left_keys:
-            return max(left, right)
-        if plan.residual is not None:
-            return max(1.0, left * right * 0.3)
-        return left * right
-    if isinstance(plan, SetOpP):
-        left = estimate_rows(plan.left, db)
-        right = estimate_rows(plan.right, db)
-        if plan.op == "union":
-            return left + right
-        if plan.op == "intersect":
-            return min(left, right)
-        return left
-    if isinstance(plan, AggregateP):
-        return max(1.0, estimate_rows(plan.input, db) * 0.3)
-    if isinstance(plan, DivideP):
-        return max(1.0, estimate_rows(plan.left, db) * 0.1)
-    return 100.0
 
 
 def _substitute(plan: Plan, old: Plan, new: Plan) -> Plan:
@@ -329,7 +305,10 @@ def _flatten_join_tree(plan: Plan, protected: tuple[Plan, ...] = ()
 
 
 def reorder_joins(plan: Plan, db: Database,
-                  protected: tuple[Plan, ...] = ()) -> Plan:
+                  protected: tuple[Plan, ...] = (),
+                  *, stats: StatsCatalog | None = None) -> Plan:
+    if stats is None:
+        stats = StatsCatalog(db)
     if any(plan == p for p in protected):
         return plan
     if isinstance(plan, JoinP) and plan.kind in ("semi", "anti"):
@@ -337,13 +316,15 @@ def reorder_joins(plan: Plan, db: Database,
         # that embedded copy atomic while reordering around it, then swap in
         # the reordered left so both sides stay structurally shared (the
         # executor's CSE memo depends on it).
-        left = reorder_joins(plan.left, db, protected)
-        right = reorder_joins(plan.right, db, protected + (plan.left,))
+        left = reorder_joins(plan.left, db, protected, stats=stats)
+        right = reorder_joins(plan.right, db, protected + (plan.left,),
+                              stats=stats)
         if left != plan.left:
             right = _substitute(right, plan.left, left)
         return JoinP(left, right, plan.kind, plan.left_keys, plan.right_keys,
                      plan.residual, plan.null_matches)
-    children = [reorder_joins(c, db, protected) for c in plan.children()]
+    children = [reorder_joins(c, db, protected, stats=stats)
+                for c in plan.children()]
     plan = _rebuild(plan, children)
     flat = _flatten_join_tree(plan, protected)
     if flat is None:
@@ -358,7 +339,7 @@ def reorder_joins(plan: Plan, db: Database,
 
     remaining = list(leaves)
     pending = list(conjuncts)
-    current = min(remaining, key=lambda leaf: estimate_rows(leaf, db))
+    current = min(remaining, key=lambda leaf: stats.estimate(leaf))
     remaining.remove(current)
 
     def attachable(cols: tuple[str, ...]) -> tuple[list[e.Expr], list[e.Expr]]:
@@ -367,29 +348,29 @@ def reorder_joins(plan: Plan, db: Database,
             (now if _references_only(conjunct, cols) else later).append(conjunct)
         return now, later
 
+    def trial_join(leaf: Plan) -> Plan:
+        # The candidate subplan exactly as the loop would build it, so the
+        # cost compared across leaves is the cost of the plan actually run.
+        joined, _ = attachable(current.columns + leaf.columns)
+        trial: Plan = JoinP(current, leaf, "cross")
+        if joined:
+            trial = FilterP(trial, e.conjunction(joined))
+            trial = promote_hash_keys(push_down_filters(trial))
+        return trial
+
     while remaining:
         best = None
+        best_trial = None
         best_cost = None
         for leaf in remaining:
-            candidate_cols = current.columns + leaf.columns
-            joined, _ = attachable(candidate_cols)
-            connected = any(
-                _references_only(c, candidate_cols)
-                and not _references_only(c, current.columns)
-                and not _references_only(c, leaf.columns)
-                for c in joined
-            )
-            size = estimate_rows(leaf, db)
-            cost = (0 if connected else 1, size)
+            trial = trial_join(leaf)
+            cost = (stats.estimate(trial), stats.estimate(leaf))
             if best_cost is None or cost < best_cost:
-                best, best_cost = leaf, cost
-        assert best is not None
+                best, best_trial, best_cost = leaf, trial, cost
+        assert best is not None and best_trial is not None
         remaining.remove(best)
-        current = JoinP(current, best, "cross")
-        now, pending = attachable(current.columns)
-        if now:
-            current = FilterP(current, e.conjunction(now))
-            current = promote_hash_keys(push_down_filters(current))
+        current = best_trial
+        _, pending = attachable(current.columns)
     if pending:
         current = FilterP(current, e.conjunction(pending))
 

@@ -1,0 +1,337 @@
+"""Table statistics and cost estimation for the optimizer.
+
+PR 1's join reordering was cardinality-greedy: it knew base-table row counts
+and guessed fixed selectivities for everything else.  This module gives the
+optimizer real statistics, collected in one pass over each relation's column
+store and cached against the relation's monotonic
+:attr:`~repro.data.relation.Relation.version`:
+
+* per-relation **row counts**;
+* per-attribute **distinct counts**, **min/max** (numeric attributes), and
+  **null counts**;
+* derived **selectivity estimates** — ``col = const`` costs ``1/distinct``,
+  range predicates interpolate against min/max, and equi-join cardinality is
+  ``|L|·|R| / max(d_left, d_right)`` over the join keys' distinct counts.
+
+:func:`repro.engine.optimize.reorder_joins` consults a :class:`StatsCatalog`
+to order join trees by *estimated result size* rather than by raw leaf
+cardinality.
+
+The same estimates drive the **semi-join reduction** of the semi-naive
+Datalog path: delta relations (``pred@delta``) are estimated tiny — pinned
+at :data:`DELTA_ESTIMATE` before they first materialize — so the cost-based
+ordering joins each rule's delta occurrence first and every later join is
+probed only with tuples that survived the delta, which is exactly the
+semi-join program of the classical semi-naive transformation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.data.schema import SchemaError
+from repro.expr import ast as e
+from repro.engine.plan import (
+    AggregateP,
+    DistinctP,
+    DivideP,
+    FilterP,
+    JoinP,
+    Plan,
+    PlanError,
+    ProjectP,
+    ScanP,
+    SetOpP,
+    SortLimitP,
+    resolve_column,
+)
+
+#: Suffix marking the delta relations of the semi-naive Datalog fixpoint.
+DELTA_SUFFIX = "@delta"
+
+#: Assumed cardinality of a not-yet-materialized delta relation.  Being tiny
+#: is the point: it makes cost-based ordering seed each delta-variant plan at
+#: the delta occurrence (semi-join reduction).
+DELTA_ESTIMATE = 1.0
+
+#: Fallback cardinality for relations the catalog knows nothing about.
+UNKNOWN_ESTIMATE = 100.0
+
+#: Fallback selectivities, matching the PR-1 heuristics.
+EQ_SELECTIVITY = 0.1
+DEFAULT_SELECTIVITY = 0.4
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """One attribute's statistics (one pass over its column array)."""
+
+    distinct: int
+    null_count: int
+    min_value: float | None = None  # numeric attributes only
+    max_value: float | None = None
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """One relation's statistics."""
+
+    row_count: int
+    columns: tuple[ColumnStats, ...]
+
+
+def collect_table_stats(relation: Relation) -> TableStats:
+    """Compute :class:`TableStats` from the relation's column store."""
+    store = relation.column_store()
+    columns = []
+    for array in store.arrays:
+        values = [v for v in array if v is not None]
+        null_count = len(array) - len(values)
+        distinct = len(set(values))
+        min_value = max_value = None
+        if values and all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in values):
+            min_value = float(min(values))
+            max_value = float(max(values))
+        columns.append(ColumnStats(distinct, null_count, min_value, max_value))
+    return TableStats(len(relation), tuple(columns))
+
+
+class StatsCatalog:
+    """Versioned statistics over one database's relations.
+
+    Statistics are collected lazily per relation and cached against the
+    relation object's identity and :attr:`~repro.data.relation.Relation.version`;
+    a mutated or replaced relation is re-profiled on next access, so one
+    catalog can serve a whole session (or a whole Datalog fixpoint, where the
+    working database is re-materialized every round).
+    """
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self._cache: dict[str, tuple[int, int, TableStats]] = {}
+
+    def table(self, name: str) -> TableStats | None:
+        """Statistics for ``name``, or ``None`` if the relation is unknown."""
+        try:
+            relation = self.db.relation(name)
+        except SchemaError:
+            return None
+        key = name.lower()
+        cached = self._cache.get(key)
+        if cached is not None and cached[0] == id(relation) \
+                and cached[1] == relation.version:
+            return cached[2]
+        stats = collect_table_stats(relation)
+        self._cache[key] = (id(relation), relation.version, stats)
+        return stats
+
+    # -- column provenance ------------------------------------------------
+
+    def column_stats(self, plan: Plan, position: int) -> ColumnStats | None:
+        """Statistics of the base attribute behind output column ``position``.
+
+        Follows renamings and join concatenation down to a scan; returns
+        ``None`` when the column is computed (projection expressions,
+        aggregates) or the base relation is unknown.
+        """
+        origin = _column_origin(plan, position)
+        if origin is None:
+            return None
+        relation, attr_position = origin
+        stats = self.table(relation)
+        if stats is None or attr_position >= len(stats.columns):
+            return None
+        return stats.columns[attr_position]
+
+    def _named_column_stats(self, plan: Plan, col: e.Col) -> ColumnStats | None:
+        try:
+            position = resolve_column(plan.columns, col.name, col.qualifier)
+        except PlanError:
+            return None
+        return self.column_stats(plan, position)
+
+    # -- cardinality estimation -------------------------------------------
+
+    def estimate(self, plan: Plan) -> float:
+        """Estimated output rows of ``plan`` (≥ 1 except for empty scans)."""
+        if isinstance(plan, ScanP):
+            stats = self.table(plan.relation)
+            if stats is not None:
+                return float(stats.row_count)
+            if plan.relation.lower().endswith(DELTA_SUFFIX):
+                return DELTA_ESTIMATE
+            return UNKNOWN_ESTIMATE
+        if isinstance(plan, FilterP):
+            base = self.estimate(plan.input)
+            selectivity = 1.0
+            for conjunct in e.conjuncts(plan.condition):
+                selectivity *= self.selectivity(conjunct, plan.input)
+            return max(1.0, base * selectivity)
+        if isinstance(plan, (ProjectP, SortLimitP)):
+            base = self.estimate(plan.children()[0])
+            if isinstance(plan, SortLimitP) and plan.limit is not None:
+                return min(base, float(plan.limit))
+            return base
+        if isinstance(plan, DistinctP):
+            return max(1.0, self.estimate(plan.input) * 0.8)
+        if isinstance(plan, JoinP):
+            return self._estimate_join(plan)
+        if isinstance(plan, SetOpP):
+            left = self.estimate(plan.left)
+            right = self.estimate(plan.right)
+            if plan.op == "union":
+                return left + right
+            if plan.op == "intersect":
+                return min(left, right)
+            return left
+        if isinstance(plan, AggregateP):
+            return max(1.0, self._estimate_groups(plan))
+        if isinstance(plan, DivideP):
+            return max(1.0, self.estimate(plan.left) * 0.1)
+        return UNKNOWN_ESTIMATE
+
+    def _estimate_join(self, plan: JoinP) -> float:
+        left = self.estimate(plan.left)
+        right = self.estimate(plan.right)
+        if plan.kind in ("semi", "anti"):
+            return max(1.0, left * 0.5)
+        if plan.left_keys:
+            denominator = 1.0
+            for lkey, rkey in zip(plan.left_keys, plan.right_keys):
+                d_left = self._key_distinct(plan.left, lkey)
+                d_right = self._key_distinct(plan.right, rkey)
+                denominator *= max(d_left, d_right, 1.0)
+            return max(1.0, left * right / denominator)
+        if plan.residual is not None:
+            return max(1.0, left * right * 0.3)
+        return left * right
+
+    def _key_distinct(self, plan: Plan, key: str) -> float:
+        try:
+            position = resolve_column(plan.columns, key)
+        except PlanError:
+            return 1.0
+        stats = self.column_stats(plan, position)
+        if stats is None:
+            # Unknown provenance: assume keys are fairly discriminating.
+            return max(1.0, self.estimate(plan) * 0.5)
+        return float(max(stats.distinct, 1))
+
+    def _estimate_groups(self, plan: AggregateP) -> float:
+        base = self.estimate(plan.input)
+        if not plan.group_exprs:
+            return 1.0
+        distinct = 1.0
+        for expr in plan.group_exprs:
+            if isinstance(expr, e.Col):
+                stats = self._named_column_stats(plan.input, expr)
+                if stats is not None:
+                    distinct *= max(stats.distinct, 1)
+                    continue
+            distinct *= max(1.0, base * 0.3)
+        return min(base, distinct)
+
+    # -- selectivity -------------------------------------------------------
+
+    def selectivity(self, conjunct: e.Expr, plan: Plan) -> float:
+        """Fraction of ``plan``'s rows the conjunct is estimated to keep."""
+        if isinstance(conjunct, e.Comparison):
+            for col, const in ((conjunct.left, conjunct.right),
+                               (conjunct.right, conjunct.left)):
+                if isinstance(col, e.Col) and isinstance(const, e.Const):
+                    op = conjunct.op if col is conjunct.left \
+                        else conjunct.flipped().op
+                    return self._comparison_selectivity(plan, col, op, const.value)
+            if isinstance(conjunct.left, e.Col) and isinstance(conjunct.right, e.Col) \
+                    and conjunct.op == "=":
+                d_left = self._named_column_stats(plan, conjunct.left)
+                d_right = self._named_column_stats(plan, conjunct.right)
+                if d_left is not None and d_right is not None:
+                    return 1.0 / max(d_left.distinct, d_right.distinct, 1)
+                return EQ_SELECTIVITY
+        if isinstance(conjunct, e.Comparison) and conjunct.op == "=":
+            return EQ_SELECTIVITY
+        return DEFAULT_SELECTIVITY
+
+    def _comparison_selectivity(self, plan: Plan, col: e.Col, op: str,
+                                value: Any) -> float:
+        stats = self._named_column_stats(plan, col)
+        if stats is None:
+            return EQ_SELECTIVITY if op == "=" else DEFAULT_SELECTIVITY
+        if op == "=":
+            return 1.0 / max(stats.distinct, 1)
+        if op == "<>":
+            return 1.0 - 1.0 / max(stats.distinct, 1)
+        if stats.min_value is not None and stats.max_value is not None \
+                and isinstance(value, (int, float)) and not isinstance(value, bool):
+            span = stats.max_value - stats.min_value
+            if span <= 0:
+                # Constant column: the predicate keeps all rows or none.
+                kept = _compare_floats(stats.min_value, op, float(value))
+                return 1.0 if kept else 1.0 / max(stats.distinct, 1)
+            fraction = (float(value) - stats.min_value) / span
+            fraction = min(1.0, max(0.0, fraction))
+            if op in ("<", "<="):
+                return max(fraction, 1.0 / max(stats.distinct, 1))
+            return max(1.0 - fraction, 1.0 / max(stats.distinct, 1))
+        return DEFAULT_SELECTIVITY
+
+
+def _compare_floats(left: float, op: str, right: float) -> bool:
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    return left >= right
+
+
+def _column_origin(plan: Plan, position: int) -> tuple[str, int] | None:
+    """Trace output column ``position`` down to ``(relation, attribute)``."""
+    if isinstance(plan, ScanP):
+        return (plan.relation, position)
+    if isinstance(plan, (FilterP, DistinctP, SortLimitP)):
+        return _column_origin(plan.children()[0], position)
+    if isinstance(plan, ProjectP):
+        expr = plan.exprs[position]
+        if isinstance(expr, e.Col):
+            try:
+                inner = resolve_column(plan.input.columns, expr.name,
+                                       expr.qualifier)
+            except PlanError:
+                return None
+            return _column_origin(plan.input, inner)
+        inner_position = getattr(expr, "position", None)
+        if inner_position is not None:  # lower.py's _PositionCol
+            return _column_origin(plan.input, inner_position)
+        return None
+    if isinstance(plan, JoinP):
+        if plan.kind in ("semi", "anti"):
+            return _column_origin(plan.left, position)
+        width = len(plan.left.columns)
+        if position < width:
+            return _column_origin(plan.left, position)
+        return _column_origin(plan.right, position - width)
+    if isinstance(plan, AggregateP):
+        if position < len(plan.input.columns):
+            return _column_origin(plan.input, position)
+        return None
+    if isinstance(plan, SetOpP):
+        return _column_origin(plan.left, position)
+    return None
+
+
+def estimate_rows(plan: Plan, db: Database) -> float:
+    """Statistics-driven cardinality estimate (one-shot catalog).
+
+    Kept as the module-level convenience the tests and benchmarks use;
+    repeated estimation over one database should share a
+    :class:`StatsCatalog` so per-relation profiles are collected once.
+    """
+    return StatsCatalog(db).estimate(plan)

@@ -1,0 +1,725 @@
+"""Columnar, batch-at-a-time plan execution (the ``"vectorized"`` backend).
+
+Where :class:`repro.engine.execute.Executor` streams Python row tuples
+through each operator, this backend moves whole columns:
+
+* **scans** read the per-attribute arrays that
+  :meth:`repro.data.relation.Relation.column_store` maintains — no per-query
+  transposition and no row-tuple allocation;
+* **filters** compile simple comparisons into tight per-column selection
+  loops that produce an index vector instead of calling a closure chain per
+  row; remaining conjuncts fall back to the row-compiled predicates (shared
+  with the row backend, so three-valued logic and type-error semantics agree
+  by construction);
+* **hash joins** build and probe on raw column values (no key-tuple
+  allocation for single-column keys) and emit *selection vectors* — output
+  columns stay virtual ``(base array, index vector)`` pairs until something
+  actually reads them (late materialization), so an n-way join composes one
+  index vector per side instead of copying every column at every step;
+* **aggregation** groups on column arrays and folds each aggregate over the
+  grouped index lists.
+
+Set operations, division, and sorting materialize rows and reuse the row
+backend's algorithms verbatim — they are not on the hot path, and sharing
+the code is what keeps the two backends bag-equal (pinned over the whole
+canonical catalog by ``tests/test_vectorized.py``).
+
+The backend satisfies the :class:`repro.engine.execute.ExecutorBackend`
+protocol; select it with ``execute_plan(plan, db, backend="vectorized")`` or
+``QueryVisualizationPipeline(backend="vectorized")``.
+"""
+
+from __future__ import annotations
+
+import operator
+from collections import Counter
+from typing import Any, Callable, Sequence
+
+from repro.data.database import Database
+from repro.expr import ast as e
+from repro.expr.eval import ExprError
+from repro.sql.evaluate import _dedupe
+from repro.engine.execute import (
+    Row,
+    _split_name,
+    compiled_expr,
+    compiled_predicate,
+)
+from repro.engine.lower import _PositionCol
+from repro.engine.plan import (
+    AggregateP,
+    DistinctP,
+    DivideP,
+    FilterP,
+    JoinP,
+    Plan,
+    PlanError,
+    ProjectP,
+    ScanP,
+    SetOpP,
+    SortLimitP,
+    resolve_column,
+)
+
+_COMPARATORS = {
+    "=": operator.eq,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+# ---------------------------------------------------------------------------
+# Batches: columns with late materialization
+# ---------------------------------------------------------------------------
+
+class Vector:
+    """One column of a batch: a base array plus an optional selection vector.
+
+    ``sel is None`` means the column *is* ``data``; otherwise position ``i``
+    of the column is ``data[sel[i]]``.  Selections compose without touching
+    the base arrays, which is what keeps multi-join pipelines cheap.
+    """
+
+    __slots__ = ("data", "sel")
+
+    def __init__(self, data: list[Any], sel: list[int] | None = None) -> None:
+        self.data = data
+        self.sel = sel
+
+    def materialize(self) -> list[Any]:
+        if self.sel is None:
+            return self.data
+        data = self.data
+        return [data[i] for i in self.sel]
+
+
+class Batch:
+    """An ordered bag of rows stored column-wise."""
+
+    __slots__ = ("columns", "vectors", "length")
+
+    def __init__(self, columns: tuple[str, ...], vectors: list[Vector],
+                 length: int) -> None:
+        self.columns = columns
+        self.vectors = vectors
+        self.length = length
+
+    @classmethod
+    def from_rows(cls, columns: tuple[str, ...], rows: Sequence[Row]) -> "Batch":
+        if rows:
+            arrays = [list(column) for column in zip(*rows)]
+        else:
+            arrays = [[] for _ in columns]
+        return cls(columns, [Vector(a) for a in arrays], len(rows))
+
+    def rows(self) -> list[Row]:
+        """Materialize the row view (the backend's final output)."""
+        if not self.vectors:
+            return [()] * self.length
+        return list(zip(*[v.materialize() for v in self.vectors]))
+
+    def take(self, sel: list[int]) -> "Batch":
+        """The sub-batch at positions ``sel`` (late: composes selections)."""
+        return Batch(self.columns, _take(self.vectors, sel), len(sel))
+
+
+def _take(vectors: list[Vector], sel: list[int]) -> list[Vector]:
+    """Compose ``sel`` onto each vector, once per *distinct* source selection.
+
+    Columns that came from the same operator share one selection list, so an
+    n-column side of a join costs one composition, not n.
+    """
+    composed: dict[int, list[int]] = {}
+    out = []
+    for v in vectors:
+        if v.sel is None:
+            out.append(Vector(v.data, sel))
+            continue
+        new_sel = composed.get(id(v.sel))
+        if new_sel is None:
+            base = v.sel
+            new_sel = [base[i] for i in sel]
+            composed[id(v.sel)] = new_sel
+        out.append(Vector(v.data, new_sel))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Vectorized filter compilation
+# ---------------------------------------------------------------------------
+
+def _column_position(expr: e.Expr, columns: tuple[str, ...]) -> int | None:
+    if isinstance(expr, _PositionCol):
+        return expr.position
+    if isinstance(expr, e.Col):
+        try:
+            return resolve_column(columns, expr.name, expr.qualifier)
+        except PlanError:
+            return None
+    return None
+
+
+def vector_filter(conjunct: e.Expr, columns: tuple[str, ...]
+                  ) -> Callable[[Batch, list[int] | None], list[int]] | None:
+    """Compile one conjunct into a column-selection loop, or ``None``.
+
+    Only simple comparisons (column vs. constant, column vs. column) get the
+    fast path; everything else is handled by the caller's row fallback.  The
+    loops replicate :func:`repro.expr.eval._compare` exactly: NULL operands
+    never match, and str/non-str or bool/non-bool mixes raise
+    :class:`ExprError` just like the reference interpreters.
+    """
+    if not isinstance(conjunct, e.Comparison) or conjunct.op not in _COMPARATORS:
+        return None
+    left, op, right = conjunct.left, conjunct.op, conjunct.right
+    lpos = _column_position(left, columns)
+    rpos = _column_position(right, columns)
+    if lpos is not None and isinstance(right, e.Const):
+        return _compare_const(lpos, op, right.value)
+    if rpos is not None and isinstance(left, e.Const):
+        flipped = conjunct.flipped()
+        return _compare_const(rpos, flipped.op, left.value)
+    if lpos is not None and rpos is not None:
+        return _compare_columns(lpos, op, rpos)
+    return None
+
+
+def _compare_const(pos: int, op: str, const: Any
+                   ) -> Callable[[Batch, list[int] | None], list[int]]:
+    if const is None:
+        # NULL never compares TRUE: the conjunct drops every row.
+        return lambda batch, sel: []
+    cmp = _COMPARATORS[op]
+    const_is_str = isinstance(const, str)
+    const_is_bool = isinstance(const, bool)
+
+    def run(batch: Batch, sel: list[int] | None) -> list[int]:
+        column = batch.vectors[pos].materialize()
+        out: list[int] = []
+        append = out.append
+        indices = range(batch.length) if sel is None else sel
+        for i in indices:
+            v = column[i]
+            if v is None:
+                continue
+            if isinstance(v, str) != const_is_str or isinstance(v, bool) != const_is_bool:
+                raise ExprError(f"cannot compare {v!r} with {const!r}")
+            if cmp(v, const):
+                append(i)
+        return out
+
+    return run
+
+
+def _compare_columns(lpos: int, op: str, rpos: int
+                     ) -> Callable[[Batch, list[int] | None], list[int]]:
+    cmp = _COMPARATORS[op]
+
+    def run(batch: Batch, sel: list[int] | None) -> list[int]:
+        lcol = batch.vectors[lpos].materialize()
+        rcol = batch.vectors[rpos].materialize()
+        out: list[int] = []
+        append = out.append
+        indices = range(batch.length) if sel is None else sel
+        for i in indices:
+            a = lcol[i]
+            b = rcol[i]
+            if a is None or b is None:
+                continue
+            if isinstance(a, str) != isinstance(b, str) \
+                    or isinstance(a, bool) != isinstance(b, bool):
+                raise ExprError(f"cannot compare {a!r} with {b!r}")
+            if cmp(a, b):
+                append(i)
+        return out
+
+    return run
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+class VectorizedExecutor:
+    """Evaluates plans column-at-a-time, memoizing batches per plan value."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self._memo: dict[Plan, Batch] = {}
+
+    def batch(self, plan: Plan) -> Batch:
+        cached = self._memo.get(plan)
+        if cached is None:
+            cached = self._compute(plan)
+            self._memo[plan] = cached
+        return cached
+
+    # -- operators -------------------------------------------------------
+
+    def _compute(self, plan: Plan) -> Batch:
+        if isinstance(plan, ScanP):
+            return self._scan(plan)
+        if isinstance(plan, FilterP):
+            return self._filter(plan)
+        if isinstance(plan, ProjectP):
+            return self._project(plan)
+        if isinstance(plan, DistinctP):
+            return self._distinct(plan)
+        if isinstance(plan, JoinP):
+            return self._join(plan)
+        if isinstance(plan, SetOpP):
+            return self._setop(plan)
+        if isinstance(plan, AggregateP):
+            return self._aggregate(plan)
+        if isinstance(plan, DivideP):
+            return self._divide(plan)
+        if isinstance(plan, SortLimitP):
+            return self._sort_limit(plan)
+        raise PlanError(f"cannot execute {type(plan).__name__}")
+
+    def _scan(self, plan: ScanP) -> Batch:
+        relation = self.db.relation(plan.relation)
+        if len(plan.columns) != relation.schema.arity:
+            raise PlanError(
+                f"scan of {plan.relation} expects arity {len(plan.columns)}, "
+                f"relation has {relation.schema.arity}"
+            )
+        store = relation.column_store()
+        return Batch(plan.columns, [Vector(a) for a in store.arrays],
+                     len(relation))
+
+    def _filter(self, plan: FilterP) -> Batch:
+        """Narrow the batch conjunct by conjunct, in the conjunction's order.
+
+        Each conjunct either compiles to a column-selection loop
+        (:func:`vector_filter`) or falls back to the row-compiled predicate
+        over the still-selected rows.  Keeping the original order means a
+        conjunct that raises (type mismatch, division by zero) raises here
+        exactly when the row backend would have reached it.
+        """
+        batch = self.batch(plan.input)
+        sel: list[int] | None = None
+        materialized: list[list[Any]] | None = None
+        for conjunct in e.conjuncts(plan.condition):
+            fast = vector_filter(conjunct, batch.columns)
+            if fast is not None:
+                sel = fast(batch, sel)
+                continue
+            predicate = compiled_predicate(conjunct, batch.columns)
+            if materialized is None:
+                materialized = [v.materialize() for v in batch.vectors]
+            indices = range(batch.length) if sel is None else sel
+            sel = [i for i in indices
+                   if predicate(tuple(column[i] for column in materialized))]
+        if sel is None:
+            return batch
+        return batch.take(sel)
+
+    def _project(self, plan: ProjectP) -> Batch:
+        batch = self.batch(plan.input)
+        vectors: list[Vector] = []
+        rows: list[Row] | None = None
+        for expr in plan.exprs:
+            pos = _column_position(expr, plan.input.columns)
+            if pos is not None:
+                vectors.append(batch.vectors[pos])
+                continue
+            if rows is None:
+                rows = batch.rows()
+            fn = compiled_expr(expr, plan.input.columns)
+            vectors.append(Vector([fn(row) for row in rows]))
+        return Batch(plan.names, vectors, batch.length)
+
+    def _distinct(self, plan: DistinctP) -> Batch:
+        batch = self.batch(plan.input)
+        seen: set[Row] = set()
+        add = seen.add
+        sel = []
+        append = sel.append
+        for i, row in enumerate(batch.rows()):
+            if row not in seen:
+                add(row)
+                append(i)
+        return batch.take(sel)
+
+    # -- joins -------------------------------------------------------------
+
+    def _join(self, plan: JoinP) -> Batch:
+        left = self.batch(plan.left)
+        if plan.kind in ("inner", "cross") and not plan.left_keys \
+                and plan.residual is None:
+            right = self.batch(plan.right)
+            nl, nr = left.length, right.length
+            left_sel = [i for i in range(nl) for _ in range(nr)]
+            right_sel = list(range(nr)) * nl
+            return Batch(plan.columns,
+                         _take(left.vectors, left_sel) + _take(right.vectors, right_sel),
+                         nl * nr)
+
+        left_cols = plan.left.columns
+        right_cols = plan.right.columns
+        left_idx = [resolve_column(left_cols, *_split_name(k)) for k in plan.left_keys]
+        right_idx = [resolve_column(right_cols, *_split_name(k)) for k in plan.right_keys]
+        residual = None
+        if plan.residual is not None:
+            residual = compiled_predicate(plan.residual, left_cols + right_cols)
+        right = self.batch(plan.right)
+
+        if plan.kind in ("semi", "anti"):
+            return self._semi_anti(plan, left, right, left_idx, right_idx, residual)
+
+        table = self._hash_table(plan.right, right, right_idx, plan.null_matches)
+        left_sel, right_sel = _probe(left, left_idx, table, plan.null_matches)
+        if residual is not None:
+            lmat = [v.materialize() for v in left.vectors]
+            rmat = [v.materialize() for v in right.vectors]
+            keep = []
+            for k in range(len(left_sel)):
+                i, j = left_sel[k], right_sel[k]
+                row = tuple(c[i] for c in lmat) + tuple(c[j] for c in rmat)
+                if residual(row):
+                    keep.append(k)
+            left_sel = [left_sel[k] for k in keep]
+            right_sel = [right_sel[k] for k in keep]
+        return Batch(plan.columns,
+                     _take(left.vectors, left_sel) + _take(right.vectors, right_sel),
+                     len(left_sel))
+
+    def _hash_table(self, right_plan: Plan, right: Batch, right_idx: list[int],
+                    null_matches: bool) -> dict[Any, list[int]]:
+        """The build side of a hash join, reusing the storage layer's cached
+        positional key indexes when the build input is a base-table scan."""
+        if isinstance(right_plan, ScanP) and right_idx:
+            relation = self.db.relation(right_plan.relation)
+            return relation.key_index(right_idx, skip_nulls=not null_matches)
+        return _build_hash_table(right, right_idx, null_matches)
+
+    def _semi_anti(self, plan: JoinP, left: Batch, right: Batch,
+                   left_idx: list[int], right_idx: list[int],
+                   residual: Callable[[Row], bool] | None) -> Batch:
+        want_match = plan.kind == "semi"
+        null_matches = plan.null_matches
+        lkeys = _key_columns(left, left_idx)
+        sel: list[int] = []
+        if residual is None:
+            if right_idx:
+                keys: Any = self._hash_table(
+                    plan.right, right, right_idx, null_matches).keys()
+            else:
+                keys = _semi_key_set(right, right_idx, null_matches)
+            for i, key in enumerate(_iter_key_list(lkeys, left.length)):
+                if not null_matches and _has_null(key, left_idx):
+                    matched = False
+                else:
+                    matched = key in keys
+                if matched == want_match:
+                    sel.append(i)
+            return Batch(plan.columns, _take(left.vectors, sel), len(sel))
+        table = self._hash_table(plan.right, right, right_idx, null_matches)
+        lmat = [v.materialize() for v in left.vectors]
+        rmat = [v.materialize() for v in right.vectors]
+        for i, key in enumerate(_iter_key_list(lkeys, left.length)):
+            if not null_matches and _has_null(key, left_idx):
+                matched = False
+            else:
+                lrow = tuple(c[i] for c in lmat)
+                matched = any(
+                    residual(lrow + tuple(c[j] for c in rmat))
+                    for j in table.get(key, ())
+                )
+            if matched == want_match:
+                sel.append(i)
+        return Batch(plan.columns, _take(left.vectors, sel), len(sel))
+
+    # -- set operations, aggregation, the rest -----------------------------
+
+    def _setop(self, plan: SetOpP) -> Batch:
+        left = self.batch(plan.left)
+        right = self.batch(plan.right)
+        if plan.op == "union" and not plan.distinct:
+            # Bag union is pure columnar concatenation.
+            vectors = [Vector(l.materialize() + r.materialize())
+                       for l, r in zip(left.vectors, right.vectors)]
+            return Batch(plan.columns, vectors, left.length + right.length)
+        lrows = left.rows()
+        rrows = right.rows()
+        if plan.op == "union":
+            return Batch.from_rows(plan.columns, _dedupe(lrows + rrows))
+        if plan.op == "intersect":
+            if plan.distinct:
+                rset = set(rrows)
+                return Batch.from_rows(plan.columns,
+                                       _dedupe([row for row in lrows if row in rset]))
+            counts = Counter(rrows)
+            out = []
+            for row in lrows:
+                if counts.get(row, 0) > 0:
+                    counts[row] -= 1
+                    out.append(row)
+            return Batch.from_rows(plan.columns, out)
+        # except
+        if plan.distinct:
+            rset = set(rrows)
+            return Batch.from_rows(plan.columns,
+                                   _dedupe([row for row in lrows if row not in rset]))
+        counts = Counter(rrows)
+        out = []
+        for row in lrows:
+            if counts.get(row, 0) > 0:
+                counts[row] -= 1
+            else:
+                out.append(row)
+        return Batch.from_rows(plan.columns, out)
+
+    def _aggregate(self, plan: AggregateP) -> Batch:
+        batch = self.batch(plan.input)
+        columns = plan.input.columns
+        n = batch.length
+        rows: list[Row] | None = None
+
+        def value_array(expr: e.Expr) -> list[Any]:
+            nonlocal rows
+            pos = _column_position(expr, columns)
+            if pos is not None:
+                return batch.vectors[pos].materialize()
+            if rows is None:
+                rows = batch.rows()
+            fn = compiled_expr(expr, columns)
+            return [fn(row) for row in rows]
+
+        key_arrays = [value_array(x) for x in plan.group_exprs]
+        groups: dict[tuple, int] = {}
+        reps: list[int] = []
+        members: list[list[int]] = []
+        if key_arrays:
+            for i, key in enumerate(zip(*key_arrays)):
+                g = groups.get(key)
+                if g is None:
+                    groups[key] = g = len(reps)
+                    reps.append(i)
+                    members.append([])
+                members[g].append(i)
+        elif n:
+            reps.append(0)
+            members.append(list(range(n)))
+
+        agg_arrays: list[list[Any]] = []
+        for call, _name in plan.aggregates:
+            agg_arrays.append(self._fold_aggregate(call, members, value_array))
+
+        if not plan.group_exprs and not members:
+            # SQL: an ungrouped aggregate over empty input yields one row
+            # (all-NULL representatives; COUNT folds to 0 above).
+            vectors = [Vector([None]) for _ in columns]
+            vectors.extend(Vector(arr if arr else [self._empty_fold(call)])
+                           for (call, _n), arr in zip(plan.aggregates, agg_arrays))
+            return Batch(plan.columns, vectors, 1)
+
+        vectors = _take(batch.vectors, reps)
+        vectors.extend(Vector(arr) for arr in agg_arrays)
+        return Batch(plan.columns, vectors, len(reps))
+
+    def _fold_aggregate(self, call: e.FuncCall, members: list[list[int]],
+                        value_array: Callable[[e.Expr], list[Any]]) -> list[Any]:
+        name = call.name
+        if name == "count" and call.args and isinstance(call.args[0], e.Star):
+            return [len(group) for group in members]
+        if not call.args:
+            raise PlanError(f"aggregate {name.upper()} needs an argument")
+        arg = value_array(call.args[0])
+        distinct = call.distinct
+        out = []
+        for group in members:
+            values = [v for v in (arg[i] for i in group) if v is not None]
+            if distinct:
+                values = list(dict.fromkeys(values))
+            out.append(_fold(name, values))
+        return out
+
+    def _empty_fold(self, call: e.FuncCall) -> Any:
+        return 0 if call.name == "count" else None
+
+    def _divide(self, plan: DivideP) -> Batch:
+        left_cols = plan.left.columns
+        right_names = {c.lower() for c in plan.right.columns}
+        quotient_idx = [i for i, c in enumerate(left_cols)
+                        if c.lower() not in right_names]
+        divisor_pos = {c.lower(): i for i, c in enumerate(left_cols)}
+        divisor_idx = [divisor_pos[c.lower()] for c in plan.right.columns]
+        divisor_rows = set(_dedupe(self.batch(plan.right).rows()))
+        groups: dict[tuple, set[tuple]] = {}
+        order: list[tuple] = []
+        for row in _dedupe(self.batch(plan.left).rows()):
+            key = tuple(row[i] for i in quotient_idx)
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = bucket = set()
+                order.append(key)
+            bucket.add(tuple(row[i] for i in divisor_idx))
+        kept = [key for key in order if divisor_rows <= groups[key]]
+        return Batch.from_rows(plan.columns, kept)
+
+    def _sort_limit(self, plan: SortLimitP) -> Batch:
+        batch = self.batch(plan.input)
+        sel = list(range(batch.length))
+        if plan.keys:
+            from repro.sql.evaluate import _sort_key
+
+            rows = batch.rows()
+            fns = [(compiled_expr(expr, plan.input.columns), ascending)
+                   for expr, ascending in plan.keys]
+
+            def key(i: int) -> tuple:
+                row = rows[i]
+                return tuple(_sort_key(fn(row), ascending) for fn, ascending in fns)
+
+            sel.sort(key=key)
+        if plan.limit is not None:
+            sel = sel[:plan.limit]
+        return batch.take(sel)
+
+
+def _fold(name: str, values: list[Any]) -> Any:
+    if name == "count":
+        return len(values)
+    if not values:
+        return None
+    if name == "sum":
+        return sum(values)
+    if name == "avg":
+        return sum(values) / len(values)
+    if name == "min":
+        return min(values)
+    if name == "max":
+        return max(values)
+    raise PlanError(f"unknown aggregate {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Hash-join plumbing
+# ---------------------------------------------------------------------------
+
+def _key_columns(batch: Batch, idx: list[int]) -> list[list[Any]]:
+    return [batch.vectors[i].materialize() for i in idx]
+
+
+def _iter_keys(batch: Batch, idx: list[int]):
+    """Key per row: the raw value for single-column keys, a tuple otherwise.
+
+    NULL keys are *not* filtered here — callers decide per ``null_matches``.
+    Note ``None in key`` below is the C-speed containment test; the key
+    values are plain scalars, so ``==`` against None is always False for
+    non-NULLs and the test is exact.
+    """
+    return _iter_key_list(_key_columns(batch, idx), batch.length)
+
+
+def _iter_key_list(key_columns: list[list[Any]], length: int):
+    if len(key_columns) == 1:
+        return key_columns[0]
+    if not key_columns:
+        return [()] * length
+    return zip(*key_columns)
+
+
+def _has_null(key: Any, idx: list[int]) -> bool:
+    if len(idx) == 1:
+        return key is None
+    return None in key
+
+
+def _semi_key_set(batch: Batch, idx: list[int], null_matches: bool) -> set:
+    keys = set()
+    for key in _iter_keys(batch, idx):
+        if not null_matches and _has_null(key, idx):
+            continue
+        keys.add(key)
+    return keys
+
+
+def _needs_null_check(key_columns: list[list[Any]], null_matches: bool) -> bool:
+    """Whether the per-row NULL guard is needed at all.
+
+    ``None in column`` is a single C-speed containment scan; NULL-free key
+    columns (the overwhelmingly common case) then run the guard-free loops.
+    """
+    return not null_matches and any(None in column for column in key_columns)
+
+
+def _build_hash_table(batch: Batch, idx: list[int],
+                      null_matches: bool) -> dict[Any, list[int]]:
+    table: dict[Any, list[int]] = {}
+    get = table.get
+    key_columns = _key_columns(batch, idx)
+    keys = _iter_key_list(key_columns, batch.length)
+    if _needs_null_check(key_columns, null_matches):
+        single = len(idx) == 1
+        for j, key in enumerate(keys):
+            if (key is None) if single else (None in key):
+                continue
+            bucket = get(key)
+            if bucket is None:
+                table[key] = [j]
+            else:
+                bucket.append(j)
+        return table
+    for j, key in enumerate(keys):
+        bucket = get(key)
+        if bucket is None:
+            table[key] = [j]
+        else:
+            bucket.append(j)
+    return table
+
+
+def _probe(batch: Batch, idx: list[int], table: dict[Any, list[int]],
+           null_matches: bool) -> tuple[list[int], list[int]]:
+    left_sel: list[int] = []
+    right_sel: list[int] = []
+    lappend = left_sel.append
+    lextend = left_sel.extend
+    rappend = right_sel.append
+    rextend = right_sel.extend
+    get = table.get
+    key_columns = _key_columns(batch, idx)
+    keys = _iter_key_list(key_columns, batch.length)
+    if _needs_null_check(key_columns, null_matches):
+        single = len(idx) == 1
+        for i, key in enumerate(keys):
+            if (key is None) if single else (None in key):
+                continue
+            matches = get(key)
+            if matches:
+                if len(matches) == 1:
+                    lappend(i)
+                    rappend(matches[0])
+                else:
+                    lextend([i] * len(matches))
+                    rextend(matches)
+        return left_sel, right_sel
+    for i, key in enumerate(keys):
+        matches = get(key)
+        if matches:
+            if len(matches) == 1:
+                lappend(i)
+                rappend(matches[0])
+            else:
+                lextend([i] * len(matches))
+                rextend(matches)
+    return left_sel, right_sel
+
+
+# ---------------------------------------------------------------------------
+# The backend object
+# ---------------------------------------------------------------------------
+
+class VectorizedBackend:
+    """:class:`ExecutorBackend` implementation running plans column-wise."""
+
+    name = "vectorized"
+
+    def execute(self, plan: Plan, db: Database) -> list[Row]:
+        return VectorizedExecutor(db).batch(plan).rows()

@@ -1,0 +1,216 @@
+"""Pipeline-layer serving features: plan cache, result cache, backends, fallback.
+
+The pipeline keys its plan cache on a query fingerprint and its result cache
+on (fingerprint, database version); `Relation.add` bumps the version, so
+writes invalidate results but not plans.  The engine→interpreter fallback
+path is pinned here too: structured warning, interpreter answers, timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import QueryVisualizationPipeline, answer_any, fingerprint_query
+from repro.data.sailors import sailors_database
+from repro.queries import CANONICAL_QUERIES
+
+JOIN_SQL = "SELECT DISTINCT S.sname FROM Sailors S, Reserves R WHERE S.sid = R.sid"
+
+
+@pytest.fixture
+def pipeline():
+    return QueryVisualizationPipeline(sailors_database())
+
+
+class TestFingerprint:
+    def test_strips_outer_whitespace_only(self):
+        a = fingerprint_query("  SELECT S.sname FROM Sailors S\n", "sql")
+        b = fingerprint_query("SELECT S.sname FROM Sailors S", "sql")
+        c = fingerprint_query("SELECT S.sid FROM Sailors S", "sql")
+        assert a == b
+        assert a != c
+
+    def test_interior_whitespace_is_significant(self):
+        # 'a  b' and 'a b' are different string literals; collapsing interior
+        # whitespace would alias two semantically different queries.
+        a = fingerprint_query("SELECT S.sname FROM Sailors S WHERE S.sname = 'a  b'",
+                              "sql")
+        b = fingerprint_query("SELECT S.sname FROM Sailors S WHERE S.sname = 'a b'",
+                              "sql")
+        assert a != b
+
+    def test_language_is_part_of_the_key(self):
+        assert fingerprint_query("Sailors", "ra") != fingerprint_query("Sailors", "sql")
+
+
+class TestResultCache:
+    def test_second_run_hits_the_result_cache(self, pipeline):
+        first = pipeline.run(JOIN_SQL)
+        assert pipeline.cache_info()["result_misses"] == 1
+        second = pipeline.run(JOIN_SQL)
+        info = pipeline.cache_info()
+        assert info["result_hits"] == 1
+        assert first.answers is not None and second.answers is not None
+        assert first.answers.bag_equal(second.answers)
+        assert second.used_engine  # the cached plan is still reported
+
+    def test_write_invalidates_results_but_keeps_plans(self, pipeline):
+        before = pipeline.answer(JOIN_SQL)
+        pipeline.db.relation("Reserves").add((29, 101, "2025-05-05"))
+        after = pipeline.answer(JOIN_SQL)
+        info = pipeline.cache_info()
+        assert info["result_misses"] == 2  # stale version missed
+        assert info["plan_hits"] == 1      # but the plan was reused
+        assert after.row_set() - before.row_set() == {("Brutus",)}
+
+    def test_result_cache_is_bounded_lru(self):
+        pipeline = QueryVisualizationPipeline(
+            sailors_database(), result_cache_size=2)
+        queries = [f"SELECT S.sname FROM Sailors S WHERE S.rating > {n}"
+                   for n in (1, 2, 3)]
+        for sql in queries:
+            pipeline.answer(sql)
+        assert pipeline.cache_info()["result_entries"] == 2
+        pipeline.answer(queries[0])  # evicted: misses again
+        assert pipeline.cache_info()["result_misses"] == 4
+
+    def test_caches_can_be_disabled(self):
+        pipeline = QueryVisualizationPipeline(
+            sailors_database(), plan_cache_size=0, result_cache_size=0)
+        pipeline.answer(JOIN_SQL)
+        pipeline.answer(JOIN_SQL)
+        info = pipeline.cache_info()
+        assert info["result_hits"] == 0
+        assert info["plan_hits"] == 0
+        assert info["result_entries"] == info["plan_entries"] == 0
+
+    def test_clear_caches_resets_everything(self, pipeline):
+        pipeline.answer(JOIN_SQL)
+        pipeline.clear_caches()
+        info = pipeline.cache_info()
+        assert info == {"plan_entries": 0, "result_entries": 0,
+                        "plan_hits": 0, "plan_misses": 0,
+                        "result_hits": 0, "result_misses": 0}
+
+    def test_replacing_a_relation_with_fewer_rows_still_invalidates(self, pipeline):
+        # Database.version must be monotonic: swapping a relation for a
+        # smaller one may not reproduce an earlier version value, or the
+        # result cache would serve the old relation's answers.
+        from repro.data.relation import Relation
+
+        sql = "SELECT S.sname FROM Sailors S"
+        before = pipeline.answer(sql)
+        sailors = pipeline.db.relation("Sailors")
+        shrunk = Relation(sailors.schema, sailors.rows()[:-1], validate=False)
+        pipeline.db.add_relation(shrunk)
+        after = pipeline.answer(sql)
+        assert len(after) == len(before) - 1
+
+    def test_schema_change_invalidates_cached_plans(self, pipeline):
+        # add_relation can change column layout under the same name; plans
+        # resolve columns positionally, so they must not outlive the schema.
+        from repro.data.relation import Relation, relation_from_rows
+
+        sql = "SELECT T.b FROM T"
+        pipeline.db.add_relation(relation_from_rows(
+            "T", [("a", "int"), ("b", "str")], [(1, "x")]))
+        assert pipeline.answer(sql).rows() == [("x",)]
+        swapped = relation_from_rows("T", [("b", "str"), ("a", "int")],
+                                     [("y", 2)])
+        pipeline.db.add_relation(swapped)
+        assert pipeline.answer(sql).rows() == [("y",)]
+
+    def test_datalog_results_are_cached_too(self, pipeline):
+        program = "ans(N) :- sailors(S, N, R, A), reserves(S, B, D)."
+        first = pipeline.answer(program, language="datalog")
+        second = pipeline.answer(program, language="datalog")
+        assert first.bag_equal(second)
+        assert pipeline.cache_info()["result_hits"] == 1
+
+
+class TestAnswerServingPath:
+    def test_answer_matches_run_for_all_languages(self, pipeline):
+        for query in CANONICAL_QUERIES[:2]:
+            for key, language in (("SQL", "sql"), ("RA", "ra"), ("TRC", "trc"),
+                                  ("DRC", "drc"), ("Datalog", "datalog")):
+                text = query.languages()[key]
+                served = pipeline.answer(text, language=language)
+                full = pipeline.run(text, language=language)
+                assert full.answers is not None
+                assert served.bag_equal(full.answers)
+
+    def test_answer_autodetects_language(self, pipeline):
+        names = {row[0] for row in
+                 pipeline.answer("project[sname](Sailors)").distinct_rows()}
+        assert "Dustin" in names
+
+    def test_answer_falls_back_outside_the_fragment(self, pipeline):
+        sql = ("SELECT S.sname FROM Sailors S LEFT JOIN Reserves R "
+               "ON S.sid = R.sid WHERE R.sid IS NULL")
+        from repro.sql.evaluate import evaluate_sql
+
+        assert pipeline.answer(sql).bag_equal(evaluate_sql(sql, pipeline.db))
+
+    def test_answer_rejects_unknown_language(self, pipeline):
+        with pytest.raises(ValueError):
+            pipeline.answer("SELECT 1", language="cypher")
+
+    def test_answer_any_uses_the_serving_path(self):
+        result = answer_any(JOIN_SQL, sailors_database())
+        assert {row[0] for row in result.distinct_rows()} >= {"Dustin"}
+
+
+class TestBackendSelection:
+    @pytest.mark.parametrize("backend", ["row", "vectorized"])
+    def test_both_backends_serve_the_catalog(self, backend):
+        pipeline = QueryVisualizationPipeline(sailors_database(), backend=backend)
+        for query in CANONICAL_QUERIES:
+            result = pipeline.run(query.sql)
+            assert result.answers is not None
+            assert {row[0] for row in result.answers.distinct_rows()} == set(
+                query.expected_names), f"{query.id} on {backend}"
+
+    def test_unknown_backend_rejected_eagerly(self):
+        from repro.engine import PlanError
+
+        with pytest.raises(PlanError):
+            QueryVisualizationPipeline(sailors_database(), backend="quantum")
+
+
+class TestInterpreterFallback:
+    """Satellite coverage for ``QueryVisualizationPipeline._evaluate``."""
+
+    FALLBACK_SQL = ("SELECT S.sname FROM Sailors S LEFT JOIN Reserves R "
+                    "ON S.sid = R.sid WHERE R.sid IS NULL")
+
+    def test_structured_warning_is_emitted(self, pipeline):
+        result = pipeline.run(self.FALLBACK_SQL, formalism="sqlvis")
+        assert not result.used_engine
+        fallback_warnings = [w for w in result.warnings
+                             if w.startswith("engine fallback to the SQL interpreter:")]
+        assert len(fallback_warnings) == 1
+        # The warning names the concrete reason, not just the fact
+        assert fallback_warnings[0].removeprefix(
+            "engine fallback to the SQL interpreter:").strip()
+
+    def test_interpreter_answer_is_returned(self, pipeline):
+        from repro.sql.evaluate import evaluate_sql
+
+        result = pipeline.run(self.FALLBACK_SQL, formalism="sqlvis")
+        assert result.answers is not None
+        assert result.answers.bag_equal(evaluate_sql(self.FALLBACK_SQL, pipeline.db))
+
+    def test_timings_record_evaluate_but_not_failed_engine_stages(self, pipeline):
+        result = pipeline.run(self.FALLBACK_SQL, formalism="sqlvis")
+        assert "evaluate" in result.timings
+        assert result.timings["evaluate"] >= 0.0
+        for stage in ("lower", "optimize", "execute"):
+            assert stage not in result.timings, (
+                f"{stage} belongs to the failed engine attempt and must be dropped"
+            )
+
+    def test_engine_path_still_records_all_stages(self, pipeline):
+        result = pipeline.run(CANONICAL_QUERIES[0].sql)
+        assert result.used_engine
+        assert {"parse", "lower", "optimize", "execute", "evaluate"} <= set(
+            result.timings)
