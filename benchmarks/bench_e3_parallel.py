@@ -1,0 +1,212 @@
+"""Experiment E3: partitioned parallel execution vs the vectorized baseline.
+
+Measures the ``"parallel"`` backend (span-partitioned hash-join probes,
+hash-partitioned group-by — :mod:`repro.engine.parallel`) against the
+sequential ``"vectorized"`` backend on the two partitionable workload
+families, plus the :class:`~repro.core.service.QueryService` serving path
+under a concurrent reader storm.  Answers are asserted bag-equal cell by
+cell; timings are steady-state (warm-up, then best of N).  Throughput is
+recorded as an honest measurement, not gated: CPython's GIL interleaves the
+workers' row loops, so single-process thread parallelism is about structure
+(the same partitioning scales on free-threaded builds / process pools), not
+guaranteed speedup.
+
+Runs standalone (the CI smoke job) or under pytest like the other benches::
+
+    PYTHONPATH=../src python bench_e3_parallel.py --smoke
+    PYTHONPATH=../src python -m pytest bench_e3_parallel.py -q
+
+Artifacts: a table on stdout, an ``E3-JSON`` line, and
+``benchmarks/artifacts/bench_e3_parallel.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+
+from conftest import print_table
+
+from repro.core import QueryService
+from repro.data.sailors import random_sailors_database
+from repro.engine import (
+    ParallelBackend,
+    clear_compiled_cache,
+    execute_plan,
+    lower,
+    optimize,
+)
+
+REDUCED = os.environ.get("REPRO_BENCH_REDUCED", "") not in ("", "0")
+
+#: (n_sailors, n_boats, n_reserves) scales, smallest → largest.
+FULL_SIZES = [(200, 20, 2000), (400, 30, 4000), (800, 40, 8000)]
+SMOKE_SIZES = [(100, 10, 1000), (200, 20, 2000)]
+
+ARTIFACT_DIR = os.environ.get(
+    "REPRO_BENCH_ARTIFACTS",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "artifacts"))
+
+JOIN_CHAIN_SQL = (
+    "SELECT DISTINCT S.sname FROM Sailors S, Boats B, Reserves R0, "
+    "Reserves R1, Reserves R2 WHERE B.color = 'red' "
+    "AND S.sid = R0.sid AND R0.bid = B.bid "
+    "AND S.sid = R1.sid AND R1.bid = B.bid "
+    "AND S.sid = R2.sid AND R2.bid = B.bid"
+)
+
+AGGREGATION_SQL = (
+    "SELECT S.rating, COUNT(*) AS n, AVG(S.age) AS avg_age, MAX(S.age) AS oldest "
+    "FROM Sailors S, Reserves R WHERE S.sid = R.sid GROUP BY S.rating"
+)
+
+WORKLOADS = [("join-chain", JOIN_CHAIN_SQL), ("aggregation", AGGREGATION_SQL)]
+
+SERVING_THREADS = 4
+SERVING_REQUESTS = 200
+
+
+def _best_of(fn, reps: int = 5):
+    result = fn()  # warm-up: key indexes, compiled closures, column stores
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def _write_artifact(name: str, artifact: dict) -> None:
+    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+    path = os.path.join(ARTIFACT_DIR, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2)
+        handle.write("\n")
+
+
+def _backend_cells(sizes, parallel_backend):
+    """parallel vs vectorized on the same optimized plans, per size."""
+    cells = []
+    largest = sizes[-1]
+    for n_sailors, n_boats, n_reserves in sizes:
+        db = random_sailors_database(n_sailors=n_sailors, n_boats=n_boats,
+                                     n_reserves=n_reserves, seed=7)
+        for workload, sql in WORKLOADS:
+            plan = optimize(lower(sql, db.schema, "sql"), db)
+            vec_rel, vec_s = _best_of(
+                lambda: execute_plan(plan, db, backend="vectorized"))
+            par_rel, par_s = _best_of(
+                lambda: execute_plan(plan, db, backend=parallel_backend))
+            assert vec_rel.bag_equal(par_rel), f"{workload}: backends disagree"
+            cells.append({
+                "workload": workload,
+                "sailors": n_sailors, "boats": n_boats, "reserves": n_reserves,
+                "answer_rows": len(vec_rel),
+                "vectorized_ms": round(vec_s * 1000, 3),
+                "parallel_ms": round(par_s * 1000, 3),
+                "vectorized_qps": round(1.0 / vec_s, 1) if vec_s > 0 else None,
+                "parallel_qps": round(1.0 / par_s, 1) if par_s > 0 else None,
+                "speedup": round(vec_s / par_s, 2) if par_s > 0 else None,
+                "largest_size": (n_sailors, n_boats, n_reserves) == largest,
+            })
+    return cells
+
+
+def _serving_cell(sizes):
+    """Concurrent QueryService throughput (warm cache, parallel backend)."""
+    n_sailors, n_boats, n_reserves = sizes[-1]
+    db = random_sailors_database(n_sailors=n_sailors, n_boats=n_boats,
+                                 n_reserves=n_reserves, seed=11)
+    service = QueryService(db, backend="parallel")
+    handles = [service.prepare(sql) for _w, sql in WORKLOADS]
+    for handle in handles:
+        handle.answer()  # warm plan + result caches
+
+    def storm() -> None:
+        for i in range(SERVING_REQUESTS // SERVING_THREADS):
+            handles[i % len(handles)].answer()
+
+    threads = [threading.Thread(target=storm) for _ in range(SERVING_THREADS)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    served = (SERVING_REQUESTS // SERVING_THREADS) * SERVING_THREADS
+    info = service.cache_info()
+    assert info["result_hits"] >= served - len(handles)
+    return {
+        "threads": SERVING_THREADS,
+        "requests": served,
+        "total_s": round(elapsed, 4),
+        "requests_per_s": round(served / elapsed, 1) if elapsed > 0 else None,
+        "cache": info,
+    }
+
+
+def run_experiment(smoke: bool) -> dict:
+    clear_compiled_cache()
+    sizes = SMOKE_SIZES if smoke else FULL_SIZES
+    backend = ParallelBackend()  # fresh pool: the artifact names its width
+    artifact = {
+        "experiment": "E3-parallel-vs-vectorized",
+        "reduced": smoke,
+        "workers": backend.workers,
+        "min_partition_rows": backend.min_partition_rows,
+        "cells": _backend_cells(sizes, backend),
+        "serving": _serving_cell(sizes),
+    }
+    _write_artifact("bench_e3_parallel.json", artifact)
+    rows = [
+        [cell["workload"], cell["reserves"], cell["answer_rows"],
+         f"{cell['vectorized_ms']:.2f}", f"{cell['parallel_ms']:.2f}",
+         f"{cell['speedup']:.2f}x"]
+        for cell in artifact["cells"]
+    ]
+    print_table(
+        f"E3: vectorized vs parallel backend ({backend.workers} workers, "
+        "same optimized plan, steady state)",
+        ["workload", "reserves", "answers", "vectorized ms", "parallel ms",
+         "parallel/vectorized"],
+        rows,
+    )
+    serving = artifact["serving"]
+    print_table(
+        "E3: QueryService warm serving under concurrency (parallel backend)",
+        ["threads", "requests", "total s", "req/s"],
+        [[serving["threads"], serving["requests"], serving["total_s"],
+          serving["requests_per_s"]]],
+    )
+    print("E3-JSON " + json.dumps(artifact))
+    return artifact
+
+
+# -- pytest entry points -----------------------------------------------------
+
+def test_e3_parallel_vs_vectorized_artifact(capsys):
+    with capsys.disabled():
+        artifact = run_experiment(smoke=REDUCED)
+    assert artifact["cells"], "no cells measured"
+    largest = [c for c in artifact["cells"] if c["largest_size"]]
+    assert {c["workload"] for c in largest} == {w for w, _sql in WORKLOADS}
+    assert artifact["serving"]["requests_per_s"] is not None
+
+
+# -- standalone entry point --------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced sizes for CI smoke runs")
+    args = parser.parse_args(argv)
+    run_experiment(smoke=args.smoke or REDUCED)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,7 @@ from repro.core.pipeline import (
     fingerprint_query,
     visualize_sql,
 )
+from repro.core.service import PreparedQuery, QueryService, ServiceStats
 from repro.core.principles import (
     PRINCIPLES,
     Principle,
@@ -70,13 +71,16 @@ __all__ = [
     "PatternVariable",
     "CacheStats",
     "PipelineResult",
+    "PreparedQuery",
     "answer_any",
     "fingerprint_query",
     "explain_calculus",
     "Principle",
     "PrincipleScore",
     "QueryPattern",
+    "QueryService",
     "QueryVisualizationPipeline",
+    "ServiceStats",
     "REGISTRY",
     "compare",
     "compute_layout",

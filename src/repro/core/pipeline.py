@@ -17,6 +17,8 @@ engine fragment, so ``run`` never rejects a query the interpreters accept.
 from __future__ import annotations
 
 import hashlib
+import logging
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -32,6 +34,13 @@ from repro.trc.format import format_trc_query
 
 #: The languages ``QueryVisualizationPipeline.run`` accepts.
 PIPELINE_LANGUAGES = ("sql", "ra", "trc", "drc", "datalog")
+
+_logger = logging.getLogger(__name__)
+
+#: Cache-miss sentinel.  ``None`` (or any falsy value) must be a cacheable
+#: value — using it as the miss marker would re-miss legitimate entries
+#: forever and miscount ``cache_stats``.
+_MISS = object()
 
 #: Default diagram formalism per input language (only formalisms that can
 #: represent that language's ASTs directly).
@@ -61,43 +70,67 @@ def fingerprint_query(text: str, language: str) -> str:
 
 
 class _LRUCache:
-    """A bounded mapping with least-recently-used eviction (capacity 0 = off)."""
+    """A bounded mapping with least-recently-used eviction (capacity 0 = off).
+
+    Thread-safe: every operation holds one internal lock, so concurrent
+    get/put/clear interleave without corrupting the recency order.  ``get``
+    distinguishes a miss from a cached falsy value via the ``default``
+    argument (pass a private sentinel) instead of overloading ``None``.
+    """
 
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
         self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
 
-    def get(self, key: Any) -> Any:
-        try:
-            value = self._data.pop(key)
-        except KeyError:
-            return None
-        self._data[key] = value
-        return value
+    def get(self, key: Any, default: Any = None) -> Any:
+        with self._lock:
+            try:
+                value = self._data.pop(key)
+            except KeyError:
+                return default
+            self._data[key] = value
+            return value
 
     def put(self, key: Any, value: Any) -> None:
         if self.capacity <= 0:
             return
-        self._data.pop(key, None)
-        self._data[key] = value
-        while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
+        with self._lock:
+            self._data.pop(key, None)
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters for the pipeline's plan and result caches."""
+    """Hit/miss counters for the pipeline's plan and result caches.
+
+    Counter updates go through :meth:`record` under an internal lock so
+    concurrent requests never lose increments.
+    """
 
     plan_hits: int = 0
     plan_misses: int = 0
     result_hits: int = 0
     result_misses: int = 0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def record(self, cache: str, *, hit: bool) -> None:
+        """Atomically bump ``{cache}_hits`` or ``{cache}_misses``."""
+        name = f"{cache}_{'hits' if hit else 'misses'}"
+        with self._lock:
+            setattr(self, name, getattr(self, name) + 1)
 
 
 @dataclass
@@ -328,28 +361,28 @@ class QueryVisualizationPipeline:
 
         fingerprint = fingerprint_query(text, language)
         result_key = (fingerprint, self.db.version)
-        cached = self._result_cache.get(result_key)
-        if cached is not None:
-            self.cache_stats.result_hits += 1
+        cached = self._result_cache.get(result_key, _MISS)
+        if cached is not _MISS:
+            self.cache_stats.record("result", hit=True)
             timings["execute"] = 0.0
             plan, answers = cached
             return answers, plan
-        self.cache_stats.result_misses += 1
+        self.cache_stats.record("result", hit=False)
 
         if language == "datalog":
             start = time.perf_counter()
             answers = execute_datalog(query, self.db)
             timings["execute"] = time.perf_counter() - start
-            self._result_cache.put(result_key, (query, answers))
+            self._cache_result(result_key, query, answers)
             return answers, query
 
         # Plans depend on the schema (column resolution) but not on row
         # contents, so the key includes the coarser structure version:
         # add_relation/drop_relation invalidates plans, plain adds do not.
         plan_key = (fingerprint, self.db.structure_version)
-        plan = self._plan_cache.get(plan_key)
-        if plan is None:
-            self.cache_stats.plan_misses += 1
+        plan = self._plan_cache.get(plan_key, _MISS)
+        if plan is _MISS:
+            self.cache_stats.record("plan", hit=False)
             start = time.perf_counter()
             plan = lower(query, self.db.schema, language)
             timings["lower"] = time.perf_counter() - start
@@ -358,20 +391,40 @@ class QueryVisualizationPipeline:
             timings["optimize"] = time.perf_counter() - start
             self._plan_cache.put(plan_key, plan)
         else:
-            self.cache_stats.plan_hits += 1
+            self.cache_stats.record("plan", hit=True)
         start = time.perf_counter()
         answers = execute_plan(plan, self.db, backend=self.backend)
         timings["execute"] = time.perf_counter() - start
-        self._result_cache.put(result_key, (plan, answers))
+        self._cache_result(result_key, plan, answers)
         return answers, plan
 
-    def answer(self, text: str, *, language: str | None = None) -> Relation:
+    def _cache_result(self, result_key: tuple, plan: Any,
+                      answers: Relation) -> None:
+        """Publish one answer into the shared result cache — *frozen*.
+
+        The cache hands the very same :class:`Relation` object to every
+        subsequent hit, so a mutable cached answer would let one caller
+        silently poison everyone else's results.  Freezing before the put
+        turns that aliasing bug into an immediate ``RelationError`` at the
+        mutation site; callers that need a private mutable copy take
+        ``answers.copy()``.
+        """
+        if self._result_cache.capacity > 0:
+            answers.freeze()
+            self._result_cache.put(result_key, (plan, answers))
+
+    def answer(self, text: str, *, language: str | None = None,
+               warnings: list[str] | None = None) -> Relation:
         """The serving path: any-language text in, answers out — no diagram.
 
         Warm requests never parse: a result-cache hit is two dictionary
         lookups, and a plan-cache hit skips parse/lower/optimize and goes
         straight to the executor.  Falls back to the reference interpreter
         exactly like :meth:`run` for queries outside the engine fragment.
+        The fallback *reason* is never swallowed: it is appended to the
+        optional ``warnings`` out-list (same format as
+        :attr:`PipelineResult.warnings`) and logged on this module's logger,
+        so serving-path divergences stay diagnosable.
         """
         from repro.engine import LoweringError, PlanError, detect_language
         from repro.expr.ast import ExprError
@@ -385,9 +438,43 @@ class QueryVisualizationPipeline:
             try:
                 answers, _plan = self._evaluate_engine(text, text, resolved, {})
                 return answers
-            except (LoweringError, PlanError, ExprError):
-                pass
+            except (LoweringError, PlanError, ExprError) as exc:
+                message = (
+                    f"engine fallback to the {resolved.upper()} interpreter: {exc}"
+                )
+                if warnings is not None:
+                    warnings.append(message)
+                _logger.info("%s", message)
         return self._evaluate_reference(_parse(text, resolved), resolved)
+
+    def prepare_plan(self, text: str, language: str) -> Any | None:
+        """Compile one query into the plan cache ahead of serving.
+
+        Parses eagerly (syntax errors surface here, not on the first
+        request), lowers + optimizes, and seeds the plan cache under the
+        current structure version.  Returns the optimized plan, or ``None``
+        when the query is outside the engine fragment (its requests will use
+        the interpreter fallback) or is Datalog (executed by the semi-naive
+        fixpoint, which plans per stratum).  ``QueryService.prepare`` builds
+        its prepared-query handles on this.
+        """
+        from repro.engine import LoweringError, PlanError, lower, optimize
+
+        language = language.lower()
+        query = _parse(text, language)
+        if language == "datalog":
+            return None
+        fingerprint = fingerprint_query(text, language)
+        plan_key = (fingerprint, self.db.structure_version)
+        plan = self._plan_cache.get(plan_key, _MISS)
+        if plan is not _MISS:
+            return plan
+        try:
+            plan = optimize(lower(query, self.db.schema, language), self.db)
+        except (LoweringError, PlanError):
+            return None
+        self._plan_cache.put(plan_key, plan)
+        return plan
 
     def _evaluate_reference(self, query: Any, language: str) -> Relation:
         del language  # dispatch is by AST type

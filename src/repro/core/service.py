@@ -1,0 +1,289 @@
+"""A thread-safe query service: the paper's serving loop under concurrency.
+
+The Fig. 1/2 interaction is a *serving* loop — text in, answers out — and the
+roadmap's north star is heavy concurrent traffic.
+:class:`QueryVisualizationPipeline` is single-threaded by design;
+:class:`QueryService` wraps one pipeline and makes the loop safe and fast
+under concurrent readers and writers:
+
+* **Frozen answers.**  Every relation the service returns is
+  :meth:`~repro.data.relation.Relation.freeze`-d before it enters the shared
+  result cache, so the cache-aliasing bug class (one caller mutates its
+  answers, everyone else reads the poisoned object) raises at the mutation
+  site instead of corrupting the cache.  Callers wanting a private mutable
+  instance take ``.copy()``.
+* **Lock-guarded caches, lock-free reads.**  The result cache is a bounded
+  LRU keyed on ``(query fingerprint, database version)`` behind an internal
+  lock; warm requests are one locked dictionary lookup and never serialize
+  against each other or against execution.
+* **Snapshot-validated misses.**  A cache miss executes *optimistically*:
+  the database version is read before and after execution, and the answer is
+  published (and returned) only if no write interleaved.  A torn execution
+  is retried; after :attr:`max_retries` collisions the request runs once
+  under the write lock, which excludes writers and guarantees a consistent
+  snapshot.  Either way every answer the service returns equals a
+  single-threaded evaluation at some database version ≥ the request's start
+  — the invariant ``tests/test_service.py`` hammers.
+* **Write API.**  Writers mutate through :meth:`add_row` /
+  :meth:`add_rows` / the :meth:`writing` context manager, all of which hold
+  the service's write lock.  Writes outside the service are tolerated by the
+  optimistic readers (the storage layer publishes version bumps last) but
+  forfeit the serialized-fallback guarantee — keep them out of hot paths.
+* **Prepared queries.**  :meth:`prepare` parses once, compiles the plan into
+  the pipeline's plan cache, and returns a :class:`PreparedQuery` handle
+  whose :meth:`~PreparedQuery.answer` skips language detection and
+  fingerprinting on every subsequent request — the repeated-serving fast
+  path.
+* **Versioned statistics.**  :meth:`table_stats` / :meth:`stats_snapshot`
+  expose the optimizer's per-relation profiles from a thread-safe,
+  version-tagged :class:`~repro.engine.stats.StatsCatalog`, so monitoring
+  never races the optimizer.
+
+Backend choice is per service: ``backend="parallel"`` serves each request
+through the partitioned parallel executor (`repro.engine.parallel`), which
+keeps large hash-join probes and group-bys off a single core.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.core.pipeline import (
+    _MISS,
+    PIPELINE_LANGUAGES,
+    _LRUCache,
+    QueryVisualizationPipeline,
+    fingerprint_query,
+)
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.engine.stats import StatsCatalog, TableStats
+
+
+@dataclass
+class ServiceStats:
+    """Counters for the service's serving behaviour (lock-protected)."""
+
+    requests: int = 0
+    result_hits: int = 0
+    result_misses: int = 0
+    validation_retries: int = 0
+    serialized_runs: int = 0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def bump(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + by)
+
+
+class PreparedQuery:
+    """A handle for repeated serving of one query (from :meth:`QueryService.prepare`).
+
+    Holds the resolved language and fingerprint, so :meth:`answer` goes
+    straight to the cache lookup; the plan was compiled at prepare time.
+    """
+
+    __slots__ = ("service", "text", "language", "fingerprint")
+
+    def __init__(self, service: "QueryService", text: str, language: str,
+                 fingerprint: str) -> None:
+        self.service = service
+        self.text = text
+        self.language = language
+        self.fingerprint = fingerprint
+
+    def answer(self, *, warnings: list[str] | None = None) -> Relation:
+        """Serve this query's answers (frozen; take ``.copy()`` to mutate)."""
+        return self.service._serve(self.text, self.language, self.fingerprint,
+                                   warnings)
+
+    def __repr__(self) -> str:
+        return f"PreparedQuery({self.language}: {self.text!r})"
+
+
+class QueryService:
+    """Thread-safe serving of the five-language pipeline (see module docs)."""
+
+    def __init__(self, db: Database | None = None, *,
+                 backend: str = "vectorized",
+                 plan_cache_size: int = 256,
+                 result_cache_size: int = 1024,
+                 max_retries: int = 4) -> None:
+        # The pipeline's own result cache is disabled: the service owns
+        # result caching so entries are only published after snapshot
+        # validation.  The (row-content-independent) plan cache stays on.
+        self.pipeline = QueryVisualizationPipeline(
+            db, backend=backend, plan_cache_size=plan_cache_size,
+            result_cache_size=0)
+        self.db = self.pipeline.db
+        self.max_retries = max_retries
+        self.stats = ServiceStats()
+        self.table_statistics = StatsCatalog(self.db)
+        self._results = _LRUCache(result_cache_size)
+        self._write_lock = threading.RLock()
+
+    # -- serving -----------------------------------------------------------
+
+    def answer(self, text: str, *, language: str | None = None,
+               warnings: list[str] | None = None) -> Relation:
+        """Any-language text in, frozen answers out — safe under concurrency.
+
+        Engine-fallback reasons are appended to the optional ``warnings``
+        out-list, exactly like :meth:`QueryVisualizationPipeline.answer`
+        (cached alongside the answer, so warm hits report them too).
+        """
+        resolved = self._resolve_language(text, language)
+        return self._serve(text, resolved, fingerprint_query(text, resolved),
+                           warnings)
+
+    def prepare(self, text: str, language: str | None = None) -> PreparedQuery:
+        """Parse + plan one query now; serve it repeatedly via the handle.
+
+        Syntax errors surface here.  Queries outside the engine fragment
+        still return a handle — their requests take the interpreter
+        fallback, like unprepared serving.
+        """
+        resolved = self._resolve_language(text, language)
+        self.pipeline.prepare_plan(text, resolved)  # parses; seeds plan cache
+        return PreparedQuery(self, text, resolved,
+                             fingerprint_query(text, resolved))
+
+    def _resolve_language(self, text: str, language: str | None) -> str:
+        from repro.engine import detect_language
+
+        resolved = (language or detect_language(text)).lower()
+        if resolved not in PIPELINE_LANGUAGES:
+            raise ValueError(
+                f"unknown language {resolved!r}; expected one of {PIPELINE_LANGUAGES}"
+            )
+        return resolved
+
+    def _serve(self, text: str, language: str, fingerprint: str,
+               warnings: list[str] | None) -> Relation:
+        """Cache lookup + snapshot-validated execution (see module docs)."""
+        self.stats.bump("requests")
+        for attempt in range(self.max_retries):
+            version = self.db.version
+            key = (fingerprint, version)
+            cached = self._results.get(key, _MISS)
+            if cached is not _MISS:
+                answers, cached_warnings = cached
+                if warnings is not None:
+                    warnings.extend(cached_warnings)
+                self.stats.bump("result_hits")
+                return answers
+            # Each attempt collects its own warnings; only the attempt that
+            # wins publishes them, so retries never duplicate messages.
+            attempt_warnings: list[str] = []
+            try:
+                answers = self.pipeline.answer(text, language=language,
+                                               warnings=attempt_warnings)
+            except Exception:
+                # Lock-free readers can observe a write mid-add (the row
+                # published, the column-store append or version bump not
+                # yet), which can surface as a transient executor error.
+                # Retry; a *genuine* error reproduces deterministically in
+                # the serialized run below and propagates from there.
+                self.stats.bump("validation_retries")
+                continue
+            if self.db.version == version:
+                return self._publish(key, answers, attempt_warnings, warnings)
+            # A write interleaved: the answer may be torn across relations.
+            self.stats.bump("validation_retries")
+        # Contended: run once with writers excluded — guaranteed consistent.
+        with self._write_lock:
+            self.stats.bump("serialized_runs")
+            key = (fingerprint, self.db.version)
+            cached = self._results.get(key, _MISS)
+            if cached is not _MISS:
+                answers, cached_warnings = cached
+                if warnings is not None:
+                    warnings.extend(cached_warnings)
+                self.stats.bump("result_hits")
+                return answers
+            attempt_warnings = []
+            answers = self.pipeline.answer(text, language=language,
+                                           warnings=attempt_warnings)
+            return self._publish(key, answers, attempt_warnings, warnings)
+
+    def _publish(self, key: tuple, answers: Relation,
+                 attempt_warnings: list[str],
+                 warnings: list[str] | None) -> Relation:
+        self.stats.bump("result_misses")
+        self._results.put(key, (answers.freeze(), tuple(attempt_warnings)))
+        if warnings is not None:
+            warnings.extend(attempt_warnings)
+        return answers
+
+    # -- writing -----------------------------------------------------------
+
+    @contextmanager
+    def writing(self) -> Iterator[Database]:
+        """Exclusive write section: ``with service.writing() as db: ...``."""
+        with self._write_lock:
+            yield self.db
+
+    def add_row(self, relation: str, row: Sequence[Any], *,
+                validate: bool = True) -> int:
+        """Append one row under the write lock; returns the new db version."""
+        with self._write_lock:
+            self.db.relation(relation).add(row, validate=validate)
+            return self.db.version
+
+    def add_rows(self, relation: str, rows: Iterable[Sequence[Any]], *,
+                 validate: bool = True) -> int:
+        """Append many rows as one exclusive write; returns the new version."""
+        with self._write_lock:
+            target = self.db.relation(relation)
+            for row in rows:
+                target.add(row, validate=validate)
+            return self.db.version
+
+    # -- statistics and introspection --------------------------------------
+
+    def table_stats(self, relation: str) -> TableStats | None:
+        """The optimizer's profile of one relation at its current version."""
+        return self.table_statistics.table(relation)
+
+    def stats_snapshot(self) -> tuple[int, dict[str, TableStats]]:
+        """``(version, {relation: stats})`` — consistent across relations.
+
+        Validated like a query: retried if a write interleaves, then taken
+        under the write lock, so every profile in the dict describes the
+        same database version.
+        """
+        for attempt in range(self.max_retries):
+            version = self.db.version
+            snapshot = {name: self.table_statistics.table(name)
+                        for name in self.db.relation_names}
+            if self.db.version == version:
+                return version, snapshot
+        with self._write_lock:
+            version = self.db.version
+            return version, {name: self.table_statistics.table(name)
+                             for name in self.db.relation_names}
+
+    def cache_info(self) -> dict[str, int]:
+        """Service result-cache counters merged with the pipeline's plan cache."""
+        pipeline_info = self.pipeline.cache_info()
+        return {
+            "requests": self.stats.requests,
+            "result_entries": len(self._results),
+            "result_hits": self.stats.result_hits,
+            "result_misses": self.stats.result_misses,
+            "validation_retries": self.stats.validation_retries,
+            "serialized_runs": self.stats.serialized_runs,
+            "plan_entries": pipeline_info["plan_entries"],
+            "plan_hits": pipeline_info["plan_hits"],
+            "plan_misses": pipeline_info["plan_misses"],
+        }
+
+    def clear_caches(self) -> None:
+        self._results.clear()
+        self.pipeline.clear_caches()
+        self.stats = ServiceStats()

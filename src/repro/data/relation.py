@@ -74,6 +74,7 @@ class Relation:
     ) -> None:
         self.schema = schema
         self._rows: list[Row] = []
+        self._frozen = False
         # Lazily built caches, maintained incrementally by :meth:`add`.  The
         # monotonic version counter is bumped on every mutation so external
         # caches (table statistics, the pipeline's result cache) can key on
@@ -98,7 +99,14 @@ class Relation:
         return cls(schema, dicts)
 
     def add(self, row: Sequence[Any] | Mapping[str, Any], *, validate: bool = True) -> None:
-        """Append a row (bag semantics: duplicates are kept)."""
+        """Append a row (bag semantics: duplicates are kept).
+
+        Raises :class:`RelationError` on a frozen relation (see :meth:`freeze`).
+        """
+        if self._frozen:
+            raise RelationError(
+                f"relation {self.schema.name!r} is frozen; copy() it to mutate"
+            )
         if isinstance(row, Mapping):
             try:
                 row = tuple(row[name] for name in self.schema.attribute_names)
@@ -119,7 +127,6 @@ class Relation:
                         f"{self.schema.name}.{attr.name}"
                     )
         self._rows.append(row)
-        self._version += 1
         # Incrementally maintain whatever caches are already built; this keeps
         # membership tests O(1) even for workloads that interleave adds and
         # lookups (the Datalog fixpoint does exactly that).
@@ -133,6 +140,14 @@ class Relation:
         for name, index in self._indexes.items():
             idx = self.schema.index_of(name)
             index.setdefault(row[idx], []).append(row)
+        # The version bump is published *last*: a concurrent reader that
+        # validates a lazily built cache against the version it started from
+        # (see distinct_rows / column_store / key_index) can then never
+        # publish a cache that is missing this row yet carries the new
+        # version.  Observing the row while still reading the old version is
+        # benign — the version counter is monotonic, so no later reader keys
+        # on the old value again.
+        self._version += 1
 
     # -- views -----------------------------------------------------------
     @property
@@ -164,12 +179,17 @@ class Relation:
         :meth:`add`), so repeated calls do not re-scan the bag.
         """
         if self._distinct is None:
+            version = self._version
             seen: set[Row] = set()
             out: list[Row] = []
-            for row in self._rows:
+            for row in list(self._rows):
                 if row not in seen:
                     seen.add(row)
                     out.append(row)
+            if version != self._version:
+                # A concurrent add raced the scan: serve the snapshot but do
+                # not publish a cache that may already be stale.
+                return out
             self._row_set = seen
             self._distinct = out
         return list(self._distinct)
@@ -178,8 +198,12 @@ class Relation:
         """The set of distinct rows (cached; treat as read-only)."""
         if self._row_set is None:
             self.distinct_rows()
-        assert self._row_set is not None
-        return self._row_set
+        published = self._row_set
+        if published is not None:
+            return published
+        # distinct_rows() detected a racing add and declined to publish its
+        # cache: serve a fresh snapshot without caching either.
+        return set(self._rows)
 
     def index_on(self, attribute: str) -> dict[Any, list[Row]]:
         """A hash index mapping each value of ``attribute`` to its rows.
@@ -188,13 +212,17 @@ class Relation:
         The executor uses these for constant-equality scans; treat the
         returned mapping as read-only.
         """
-        if attribute not in self._indexes:
-            idx = self.schema.index_of(attribute)
-            index: dict[Any, list[Row]] = {}
-            for row in self._rows:
-                index.setdefault(row[idx], []).append(row)
+        existing = self._indexes.get(attribute)
+        if existing is not None:
+            return existing
+        version = self._version
+        idx = self.schema.index_of(attribute)
+        index: dict[Any, list[Row]] = {}
+        for row in list(self._rows):
+            index.setdefault(row[idx], []).append(row)
+        if version == self._version:  # racing adds: serve without publishing
             self._indexes[attribute] = index
-        return self._indexes[attribute]
+        return index
 
     def column_store(self) -> ColumnStore:
         """The columnar view: one array per attribute (bag order preserved).
@@ -203,10 +231,14 @@ class Relation:
         incrementally by :meth:`add`.  Treat the returned arrays as
         read-only; the row view stays authoritative.
         """
-        if self._column_store is None:
-            self._column_store = ColumnStore.from_rows(
-                self.schema.attribute_names, self._rows)
-        return self._column_store
+        store = self._column_store
+        if store is None:
+            version = self._version
+            store = ColumnStore.from_rows(
+                self.schema.attribute_names, list(self._rows))
+            if version == self._version:  # racing adds: serve w/o publishing
+                self._column_store = store
+        return store
 
     def key_index(self, positions: Sequence[int], *,
                   skip_nulls: bool = True) -> dict[Any, list[int]]:
@@ -224,6 +256,9 @@ class Relation:
         cached = self._key_indexes.get(key)
         if cached is not None and cached[0] == self._version:
             return cached[1]
+        # Snapshot the version *before* reading the arrays: if an add races
+        # the build, the stored tag is stale and the next call rebuilds.
+        version = self._version
         arrays = self.column_store().arrays
         columns = [arrays[p] for p in key[0]]
         table: dict[Any, list[int]] = {}
@@ -242,7 +277,7 @@ class Relation:
                 table[value] = [j]
             else:
                 bucket.append(j)
-        self._key_indexes[key] = (self._version, table)
+        self._key_indexes[key] = (version, table)
         return table
 
     def row_multiset(self) -> Counter:
@@ -267,10 +302,7 @@ class Relation:
     def cardinality(self, *, distinct: bool = False) -> int:
         """Number of rows, optionally after duplicate elimination."""
         if distinct:
-            if self._distinct is None:
-                self.distinct_rows()
-            assert self._distinct is not None
-            return len(self._distinct)
+            return len(self.distinct_rows())
         return len(self._rows)
 
     def __iter__(self) -> Iterator[Row]:
@@ -301,6 +333,48 @@ class Relation:
 
     def __hash__(self) -> int:  # pragma: no cover - relations are mutable
         raise TypeError("Relation objects are not hashable")
+
+    # -- freezing and partitioning ----------------------------------------
+    def freeze(self) -> "Relation":
+        """Make the relation immutable: any further :meth:`add` raises.
+
+        Shared caches hand out frozen relations so one caller's mutation
+        cannot silently poison every other caller's answers; a caller that
+        wants a private mutable instance takes a :meth:`copy`.  Freezing is
+        idempotent and returns ``self`` for chaining.
+        """
+        self._frozen = True
+        return self
+
+    @property
+    def is_frozen(self) -> bool:
+        return self._frozen
+
+    def copy(self) -> "Relation":
+        """A mutable copy with the same schema and rows (never frozen)."""
+        return Relation(self.schema, self._rows, validate=False)
+
+    def partition_by(self, attributes: Sequence[str], n: int) -> list["Relation"]:
+        """Hash-partition the bag on ``attributes`` into ``n`` relations.
+
+        Rows with equal key values always land in the same partition (the
+        property partitioned group-by relies on: no group ever straddles two
+        workers), and each partition preserves the relative bag order of its
+        rows.  Keys hash by value, so a single-attribute key and its 1-tuple
+        agree with the executor's hash-table convention.
+        """
+        if n <= 0:
+            raise ValueError(f"partition count must be positive, got {n}")
+        positions = [self.schema.index_of(a) for a in attributes]
+        buckets: list[list[Row]] = [[] for _ in range(n)]
+        if len(positions) == 1:
+            p0 = positions[0]
+            for row in self._rows:
+                buckets[hash(row[p0]) % n].append(row)
+        else:
+            for row in self._rows:
+                buckets[hash(tuple(row[p] for p in positions)) % n].append(row)
+        return [Relation(self.schema, rows, validate=False) for rows in buckets]
 
     # -- simple derivations (heavy lifting lives in repro.ra.evaluate) ----
     def renamed(self, new_name: str) -> "Relation":

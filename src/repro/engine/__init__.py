@@ -40,6 +40,7 @@ from repro.engine.execute import (
     run_query,
 )
 from repro.engine.vectorized import VectorizedBackend, VectorizedExecutor
+from repro.engine.parallel import ParallelBackend, ParallelExecutor
 from repro.engine.lower import (
     LoweringError,
     detect_language,
@@ -91,6 +92,8 @@ __all__ = [
     "FilterP",
     "JoinP",
     "LoweringError",
+    "ParallelBackend",
+    "ParallelExecutor",
     "Plan",
     "PlanError",
     "ProjectP",

@@ -582,11 +582,12 @@ def _split_name(column: str) -> tuple[str, str | None]:
 class ExecutorBackend(Protocol):
     """The physical-execution seam: logical plan + database in, rows out.
 
-    Two implementations ship: the row-at-a-time reference backend in this
-    module (``"row"``) and the columnar, batch-at-a-time backend in
-    :mod:`repro.engine.vectorized` (``"vectorized"``).  Both must agree
-    bag-for-bag on every plan — ``tests/test_vectorized.py`` pins that over
-    the whole canonical catalog.
+    Three implementations ship: the row-at-a-time reference backend in this
+    module (``"row"``), the columnar batch-at-a-time backend in
+    :mod:`repro.engine.vectorized` (``"vectorized"``), and the partitioned
+    parallel backend in :mod:`repro.engine.parallel` (``"parallel"``).  All
+    must agree bag-for-bag on every plan — ``tests/test_vectorized.py`` and
+    ``tests/test_parallel.py`` pin that over the whole canonical catalog.
     """
 
     name: str
@@ -606,7 +607,8 @@ class RowBackend:
 
 
 def get_backend(name: "str | ExecutorBackend") -> "ExecutorBackend":
-    """Resolve a backend by name (``"row"`` / ``"vectorized"``) or pass through."""
+    """Resolve a backend by name (``"row"`` / ``"vectorized"`` /
+    ``"parallel"``) or pass an instance through."""
     if not isinstance(name, str):
         return name
     key = name.lower()
@@ -616,8 +618,13 @@ def get_backend(name: "str | ExecutorBackend") -> "ExecutorBackend":
         from repro.engine.vectorized import VectorizedBackend
 
         return VectorizedBackend()
+    if key == "parallel":
+        # The singleton: its worker pool is shared across all executions.
+        from repro.engine.parallel import PARALLEL_BACKEND
+
+        return PARALLEL_BACKEND
     raise PlanError(f"unknown executor backend {name!r} "
-                    "(expected 'row' or 'vectorized')")
+                    "(expected 'row', 'vectorized', or 'parallel')")
 
 
 _ROW_BACKEND = RowBackend()

@@ -27,6 +27,7 @@ semi-join program of the classical semi-naive transformation.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any
 
@@ -109,11 +110,19 @@ class StatsCatalog:
     a mutated or replaced relation is re-profiled on next access, so one
     catalog can serve a whole session (or a whole Datalog fixpoint, where the
     working database is re-materialized every round).
+
+    Thread-safe: the per-version profile cache is read and written under an
+    internal lock, so concurrent optimizer calls (the serving layer runs
+    many at once) never corrupt it.  Profiling itself runs outside the lock;
+    a racing mutation at worst produces a profile tagged with the version it
+    started from, which the next access detects as stale and recollects —
+    estimates may be momentarily off, answers never are.
     """
 
     def __init__(self, db: Database) -> None:
         self.db = db
         self._cache: dict[str, tuple[int, int, TableStats]] = {}
+        self._lock = threading.Lock()
 
     def table(self, name: str) -> TableStats | None:
         """Statistics for ``name``, or ``None`` if the relation is unknown."""
@@ -122,12 +131,15 @@ class StatsCatalog:
         except SchemaError:
             return None
         key = name.lower()
-        cached = self._cache.get(key)
+        version = relation.version
+        with self._lock:
+            cached = self._cache.get(key)
         if cached is not None and cached[0] == id(relation) \
-                and cached[1] == relation.version:
+                and cached[1] == version:
             return cached[2]
         stats = collect_table_stats(relation)
-        self._cache[key] = (id(relation), relation.version, stats)
+        with self._lock:
+            self._cache[key] = (id(relation), version, stats)
         return stats
 
     # -- column provenance ------------------------------------------------

@@ -372,7 +372,8 @@ class VectorizedExecutor:
             return self._semi_anti(plan, left, right, left_idx, right_idx, residual)
 
         table = self._hash_table(plan.right, right, right_idx, plan.null_matches)
-        left_sel, right_sel = _probe(left, left_idx, table, plan.null_matches)
+        left_sel, right_sel = self._probe_batch(left, left_idx, table,
+                                                plan.null_matches)
         if residual is not None:
             lmat = [v.materialize() for v in left.vectors]
             rmat = [v.materialize() for v in right.vectors]
@@ -396,6 +397,12 @@ class VectorizedExecutor:
             relation = self.db.relation(right_plan.relation)
             return relation.key_index(right_idx, skip_nulls=not null_matches)
         return _build_hash_table(right, right_idx, null_matches)
+
+    def _probe_batch(self, batch: Batch, idx: list[int],
+                     table: dict[Any, list[int]],
+                     null_matches: bool) -> tuple[list[int], list[int]]:
+        """Probe phase of the hash join — the parallel backend's partition seam."""
+        return _probe(batch, idx, table, null_matches)
 
     def _semi_anti(self, plan: JoinP, left: Batch, right: Batch,
                    left_idx: list[int], right_idx: list[int],
@@ -491,20 +498,7 @@ class VectorizedExecutor:
             return [fn(row) for row in rows]
 
         key_arrays = [value_array(x) for x in plan.group_exprs]
-        groups: dict[tuple, int] = {}
-        reps: list[int] = []
-        members: list[list[int]] = []
-        if key_arrays:
-            for i, key in enumerate(zip(*key_arrays)):
-                g = groups.get(key)
-                if g is None:
-                    groups[key] = g = len(reps)
-                    reps.append(i)
-                    members.append([])
-                members[g].append(i)
-        elif n:
-            reps.append(0)
-            members.append(list(range(n)))
+        reps, members = self._group_members(key_arrays, n)
 
         agg_arrays: list[list[Any]] = []
         for call, _name in plan.aggregates:
@@ -521,6 +515,29 @@ class VectorizedExecutor:
         vectors = _take(batch.vectors, reps)
         vectors.extend(Vector(arr) for arr in agg_arrays)
         return Batch(plan.columns, vectors, len(reps))
+
+    def _group_members(self, key_arrays: list[list[Any]], n: int
+                       ) -> tuple[list[int], list[list[int]]]:
+        """Group row indices by key — the parallel backend's partition seam.
+
+        Returns ``(reps, members)``: the first-occurrence index of each
+        group (in first-occurrence order) and the member indices per group.
+        """
+        groups: dict[tuple, int] = {}
+        reps: list[int] = []
+        members: list[list[int]] = []
+        if key_arrays:
+            for i, key in enumerate(zip(*key_arrays)):
+                g = groups.get(key)
+                if g is None:
+                    groups[key] = g = len(reps)
+                    reps.append(i)
+                    members.append([])
+                members[g].append(i)
+        elif n:
+            reps.append(0)
+            members.append(list(range(n)))
+        return reps, members
 
     def _fold_aggregate(self, call: e.FuncCall, members: list[list[int]],
                         value_array: Callable[[e.Expr], list[Any]]) -> list[Any]:

@@ -127,6 +127,106 @@ class TestResultCache:
         assert first.bag_equal(second)
         assert pipeline.cache_info()["result_hits"] == 1
 
+    def test_cached_answers_cannot_be_poisoned_by_mutation(self, pipeline):
+        # Regression: the result cache used to hand out the cached Relation
+        # by reference, so one caller's .add() silently changed what every
+        # later request (and `run`'s .answers) saw.  Cached relations are
+        # frozen now: the mutation raises, and a re-query still serves the
+        # original rows.
+        from repro.data.relation import RelationError
+
+        first = pipeline.answer(JOIN_SQL)
+        baseline = first.row_multiset()
+        with pytest.raises(RelationError):
+            first.add(("Mallory",))
+        second = pipeline.answer(JOIN_SQL)
+        assert pipeline.cache_info()["result_hits"] == 1
+        assert second.row_multiset() == baseline
+        assert ("Mallory",) not in second.row_set()
+
+    def test_mutable_copy_of_cached_answers(self, pipeline):
+        answers = pipeline.answer(JOIN_SQL)
+        copy = answers.copy()
+        copy.add(("Mallory",))  # private copy: allowed, cache untouched
+        assert ("Mallory",) not in pipeline.answer(JOIN_SQL).row_set()
+
+    def test_run_freezes_cached_answers_too(self, pipeline):
+        from repro.data.relation import RelationError
+
+        result = pipeline.run(JOIN_SQL)
+        with pytest.raises(RelationError):
+            result.answers.add(("Mallory",))
+
+    def test_cache_off_pipelines_return_mutable_answers(self):
+        # With the result cache disabled nothing is shared, so the legacy
+        # mutate-my-answers behavior is preserved.
+        pipeline = QueryVisualizationPipeline(
+            sailors_database(), result_cache_size=0)
+        answers = pipeline.answer(JOIN_SQL)
+        answers.add(("Mallory",))
+        assert ("Mallory",) not in pipeline.answer(JOIN_SQL).row_set()
+
+
+class TestLRUCacheSentinel:
+    """Regression: ``_LRUCache.get`` used ``None`` as its miss marker, so a
+    legitimately-``None``/falsy cached value was re-missed forever (and
+    miscounted the hit/miss stats).  A dedicated sentinel fixes both."""
+
+    def test_none_and_falsy_values_are_cache_hits(self):
+        from repro.core.pipeline import _LRUCache
+
+        miss = object()
+        cache = _LRUCache(4)
+        cache.put("none", None)
+        cache.put("empty", ())
+        cache.put("zero", 0)
+        assert cache.get("none", miss) is None
+        assert cache.get("empty", miss) == ()
+        assert cache.get("zero", miss) == 0
+        assert cache.get("absent", miss) is miss
+        assert len(cache) == 3
+
+    def test_none_values_count_as_lru_recency(self):
+        from repro.core.pipeline import _LRUCache
+
+        miss = object()
+        cache = _LRUCache(2)
+        cache.put("a", None)
+        cache.put("b", 1)
+        assert cache.get("a", miss) is None  # refreshes recency despite None
+        cache.put("c", 2)  # evicts "b", not the just-touched "a"
+        assert cache.get("a", miss) is None
+        assert cache.get("b", miss) is miss
+
+
+class TestAnswerFallbackWarnings:
+    """Regression: ``answer()`` swallowed the engine-fallback reason that
+    ``run()`` surfaces; the serving path now reports it too."""
+
+    FALLBACK_SQL = ("SELECT S.sname FROM Sailors S LEFT JOIN Reserves R "
+                    "ON S.sid = R.sid WHERE R.sid IS NULL")
+
+    def test_answer_surfaces_the_fallback_reason(self, pipeline):
+        warnings: list[str] = []
+        pipeline.answer(self.FALLBACK_SQL, warnings=warnings)
+        assert len(warnings) == 1
+        assert warnings[0].startswith("engine fallback to the SQL interpreter:")
+        assert warnings[0].removeprefix(
+            "engine fallback to the SQL interpreter:").strip()
+
+    def test_answer_logs_the_fallback_reason(self, pipeline, caplog):
+        import logging
+
+        with caplog.at_level(logging.INFO, logger="repro.core.pipeline"):
+            pipeline.answer(self.FALLBACK_SQL)
+        assert any("engine fallback to the SQL interpreter" in record.message
+                   for record in caplog.records)
+
+    def test_engine_path_leaves_warnings_empty(self, pipeline):
+        warnings: list[str] = []
+        pipeline.answer(JOIN_SQL, warnings=warnings)
+        assert warnings == []
+
 
 class TestAnswerServingPath:
     def test_answer_matches_run_for_all_languages(self, pipeline):

@@ -1,0 +1,243 @@
+"""QueryService: thread-safe serving under concurrent readers and writers.
+
+The centerpiece is the hammer test the ISSUE asks for: N reader threads
+serving a query mix while a writer thread appends rows, with the invariant
+that **every answer matches a single-threaded evaluation at some database
+version ≥ the request's start** — checked via a monotone COUNT(*) query
+whose only valid answers are row counts between the count observed at
+request start and the count observed at return — plus no exceptions and no
+cache poisoning once the storm settles.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import PreparedQuery, QueryService, QueryVisualizationPipeline
+from repro.data.relation import RelationError
+from repro.data.sailors import random_sailors_database, sailors_database
+
+JOIN_SQL = "SELECT DISTINCT S.sname FROM Sailors S, Reserves R WHERE S.sid = R.sid"
+COUNT_SQL = "SELECT COUNT(*) AS n FROM Reserves R"
+GROUP_SQL = ("SELECT S.rating, COUNT(*) AS n FROM Sailors S, Reserves R "
+             "WHERE S.sid = R.sid GROUP BY S.rating")
+FALLBACK_SQL = ("SELECT S.sname FROM Sailors S LEFT JOIN Reserves R "
+                "ON S.sid = R.sid WHERE R.sid IS NULL")
+
+
+@pytest.fixture
+def service():
+    return QueryService(sailors_database())
+
+
+class TestServing:
+    def test_answers_match_the_pipeline(self, service):
+        reference = QueryVisualizationPipeline(sailors_database())
+        for sql in (JOIN_SQL, COUNT_SQL, GROUP_SQL):
+            assert service.answer(sql).bag_equal(reference.answer(sql))
+
+    def test_answers_are_frozen_and_copyable(self, service):
+        answers = service.answer(JOIN_SQL)
+        assert answers.is_frozen
+        with pytest.raises(RelationError):
+            answers.add(("Mallory",))
+        copy = answers.copy()
+        copy.add(("Mallory",))
+        assert ("Mallory",) not in service.answer(JOIN_SQL).row_set()
+
+    def test_warm_requests_hit_the_result_cache(self, service):
+        service.answer(JOIN_SQL)
+        again = service.answer(JOIN_SQL)
+        info = service.cache_info()
+        assert info["result_hits"] == 1 and info["result_misses"] == 1
+        assert again.is_frozen
+
+    def test_writes_through_the_service_invalidate(self, service):
+        before = service.answer(JOIN_SQL)
+        service.add_row("Reserves", (29, 101, "2025-05-05"))
+        after = service.answer(JOIN_SQL)
+        assert after.row_set() - before.row_set() == {("Brutus",)}
+
+    def test_writing_context_manager_is_exclusive(self, service):
+        with service.writing() as db:
+            db.relation("Reserves").add((29, 103, "2025-05-06"))
+        assert service.answer(COUNT_SQL).rows() == [(11,)]
+
+    def test_fallback_reason_is_surfaced(self, service):
+        warnings: list[str] = []
+        service.answer(FALLBACK_SQL, warnings=warnings)
+        assert len(warnings) == 1
+        assert warnings[0].startswith("engine fallback to the SQL interpreter:")
+        assert warnings[0].removeprefix(
+            "engine fallback to the SQL interpreter:").strip()
+
+    def test_warm_hits_replay_the_fallback_reason_without_duplicates(self, service):
+        service.answer(FALLBACK_SQL)  # populate the cache, no out-list
+        warnings: list[str] = []
+        service.answer(FALLBACK_SQL, warnings=warnings)  # warm hit
+        assert service.cache_info()["result_hits"] == 1
+        assert len(warnings) == 1 and "fallback" in warnings[0]
+
+    def test_unknown_language_rejected(self, service):
+        with pytest.raises(ValueError):
+            service.answer("SELECT 1", language="cypher")
+        with pytest.raises(ValueError):
+            service.prepare("SELECT 1", language="cypher")
+
+    def test_parallel_backend_service(self):
+        service = QueryService(sailors_database(), backend="parallel")
+        reference = QueryVisualizationPipeline(sailors_database())
+        assert service.answer(GROUP_SQL).bag_equal(reference.answer(GROUP_SQL))
+
+
+class TestPreparedQueries:
+    def test_prepare_seeds_the_plan_cache(self, service):
+        handle = service.prepare(JOIN_SQL)
+        assert isinstance(handle, PreparedQuery)
+        assert service.cache_info()["plan_entries"] == 1
+        first = handle.answer()
+        assert service.cache_info()["plan_hits"] == 1  # compiled at prepare
+        assert first.bag_equal(service.answer(JOIN_SQL))
+
+    def test_prepare_raises_on_syntax_errors(self, service):
+        with pytest.raises(Exception):
+            service.prepare("SELEC oops FROM")
+
+    def test_prepared_fallback_query_still_serves(self, service):
+        handle = service.prepare(FALLBACK_SQL)
+        from repro.sql.evaluate import evaluate_sql
+
+        warnings: list[str] = []
+        answers = handle.answer(warnings=warnings)
+        assert answers.bag_equal(evaluate_sql(FALLBACK_SQL, service.db))
+        assert warnings and "fallback" in warnings[0]
+
+    def test_prepared_handle_tracks_writes(self, service):
+        handle = service.prepare(COUNT_SQL)
+        assert handle.answer().rows() == [(10,)]
+        service.add_row("Reserves", (29, 104, "2025-05-07"))
+        assert handle.answer().rows() == [(11,)]
+
+    def test_prepare_autodetects_language(self, service):
+        handle = service.prepare("project[sname](Sailors)")
+        assert handle.language == "ra"
+        assert ("Dustin",) in handle.answer().row_set()
+
+
+class TestStatsSnapshots:
+    def test_snapshot_is_version_consistent(self, service):
+        version, snapshot = service.stats_snapshot()
+        assert version == service.db.version
+        assert snapshot["Reserves"].row_count == 10
+        service.add_row("Reserves", (29, 101, "2025-06-01"))
+        version2, snapshot2 = service.stats_snapshot()
+        assert version2 > version
+        assert snapshot2["Reserves"].row_count == 11
+
+    def test_table_stats_follow_versions(self, service):
+        first = service.table_stats("Sailors")
+        assert service.table_stats("Sailors") is first  # cached
+        service.add_row("Sailors", (99, "Zed", 5, 30.0))
+        assert service.table_stats("Sailors").row_count == first.row_count + 1
+        assert service.table_stats("NoSuchTable") is None
+
+
+class TestConcurrencyHammer:
+    """N readers over the catalog + a writer appending rows: no stale or
+    torn answers, no exceptions (the ISSUE's satellite test)."""
+
+    READERS = 4
+    ITERATIONS = 30
+    WRITES = 120
+
+    def _run_storm(self, service):
+        sailor_ids = [row[0] for row in service.db.relation("Sailors").rows()]
+        boat_ids = [row[0] for row in service.db.relation("Boats").rows()]
+        handles = [service.prepare(sql)
+                   for sql in (COUNT_SQL, JOIN_SQL, GROUP_SQL)]
+        errors: list[BaseException] = []
+        violations: list[str] = []
+        start_gate = threading.Barrier(self.READERS + 1)
+        # Every write is exactly one Reserves row and bumps the database
+        # version by exactly one, so the reserve count at version v is
+        # ``base_count + (v - base_version)`` — the map that lets a reader
+        # turn "the answer matches evaluation at some version ≥ my request
+        # start" into a checkable row-count window.
+        base_version = service.db.version
+        base_count = len(service.db.relation("Reserves"))
+
+        def reader() -> None:
+            try:
+                start_gate.wait()
+                for i in range(self.ITERATIONS):
+                    version_lo = service.db.version
+                    n = handles[0].answer().rows()[0][0]
+                    version_hi = service.db.version
+                    lo = base_count + (version_lo - base_version)
+                    # +1: at most one write can be in flight (writes hold the
+                    # write lock), and the storage layer publishes its row
+                    # before its version bump.
+                    hi = base_count + (version_hi - base_version) + 1
+                    if not lo <= n <= hi:
+                        violations.append(
+                            f"COUNT answered {n}, outside [{lo}, {hi}]"
+                        )
+                    for handle in handles[1:]:
+                        answers = handle.answer()
+                        if not answers.is_frozen:
+                            violations.append("served a mutable relation")
+                    # Unprepared path too, under the same storm.
+                    service.answer(COUNT_SQL)
+            except BaseException as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        def writer() -> None:
+            try:
+                start_gate.wait()
+                for i in range(self.WRITES):
+                    service.add_row(
+                        "Reserves",
+                        (sailor_ids[i % len(sailor_ids)],
+                         boat_ids[i % len(boat_ids)],
+                         f"2025-07-{(i % 28) + 1:02d}"))
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(self.READERS)]
+        threads.append(threading.Thread(target=writer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not any(thread.is_alive() for thread in threads), "storm hung"
+        assert not errors, f"exceptions under concurrency: {errors!r}"
+        assert not violations, violations
+        return handles
+
+    def test_storm_leaves_no_stale_or_torn_answers(self):
+        service = QueryService(
+            random_sailors_database(n_sailors=60, n_boats=8, n_reserves=300,
+                                    seed=21))
+        handles = self._run_storm(service)
+        info = service.cache_info()
+        expected = self.READERS * self.ITERATIONS * (1 + len(handles))
+        assert info["requests"] == expected
+        assert info["result_hits"] + info["result_misses"] \
+            + info["validation_retries"] >= expected
+        # The storm is over: every served answer must now equal a fresh
+        # single-threaded evaluation of the final database — i.e. the cache
+        # holds no poisoned or torn entries for the final version.
+        fresh = QueryVisualizationPipeline(service.db, result_cache_size=0)
+        for handle in handles:
+            assert handle.answer().bag_equal(fresh.answer(handle.text)), (
+                f"stale cache entry for {handle.text!r}"
+            )
+
+    def test_storm_with_parallel_backend(self):
+        service = QueryService(
+            random_sailors_database(n_sailors=60, n_boats=8, n_reserves=300,
+                                    seed=22),
+            backend="parallel")
+        self._run_storm(service)
