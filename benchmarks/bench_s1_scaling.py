@@ -14,7 +14,6 @@ from conftest import print_table
 
 from repro.core import compute_layout, visualize_sql
 from repro.data import random_sailors_database
-from repro.data.sailors import SAILORS_DATABASE_SCHEMA
 from repro.queries import Q2_RED_BOAT
 from repro.ra import evaluate as evaluate_ra, parse_ra
 from repro.sql import evaluate_sql

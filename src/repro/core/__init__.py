@@ -33,7 +33,12 @@ from repro.core.pipeline import (
     fingerprint_query,
     visualize_sql,
 )
-from repro.core.service import PreparedQuery, QueryService, ServiceStats
+from repro.core.service import (
+    MaterializedView,
+    PreparedQuery,
+    QueryService,
+    ServiceStats,
+)
 from repro.core.principles import (
     PRINCIPLES,
     Principle,
@@ -64,6 +69,7 @@ __all__ = [
     "FEATURES",
     "FormalismInfo",
     "Layout",
+    "MaterializedView",
     "PRINCIPLES",
     "PIPELINE_LANGUAGES",
     "PatternError",

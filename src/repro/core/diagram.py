@@ -14,7 +14,7 @@ to worry about *what* to draw, not *how*.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable, Iterator
 
 

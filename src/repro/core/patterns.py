@@ -28,7 +28,6 @@ from repro.trc.ast import (
     RelAtom,
     TRCAnd,
     TRCCompare,
-    TRCError,
     TRCExists,
     TRCForAll,
     TRCFormula,

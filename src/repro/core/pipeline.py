@@ -521,7 +521,7 @@ def explain_query(query: Any, trc: TRCQuery | None = None) -> str:
     This is the textual complement of the diagram: which tables participate,
     how deep the nesting goes, and which quantifier pattern is in play.
     """
-    from repro.sql.ast import SelectQuery, SetOpQuery, base_tables, count_table_occurrences
+    from repro.sql.ast import SetOpQuery, base_tables, count_table_occurrences
 
     lines: list[str] = []
     tables = base_tables(query)

@@ -72,6 +72,7 @@ class ServiceStats:
     result_misses: int = 0
     validation_retries: int = 0
     serialized_runs: int = 0
+    view_hits: int = 0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -106,6 +107,235 @@ class PreparedQuery:
         return f"PreparedQuery({self.language}: {self.text!r})"
 
 
+class MaterializedView:
+    """One registered query, materialized once and maintained under appends.
+
+    Obtained from :meth:`QueryService.register_view`.  The view always
+    answers at a **single database version**: the frozen relation it serves
+    was computed (or incrementally caught up) at :attr:`version`, and every
+    refresh runs under the service's write lock, so a refresh can never
+    observe half a batch.  Writes the view has absorbed do not invalidate it
+    — that is the point: where the plain result cache keys on
+    ``(fingerprint, version)`` and misses after every write, a registered
+    view answers warm by executing only the *delta plans* of the appends.
+
+    Maintenance strategy (chosen at registration, re-chosen on rebuild):
+
+    * engine plans with a maintainable core — delta-plan maintenance via
+      :mod:`repro.engine.delta` (bag, ``DISTINCT``, or per-group aggregate
+      accumulators), with any finishing operators re-applied to the small
+      core output;
+    * recursive Datalog without negation — semi-naive evaluation resumed
+      from the new frontier;
+    * everything else — rebuild on refresh (correct, never incremental).
+
+    A view also rebuilds when the database structure changes or a relation's
+    bounded delta log no longer covers the window (it fell too far behind).
+
+    ``refresh``: ``"lazy"`` (default) catches up on first access after a
+    write; ``"eager"`` refreshes inside every service write call, so reads
+    never pay refresh latency.
+    """
+
+    def __init__(self, service: "QueryService", name: str, text: str,
+                 language: str, fingerprint: str, refresh: str) -> None:
+        if refresh not in ("lazy", "eager"):
+            raise ValueError(f"unknown refresh policy {refresh!r}; "
+                             "expected 'lazy' or 'eager'")
+        self.service = service
+        self.name = name
+        self.text = text
+        self.language = language
+        self.fingerprint = fingerprint
+        self.refresh_policy = refresh
+        self.refreshes = 0
+        self.incremental_refreshes = 0
+        self.rebuilds = 0
+        self._plan: Any = None          # engine plan (non-Datalog views)
+        self._core: Any = None          # maintainable core subplan
+        self._program: Any = None       # parsed Datalog program
+        self._maintainer: Any = None    # None => rebuild-on-refresh
+        self._base_rels: tuple[str, ...] = ()
+        self._anchors: dict[str, int] = {}
+        self._warnings: tuple[str, ...] = ()
+        self._structure_version = -1
+        self._relation: Relation | None = None
+        self._version = -1
+
+    # -- serving -----------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """The database version the served relation is consistent at."""
+        return self._version
+
+    @property
+    def strategy(self) -> str:
+        """``"bag"`` / ``"distinct"`` / ``"aggregate"`` / ``"datalog"`` /
+        ``"rebuild"`` — how refreshes are computed right now."""
+        return self._maintainer.kind if self._maintainer is not None else "rebuild"
+
+    def answer(self, *, warnings: list[str] | None = None) -> Relation:
+        """The materialized answers (frozen), catching up first if stale."""
+        # Read the version *first*: a refresh publishes the relation before
+        # the version, so observing a current version guarantees the relation
+        # read afterwards is at least that fresh.
+        if self._version == self.service.db.version \
+                and self._relation is not None:
+            relation = self._relation
+            if warnings is not None:
+                warnings.extend(self._warnings)
+            return relation
+        with self.service._write_lock:
+            relation = self._refresh_locked()
+        if warnings is not None:
+            warnings.extend(self._warnings)
+        return relation
+
+    def refresh(self) -> Relation:
+        """Force a catch-up now (no-op when already current)."""
+        with self.service._write_lock:
+            return self._refresh_locked()
+
+    def rebuild(self) -> Relation:
+        """Force a from-scratch rematerialization now."""
+        with self.service._write_lock:
+            self.refreshes += 1
+            return self._rebuild_locked()
+
+    def info(self) -> dict[str, Any]:
+        """Introspection: strategy, freshness, refresh counters."""
+        relation = self._relation
+        return {
+            "name": self.name,
+            "language": self.language,
+            "strategy": self.strategy,
+            "refresh_policy": self.refresh_policy,
+            "version": self._version,
+            "current": self._version == self.service.db.version,
+            "rows": len(relation) if relation is not None else 0,
+            "refreshes": self.refreshes,
+            "incremental_refreshes": self.incremental_refreshes,
+            "rebuilds": self.rebuilds,
+            "base_relations": self._base_rels,
+        }
+
+    # -- maintenance (service write lock held) ------------------------------
+
+    def _refresh_locked(self) -> Relation:
+        db = self.service.db
+        if self._relation is not None and self._version == db.version:
+            return self._relation
+        self.refreshes += 1
+        if self._maintainer is None \
+                or self._structure_version != db.structure_version:
+            return self._rebuild_locked()
+        changed = set()
+        for rel in self._base_rels:
+            if db.relation(rel).version > self._anchors.get(rel, -1):
+                changed.add(rel)
+        if not changed:
+            # Writes elsewhere in the database: output cannot have changed.
+            self._version = db.version
+            return self._relation
+        from repro.engine.delta import DeltaRewriteError
+        from repro.engine.lower import LoweringError
+        from repro.engine.plan import DeltaUnavailable, PlanError
+
+        try:
+            self._maintainer.apply_delta(db, self._anchors, changed,
+                                         self.service.backend)
+        except (DeltaUnavailable, DeltaRewriteError, LoweringError, PlanError):
+            # Fell behind the bounded delta log (or the program/plan turned
+            # out unmaintainable after all): start over from scratch.
+            return self._rebuild_locked()
+        self.incremental_refreshes += 1
+        self._publish(db)
+        return self._relation
+
+    def _rebuild_locked(self) -> Relation:
+        from repro.engine.delta import (
+            DatalogMaintainer,
+            DeltaRewriteError,
+            base_relations,
+            build_maintainer,
+        )
+
+        db = self.service.db
+        self.rebuilds += 1
+        self._maintainer = None
+        self._plan = self._core = None
+        self._base_rels = ()
+        # Warnings describe the *current* build: a rebuild that lands on a
+        # maintainer strategy must not keep reporting an earlier fallback.
+        self._warnings = ()
+        warnings: list[str] = []
+        pipeline = self.service.pipeline
+        if self.language == "datalog":
+            from repro.core.pipeline import _parse
+
+            if self._program is None:
+                self._program = _parse(self.text, "datalog")
+            try:
+                maintainer = DatalogMaintainer(self._program, db)
+                maintainer.initialize(db, self.service.backend)
+            except DeltaRewriteError:
+                maintainer = None
+            if maintainer is not None:
+                self._maintainer = maintainer
+                self._base_rels = maintainer.base_relations()
+                self._finish_publish(db, maintainer.result_relation(), ())
+                return self._relation
+            relation = pipeline.answer(self.text, language="datalog",
+                                       warnings=warnings)
+            self._finish_publish(db, relation, tuple(warnings))
+            return self._relation
+        plan = pipeline.prepare_plan(self.text, self.language)
+        if plan is not None:
+            self._plan = plan
+            try:
+                maintainer, core = build_maintainer(plan, db)
+                maintainer.initialize(db, self.service.backend)
+                self._maintainer = maintainer
+                self._core = core
+                self._base_rels = base_relations(core)
+                self._publish(db)
+                return self._relation
+            except DeltaRewriteError:
+                pass
+        relation = pipeline.answer(self.text, language=self.language,
+                                   warnings=warnings)
+        self._finish_publish(db, relation, tuple(warnings))
+        return self._relation
+
+    def _publish(self, db: Database) -> None:
+        """Repackage the maintained state and publish (version set last)."""
+        from repro.engine.delta import finish_rows, view_result_relation
+
+        maintainer = self._maintainer
+        if maintainer is not None and maintainer.kind == "datalog":
+            relation = maintainer.result_relation()
+        else:
+            rows = finish_rows(db, self._plan, self._core, maintainer.rows())
+            relation = view_result_relation(self._plan, rows)
+        self._finish_publish(db, relation, self._warnings)
+
+    def _finish_publish(self, db: Database, relation: Relation,
+                        warnings: tuple[str, ...]) -> None:
+        self._warnings = warnings
+        self._anchors = {rel: db.relation(rel).version
+                         for rel in self._base_rels}
+        self._structure_version = db.structure_version
+        self._relation = relation.freeze()
+        # Version last: a lock-free reader that observes the new version is
+        # then guaranteed to observe the new relation too.
+        self._version = db.version
+
+    def __repr__(self) -> str:
+        return (f"MaterializedView({self.name!r}, {self.language}: "
+                f"{self.text!r}, strategy={self.strategy})")
+
+
 class QueryService:
     """Thread-safe serving of the five-language pipeline (see module docs)."""
 
@@ -121,11 +351,14 @@ class QueryService:
             db, backend=backend, plan_cache_size=plan_cache_size,
             result_cache_size=0)
         self.db = self.pipeline.db
+        self.backend = self.pipeline.backend
         self.max_retries = max_retries
         self.stats = ServiceStats()
         self.table_statistics = StatsCatalog(self.db)
         self._results = _LRUCache(result_cache_size)
         self._write_lock = threading.RLock()
+        self._views: dict[str, MaterializedView] = {}  # keyed by fingerprint
+        self._views_by_name: dict[str, MaterializedView] = {}
 
     # -- serving -----------------------------------------------------------
 
@@ -167,6 +400,13 @@ class QueryService:
                warnings: list[str] | None) -> Relation:
         """Cache lookup + snapshot-validated execution (see module docs)."""
         self.stats.bump("requests")
+        view = self._views.get(fingerprint)
+        if view is not None:
+            # Registered views are served from their materialization: writes
+            # they have absorbed never invalidate, and a stale view catches
+            # up by delta plans instead of recomputing.
+            self.stats.bump("view_hits")
+            return view.answer(warnings=warnings)
         for attempt in range(self.max_retries):
             version = self.db.version
             key = (fingerprint, version)
@@ -220,28 +460,99 @@ class QueryService:
             warnings.extend(attempt_warnings)
         return answers
 
+    # -- materialized views -------------------------------------------------
+
+    def register_view(self, text: str, *, language: str | None = None,
+                      name: str | None = None,
+                      refresh: str = "lazy") -> MaterializedView:
+        """Materialize a query once and keep it maintained under appends.
+
+        Returns a :class:`MaterializedView` handle (also reachable via
+        :meth:`view` by name).  Registering the same query text again
+        returns the existing handle — unless the call asks for a different
+        ``name`` or ``refresh`` policy, which raises instead of silently
+        ignoring the request.  ``refresh`` is ``"lazy"`` (catch up on first
+        stale read) or ``"eager"`` (catch up inside every service write).
+        Subsequent :meth:`answer` / prepared-handle requests for this query
+        are served from the view.
+        """
+        resolved = self._resolve_language(text, language)
+        fingerprint = fingerprint_query(text, resolved)
+        with self._write_lock:
+            existing = self._views.get(fingerprint)
+            if existing is not None:
+                if (name is not None and name != existing.name) \
+                        or refresh != existing.refresh_policy:
+                    raise ValueError(
+                        f"query already registered as view {existing.name!r} "
+                        f"with refresh={existing.refresh_policy!r}; "
+                        "unregister it first to change name or policy"
+                    )
+                return existing
+            view_name = name if name is not None else f"view_{fingerprint[:8]}"
+            if view_name in self._views_by_name:
+                raise ValueError(f"a view named {view_name!r} already exists")
+            view = MaterializedView(self, view_name, text, resolved,
+                                    fingerprint, refresh)
+            view.refreshes += 1
+            view._rebuild_locked()  # initial materialization
+            self._views[fingerprint] = view
+            self._views_by_name[view_name] = view
+            return view
+
+    def view(self, name: str) -> MaterializedView:
+        """Look up a registered view by name; raises ``KeyError`` if absent."""
+        return self._views_by_name[name]
+
+    def views(self) -> tuple[MaterializedView, ...]:
+        """All registered views, in registration order."""
+        return tuple(self._views.values())
+
+    def unregister_view(self, view: "MaterializedView | str") -> None:
+        """Drop a view (by handle or name); its query serves normally again."""
+        with self._write_lock:
+            if isinstance(view, str):
+                view = self._views_by_name[view]
+            self._views.pop(view.fingerprint, None)
+            self._views_by_name.pop(view.name, None)
+
+    def _refresh_eager_views_locked(self) -> None:
+        for view in self._views.values():
+            if view.refresh_policy == "eager":
+                view._refresh_locked()
+
     # -- writing -----------------------------------------------------------
 
     @contextmanager
     def writing(self) -> Iterator[Database]:
-        """Exclusive write section: ``with service.writing() as db: ...``."""
+        """Exclusive write section: ``with service.writing() as db: ...``.
+
+        Eagerly registered views catch up before the lock is released, so
+        they are already current when the first post-write read arrives.
+        """
         with self._write_lock:
             yield self.db
+            self._refresh_eager_views_locked()
 
     def add_row(self, relation: str, row: Sequence[Any], *,
                 validate: bool = True) -> int:
         """Append one row under the write lock; returns the new db version."""
         with self._write_lock:
             self.db.relation(relation).add(row, validate=validate)
+            self._refresh_eager_views_locked()
             return self.db.version
 
     def add_rows(self, relation: str, rows: Iterable[Sequence[Any]], *,
                  validate: bool = True) -> int:
-        """Append many rows as one exclusive write; returns the new version."""
+        """Append many rows as one exclusive write; returns the new version.
+
+        The batch publishes a **single** version bump (via
+        :meth:`Relation.add_rows`), so version-window arithmetic counts one
+        write per batch instead of one per row.
+        """
         with self._write_lock:
-            target = self.db.relation(relation)
-            for row in rows:
-                target.add(row, validate=validate)
+            self.db.relation(relation).add_rows(rows, validate=validate)
+            self._refresh_eager_views_locked()
             return self.db.version
 
     # -- statistics and introspection --------------------------------------
@@ -278,6 +589,8 @@ class QueryService:
             "result_misses": self.stats.result_misses,
             "validation_retries": self.stats.validation_retries,
             "serialized_runs": self.stats.serialized_runs,
+            "views": len(self._views),
+            "view_hits": self.stats.view_hits,
             "plan_entries": pipeline_info["plan_entries"],
             "plan_hits": pipeline_info["plan_hits"],
             "plan_misses": pipeline_info["plan_misses"],

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
-from repro.data.relation import Relation, RelationError
+from repro.data.relation import Relation
 from repro.data.schema import DatabaseSchema, RelationSchema, SchemaError
 
 

@@ -9,11 +9,11 @@ exposes both views: :meth:`rows` (bag) and :meth:`distinct_rows` (set).
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, deque
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
-from repro.data.schema import Attribute, RelationSchema, SchemaError
-from repro.data.types import DataType, check_value, format_value
+from repro.data.schema import Attribute, RelationSchema
+from repro.data.types import check_value, format_value
 
 Row = tuple[Any, ...]
 
@@ -65,6 +65,11 @@ class ColumnStore:
 class Relation:
     """A named, typed multiset of tuples."""
 
+    #: How many recent row appends the per-version delta log retains.  Views
+    #: (``repro.engine.delta``) catch up from the log; a view that fell more
+    #: than this many rows behind detects the gap and rebuilds instead.
+    DELTA_LOG_LIMIT = 8192
+
     def __init__(
         self,
         schema: RelationSchema,
@@ -84,6 +89,12 @@ class Relation:
         self._distinct: list[Row] | None = None
         self._indexes: dict[str, dict[Any, list[Row]]] = {}
         self._column_store: ColumnStore | None = None
+        # Bounded per-version delta log: ``(published_version, row)`` per
+        # append, oldest first.  ``_delta_floor`` is the highest version whose
+        # entries may have been evicted; :meth:`delta_since` answers exactly
+        # for anchors >= the floor and reports "rebuild required" below it.
+        self._delta_log: deque[tuple[int, Row]] = deque()
+        self._delta_floor = 0
         # Positional join-key indexes, tagged with the version they were
         # built at (rebuilt lazily when stale rather than maintained).
         self._key_indexes: dict[tuple, tuple[int, dict[Any, list[int]]]] = {}
@@ -103,6 +114,42 @@ class Relation:
 
         Raises :class:`RelationError` on a frozen relation (see :meth:`freeze`).
         """
+        normalized = self._normalize_row(row, validate=validate)
+        self._append_row(normalized, published_version=self._version + 1)
+        # The version bump is published *last*: a concurrent reader that
+        # validates a lazily built cache against the version it started from
+        # (see distinct_rows / column_store / key_index) can then never
+        # publish a cache that is missing this row yet carries the new
+        # version.  Observing the row while still reading the old version is
+        # benign — the version counter is monotonic, so no later reader keys
+        # on the old value again.
+        self._version += 1
+
+    def add_rows(self, rows: Iterable[Sequence[Any] | Mapping[str, Any]], *,
+                 validate: bool = True) -> None:
+        """Append many rows as **one** write: a single version bump.
+
+        Batch writes publish one version increment regardless of the number
+        of rows, so version-window arithmetic over writes ("the service
+        performed ``v₂ - v₁`` writes") counts batches, not rows.  The delta
+        log records every row of the batch under the same published version,
+        so views still observe each appended row exactly once.
+        """
+        # Normalize + validate the WHOLE batch before appending anything: a
+        # mid-batch failure must not leave a partially applied write with no
+        # version bump (version-keyed caches would keep serving "current"
+        # answers that silently exclude the orphaned rows).
+        staged = [self._normalize_row(row, validate=validate) for row in rows]
+        if not staged:
+            return
+        published = self._version + 1
+        for row in staged:
+            self._append_row(row, published_version=published)
+        self._version = published
+
+    def _normalize_row(self, row: Sequence[Any] | Mapping[str, Any], *,
+                       validate: bool) -> Row:
+        """Coerce one row to a schema-ordered tuple, checking shape/types."""
         if self._frozen:
             raise RelationError(
                 f"relation {self.schema.name!r} is frozen; copy() it to mutate"
@@ -126,6 +173,15 @@ class Relation:
                         f"value {value!r} is not a valid {attr.dtype} for "
                         f"{self.schema.name}.{attr.name}"
                     )
+        return row
+
+    def _append_row(self, row: Row, *, published_version: int) -> None:
+        """Append one *normalized* row and maintain every live cache.
+
+        Callers run :meth:`_normalize_row` first (so batch staging validates
+        once, not twice) and publish the :attr:`version` bump last —
+        per append (:meth:`add`) or once per batch (:meth:`add_rows`).
+        """
         self._rows.append(row)
         # Incrementally maintain whatever caches are already built; this keeps
         # membership tests O(1) even for workloads that interleave adds and
@@ -140,14 +196,44 @@ class Relation:
         for name, index in self._indexes.items():
             idx = self.schema.index_of(name)
             index.setdefault(row[idx], []).append(row)
-        # The version bump is published *last*: a concurrent reader that
-        # validates a lazily built cache against the version it started from
-        # (see distinct_rows / column_store / key_index) can then never
-        # publish a cache that is missing this row yet carries the new
-        # version.  Observing the row while still reading the old version is
-        # benign — the version counter is monotonic, so no later reader keys
-        # on the old value again.
-        self._version += 1
+        position = len(self._rows) - 1
+        for key, entry in list(self._key_indexes.items()):
+            tagged_version, table = entry
+            if tagged_version != self._version \
+                    and tagged_version != published_version:
+                # Built against a state this append chain did not start from
+                # (a racing build): drop it and let the next call rebuild.
+                del self._key_indexes[key]
+                continue
+            positions, skip_nulls = key
+            if len(positions) == 1:
+                value: Any = row[positions[0]]
+                if skip_nulls and value is None:
+                    self._key_indexes[key] = (published_version, table)
+                    continue
+            else:
+                value = tuple(row[p] for p in positions)
+                if skip_nulls and None in value:
+                    self._key_indexes[key] = (published_version, table)
+                    continue
+            bucket = table.get(value)
+            if bucket is None:
+                table[value] = [position]
+            elif not bucket or bucket[-1] != position:
+                # The ``bucket[-1] == position`` skip covers a racing reader
+                # whose lock-free build ran after this row was appended but
+                # before the version bump: its table already contains this
+                # position, and appending again would serve the row twice.
+                # Positions are unique and ascending, so the check is exact.
+                bucket.append(position)
+            self._key_indexes[key] = (published_version, table)
+        log = self._delta_log
+        log.append((published_version, row))
+        while len(log) > self.DELTA_LOG_LIMIT:
+            evicted_version, _evicted_row = log.popleft()
+            # Entries evict oldest-first, so completeness holds exactly for
+            # anchors at or above the newest evicted version.
+            self._delta_floor = evicted_version
 
     # -- views -----------------------------------------------------------
     @property
@@ -247,10 +333,12 @@ class Relation:
         Keys are raw values for a single position and tuples otherwise —
         the convention the vectorized hash join probes with.  With
         ``skip_nulls`` (SQL key equality) rows with a NULL key component are
-        left out.  The index is cached per (positions, skip_nulls) and
-        tagged with the relation :attr:`version` it was built at; a stale
-        index is rebuilt on demand, so interleaved :meth:`add` calls are
-        always observed.
+        left out.  The index is cached per (positions, skip_nulls), tagged
+        with the relation :attr:`version`, and **maintained incrementally**
+        by :meth:`add` / :meth:`add_rows` — appends cost O(1) per cached
+        index instead of an O(n) rebuild, which is what keeps incremental
+        view refresh independent of base-table size.  An index whose tag
+        fell behind anyway (a build raced a writer) is rebuilt on demand.
         """
         key = (tuple(positions), skip_nulls)
         cached = self._key_indexes.get(key)
@@ -279,6 +367,56 @@ class Relation:
                 bucket.append(j)
         self._key_indexes[key] = (version, table)
         return table
+
+    # -- delta log (incremental view maintenance) --------------------------
+    def delta_since(self, version: int) -> list[Row] | None:
+        """Rows appended after ``version`` became current, oldest first.
+
+        Returns ``None`` when the bounded log no longer covers the window —
+        the caller (a materialized view catching up) must rebuild from
+        scratch.  Call under write exclusion when exactness matters; the
+        service refreshes views while holding its write lock.
+        """
+        current = self._version
+        if version >= current:
+            return []
+        if version < self._delta_floor:
+            return None
+        out = []
+        for published, row in reversed(self._delta_log):
+            if published <= version:
+                break
+            out.append(row)
+        out.reverse()
+        return out
+
+    def delta_count_since(self, version: int) -> int | None:
+        """``len(delta_since(version))`` without materializing the rows."""
+        current = self._version
+        if version >= current:
+            return 0
+        if version < self._delta_floor:
+            return None
+        count = 0
+        for published, _row in reversed(self._delta_log):
+            if published <= version:
+                break
+            count += 1
+        return count
+
+    def rows_at(self, version: int) -> list[Row] | None:
+        """The bag as of ``version`` (a prefix — adds only ever append).
+
+        ``None`` when the delta log no longer covers the window, like
+        :meth:`delta_since`.  Together the two views give a delta plan both
+        sides of the classic insert rewrite Δ(L⋈R) = ΔL⋈R ∪ L_old⋈ΔR.
+        """
+        count = self.delta_count_since(version)
+        if count is None:
+            return None
+        if count == 0:
+            return list(self._rows)
+        return self._rows[:len(self._rows) - count]
 
     def row_multiset(self) -> Counter:
         """Rows with multiplicities."""

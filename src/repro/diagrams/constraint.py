@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.diagram import Diagram, DiagramEdge, DiagramGroup, DiagramNode
-from repro.diagrams.syllogism import Region, regions_for, regions_of_intersection
+from repro.diagrams.syllogism import Region, regions_of_intersection
 
 
 class ConstraintError(Exception):

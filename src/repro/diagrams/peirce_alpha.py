@@ -15,7 +15,7 @@ diagram model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.diagram import Diagram, DiagramGroup, DiagramNode
 from repro.logic.formula import (

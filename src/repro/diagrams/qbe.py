@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.diagram import Diagram, DiagramGroup, DiagramNode
+from repro.core.diagram import Diagram, DiagramNode
 from repro.data.schema import DatabaseSchema
 from repro.diagrams.common import CannotRepresent, build_query_graph, to_trc
 

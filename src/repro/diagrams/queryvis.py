@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from repro.core.diagram import Diagram, DiagramEdge, DiagramGroup, DiagramNode
 from repro.diagrams.common import CannotRepresent, QueryGraph, build_query_graph, to_trc
-from repro.trc.ast import TRCQuery
 
 
 def queryvis_from_graph(graph: QueryGraph, *, name: str = "query") -> Diagram:

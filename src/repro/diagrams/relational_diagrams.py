@@ -17,7 +17,6 @@ from repro.diagrams.common import CannotRepresent, QueryGraph, build_query_graph
 from repro.trc.ast import (
     TRCAnd,
     TRCExists,
-    TRCNot,
     TRCOr,
     TRCQuery,
     conjunction,

@@ -28,8 +28,6 @@ from repro.logic.formula import (
     Exists,
     ForAll,
     Formula,
-    Iff,
-    Implies,
     Not,
     Or,
     Truth,

@@ -41,6 +41,21 @@ from repro.engine.execute import (
 )
 from repro.engine.vectorized import VectorizedBackend, VectorizedExecutor
 from repro.engine.parallel import ParallelBackend, ParallelExecutor
+from repro.engine.delta import (
+    AggregateMaintainer,
+    BagMaintainer,
+    DatalogMaintainer,
+    DeltaRewriteError,
+    DistinctMaintainer,
+    ViewMaintainer,
+    anchor,
+    asof_plan,
+    base_relations,
+    build_maintainer,
+    delta_terms,
+    find_core,
+    finish_rows,
+)
 from repro.engine.lower import (
     LoweringError,
     detect_language,
@@ -68,6 +83,8 @@ from repro.engine.stats import (
 )
 from repro.engine.plan import (
     AggregateP,
+    DeltaScanP,
+    DeltaUnavailable,
     DistinctP,
     DivideP,
     FilterP,
@@ -83,8 +100,15 @@ from repro.engine.plan import (
 )
 
 __all__ = [
+    "AggregateMaintainer",
     "AggregateP",
+    "BagMaintainer",
     "ColumnStats",
+    "DatalogMaintainer",
+    "DeltaRewriteError",
+    "DeltaScanP",
+    "DeltaUnavailable",
+    "DistinctMaintainer",
     "DistinctP",
     "DivideP",
     "Executor",
@@ -105,6 +129,11 @@ __all__ = [
     "TableStats",
     "VectorizedBackend",
     "VectorizedExecutor",
+    "ViewMaintainer",
+    "anchor",
+    "asof_plan",
+    "base_relations",
+    "build_maintainer",
     "build_result_relation",
     "clear_compiled_cache",
     "collect_table_stats",
@@ -112,7 +141,10 @@ __all__ = [
     "compiled_expr",
     "compiled_predicate",
     "compute_datalog_facts",
+    "delta_terms",
     "detect_language",
+    "find_core",
+    "finish_rows",
     "get_backend",
     "eliminate_common_subexpressions",
     "estimate_rows",

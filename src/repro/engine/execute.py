@@ -41,6 +41,8 @@ from repro.engine.lower import (
 )
 from repro.engine.plan import (
     AggregateP,
+    DeltaScanP,
+    DeltaUnavailable,
     DistinctP,
     DivideP,
     FilterP,
@@ -296,6 +298,8 @@ class Executor:
                     f"relation has {relation.schema.arity}"
                 )
             return relation.rows()
+        if isinstance(plan, DeltaScanP):
+            return delta_scan_rows(self.db, plan)
         if isinstance(plan, FilterP):
             return self._filter(plan)
         if isinstance(plan, ProjectP):
@@ -568,6 +572,35 @@ class Executor:
         return rows
 
 
+def delta_scan_rows(db: Database, plan: DeltaScanP) -> list[Row]:
+    """Resolve a :class:`DeltaScanP` window against the storage layer.
+
+    Shared by every backend so window semantics cannot drift: ``delta`` reads
+    the rows appended after the anchor, ``asof`` the bag as of the anchor.
+    """
+    if plan.since is None:
+        raise PlanError(
+            f"delta scan of {plan.relation} is an unanchored template; "
+            "anchor() it with the view's version map before executing"
+        )
+    relation = db.relation(plan.relation)
+    if len(plan.columns) != relation.schema.arity:
+        raise PlanError(
+            f"delta scan of {plan.relation} expects arity {len(plan.columns)}, "
+            f"relation has {relation.schema.arity}"
+        )
+    if plan.mode == "delta":
+        rows = relation.delta_since(plan.since)
+    else:
+        rows = relation.rows_at(plan.since)
+    if rows is None:
+        raise DeltaUnavailable(
+            f"delta log of {plan.relation} no longer covers version "
+            f"{plan.since} (current {relation.version}); rebuild the view"
+        )
+    return rows
+
+
 def _split_name(column: str) -> tuple[str, str | None]:
     # Join keys are stored as full column spellings; resolve by exact name
     # first (resolve_column tries the bare spelling before suffix rules).
@@ -712,12 +745,46 @@ def execute_datalog(program: Any, db: Database, query: str = "ans",
 
 
 def compute_datalog_facts(program: Any, db: Database,
-                          *, use_optimizer: bool = True) -> dict[str, set[Row]]:
-    """All IDB (and EDB) facts of a program, via plans + semi-naive fixpoint."""
+                          *, use_optimizer: bool = True,
+                          seed_facts: "dict[str, set[Row]] | None" = None,
+                          edb_deltas: "dict[str, Iterable[Row]] | None" = None,
+                          ) -> dict[str, set[Row]]:
+    """All IDB (and EDB) facts of a program, via plans + semi-naive fixpoint.
+
+    With ``seed_facts`` (the facts of a previous run of the same program) and
+    ``edb_deltas`` (rows appended to base relations since), evaluation
+    **resumes from the new frontier** instead of starting over: each
+    stratum's round 0 executes only the delta variants w.r.t. changed
+    predicates (new EDB rows, or facts lower strata just derived), and the
+    usual semi-naive loop takes it from there.  This is the incremental
+    maintenance path for recursive materialized views.  Inserts only —
+    negation makes derivations non-monotone under growth of the negated
+    predicate, so programs with negated literals raise
+    :class:`~repro.engine.lower.LoweringError` in incremental mode (the view
+    layer falls back to a full rebuild).
+    """
     from repro.datalog.ast import Literal
     from repro.datalog.stratify import evaluation_order
     from repro.engine.optimize import optimize as optimize_plan
     from repro.engine.stats import StatsCatalog
+
+    incremental = seed_facts is not None
+    if incremental:
+        for rule in program.rules:
+            for item in rule.body:
+                if isinstance(item, Literal) and item.negated:
+                    raise LoweringError(
+                        "incremental evaluation requires a negation-free "
+                        f"program (rule head {rule.head.predicate})"
+                    )
+    #: Predicates with new rows since the seeding run, accumulated stratum by
+    #: stratum so later strata see upstream IDB growth as deltas too.
+    changed: dict[str, set[Row]] = {}
+    if incremental and edb_deltas:
+        for pred, delta_rows in edb_deltas.items():
+            delta_set = set(delta_rows)
+            if delta_set:
+                changed[pred.lower()] = delta_set
 
     arities: dict[str, int] = {}
     for rel in db:
@@ -754,6 +821,8 @@ def compute_datalog_facts(program: Any, db: Database,
     idb = [p.lower() for p in program.idb_predicates()]
     for predicate in idb:
         initial = facts.get(predicate, set())
+        if incremental:
+            initial = initial | seed_facts.get(predicate, set())
         facts[predicate] = set(initial)
         materialize(predicate, facts[predicate])
 
@@ -763,19 +832,14 @@ def compute_datalog_facts(program: Any, db: Database,
             arities[f"{predicate}@delta"] = arities[predicate]
         stratum_rules = [r for r in program.rules
                          if r.head.predicate.lower() in stratum_preds]
+        before = {p: set(facts[p]) for p in stratum_preds} if incremental else {}
 
-        # Base plans (all occurrences read the full relations) and delta
-        # variants (one per occurrence of a same-stratum predicate).
-        base_plans: list[tuple[Any, Plan | None]] = []
+        # Delta variants w.r.t. same-stratum predicates (one per positive
+        # occurrence) drive the semi-naive loop in both modes.
         delta_variants: list[tuple[Any, Plan]] = []
         for rule in stratum_rules:
             if rule.is_fact:
-                base_plans.append((rule, None))
                 continue
-            plan = lower_datalog_rule(rule, arities)
-            if use_optimizer:
-                plan = optimize_plan(plan, working, stats=stats)
-            base_plans.append((rule, plan))
             for position, item in enumerate(rule.body):
                 if isinstance(item, Literal) and not item.negated \
                         and item.predicate.lower() in stratum_preds:
@@ -786,23 +850,71 @@ def compute_datalog_facts(program: Any, db: Database,
                         variant = optimize_plan(variant, working, stats=stats)
                     delta_variants.append((rule, variant))
 
-        # Round 0: full evaluation of every rule.  One shared executor so the
-        # per-plan memo reuses common subplans across the stratum's rules
-        # (`working` is not mutated until after the round).
         delta: dict[str, set[Row]] = {p: set() for p in stratum_preds}
-        executor = Executor(working)
-        for rule, plan in base_plans:
-            head = rule.head.predicate.lower()
-            if plan is None:
-                row = _fact_row(rule)
-                if row not in facts[head]:
-                    facts[head].add(row)
-                    delta[head].add(row)
-                continue
-            for row in executor.rows(plan):
-                if row not in facts[head]:
-                    facts[head].add(row)
-                    delta[head].add(row)
+        if incremental:
+            # Round 0, resumed: derive only from the *changed* predicates
+            # (new EDB rows and upstream IDB growth) — the new frontier.
+            referenced: set[str] = set()
+            frontier_variants: list[tuple[Any, Plan]] = []
+            for rule in stratum_rules:
+                if rule.is_fact:
+                    facts[rule.head.predicate.lower()].add(_fact_row(rule))
+                    continue
+                for position, item in enumerate(rule.body):
+                    if isinstance(item, Literal) and not item.negated \
+                            and item.predicate.lower() in changed:
+                        referenced.add(item.predicate.lower())
+            for pred in referenced:
+                arities[f"{pred}@delta"] = arities[pred]
+                materialize(f"{pred}@delta", changed[pred])
+            for rule in stratum_rules:
+                if rule.is_fact:
+                    continue
+                for position, item in enumerate(rule.body):
+                    if isinstance(item, Literal) and not item.negated \
+                            and item.predicate.lower() in changed:
+                        variant = lower_datalog_rule(
+                            rule, arities,
+                            {position: f"{item.predicate.lower()}@delta"})
+                        if use_optimizer:
+                            variant = optimize_plan(variant, working, stats=stats)
+                        frontier_variants.append((rule, variant))
+            executor = Executor(working)
+            for rule, plan in frontier_variants:
+                head = rule.head.predicate.lower()
+                for row in executor.rows(plan):
+                    if row not in facts[head]:
+                        facts[head].add(row)
+                        delta[head].add(row)
+            for pred in referenced:
+                working.drop_relation(f"{pred}@delta")
+        else:
+            # Round 0, from scratch: full evaluation of every rule.  One
+            # shared executor so the per-plan memo reuses common subplans
+            # across the stratum's rules (`working` is not mutated until
+            # after the round).
+            base_plans: list[tuple[Any, Plan | None]] = []
+            for rule in stratum_rules:
+                if rule.is_fact:
+                    base_plans.append((rule, None))
+                    continue
+                plan = lower_datalog_rule(rule, arities)
+                if use_optimizer:
+                    plan = optimize_plan(plan, working, stats=stats)
+                base_plans.append((rule, plan))
+            executor = Executor(working)
+            for rule, plan in base_plans:
+                head = rule.head.predicate.lower()
+                if plan is None:
+                    row = _fact_row(rule)
+                    if row not in facts[head]:
+                        facts[head].add(row)
+                        delta[head].add(row)
+                    continue
+                for row in executor.rows(plan):
+                    if row not in facts[head]:
+                        facts[head].add(row)
+                        delta[head].add(row)
         for predicate in stratum_preds:
             materialize(predicate, facts[predicate])
 
@@ -827,6 +939,11 @@ def compute_datalog_facts(program: Any, db: Database,
         for predicate in stratum_preds:
             if f"{predicate}@delta" in working:
                 working.drop_relation(f"{predicate}@delta")
+        if incremental:
+            for predicate in stratum_preds:
+                new_facts = facts[predicate] - before[predicate]
+                if new_facts:
+                    changed[predicate] = changed.get(predicate, set()) | new_facts
 
     return facts
 

@@ -45,7 +45,6 @@ from repro.engine.plan import (
     FilterP,
     JoinP,
     Plan,
-    PlanError,
     ProjectP,
     ScanP,
     SetOpP,

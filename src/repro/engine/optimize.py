@@ -27,12 +27,12 @@ unoptimized plans against all five reference interpreters.
 
 from __future__ import annotations
 
-from typing import Any
 
 from repro.data.database import Database
 from repro.expr import ast as e
 from repro.engine.plan import (
     AggregateP,
+    DeltaScanP,
     DistinctP,
     DivideP,
     FilterP,
@@ -83,7 +83,7 @@ def optimize(plan: Plan, db: Database | None = None, *,
 # ---------------------------------------------------------------------------
 
 def _rebuild(plan: Plan, children: list[Plan]) -> Plan:
-    if isinstance(plan, ScanP):
+    if isinstance(plan, (ScanP, DeltaScanP)):
         return plan
     if isinstance(plan, FilterP):
         return FilterP(children[0], plan.condition)

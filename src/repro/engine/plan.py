@@ -32,6 +32,15 @@ class PlanError(Exception):
     """Raised for malformed plans or unresolvable column references."""
 
 
+class DeltaUnavailable(PlanError):
+    """A delta scan's window is no longer covered by the relation's log.
+
+    Raised at execution time when a :class:`DeltaScanP` anchors below the
+    relation's bounded delta-log floor; the view-maintenance layer catches it
+    and rebuilds the view from scratch instead.
+    """
+
+
 class Plan:
     """Base class of logical plan nodes."""
 
@@ -58,6 +67,40 @@ class ScanP(Plan):
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "columns", tuple(self.columns))
+
+
+#: Window modes understood by :class:`DeltaScanP`.
+DELTA_SCAN_MODES = ("delta", "asof")
+
+
+@dataclass(frozen=True)
+class DeltaScanP(Plan):
+    """Read one *window* of a base relation relative to a version anchor.
+
+    The storage layer only ever appends, so both windows are slices of the
+    bag:
+
+    * ``mode="delta"`` — the rows appended after the relation's version was
+      ``since`` (the Δ side of an insert-delta plan);
+    * ``mode="asof"`` — the rows as of version ``since`` (the "old state"
+      side, a prefix of the bag).
+
+    ``since=None`` marks a *template*: :func:`repro.engine.delta.anchor`
+    substitutes the per-relation version anchors a materialized view tracks
+    before the plan is executed.  Executing an unanchored template is a
+    :class:`PlanError`; executing an anchor the relation's bounded delta log
+    no longer covers raises :class:`DeltaUnavailable` (the view rebuilds).
+    """
+
+    relation: str
+    columns: tuple[str, ...] = ()
+    since: int | None = None
+    mode: str = "delta"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "columns", tuple(self.columns))
+        if self.mode not in DELTA_SCAN_MODES:
+            raise PlanError(f"unknown delta-scan mode {self.mode!r}")
 
 
 @dataclass(frozen=True)
@@ -268,6 +311,34 @@ class SortLimitP(Plan):
 # Column resolution
 # ---------------------------------------------------------------------------
 
+def _install_cached_hashes() -> None:
+    """Memoize each plan node's hash on first use.
+
+    Plans are immutable trees and the executors memoize *by plan value*, so
+    every operator lookup re-hashes its whole subtree — O(size) per node,
+    O(size²) per execution for deep plans.  Delta plans are re-anchored (new
+    objects) on every view refresh, so none of that hashing amortizes.
+    Caching the hash on the instance makes memo lookups O(1) after the first
+    touch; equality is untouched (still field-based).
+    """
+    for cls in (ScanP, DeltaScanP, FilterP, ProjectP, DistinctP, JoinP,
+                SetOpP, AggregateP, DivideP, SortLimitP):
+        generated = cls.__hash__
+
+        def cached(self, _generated=generated):  # type: ignore[no-untyped-def]
+            try:
+                return object.__getattribute__(self, "_cached_hash")
+            except AttributeError:
+                value = _generated(self)
+                object.__setattr__(self, "_cached_hash", value)
+                return value
+
+        cls.__hash__ = cached  # type: ignore[method-assign]
+
+
+_install_cached_hashes()
+
+
 def resolve_column(columns: Sequence[str], name: str, qualifier: str | None = None,
                    *, strict: bool = False) -> int:
     """Resolve a possibly-qualified column reference to a position.
@@ -330,6 +401,9 @@ def explain(plan: Plan, *, indent: int = 0) -> str:
     details = ""
     if isinstance(plan, ScanP):
         details = f" {plan.relation}"
+    elif isinstance(plan, DeltaScanP):
+        anchor = "?" if plan.since is None else str(plan.since)
+        details = f" {plan.relation} [{plan.mode} @ {anchor}]"
     elif isinstance(plan, JoinP):
         keys = ", ".join(f"{l}={r}" for l, r in zip(plan.left_keys, plan.right_keys))
         details = f" [{plan.kind}{': ' + keys if keys else ''}]"

@@ -37,6 +37,7 @@ from repro.data.schema import SchemaError
 from repro.expr import ast as e
 from repro.engine.plan import (
     AggregateP,
+    DeltaScanP,
     DistinctP,
     DivideP,
     FilterP,
@@ -178,6 +179,17 @@ class StatsCatalog:
             if plan.relation.lower().endswith(DELTA_SUFFIX):
                 return DELTA_ESTIMATE
             return UNKNOWN_ESTIMATE
+        if isinstance(plan, DeltaScanP):
+            # Insert-delta windows are tiny by construction (the point of
+            # incremental maintenance); estimating them tiny makes the
+            # cost-based join ordering seat each delta term at its delta
+            # occurrence.  The as-of window is essentially the full relation.
+            if plan.mode == "delta":
+                return DELTA_ESTIMATE
+            stats = self.table(plan.relation)
+            if stats is not None:
+                return float(stats.row_count)
+            return UNKNOWN_ESTIMATE
         if isinstance(plan, FilterP):
             base = self.estimate(plan.input)
             selectivity = 1.0
@@ -306,7 +318,7 @@ def _compare_floats(left: float, op: str, right: float) -> bool:
 
 def _column_origin(plan: Plan, position: int) -> tuple[str, int] | None:
     """Trace output column ``position`` down to ``(relation, attribute)``."""
-    if isinstance(plan, ScanP):
+    if isinstance(plan, (ScanP, DeltaScanP)):
         return (plan.relation, position)
     if isinstance(plan, (FilterP, DistinctP, SortLimitP)):
         return _column_origin(plan.children()[0], position)

@@ -44,10 +44,12 @@ from repro.engine.execute import (
     _split_name,
     compiled_expr,
     compiled_predicate,
+    delta_scan_rows,
 )
 from repro.engine.lower import _PositionCol
 from repro.engine.plan import (
     AggregateP,
+    DeltaScanP,
     DistinctP,
     DivideP,
     FilterP,
@@ -119,7 +121,12 @@ class Batch:
         """Materialize the row view (the backend's final output)."""
         if not self.vectors:
             return [()] * self.length
-        return list(zip(*[v.materialize() for v in self.vectors]))
+        columns = [v.materialize() for v in self.vectors]
+        if columns and len(columns[0]) != self.length:
+            # Length-limited batch (an as-of window shares the relation's
+            # full arrays): truncate to the logical length.
+            return list(zip(*(column[:self.length] for column in columns)))
+        return list(zip(*columns))
 
     def take(self, sel: list[int]) -> "Batch":
         """The sub-batch at positions ``sel`` (late: composes selections)."""
@@ -262,6 +269,8 @@ class VectorizedExecutor:
     def _compute(self, plan: Plan) -> Batch:
         if isinstance(plan, ScanP):
             return self._scan(plan)
+        if isinstance(plan, DeltaScanP):
+            return self._delta_scan(plan)
         if isinstance(plan, FilterP):
             return self._filter(plan)
         if isinstance(plan, ProjectP):
@@ -290,6 +299,27 @@ class VectorizedExecutor:
         store = relation.column_store()
         return Batch(plan.columns, [Vector(a) for a in store.arrays],
                      len(relation))
+
+    def _delta_scan(self, plan: DeltaScanP) -> Batch:
+        """Columnar delta/asof windows.
+
+        The ``asof`` window is a *prefix* of the bag (storage only appends),
+        so it shares the maintained column store's arrays **without copying**
+        and truncates the batch's logical length — refresh cost must not
+        scale with base-table size.  Consumers respect ``Batch.length``; the
+        hash-join build side short-circuits further via the capped
+        :class:`_PrefixTable` over the relation's cached key index.  The
+        ``delta`` window is small by construction and transposes.
+        """
+        if plan.mode == "asof" and plan.since is not None:
+            relation = self.db.relation(plan.relation)
+            count = relation.delta_count_since(plan.since)
+            if count is not None and len(plan.columns) == relation.schema.arity:
+                store = relation.column_store()
+                keep = len(relation) - count
+                return Batch(plan.columns,
+                             [Vector(a) for a in store.arrays], keep)
+        return Batch.from_rows(plan.columns, delta_scan_rows(self.db, plan))
 
     def _filter(self, plan: FilterP) -> Batch:
         """Narrow the batch conjunct by conjunct, in the conjunction's order.
@@ -390,12 +420,29 @@ class VectorizedExecutor:
                      len(left_sel))
 
     def _hash_table(self, right_plan: Plan, right: Batch, right_idx: list[int],
-                    null_matches: bool) -> dict[Any, list[int]]:
+                    null_matches: bool) -> "dict[Any, list[int]] | _PrefixTable":
         """The build side of a hash join, reusing the storage layer's cached
-        positional key indexes when the build input is a base-table scan."""
+        positional key indexes when the build input is a base-table scan.
+
+        An ``asof`` delta window is a positional *prefix* of its base
+        relation, so it reuses the same cached index with matches capped at
+        the prefix length (:class:`_PrefixTable`) instead of rebuilding a
+        hash table over the old state on every view refresh — this is what
+        keeps incremental join maintenance independent of base-table size.
+        """
         if isinstance(right_plan, ScanP) and right_idx:
             relation = self.db.relation(right_plan.relation)
             return relation.key_index(right_idx, skip_nulls=not null_matches)
+        if isinstance(right_plan, DeltaScanP) and right_plan.mode == "asof" \
+                and right_plan.since is not None and right_idx:
+            relation = self.db.relation(right_plan.relation)
+            count = relation.delta_count_since(right_plan.since)
+            if count is not None:
+                table = relation.key_index(right_idx,
+                                           skip_nulls=not null_matches)
+                if count == 0:
+                    return table
+                return _PrefixTable(table, len(relation) - count)
         return _build_hash_table(right, right_idx, null_matches)
 
     def _probe_batch(self, batch: Batch, idx: list[int],
@@ -447,8 +494,11 @@ class VectorizedExecutor:
         left = self.batch(plan.left)
         right = self.batch(plan.right)
         if plan.op == "union" and not plan.distinct:
-            # Bag union is pure columnar concatenation.
-            vectors = [Vector(l.materialize() + r.materialize())
+            # Bag union is pure columnar concatenation — but each side must
+            # be cut to its *logical* length first: a length-limited batch
+            # (an as-of window) shares the relation's full arrays, and
+            # concatenating those raw would splice out-of-window rows in.
+            vectors = [Vector(_exact(l, left.length) + _exact(r, right.length))
                        for l, r in zip(left.vectors, right.vectors)]
             return Batch(plan.columns, vectors, left.length + right.length)
         lrows = left.rows()
@@ -491,7 +541,8 @@ class VectorizedExecutor:
             nonlocal rows
             pos = _column_position(expr, columns)
             if pos is not None:
-                return batch.vectors[pos].materialize()
+                array = batch.vectors[pos].materialize()
+                return array if len(array) == n else array[:n]
             if rows is None:
                 rows = batch.rows()
             fn = compiled_expr(expr, columns)
@@ -619,8 +670,51 @@ def _fold(name: str, values: list[Any]) -> Any:
 # Hash-join plumbing
 # ---------------------------------------------------------------------------
 
+class _PrefixTable:
+    """A positional hash index restricted to row positions ``< keep``.
+
+    Wraps a relation's full cached :meth:`~repro.data.relation.Relation.key_index`
+    to serve an ``asof`` window: buckets hold ascending positions (bag
+    order), so the restriction is one :func:`bisect.bisect_left` per probed
+    bucket.  Probe sides in delta plans are tiny, so per-probe slicing costs
+    nothing compared to rebuilding an old-state hash table per refresh.
+    """
+
+    __slots__ = ("table", "keep")
+
+    def __init__(self, table: dict[Any, list[int]], keep: int) -> None:
+        self.table = table
+        self.keep = keep
+
+    def get(self, key: Any, default: Any = None) -> "list[int] | None":
+        from bisect import bisect_left
+
+        bucket = self.table.get(key)
+        if not bucket:
+            return default
+        if bucket[-1] < self.keep:
+            return bucket
+        cut = bisect_left(bucket, self.keep)
+        return bucket[:cut] if cut else default
+
+    def keys(self):
+        """Keys with at least one in-window position (for semi/anti probes)."""
+        keep = self.keep
+        return [key for key, bucket in self.table.items()
+                if bucket and bucket[0] < keep]
+
+def _exact(vector: Vector, length: int) -> list[Any]:
+    """Materialize a vector cut to the batch's logical length.
+
+    Length-limited batches (as-of windows) share over-long base arrays;
+    cutting keeps out-of-window rows invisible to array-level consumers.
+    """
+    data = vector.materialize()
+    return data if len(data) == length else data[:length]
+
+
 def _key_columns(batch: Batch, idx: list[int]) -> list[list[Any]]:
-    return [batch.vectors[i].materialize() for i in idx]
+    return [_exact(batch.vectors[i], batch.length) for i in idx]
 
 
 def _iter_keys(batch: Batch, idx: list[int]):

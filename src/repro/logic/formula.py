@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterator, Mapping, Sequence
 
-from repro.logic.terms import Const, Term, Var, term_of
+from repro.logic.terms import Term, Var, term_of
 
 COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
 

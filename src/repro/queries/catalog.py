@@ -15,7 +15,7 @@ T1 re-verifies this on random databases).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

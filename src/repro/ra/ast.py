@@ -15,7 +15,7 @@ defines the resolution rules shared by schema inference and evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Iterator
 
 from repro.data.schema import Attribute, DatabaseSchema, RelationSchema, SchemaError
 from repro.data.types import DataType

@@ -14,7 +14,6 @@ from typing import Any, Sequence
 from repro.data.database import Database
 from repro.data.relation import Relation, require_union_compatible
 from repro.data.schema import RelationSchema
-from repro.expr.ast import Expr, FuncCall
 from repro.expr.eval import Scope, compute_aggregate, eval_predicate
 from repro.ra.ast import (
     AntiJoin,

@@ -10,7 +10,7 @@ invariance principle (experiment T3).
 
 from __future__ import annotations
 
-from repro.expr.ast import And, Expr, conjunction, conjuncts
+from repro.expr.ast import Expr, conjunction, conjuncts
 from repro.ra.ast import (
     Difference,
     Distinct,
@@ -27,7 +27,6 @@ from repro.ra.ast import (
     output_schema,
     resolve_attribute,
     RAError,
-    _split_reference,
 )
 from repro.data.schema import DatabaseSchema
 

@@ -18,7 +18,7 @@ fields.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Union as TypingUnion
 
 from repro.expr.ast import Col, Expr, Exists, InSubquery, QuantifiedComparison, ScalarSubquery

@@ -52,7 +52,6 @@ from repro.sql.ast import (
     SetOpQuery,
     TableRef,
 )
-from repro.sql.lexer import SQLSyntaxError
 from repro.sql.parser import parse_sql
 
 

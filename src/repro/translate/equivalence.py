@@ -14,7 +14,6 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.data.database import Database
-from repro.data.generate import random_database
 from repro.data.relation import Relation
 from repro.data.sailors import empty_sailors_database, sailors_database
 from repro.datalog.ast import Program

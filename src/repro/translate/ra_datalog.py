@@ -12,7 +12,7 @@ from __future__ import annotations
 import itertools
 
 from repro.data.schema import DatabaseSchema, RelationSchema
-from repro.datalog.ast import BuiltinComparison, DatalogError, Literal, Program, Rule
+from repro.datalog.ast import BuiltinComparison, Literal, Program, Rule
 from repro.expr import ast as e
 from repro.logic.terms import Const as LConst, Var as LVar
 from repro.ra.ast import (
@@ -24,7 +24,6 @@ from repro.ra.ast import (
     NaturalJoin,
     Product,
     Projection,
-    RAError,
     RAExpr,
     RelationRef,
     Rename,

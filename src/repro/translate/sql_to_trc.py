@@ -12,7 +12,6 @@ INTERSECT / EXCEPT when both sides range over the same head relation.
 from __future__ import annotations
 
 import itertools
-from typing import Mapping
 
 from repro.data.schema import DatabaseSchema, SchemaError
 from repro.expr import ast as e

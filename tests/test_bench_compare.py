@@ -1,0 +1,116 @@
+"""The CI perf-regression gate: ``benchmarks/compare_bench.py`` semantics."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "compare_bench",
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                 "benchmarks", "compare_bench.py"))
+compare_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(compare_bench)
+
+
+def _write(path, records):
+    payload = {"suite": "x", "records": records}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def _record(workload="w", size=100, backend="view", wall_ms=1.0, speedup=10.0):
+    return {"workload": workload, "size": size, "backend": backend,
+            "wall_ms": wall_ms, "speedup": speedup}
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    baselines = tmp_path / "baselines"
+    artifacts = tmp_path / "artifacts"
+    baselines.mkdir()
+    artifacts.mkdir()
+    return baselines, artifacts
+
+
+class TestCompareSuite:
+    def test_within_threshold_passes(self, dirs):
+        baselines, artifacts = dirs
+        _write(baselines / "BENCH_x.json", [_record(speedup=10.0)])
+        _write(artifacts / "BENCH_x.json", [_record(speedup=7.5)])
+        failures, notes = compare_bench.compare_suite(
+            "x", str(baselines / "BENCH_x.json"),
+            str(artifacts / "BENCH_x.json"), 0.30)
+        assert not failures
+        assert len(notes) == 1
+
+    def test_regression_beyond_threshold_fails(self, dirs):
+        baselines, artifacts = dirs
+        _write(baselines / "BENCH_x.json", [_record(speedup=10.0)])
+        _write(artifacts / "BENCH_x.json", [_record(speedup=6.9)])
+        failures, _notes = compare_bench.compare_suite(
+            "x", str(baselines / "BENCH_x.json"),
+            str(artifacts / "BENCH_x.json"), 0.30)
+        assert len(failures) == 1 and "regressed" in failures[0]
+
+    def test_vanished_benchmark_fails(self, dirs):
+        baselines, artifacts = dirs
+        _write(baselines / "BENCH_x.json",
+               [_record("a", speedup=5.0), _record("b", speedup=5.0)])
+        _write(artifacts / "BENCH_x.json", [_record("a", speedup=5.0)])
+        failures, _notes = compare_bench.compare_suite(
+            "x", str(baselines / "BENCH_x.json"),
+            str(artifacts / "BENCH_x.json"), 0.30)
+        assert len(failures) == 1 and "disappeared" in failures[0]
+
+    def test_new_untracked_record_passes(self, dirs):
+        baselines, artifacts = dirs
+        _write(baselines / "BENCH_x.json", [_record("a", speedup=5.0)])
+        _write(artifacts / "BENCH_x.json",
+               [_record("a", speedup=5.0), _record("new", speedup=1.0)])
+        failures, notes = compare_bench.compare_suite(
+            "x", str(baselines / "BENCH_x.json"),
+            str(artifacts / "BENCH_x.json"), 0.30)
+        assert not failures
+        assert any("untracked" in note for note in notes)
+
+    def test_missing_artifact_fails(self, dirs):
+        baselines, artifacts = dirs
+        _write(baselines / "BENCH_x.json", [_record()])
+        failures, _notes = compare_bench.compare_suite(
+            "x", str(baselines / "BENCH_x.json"),
+            str(artifacts / "BENCH_missing.json"), 0.30)
+        assert failures
+
+    def test_improvements_never_fail(self, dirs):
+        baselines, artifacts = dirs
+        _write(baselines / "BENCH_x.json", [_record(speedup=10.0)])
+        _write(artifacts / "BENCH_x.json", [_record(speedup=50.0)])
+        failures, _notes = compare_bench.compare_suite(
+            "x", str(baselines / "BENCH_x.json"),
+            str(artifacts / "BENCH_x.json"), 0.30)
+        assert not failures
+
+
+class TestMainGate:
+    def test_main_exit_codes(self, dirs, capsys):
+        baselines, artifacts = dirs
+        _write(baselines / "BENCH_x.json", [_record(speedup=10.0)])
+        _write(artifacts / "BENCH_x.json", [_record(speedup=9.0)])
+        assert compare_bench.main(["--artifacts", str(artifacts),
+                                   "--baselines", str(baselines)]) == 0
+        _write(artifacts / "BENCH_x.json", [_record(speedup=1.0)])
+        assert compare_bench.main(["--artifacts", str(artifacts),
+                                   "--baselines", str(baselines)]) == 1
+        capsys.readouterr()
+
+    def test_update_promotes_artifacts(self, dirs):
+        baselines, artifacts = dirs
+        _write(artifacts / "BENCH_x.json", [_record(speedup=3.0)])
+        assert compare_bench.main(["--artifacts", str(artifacts),
+                                   "--baselines", str(baselines),
+                                   "--update"]) == 0
+        assert (baselines / "BENCH_x.json").exists()

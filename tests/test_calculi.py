@@ -14,7 +14,6 @@ from repro.drc import (
     format_drc_query,
     head_is_covered,
     parse_drc,
-    parse_drc_formula,
     positional_attribute,
 )
 from repro.logic import Atom, Const as LConst, Exists, Var

@@ -31,7 +31,7 @@ from repro.core import (
 )
 from repro.core.metrics import compare
 from repro.core.registry import FEATURES, REGISTRY
-from repro.queries import CANONICAL_QUERIES, Q4_ALL_RED, Q5_RED_OR_GREEN, query_by_id
+from repro.queries import CANONICAL_QUERIES, Q4_ALL_RED, Q5_RED_OR_GREEN
 from repro.translate import sql_to_trc
 from repro.trc import parse_trc
 

@@ -5,10 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.datalog import (
-    BuiltinComparison,
     DatalogError,
     Literal,
-    Program,
     Rule,
     dependency_graph,
     evaluate_datalog,

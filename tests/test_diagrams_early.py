@@ -5,7 +5,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.data.sailors import SAILORS_DATABASE_SCHEMA
 from repro.diagrams.constraint import ConstraintDiagram, ConstraintError
 from repro.diagrams.euler import euler_diagram, euler_syllogism_figure, spatial_relation
 from repro.diagrams.peirce_alpha import (
@@ -23,7 +22,6 @@ from repro.diagrams.peirce_alpha import (
     iterate_letter,
 )
 from repro.diagrams.peirce_beta import (
-    BetaError,
     beta_diagram,
     beta_diagram_for_query,
     beta_graph_of,
@@ -39,8 +37,8 @@ from repro.diagrams.syllogism import (
     valid_syllogisms,
 )
 from repro.diagrams.venn import VennDiagram, VennError, venn_syllogism_test
-from repro.drc import evaluate_drc_boolean, parse_drc, parse_drc_formula
-from repro.logic import And, Exists, ForAll, Implies, Not, Or, Var, prop
+from repro.drc import evaluate_drc_boolean, parse_drc_formula
+from repro.logic import And, Exists, Implies, Not, Or, Var, prop
 from repro.queries import Q2_RED_BOAT, Q4_ALL_RED
 
 

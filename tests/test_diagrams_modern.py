@@ -11,8 +11,6 @@ from repro.diagrams.common import CannotRepresent
 from repro.diagrams.conceptual import conceptual_graph_diagram
 from repro.diagrams.dfql import dfql_diagram, dfql_from_ra
 from repro.diagrams.qbe import (
-    QBEQuery,
-    SkeletonTable,
     qbe_diagram,
     qbe_division_steps,
     qbe_from_query,
@@ -26,7 +24,6 @@ from repro.queries import (
     Q2_RED_BOAT,
     Q3_RED_NOT_GREEN,
     Q4_ALL_RED,
-    Q5_RED_OR_GREEN,
 )
 from repro.ra import parse_ra
 

@@ -14,8 +14,8 @@ from __future__ import annotations
 import pytest
 
 from repro.data.database import Database
-from repro.data.relation import Relation, relation_from_rows
-from repro.data.sailors import random_sailors_database, sailors_database
+from repro.data.relation import relation_from_rows
+from repro.data.sailors import random_sailors_database
 from repro.datalog.evaluate import evaluate_datalog
 from repro.engine import (
     DistinctP,

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import Diagram, DiagramEdge, DiagramGroup, DiagramNode, save_svg
 from repro.core.layout import compute_layout, node_size

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.expr import Col, Comparison, Exists, InSubquery, QuantifiedComparison
+from repro.expr import Comparison, Exists, InSubquery, QuantifiedComparison
 from repro.sql import (
     Join,
     SQLEvaluationError,

@@ -15,7 +15,6 @@ from repro.translate import (
     UnsupportedSQL,
     UnsupportedSQLForRA,
     agreement_matrix,
-    answer_relation,
     answer_set,
     check_equivalence,
     datalog_to_ra,

@@ -16,7 +16,7 @@ from __future__ import annotations
 import pytest
 
 from repro.data.database import Database
-from repro.data.relation import ColumnStore, Relation, relation_from_rows
+from repro.data.relation import ColumnStore, relation_from_rows
 from repro.data.sailors import random_sailors_database, sailors_database
 from repro.engine import (
     DistinctP,
@@ -181,7 +181,7 @@ class TestVersioning:
         assert rel.cardinality(distinct=True) == 4
         assert (1, "x") in rel
 
-    def test_key_index_rebuilt_when_stale(self):
+    def test_key_index_maintained_across_adds(self):
         rel = relation_from_rows("R", [("a", "int"), ("b", "int")],
                                  [(1, 10), (2, 20), (1, 30)])
         index = rel.key_index((0,))
@@ -189,8 +189,13 @@ class TestVersioning:
         assert rel.key_index((0,)) is index  # cached while unchanged
         rel.add((2, 40))
         fresh = rel.key_index((0,))
-        assert fresh is not index
+        # Appends maintain the cached index in place (O(1) per add) instead
+        # of invalidating it — incremental view refresh depends on this.
+        assert fresh is index
         assert fresh[2] == [1, 3]
+        rel.add_rows([(3, 50), (1, 60)])
+        assert rel.key_index((0,)) is index
+        assert index[3] == [4] and index[1] == [0, 2, 5]
         pair = rel.key_index((0, 1))
         assert pair[(1, 30)] == [2]
 
