@@ -12,7 +12,11 @@ A record regresses when its speedup falls more than ``--threshold`` (default
 key.  A baseline record with no matching fresh measurement also fails — a
 silently vanished benchmark is a regression of coverage.  Fresh records with
 no baseline are reported as new and pass (commit updated baselines to start
-tracking them).
+tracking them), and a whole **suite** present in the artifacts but absent
+from the committed baselines is the new-suite bootstrap case: it is reported
+as informational (with its record count) and never fails the build — a
+freshly landed benchmark must be able to ride one CI cycle before its
+baseline is promoted with ``--update``.
 
 Usage::
 
@@ -127,12 +131,28 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[compare_bench] no baselines directory at {args.baselines}; "
               "run with --update to create it", file=sys.stderr)
         return 1
+
+    def _suite_files(directory: str) -> set[str]:
+        if not os.path.isdir(directory):
+            return set()
+        return {name for name in os.listdir(directory)
+                if name.startswith("BENCH_") and name.endswith(".json")}
+
+    baseline_files = _suite_files(args.baselines)
+    artifact_files = _suite_files(args.artifacts)
     all_failures: list[str] = []
     compared = 0
-    for name in sorted(os.listdir(args.baselines)):
-        if not (name.startswith("BENCH_") and name.endswith(".json")):
-            continue
+    for name in sorted(baseline_files | artifact_files):
         suite = name[len("BENCH_"):-len(".json")]
+        if name not in baseline_files:
+            # New-suite bootstrap: measured but not yet tracked.  This is
+            # informational, never a failure — promote with --update once
+            # the suite has landed to start gating it.
+            records = _load_records(os.path.join(args.artifacts, name))
+            print(f"[compare_bench] {suite}: new suite, {len(records)} "
+                  "record(s) with no committed baseline — informational "
+                  "(bootstrap; run compare_bench.py --update to track)")
+            continue
         failures, notes = compare_suite(
             suite, os.path.join(args.baselines, name),
             os.path.join(args.artifacts, name), args.threshold)
@@ -140,8 +160,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[compare_bench] {note}")
         all_failures.extend(failures)
         compared += 1
-    if compared == 0:
-        print("[compare_bench] no BENCH_*.json baselines found",
+    if compared == 0 and not artifact_files:
+        print("[compare_bench] no BENCH_*.json baselines or artifacts found",
               file=sys.stderr)
         return 1
     if all_failures:

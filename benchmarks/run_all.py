@@ -34,8 +34,8 @@ ARTIFACT_DIR = os.environ.get("REPRO_BENCH_ARTIFACTS",
 
 #: Which per-cell field is the suite's headline wall-clock measurement, and
 #: what to call the measured configuration.
-_WALL_MS_KEYS = ("engine_ms", "vectorized_ms", "parallel_ms", "warm_ms",
-                 "incremental_ms", "semi_naive_ms")
+_WALL_MS_KEYS = ("engine_ms", "sharded_ms", "vectorized_ms", "parallel_ms",
+                 "warm_ms", "incremental_ms", "semi_naive_ms")
 _BACKEND_LABELS = {
     "E1-join-heavy": "engine",
     "E1-catalog": "engine",
@@ -44,6 +44,7 @@ _BACKEND_LABELS = {
     "E2-cold-vs-warm": "warm-cache",
     "E3-parallel-vs-vectorized": "parallel",
     "E4-ivm-vs-recompute": "view",
+    "E5-sharded-scatter-gather": "sharded",
 }
 
 
@@ -120,11 +121,18 @@ def _run_e4(smoke: bool) -> list[dict]:
     return [bench_e4_ivm.run_experiment(smoke=smoke)]
 
 
+def _run_e5(smoke: bool) -> list[dict]:
+    import bench_e5_sharded
+
+    return [bench_e5_sharded.run_experiment(smoke=smoke)]
+
+
 SUITES = {
     "e1": _run_e1,
     "e2": _run_e2,
     "e3": _run_e3,
     "e4": _run_e4,
+    "e5": _run_e5,
 }
 
 

@@ -39,6 +39,7 @@ from repro.core.service import (
     QueryService,
     ServiceStats,
 )
+from repro.core.sharded_service import ShardedQueryService
 from repro.core.principles import (
     PRINCIPLES,
     Principle,
@@ -87,6 +88,7 @@ __all__ = [
     "QueryService",
     "QueryVisualizationPipeline",
     "ServiceStats",
+    "ShardedQueryService",
     "REGISTRY",
     "compare",
     "compute_layout",

@@ -396,6 +396,18 @@ class QueryService:
             )
         return resolved
 
+    def _cache_version(self) -> Any:
+        """The version token the result cache keys on (hashable, equatable).
+
+        The base service uses the database's scalar version counter;
+        :class:`~repro.core.sharded_service.ShardedQueryService` overrides
+        this with the per-shard version *vector*, so its cache keys record
+        exactly which shard states an answer was computed against.
+        Snapshot validation compares tokens by equality, so any override
+        must change whenever a write lands.
+        """
+        return self.db.version
+
     def _serve(self, text: str, language: str, fingerprint: str,
                warnings: list[str] | None) -> Relation:
         """Cache lookup + snapshot-validated execution (see module docs)."""
@@ -408,7 +420,7 @@ class QueryService:
             self.stats.bump("view_hits")
             return view.answer(warnings=warnings)
         for attempt in range(self.max_retries):
-            version = self.db.version
+            version = self._cache_version()
             key = (fingerprint, version)
             cached = self._results.get(key, _MISS)
             if cached is not _MISS:
@@ -431,14 +443,14 @@ class QueryService:
                 # the serialized run below and propagates from there.
                 self.stats.bump("validation_retries")
                 continue
-            if self.db.version == version:
+            if self._cache_version() == version:
                 return self._publish(key, answers, attempt_warnings, warnings)
             # A write interleaved: the answer may be torn across relations.
             self.stats.bump("validation_retries")
         # Contended: run once with writers excluded — guaranteed consistent.
         with self._write_lock:
             self.stats.bump("serialized_runs")
-            key = (fingerprint, self.db.version)
+            key = (fingerprint, self._cache_version())
             cached = self._results.get(key, _MISS)
             if cached is not _MISS:
                 answers, cached_warnings = cached

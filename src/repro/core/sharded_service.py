@@ -1,0 +1,150 @@
+"""Thread-safe serving over a hash-partitioned database.
+
+:class:`ShardedQueryService` is :class:`~repro.core.service.QueryService`
+pointed at a :class:`~repro.data.sharded.ShardedDatabase` and the
+``"sharded"`` scatter-gather backend (:mod:`repro.engine.sharded`).  Three
+things change relative to the base service:
+
+* **Writes route to owning shards.**  :meth:`add_row` / :meth:`add_rows`
+  hash each row's shard-key values and append to the one shard that owns
+  it (under the service write lock, like every service write).  The merged
+  read views the pipeline and interpreters see are frozen, so an
+  accidental un-routed write raises instead of silently unbalancing a
+  shard.
+* **The result cache keys on the shard-version vector.**  Where the base
+  service keys answers on the scalar database version, this service keys
+  on ``(structure version, v₀, v₁, ..., vₙ₋₁)`` — one component per shard.
+  Invalidation behaviour is identical (any routed write moves its shard's
+  component), but the key now records exactly which shard states an answer
+  was computed against, which is the shape replication and rebalancing
+  need later.
+* **Point queries skip the gather step.**  A query whose filters pin a
+  scattered relation's full shard key to constants is compiled by the
+  backend to run on the single owning shard; :meth:`execution_counts`
+  exposes how many requests took the single-shard path vs. a full
+  scatter-gather or the single-node fallback.
+
+Materialized views are **not** supported on a sharded service yet: the
+delta logs live per shard while the view maintainers read the merged view,
+so :meth:`register_view` raises instead of serving subtly stale answers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.core.service import MaterializedView, QueryService
+from repro.data.database import Database
+from repro.data.sharded import DEFAULT_N_SHARDS, ShardedDatabase, ShardKeySpec
+
+
+class ShardedQueryService(QueryService):
+    """Serve the five-language pipeline over a sharded database.
+
+    Parameters mirror :class:`QueryService`; additionally ``n_shards`` and
+    ``shard_keys`` control the partitioning when ``db`` is a plain
+    :class:`~repro.data.database.Database` (it is re-partitioned into a
+    fresh :class:`ShardedDatabase`).  Pass an existing
+    :class:`ShardedDatabase` to keep its layout.
+    """
+
+    def __init__(self, db: Database | None = None, *,
+                 n_shards: int = DEFAULT_N_SHARDS,
+                 shard_keys: ShardKeySpec | None = None,
+                 plan_cache_size: int = 256,
+                 result_cache_size: int = 1024,
+                 max_retries: int = 4) -> None:
+        if db is None:
+            from repro.data.sailors import sailors_database
+
+            db = sailors_database()
+        if not isinstance(db, ShardedDatabase):
+            db = ShardedDatabase.from_database(db, n_shards, shard_keys)
+        super().__init__(db, backend="sharded",
+                         plan_cache_size=plan_cache_size,
+                         result_cache_size=result_cache_size,
+                         max_retries=max_retries)
+        self.sharded_db: ShardedDatabase = db
+        # A private backend instance (not the process-wide singleton), so
+        # execution_counts() reports this service's traffic only and the
+        # compiled-plan cache is not shared with unrelated consumers.
+        from repro.engine.sharded import ShardedBackend
+
+        self._sharded_backend = ShardedBackend(db.n_shards)
+        self.pipeline.backend = self._sharded_backend
+        self.backend = self._sharded_backend
+
+    # -- cache keying ------------------------------------------------------
+
+    def _cache_version(self) -> tuple[int, ...]:
+        """``(structure version, per-shard versions...)`` — the cache key.
+
+        A routed write bumps exactly one component; schema changes bump the
+        leading structural component.  Equality of vectors is the snapshot
+        validation the base service's optimistic read path performs.
+        """
+        return (self.sharded_db.structure_version,
+                *self.sharded_db.shard_versions())
+
+    # -- routed writes -----------------------------------------------------
+
+    def add_row(self, relation: str, row: Sequence[Any], *,
+                validate: bool = True) -> int:
+        """Append one row to its owning shard; returns the new db version."""
+        with self._write_lock:
+            self.sharded_db.add_row(relation, row, validate=validate)
+            return self.db.version
+
+    def add_rows(self, relation: str, rows: Iterable[Sequence[Any]], *,
+                 validate: bool = True) -> int:
+        """Append a batch, each row routed to its owning shard.
+
+        Each touched shard absorbs its sub-batch as one version bump, so
+        the cache-key vector moves by at most one per shard per batch.
+        """
+        with self._write_lock:
+            self.sharded_db.add_rows(relation, rows, validate=validate)
+            return self.db.version
+
+    # -- sharding introspection --------------------------------------------
+
+    def shard_for(self, relation: str, row: Sequence[Any]) -> int:
+        """The shard that owns (or would own) ``row`` of ``relation``."""
+        return self.sharded_db.shard_of_row(relation, row)
+
+    def execution_counts(self) -> dict[str, int]:
+        """This service's backend counters: scatter / single-shard / fallback.
+
+        Counted on the service's private backend instance, so concurrent
+        services (or direct ``run_query(..., backend="sharded")`` calls
+        elsewhere in the process) never bleed into the numbers.
+        """
+        return self._sharded_backend.execution_counts()
+
+    def cache_info(self) -> dict[str, int]:
+        info = super().cache_info()
+        info["n_shards"] = self.sharded_db.n_shards
+        return info
+
+    # -- unsupported surfaces ----------------------------------------------
+
+    def register_view(self, text: str, *, language: str | None = None,
+                      name: str | None = None,
+                      refresh: str = "lazy") -> MaterializedView:
+        """Materialized views are not supported over sharded storage yet.
+
+        View maintenance reads per-relation delta logs, which live in the
+        shard relations while queries read the (rebuilt-on-refresh) merged
+        views — a maintainer anchored on one would silently miss the
+        other's appends.  Raises ``NotImplementedError`` until view
+        maintenance is shard-aware; the plain result cache (vector-keyed)
+        still serves repeated queries warm between writes.
+        """
+        raise NotImplementedError(
+            "materialized views are not supported on ShardedQueryService; "
+            "use QueryService for view workloads or serve via the "
+            "vector-keyed result cache"
+        )
+
+
+__all__ = ["ShardedQueryService"]

@@ -27,6 +27,7 @@ from repro.data.sailors import (
     random_sailors_database,
     sailors_database,
 )
+from repro.data.sharded import DEFAULT_N_SHARDS, ShardedDatabase, reshard
 from repro.data.schema import (
     Attribute,
     DatabaseSchema,
@@ -49,6 +50,7 @@ __all__ = [
     "Attribute",
     "BOATS_SCHEMA",
     "ColumnStore",
+    "DEFAULT_N_SHARDS",
     "Database",
     "DatabaseSchema",
     "DataType",
@@ -59,6 +61,7 @@ __all__ = [
     "SAILORS_DATABASE_SCHEMA",
     "SAILORS_SCHEMA",
     "SchemaError",
+    "ShardedDatabase",
     "check_value",
     "coerce_value",
     "comparable",
@@ -75,6 +78,7 @@ __all__ = [
     "random_sailors_database",
     "relation_from_rows",
     "require_union_compatible",
+    "reshard",
     "sailors_database",
     "union_compatible",
 ]

@@ -1,0 +1,358 @@
+"""Hash-partitioned storage: one logical database spread over N shards.
+
+A :class:`ShardedDatabase` is the storage half of the scatter-gather
+execution subsystem (:mod:`repro.engine.sharded` is the engine half).  Every
+relation is hash-partitioned across ``n_shards`` shard
+:class:`~repro.data.database.Database` instances on a chosen *shard key*
+(a subset of its attributes, the first attribute by default), reusing
+:meth:`~repro.data.relation.Relation.partition_by` — so the placement
+discipline is exactly the one the partitioned parallel backend already
+relies on: rows with equal key values always land in the same shard, and
+each shard preserves the relative bag order of its rows.
+
+The class subclasses :class:`~repro.data.database.Database` and exposes the
+same read API (``relation``/``schema``/``__iter__``/``active_domain``/...),
+so every consumer of a plain database — the five reference interpreters,
+the lowering and optimizer layers, :class:`~repro.engine.stats.StatsCatalog`
+— works unchanged: reads see a lazily *merged* view of each relation
+(shard bags concatenated in shard order).  Merged relations are **frozen**;
+mutating one raises, which is deliberate: row writes must go through the
+routing write API (:meth:`add_row` / :meth:`add_rows`) so each row reaches
+the shard that owns it.
+
+Versioning: :attr:`version` stays a single monotonic counter (structure +
+sum of shard versions) for compatibility, while :meth:`shard_versions`
+exposes the per-shard vector the sharded serving layer keys its result
+cache on — a write to one shard changes exactly one component.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.data.database import Database
+from repro.data.relation import Relation, Row
+from repro.data.schema import DatabaseSchema, SchemaError
+
+#: Shard count used when none is given (matches the default benchmark grid).
+DEFAULT_N_SHARDS = 4
+
+#: Suffix under which shard-execution databases expose the *full* (merged)
+#: copy of a broadcast relation, so a plan can read one relation both
+#: shard-locally and replicated (e.g. a self-join with one scattered and
+#: one broadcast occurrence) without a name clash.
+BROADCAST_SUFFIX = "@broadcast"
+
+ShardKeySpec = Mapping[str, "str | Sequence[str]"]
+
+
+class ShardedDatabase(Database):
+    """A database hash-partitioned across ``n_shards`` shard databases.
+
+    Parameters
+    ----------
+    relations:
+        Relations to partition in, exactly like :class:`Database`.
+    n_shards:
+        How many shards to spread each relation over (``>= 1``).
+    shard_keys:
+        Optional mapping ``relation name -> attribute or attribute list``
+        naming the partition key per relation.  Relations not named fall
+        back to their **first attribute** — for key-led schemas (``sid``,
+        ``bid``, ...) that makes equi-joins on the leading key
+        co-partitioned out of the box.  See the README's shard-key
+        guidance for how to choose.
+    """
+
+    def __init__(self, relations: Iterable[Relation] = (), *,
+                 n_shards: int = DEFAULT_N_SHARDS,
+                 shard_keys: ShardKeySpec | None = None) -> None:
+        if n_shards <= 0:
+            raise ValueError(f"shard count must be positive, got {n_shards}")
+        self.n_shards = n_shards
+        self._shards: list[Database] = [Database() for _ in range(n_shards)]
+        self._shard_keys: dict[str, tuple[str, ...]] = {}
+        self._requested_keys: dict[str, tuple[str, ...]] = {}
+        for name, attrs in (shard_keys or {}).items():
+            key = (attrs,) if isinstance(attrs, str) else tuple(attrs)
+            if not key:
+                raise ValueError(f"empty shard key for relation {name!r}")
+            self._requested_keys[name.lower()] = key
+        #: name -> (shard-version vector at build time, frozen merged view).
+        self._merged: dict[str, tuple[tuple[int, ...], Relation]] = {}
+        #: name -> (merged view it aliases, frozen broadcast-named copy).
+        self._broadcast: dict[str, tuple[Relation, Relation]] = {}
+        super().__init__(relations)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_database(cls, db: Database, n_shards: int = DEFAULT_N_SHARDS,
+                      shard_keys: ShardKeySpec | None = None
+                      ) -> "ShardedDatabase":
+        """Partition an existing database's relations across ``n_shards``."""
+        return cls(iter(db), n_shards=n_shards, shard_keys=shard_keys)
+
+    def add_relation(self, relation: Relation) -> None:
+        """Partition a relation across the shards (add or replace).
+
+        The shard key is the one requested at construction for this
+        relation name, else the relation's first attribute.  Raises
+        :class:`~repro.data.schema.SchemaError` if a requested key names an
+        attribute the relation does not have.
+        """
+        key = relation.schema.name.lower()
+        attrs = self._requested_keys.get(key)
+        if attrs is None:
+            # Default: the first attribute.  A zero-arity relation (the
+            # calculi's TRUE/FALSE tables) has no attributes to hash on;
+            # the empty key sends every row to one shard, which is exact.
+            attrs = (relation.schema.attribute_names[:1])
+        for attr in attrs:  # surfaces unknown attributes as SchemaError
+            relation.schema.index_of(attr)
+        parts = relation.partition_by(attrs, self.n_shards)
+        for shard, part in zip(self._shards, parts):
+            shard.add_relation(part)
+        self._shard_keys[key] = tuple(attrs)
+        self._merged.pop(key, None)
+        self._broadcast.pop(key, None)
+        self._structure_version += 1
+
+    def drop_relation(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._shard_keys:
+            raise SchemaError(f"database has no relation {name!r}")
+        for shard in self._shards:
+            shard.drop_relation(name)
+        del self._shard_keys[key]
+        self._merged.pop(key, None)
+        self._broadcast.pop(key, None)
+        self._relations.pop(key, None)
+        self._structure_version += 1
+
+    # -- versions ----------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic database version over all shards (see ``Database``)."""
+        return self._structure_version + sum(s.version for s in self._shards)
+
+    def shard_versions(self) -> tuple[int, ...]:
+        """The per-shard version vector (one component per shard).
+
+        A routed write bumps exactly one component, which is what lets the
+        sharded serving layer key its result cache on the vector instead of
+        a global counter (same invalidation, finer diagnostics).
+        """
+        return tuple(shard.version for shard in self._shards)
+
+    # -- sharding topology -------------------------------------------------
+
+    def shard(self, index: int) -> Database:
+        """Shard ``index`` as a plain database (shard-local relations)."""
+        return self._shards[index]
+
+    def shard_key(self, relation: str) -> tuple[str, ...]:
+        """The attributes a relation is hash-partitioned on."""
+        key = relation.lower()
+        if key not in self._shard_keys:
+            raise SchemaError(f"database has no relation {relation!r}")
+        return self._shard_keys[key]
+
+    def shard_of_value(self, key_value: Any) -> int:
+        """The shard owning one shard-key value (raw scalar or tuple).
+
+        Single-attribute keys hash the raw value, multi-attribute keys the
+        value tuple — the same convention as
+        :meth:`Relation.partition_by` and the executors' hash tables.
+        """
+        return hash(key_value) % self.n_shards
+
+    def shard_of_row(self, relation: str,
+                     row: Sequence[Any] | Mapping[str, Any]) -> int:
+        """The shard a row of ``relation`` belongs on (by its key values)."""
+        rel = relation.lower()
+        schema = self._shards[0].relation(rel).schema
+        if isinstance(row, Mapping):
+            values = tuple(row[name] for name in schema.attribute_names)
+        else:
+            values = tuple(row)
+        positions = [schema.index_of(a) for a in self.shard_key(rel)]
+        if len(positions) == 1:
+            return self.shard_of_value(values[positions[0]])
+        return self.shard_of_value(tuple(values[p] for p in positions))
+
+    # -- routed writes -----------------------------------------------------
+
+    def add_row(self, relation: str, row: Sequence[Any] | Mapping[str, Any],
+                *, validate: bool = True) -> int:
+        """Append one row to the shard that owns it; returns that shard."""
+        index = self.shard_of_row(relation, row)
+        self._shards[index].relation(relation).add(row, validate=validate)
+        return index
+
+    def add_rows(self, relation: str,
+                 rows: Iterable[Sequence[Any] | Mapping[str, Any]], *,
+                 validate: bool = True) -> dict[int, int]:
+        """Append a batch, routing each row to its owning shard.
+
+        The batch is all-or-nothing across shards, like
+        :meth:`Relation.add_rows` is within one relation: every row is
+        routed and normalized/validated *before* any shard is touched, so
+        a mid-batch failure leaves no shard with a partial write.  Returns
+        ``{shard index: rows appended}``.  Each touched shard absorbs its
+        sub-batch as **one** version bump, so the shard-version vector
+        moves by at most one per shard per batch.
+        """
+        staged: dict[int, list[Row]] = {}
+        for row in rows:
+            index = self.shard_of_row(relation, row)
+            target = self._shards[index].relation(relation)
+            staged.setdefault(index, []).append(
+                target._normalize_row(row, validate=validate))
+        for index, bucket in staged.items():
+            # Already normalized and validated: append without re-checking.
+            self._shards[index].relation(relation).add_rows(
+                bucket, validate=False)
+        return {index: len(bucket) for index, bucket in staged.items()}
+
+    # -- merged read view --------------------------------------------------
+
+    def _merged_relation(self, key: str) -> Relation:
+        """The frozen merged view of one relation (cached per shard state)."""
+        versions = tuple(s.relation(key).version for s in self._shards)
+        cached = self._merged.get(key)
+        if cached is not None and cached[0] == versions:
+            return cached[1]
+        parts = [shard.relation(key) for shard in self._shards]
+        rows: list[Row] = []
+        for part in parts:
+            rows.extend(part.rows())
+        merged = Relation(parts[0].schema, rows, validate=False)
+        # Version-tagged consumers (table statistics, plan-node key indexes)
+        # compare the relation's version, not its identity: stamp the merged
+        # view with the monotonic sum of shard versions so a rebuilt view
+        # never masquerades as the state an earlier profile described.
+        merged._version = sum(versions)
+        merged.freeze()
+        self._merged[key] = (versions, merged)
+        self._relations[key] = merged
+        return merged
+
+    def broadcast_relation(self, name: str) -> Relation:
+        """The merged view under its ``name@broadcast`` alias (cached).
+
+        Shard-execution databases register this alias for relations a plan
+        reads replicated, so the same relation can also appear shard-local
+        under its plain name.  The alias is frozen and version-stamped like
+        the merged view, and cached against the merged view's identity so
+        its lazily built executor caches (column store, key indexes)
+        survive across executions until a write rebuilds the merged view.
+        """
+        key = name.lower()
+        merged = self.relation(key)
+        cached = self._broadcast.get(key)
+        if cached is not None and cached[0] is merged:
+            return cached[1]
+        alias = Relation(
+            merged.schema.renamed(merged.schema.name + BROADCAST_SUFFIX),
+            merged.rows(), validate=False)
+        alias._version = merged.version
+        alias.freeze()
+        self._broadcast[key] = (merged, alias)
+        return alias
+
+    def _refresh_all(self) -> None:
+        for key in self._shard_keys:
+            self._merged_relation(key)
+
+    def relation(self, name: str) -> Relation:
+        """The merged (frozen) view of one relation, all shards combined.
+
+        Mutating the returned relation raises
+        :class:`~repro.data.relation.RelationError`; writes go through the
+        routing API (:meth:`add_row` / :meth:`add_rows`) instead so each
+        row reaches its owning shard.
+        """
+        key = name.lower()
+        if key not in self._shard_keys:
+            raise SchemaError(f"database has no relation {name!r}")
+        return self._merged_relation(key)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.lower() in self._shard_keys
+
+    def __iter__(self) -> Iterator[Relation]:
+        self._refresh_all()
+        return iter(self._relations[key] for key in self._shard_keys)
+
+    @property
+    def schema(self) -> DatabaseSchema:
+        return DatabaseSchema(tuple(
+            self._shards[0].relation(key).schema for key in self._shard_keys))
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(self._shards[0].relation(key).schema.name
+                     for key in self._shard_keys)
+
+    def active_domain(self) -> set[Any]:
+        self._refresh_all()
+        return super().active_domain()
+
+    def total_rows(self) -> int:
+        return sum(len(shard.relation(key))
+                   for key in self._shard_keys for shard in self._shards)
+
+    def summary(self) -> str:
+        self._refresh_all()
+        return super().summary()
+
+    def copy(self) -> "ShardedDatabase":
+        """A sharded copy: same topology, new relation objects per shard."""
+        self._refresh_all()
+        return ShardedDatabase(
+            (Relation(rel.schema, rel.rows(), validate=False)
+             for rel in self),
+            n_shards=self.n_shards,
+            shard_keys={name: key for name, key in self._shard_keys.items()},
+        )
+
+    def shard_summary(self) -> str:
+        """One line per relation: shard key and per-shard cardinalities."""
+        lines = []
+        for key, attrs in self._shard_keys.items():
+            name = self._shards[0].relation(key).schema.name
+            counts = [len(shard.relation(key)) for shard in self._shards]
+            lines.append(f"{name} by ({', '.join(attrs)}): {counts}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"ShardedDatabase({', '.join(self.relation_names)}; "
+                f"{self.n_shards} shards)")
+
+
+def reshard(db: Database, n_shards: int,
+            shard_keys: ShardKeySpec | None = None) -> ShardedDatabase:
+    """Re-partition any database (sharded or not) into ``n_shards`` shards.
+
+    The one-call entry point for rebalancing experiments: reads the merged
+    view of ``db`` and hash-partitions it afresh.  Carried shard keys from
+    an existing :class:`ShardedDatabase` are preserved unless overridden.
+    """
+    keys: dict[str, str | Sequence[str]] = {}
+    if isinstance(db, ShardedDatabase):
+        keys.update(db._shard_keys)
+    if shard_keys:
+        keys.update({name.lower(): attrs for name, attrs in shard_keys.items()})
+    return ShardedDatabase(
+        (Relation(rel.schema, rel.rows(), validate=False) for rel in db),
+        n_shards=n_shards, shard_keys=keys)
+
+
+__all__ = [
+    "BROADCAST_SUFFIX",
+    "DEFAULT_N_SHARDS",
+    "ShardedDatabase",
+    "reshard",
+]

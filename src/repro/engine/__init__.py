@@ -41,6 +41,14 @@ from repro.engine.execute import (
 )
 from repro.engine.vectorized import VectorizedBackend, VectorizedExecutor
 from repro.engine.parallel import ParallelBackend, ParallelExecutor
+from repro.engine.sharded import (
+    NotDistributable,
+    ShardedBackend,
+    ShardedPlan,
+    distribute,
+    shard_plan,
+    split_aggregate,
+)
 from repro.engine.delta import (
     AggregateMaintainer,
     BagMaintainer,
@@ -116,6 +124,7 @@ __all__ = [
     "FilterP",
     "JoinP",
     "LoweringError",
+    "NotDistributable",
     "ParallelBackend",
     "ParallelExecutor",
     "Plan",
@@ -124,6 +133,8 @@ __all__ = [
     "RowBackend",
     "ScanP",
     "SetOpP",
+    "ShardedBackend",
+    "ShardedPlan",
     "SortLimitP",
     "StatsCatalog",
     "TableStats",
@@ -143,6 +154,7 @@ __all__ = [
     "compute_datalog_facts",
     "delta_terms",
     "detect_language",
+    "distribute",
     "find_core",
     "finish_rows",
     "get_backend",
@@ -163,4 +175,6 @@ __all__ = [
     "reorder_joins",
     "resolve_column",
     "run_query",
+    "shard_plan",
+    "split_aggregate",
 ]

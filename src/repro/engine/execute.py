@@ -615,12 +615,16 @@ def _split_name(column: str) -> tuple[str, str | None]:
 class ExecutorBackend(Protocol):
     """The physical-execution seam: logical plan + database in, rows out.
 
-    Three implementations ship: the row-at-a-time reference backend in this
+    Four implementations ship: the row-at-a-time reference backend in this
     module (``"row"``), the columnar batch-at-a-time backend in
-    :mod:`repro.engine.vectorized` (``"vectorized"``), and the partitioned
-    parallel backend in :mod:`repro.engine.parallel` (``"parallel"``).  All
-    must agree bag-for-bag on every plan — ``tests/test_vectorized.py`` and
-    ``tests/test_parallel.py`` pin that over the whole canonical catalog.
+    :mod:`repro.engine.vectorized` (``"vectorized"``), the partitioned
+    parallel backend in :mod:`repro.engine.parallel` (``"parallel"``), and
+    the scatter-gather backend in :mod:`repro.engine.sharded`
+    (``"sharded"``).  All must agree bag-for-bag on every plan —
+    ``tests/test_vectorized.py``, ``tests/test_parallel.py``,
+    ``tests/test_sharded.py``, and the property-based differential suite in
+    ``tests/test_fuzz_differential.py`` pin that over the canonical catalog
+    and randomly generated plans.
     """
 
     name: str
@@ -641,7 +645,7 @@ class RowBackend:
 
 def get_backend(name: "str | ExecutorBackend") -> "ExecutorBackend":
     """Resolve a backend by name (``"row"`` / ``"vectorized"`` /
-    ``"parallel"``) or pass an instance through."""
+    ``"parallel"`` / ``"sharded"``) or pass an instance through."""
     if not isinstance(name, str):
         return name
     key = name.lower()
@@ -656,8 +660,14 @@ def get_backend(name: "str | ExecutorBackend") -> "ExecutorBackend":
         from repro.engine.parallel import PARALLEL_BACKEND
 
         return PARALLEL_BACKEND
+    if key == "sharded":
+        # The singleton: its auto-sharding and compiled-plan caches are
+        # shared across all executions (per-database, weakly keyed).
+        from repro.engine.sharded import SHARDED_BACKEND
+
+        return SHARDED_BACKEND
     raise PlanError(f"unknown executor backend {name!r} "
-                    "(expected 'row', 'vectorized', or 'parallel')")
+                    "(expected 'row', 'vectorized', 'parallel', or 'sharded')")
 
 
 _ROW_BACKEND = RowBackend()

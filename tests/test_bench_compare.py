@@ -114,3 +114,42 @@ class TestMainGate:
                                    "--baselines", str(baselines),
                                    "--update"]) == 0
         assert (baselines / "BENCH_x.json").exists()
+
+
+class TestNewSuiteBootstrap:
+    """Suites measured but not yet tracked are informational, not failures."""
+
+    def test_artifact_only_suite_passes_with_a_note(self, dirs, capsys):
+        baselines, artifacts = dirs
+        _write(baselines / "BENCH_x.json", [_record(speedup=10.0)])
+        _write(artifacts / "BENCH_x.json", [_record(speedup=10.0)])
+        _write(artifacts / "BENCH_new.json",
+               [_record(workload="fresh", speedup=2.0),
+                _record(workload="fresh2", speedup=3.0)])
+        assert compare_bench.main(["--artifacts", str(artifacts),
+                                   "--baselines", str(baselines)]) == 0
+        out = capsys.readouterr().out
+        assert "new: new suite, 2 record(s)" in out
+        assert "bootstrap" in out
+
+    def test_bootstrap_note_does_not_mask_real_regressions(self, dirs, capsys):
+        baselines, artifacts = dirs
+        _write(baselines / "BENCH_x.json", [_record(speedup=10.0)])
+        _write(artifacts / "BENCH_x.json", [_record(speedup=1.0)])
+        _write(artifacts / "BENCH_new.json", [_record(speedup=2.0)])
+        assert compare_bench.main(["--artifacts", str(artifacts),
+                                   "--baselines", str(baselines)]) == 1
+        capsys.readouterr()
+
+    def test_only_bootstrap_suites_still_pass(self, dirs, capsys):
+        baselines, artifacts = dirs  # baselines dir exists but is empty
+        _write(artifacts / "BENCH_new.json", [_record(speedup=2.0)])
+        assert compare_bench.main(["--artifacts", str(artifacts),
+                                   "--baselines", str(baselines)]) == 0
+        capsys.readouterr()
+
+    def test_nothing_at_all_still_fails(self, dirs, capsys):
+        baselines, artifacts = dirs
+        assert compare_bench.main(["--artifacts", str(artifacts),
+                                   "--baselines", str(baselines)]) == 1
+        capsys.readouterr()

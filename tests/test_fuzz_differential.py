@@ -1,0 +1,277 @@
+"""Property-based differential fuzzing of the four executor backends.
+
+The hand-written catalog differentials (``test_vectorized.py``,
+``test_parallel.py``, ``test_sharded.py``) pin the backends together over a
+fixed workload; as the backend matrix grows, fixed suites stop covering the
+input space.  Following the benchmark-management argument for generated
+instance families over curated ones, this suite *generates* the workload: a
+hypothesis strategy builds random logical plans — scans, filters, equi- and
+semi/anti-joins, projections, distinct, set operations, group-bys, sorts —
+over small random relations, and asserts
+
+    row ≡ vectorized ≡ parallel ≡ sharded (2 and 3 shards)
+
+bag-for-bag on every generated (database, plan) pair, for both the raw and
+the optimizer-rewritten plan.  Shrinking then turns any divergence into a
+minimal counterexample.
+
+Generation invariants (so a failure is always a backend bug, not a
+meaningless plan):
+
+* column names are globally unique and encode their type (``c7_int``), so
+  references resolve unambiguously and comparisons are always
+  type-compatible (the reference semantics raise on mixed-type
+  comparisons);
+* aggregated columns are integers — partial→final aggregation sums partial
+  sums, and integer sums are exact, so AVG division agrees bitwise across
+  backends;
+* ``LIMIT`` is never generated: without a total order it is legitimately
+  nondeterministic across row orders, and the sharded gather permutes row
+  order within the bag.
+
+Profiles: the bounded ``ci`` profile (default) keeps the suite inside the
+tier-1 budget; ``nightly`` runs an order of magnitude more examples (the
+scheduled ``bench-full`` workflow sets ``REPRO_FUZZ_PROFILE=nightly``).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.data.database import Database
+from repro.data.relation import relation_from_rows
+from repro.engine import get_backend, optimize
+from repro.engine.parallel import ParallelBackend
+from repro.engine.plan import (
+    AggregateP,
+    DistinctP,
+    FilterP,
+    JoinP,
+    Plan,
+    ProjectP,
+    ScanP,
+    SetOpP,
+    SortLimitP,
+)
+from repro.engine.sharded import ShardedBackend
+from repro.expr import ast as e
+
+_COMMON = dict(deadline=None,
+               suppress_health_check=[HealthCheck.too_slow,
+                                      HealthCheck.data_too_large,
+                                      HealthCheck.filter_too_much])
+settings.register_profile("ci", max_examples=40, **_COMMON)
+settings.register_profile("nightly", max_examples=400, **_COMMON)
+settings.load_profile(os.environ.get("REPRO_FUZZ_PROFILE", "ci"))
+
+#: Every generated plan must agree across all of these.
+BACKENDS = [
+    ("row", get_backend("row")),
+    ("vectorized", get_backend("vectorized")),
+    # Partition threshold 1 forces the partitioned probe/group code paths
+    # even on tiny generated relations.
+    ("parallel", ParallelBackend(workers=3, min_partition_rows=1)),
+    ("sharded-2", ShardedBackend(n_shards=2)),
+    ("sharded-3", ShardedBackend(n_shards=3)),
+]
+
+_INT_VALUES = st.one_of(st.integers(min_value=0, max_value=6),
+                        st.none())
+_STR_VALUES = st.one_of(st.sampled_from(["a", "b", "c"]), st.none())
+
+
+class _Names:
+    """Globally unique, type-tagged column names for one generated plan."""
+
+    def __init__(self) -> None:
+        self.counter = 0
+
+    def fresh(self, dtype: str) -> str:
+        self.counter += 1
+        return f"c{self.counter}_{dtype}"
+
+
+def _typed(columns: tuple[str, ...]) -> list[tuple[str, str]]:
+    """``(name, dtype)`` pairs recovered from the type-tagged names."""
+    return [(c, c.rsplit("_", 1)[1]) for c in columns]
+
+
+@st.composite
+def _relation(draw, names: _Names, index: int):
+    arity = draw(st.integers(min_value=2, max_value=4))
+    dtypes = ["int"] + [draw(st.sampled_from(["int", "str"]))
+                        for _ in range(arity - 1)]
+    n_rows = draw(st.integers(min_value=0, max_value=20))
+    rows = []
+    for _ in range(n_rows):
+        rows.append(tuple(
+            draw(_INT_VALUES if d == "int" else _STR_VALUES) for d in dtypes))
+    columns = [(f"r{index}_a{j}", d) for j, d in enumerate(dtypes)]
+    return relation_from_rows(f"R{index}", columns, rows), dtypes
+
+
+@st.composite
+def _condition(draw, columns: tuple[str, ...]):
+    """A type-compatible boolean condition over ``columns``."""
+    typed = _typed(columns)
+    name, dtype = draw(st.sampled_from(typed))
+    op = draw(st.sampled_from(["=", "<>", "<", "<=", ">", ">="]))
+    same_type = [n for n, d in typed if d == dtype and n != name]
+    if same_type and draw(st.booleans()):
+        other: e.Expr = e.Col(draw(st.sampled_from(same_type)))
+    else:
+        other = e.Const(draw(st.integers(min_value=0, max_value=6)
+                             if dtype == "int"
+                             else st.sampled_from(["a", "b", "c"])))
+    comparison: e.Expr = e.Comparison(e.Col(name), op, other)
+    wrap = draw(st.integers(min_value=0, max_value=3))
+    if wrap == 1:
+        comparison = e.Not(comparison)
+    elif wrap == 2:
+        extra = e.Comparison(e.Col(name), "=", other)
+        comparison = e.Or((comparison, extra))
+    return comparison
+
+
+@st.composite
+def _plan(draw, names: _Names, relations, depth: int):
+    """A random plan; returns ``(plan, dtypes_of_output_columns)``."""
+    kind = draw(st.sampled_from(
+        ["scan", "scan"] if depth <= 0 else
+        ["scan", "filter", "project", "join", "semi", "distinct",
+         "aggregate", "setop", "sort"]))
+
+    if kind == "scan":
+        which = draw(st.integers(min_value=0, max_value=len(relations) - 1))
+        relation, dtypes = relations[which]
+        columns = tuple(names.fresh(d) for d in dtypes)
+        return ScanP(relation.schema.name, columns), tuple(dtypes)
+
+    if kind == "filter":
+        plan, dtypes = draw(_plan(names, relations, depth - 1))
+        return FilterP(plan, draw(_condition(plan.columns))), dtypes
+
+    if kind == "project":
+        plan, dtypes = draw(_plan(names, relations, depth - 1))
+        picks = draw(st.lists(
+            st.integers(min_value=0, max_value=len(plan.columns) - 1),
+            min_size=1, max_size=3))
+        exprs = tuple(e.Col(plan.columns[p]) for p in picks)
+        out = tuple(names.fresh(dtypes[p]) for p in picks)
+        return ProjectP(plan, exprs, out), tuple(dtypes[p] for p in picks)
+
+    if kind in ("join", "semi"):
+        left, left_dtypes = draw(_plan(names, relations, depth - 1))
+        right, right_dtypes = draw(_plan(names, relations, depth - 1))
+        pairs = [(lc, rc)
+                 for lc, ld in zip(left.columns, left_dtypes)
+                 for rc, rd in zip(right.columns, right_dtypes) if ld == rd]
+        n_keys = draw(st.integers(min_value=0 if kind == "join" else 1,
+                                  max_value=min(2, len(pairs)))) if pairs else 0
+        keys = draw(st.permutations(pairs))[:n_keys] if n_keys else []
+        null_matches = draw(st.booleans())
+        if kind == "semi":
+            join_kind = draw(st.sampled_from(["semi", "anti"]))
+            if not keys:  # semi/anti need at least one key to be meaningful
+                return left, tuple(left_dtypes)
+            plan = JoinP(left, right, join_kind,
+                         tuple(k for k, _ in keys), tuple(k for _, k in keys),
+                         None, null_matches)
+            return plan, tuple(left_dtypes)
+        join_kind = "inner" if keys else "cross"
+        plan = JoinP(left, right, join_kind,
+                     tuple(k for k, _ in keys), tuple(k for _, k in keys),
+                     None, null_matches)
+        return plan, tuple(left_dtypes) + tuple(right_dtypes)
+
+    if kind == "distinct":
+        plan, dtypes = draw(_plan(names, relations, depth - 1))
+        return DistinctP(plan), dtypes
+
+    if kind == "aggregate":
+        plan, dtypes = draw(_plan(names, relations, depth - 1))
+        group_picks = draw(st.lists(
+            st.integers(min_value=0, max_value=len(plan.columns) - 1),
+            min_size=0, max_size=2, unique=True))
+        int_columns = [c for c, d in zip(plan.columns, dtypes) if d == "int"]
+        calls: list[tuple[e.FuncCall, str]] = [
+            (e.FuncCall("count", (e.Star(),)), names.fresh("int"))]
+        if int_columns:
+            fn = draw(st.sampled_from(["sum", "min", "max", "avg", "count"]))
+            target = draw(st.sampled_from(int_columns))
+            calls.append((e.FuncCall(fn, (e.Col(target),)),
+                          names.fresh("int")))
+        agg = AggregateP(plan, tuple(e.Col(plan.columns[p])
+                                     for p in group_picks), tuple(calls))
+        # Project group keys + aggregate outputs, the columns SQL can
+        # legally select; representative columns of straddling groups are
+        # backend-dependent by design (documented in repro.engine.sharded).
+        exprs = [e.Col(plan.columns[p]) for p in group_picks]
+        out_names = [names.fresh(dtypes[p]) for p in group_picks]
+        out_dtypes = [dtypes[p] for p in group_picks]
+        for _call, agg_name in calls:
+            exprs.append(e.Col(agg_name))
+            out_names.append(names.fresh("int"))
+            out_dtypes.append("int")
+        return (ProjectP(agg, tuple(exprs), tuple(out_names)),
+                tuple(out_dtypes))
+
+    if kind == "setop":
+        plan, dtypes = draw(_plan(names, relations, depth - 1))
+        # A second operand over the same source shape keeps the sides
+        # union-compatible by construction: re-derive a filtered variant.
+        other = FilterP(plan, draw(_condition(plan.columns)))
+        op = draw(st.sampled_from(["union", "intersect", "except"]))
+        distinct = draw(st.booleans())
+        return SetOpP(op, plan, other, distinct), dtypes
+
+    # sort (keys over every column, ascending/descending; never LIMIT)
+    plan, dtypes = draw(_plan(names, relations, depth - 1))
+    keys = tuple((e.Col(c), draw(st.booleans())) for c in plan.columns)
+    return SortLimitP(plan, keys, None), dtypes
+
+
+@st.composite
+def plan_and_database(draw):
+    names = _Names()
+    n_relations = draw(st.integers(min_value=1, max_value=3))
+    relations = [draw(_relation(names, i)) for i in range(n_relations)]
+    db = Database(rel for rel, _dtypes in relations)
+    plan, _dtypes = draw(_plan(names, relations,
+                               draw(st.integers(min_value=1, max_value=3))))
+    return db, plan
+
+
+def _bags(db: Database, plan: Plan) -> dict[str, Counter]:
+    return {name: Counter(backend.execute(plan, db))
+            for name, backend in BACKENDS}
+
+
+@given(case=plan_and_database())
+def test_backends_agree_on_random_plans(case):
+    db, plan = case
+    bags = _bags(db, plan)
+    reference = bags["row"]
+    for name, bag in bags.items():
+        assert bag == reference, (
+            f"{name} diverged from row on:\n{plan}\n"
+            f"row={sorted(reference.items())}\n{name}={sorted(bag.items())}"
+        )
+
+
+@given(case=plan_and_database())
+def test_backends_agree_on_optimized_plans(case):
+    db, plan = case
+    optimized = optimize(plan, db)
+    reference = Counter(get_backend("row").execute(plan, db))
+    bags = _bags(db, optimized)
+    for name, bag in bags.items():
+        assert bag == reference, (
+            f"{name} diverged on the optimized plan:\n{optimized}\n"
+            f"row(raw)={sorted(reference.items())}\n"
+            f"{name}={sorted(bag.items())}"
+        )

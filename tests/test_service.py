@@ -126,6 +126,86 @@ class TestPreparedQueries:
         assert ("Dustin",) in handle.answer().row_set()
 
 
+class TestErrorPaths:
+    """The failure surfaces a serving layer must keep well-defined."""
+
+    def test_unregister_view_on_an_unknown_name_raises(self, service):
+        with pytest.raises(KeyError):
+            service.unregister_view("no_such_view")
+        # ...and a failed unregister must not have disturbed real views.
+        view = service.register_view(JOIN_SQL, name="real")
+        with pytest.raises(KeyError):
+            service.unregister_view("still_not_there")
+        assert service.view("real") is view
+        service.unregister_view("real")
+        with pytest.raises(KeyError):
+            service.view("real")
+
+    def test_mutating_a_frozen_cached_relation_raises_and_does_not_poison(
+            self, service):
+        first = service.answer(JOIN_SQL)
+        with pytest.raises(RelationError):
+            first.add(("Mallory",))
+        with pytest.raises(RelationError):
+            first.add_rows([("Mallory",), ("Trudy",)])
+        # The failed mutations must not have reached the shared cache: the
+        # warm hit serves the identical, untainted bag.
+        again = service.answer(JOIN_SQL)
+        assert service.cache_info()["result_hits"] >= 1
+        assert again.bag_equal(first)
+        assert ("Mallory",) not in again.row_set()
+        # The documented escape hatch: a private mutable copy.
+        private = first.copy()
+        private.add(("Mallory",))
+        assert ("Mallory",) not in service.answer(JOIN_SQL).row_set()
+
+    def test_prepared_handle_survives_a_benign_schema_change(self, service):
+        from repro.data.relation import relation_from_rows
+
+        handle = service.prepare(COUNT_SQL)
+        assert handle.answer().rows() == [(10,)]
+        plan_misses = service.cache_info()["plan_misses"]
+        with service.writing() as db:
+            db.add_relation(relation_from_rows(
+                "Audit", [("event", "str")], [("created",)]))
+        # The structure version moved, so the handle's plan recompiles
+        # under the new schema instead of serving a stale compilation.
+        assert handle.answer().rows() == [(10,)]
+        assert service.cache_info()["plan_misses"] > plan_misses
+
+    def test_prepared_handle_reflects_a_widened_relation(self, service):
+        from repro.data.relation import Relation, relation_from_rows
+
+        handle = service.prepare("SELECT S.sname FROM Sailors S WHERE S.rating > 9")
+        before = handle.answer().row_set()
+        assert before == {("Rusty",), ("Zorba",)}
+        with service.writing() as db:
+            old = db.relation("Sailors")
+            widened = relation_from_rows(
+                "Sailors",
+                [("sid", "int"), ("sname", "str"), ("rating", "int"),
+                 ("age", "float"), ("shoe_size", "int")],
+                [row + (42,) for row in old.rows()])
+            assert isinstance(widened, Relation)
+            db.add_relation(widened)
+        # Same query text, new schema: the recompiled plan still resolves
+        # S.sname / S.rating and the answers are unchanged.
+        assert handle.answer().row_set() == before
+
+    def test_prepared_handle_raises_cleanly_when_its_relation_is_dropped(
+            self, service):
+        from repro.data.schema import SchemaError
+
+        handle = service.prepare(COUNT_SQL)
+        handle.answer()
+        with service.writing() as db:
+            db.drop_relation("Reserves")
+        with pytest.raises(SchemaError):
+            handle.answer()
+        # The service stays usable for queries over the surviving schema.
+        assert len(service.answer("SELECT S.sname FROM Sailors S")) == 10
+
+
 class TestStatsSnapshots:
     def test_snapshot_is_version_consistent(self, service):
         version, snapshot = service.stats_snapshot()
