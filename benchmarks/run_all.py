@@ -34,8 +34,8 @@ ARTIFACT_DIR = os.environ.get("REPRO_BENCH_ARTIFACTS",
 
 #: Which per-cell field is the suite's headline wall-clock measurement, and
 #: what to call the measured configuration.
-_WALL_MS_KEYS = ("engine_ms", "sharded_ms", "vectorized_ms", "parallel_ms",
-                 "warm_ms", "incremental_ms", "semi_naive_ms")
+_WALL_MS_KEYS = ("engine_ms", "process_ms", "sharded_ms", "vectorized_ms",
+                 "parallel_ms", "warm_ms", "incremental_ms", "semi_naive_ms")
 _BACKEND_LABELS = {
     "E1-join-heavy": "engine",
     "E1-catalog": "engine",
@@ -45,6 +45,7 @@ _BACKEND_LABELS = {
     "E3-parallel-vs-vectorized": "parallel",
     "E4-ivm-vs-recompute": "view",
     "E5-sharded-scatter-gather": "sharded",
+    "E6-process-scatter-gather": "process",
 }
 
 
@@ -127,12 +128,23 @@ def _run_e5(smoke: bool) -> list[dict]:
     return [bench_e5_sharded.run_experiment(smoke=smoke)]
 
 
+def _run_e6(smoke: bool) -> list[dict]:
+    import bench_e6_process
+
+    artifact = bench_e6_process.run_experiment(smoke=smoke)
+    failures = bench_e6_process.check_gates(artifact)
+    if failures:
+        raise SystemExit("E6 gate failed:\n" + "\n".join(failures))
+    return [artifact]
+
+
 SUITES = {
     "e1": _run_e1,
     "e2": _run_e2,
     "e3": _run_e3,
     "e4": _run_e4,
     "e5": _run_e5,
+    "e6": _run_e6,
 }
 
 

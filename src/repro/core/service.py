@@ -612,3 +612,29 @@ class QueryService:
         self._results.clear()
         self.pipeline.clear_caches()
         self.stats = ServiceStats()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the backend's and database's OS resources.
+
+        Worker pools (``"parallel"`` threads, ``"process"`` workers) shut
+        down and shared-memory page segments are unlinked.  Idempotent, and
+        the service stays usable — pools and segments are recreated lazily
+        on the next request — so closing is about prompt resource release
+        (the interpreter-exit hooks in :mod:`repro.engine.lifecycle` cover
+        services that are never closed).  Note that named backends resolve
+        to process-wide singletons whose pools are shared across services.
+        """
+        close_backend = getattr(self.backend, "close", None)
+        if callable(close_backend):
+            close_backend()
+        close_db = getattr(self.db, "close", None)
+        if callable(close_db):
+            close_db()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

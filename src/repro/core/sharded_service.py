@@ -45,12 +45,20 @@ class ShardedQueryService(QueryService):
     ``shard_keys`` control the partitioning when ``db`` is a plain
     :class:`~repro.data.database.Database` (it is re-partitioned into a
     fresh :class:`ShardedDatabase`).  Pass an existing
-    :class:`ShardedDatabase` to keep its layout.
+    :class:`ShardedDatabase` to keep its layout.  ``backend`` selects the
+    scatter-gather execution tier: ``"sharded"`` (default) runs shard
+    subplans on threads, ``"process"`` runs them in worker processes over
+    shared-memory column pages (:mod:`repro.engine.process`; ``workers``
+    pins that pool's width).  Call :meth:`close` — or use the service as a
+    context manager — to shut the worker pool down and unlink the page
+    segments promptly.
     """
 
     def __init__(self, db: Database | None = None, *,
+                 backend: str = "sharded",
                  n_shards: int = DEFAULT_N_SHARDS,
                  shard_keys: ShardKeySpec | None = None,
+                 workers: int | None = None,
                  plan_cache_size: int = 256,
                  result_cache_size: int = 1024,
                  max_retries: int = 4) -> None:
@@ -66,11 +74,21 @@ class ShardedQueryService(QueryService):
                          max_retries=max_retries)
         self.sharded_db: ShardedDatabase = db
         # A private backend instance (not the process-wide singleton), so
-        # execution_counts() reports this service's traffic only and the
-        # compiled-plan cache is not shared with unrelated consumers.
-        from repro.engine.sharded import ShardedBackend
+        # execution_counts() reports this service's traffic only, the
+        # compiled-plan cache is not shared with unrelated consumers, and
+        # close() tears down only this service's worker pool.
+        if backend == "process":
+            from repro.engine.process import ProcessBackend
 
-        self._sharded_backend = ShardedBackend(db.n_shards)
+            self._sharded_backend: Any = ProcessBackend(db.n_shards,
+                                                        workers=workers)
+        elif backend == "sharded":
+            from repro.engine.sharded import ShardedBackend
+
+            self._sharded_backend = ShardedBackend(db.n_shards)
+        else:
+            raise ValueError(f"unknown sharded-service backend {backend!r}; "
+                             "expected 'sharded' or 'process'")
         self.pipeline.backend = self._sharded_backend
         self.backend = self._sharded_backend
 

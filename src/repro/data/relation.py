@@ -9,6 +9,9 @@ exposes both views: :meth:`rows` (bag) and :meth:`distinct_rows` (set).
 
 from __future__ import annotations
 
+import pickle
+import struct
+from array import array
 from collections import Counter, deque
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
@@ -22,6 +25,116 @@ class RelationError(Exception):
     """Raised for operations on incompatible relations or malformed rows."""
 
 
+# ---------------------------------------------------------------------------
+# Column pages: a compact, same-host serialization of a ColumnStore
+# ---------------------------------------------------------------------------
+#
+# The ``"process"`` backend publishes each shard's columns once into a
+# ``multiprocessing.shared_memory`` segment; workers attach read-only and
+# decode.  The format is one *page* per column:
+#
+#     header : MAGIC(4) | n_rows u64 | n_cols u32
+#     column : name_len u16 | name utf8
+#              kind (1 byte)
+#              mask_len u64 | payload_len u64
+#              mask bytes  (n_rows bytes, 1 = NULL; empty when no NULLs)
+#              payload bytes
+#
+# Kinds: ``q`` int64, ``d`` float64 (both native-endian machine arrays —
+# pages are a same-host IPC format, not a portable file format), ``B``
+# bool bytes, ``s`` UTF-8 blob + ``q`` offsets, ``z`` all-NULL, ``o``
+# pickled list (mixed types, out-of-range ints — the exact fallback).
+# Decoding reproduces the original Python values bit-for-bit, which is what
+# lets the differential suites pin worker results against in-process ones.
+
+_PAGE_MAGIC = b"RPG1"
+_PAGE_HEADER = struct.Struct("<QI")
+_PAGE_NAME = struct.Struct("<H")
+_PAGE_COLUMN = struct.Struct("<cQQ")
+_INT64_MIN, _INT64_MAX = -(2**63), 2**63 - 1
+
+
+def _classify_column(values: Sequence[Any]) -> tuple[str, bool]:
+    """``(kind, has_null)`` for one column; ``o`` when no compact kind fits."""
+    kind = ""
+    has_null = False
+    for v in values:
+        if v is None:
+            has_null = True
+            continue
+        t = type(v)
+        if t is bool:
+            k = "B"
+        elif t is int:
+            k = "q" if _INT64_MIN <= v <= _INT64_MAX else "o"
+        elif t is float:
+            k = "d"
+        elif t is str:
+            k = "s"
+        else:
+            k = "o"
+        if k == "o":
+            return "o", has_null
+        if not kind:
+            kind = k
+        elif kind != k:
+            return "o", has_null
+    return kind or "z", has_null
+
+
+def _encode_column(values: Sequence[Any]) -> tuple[bytes, bytes, bytes]:
+    """``(kind, mask, payload)`` for one column."""
+    kind, has_null = _classify_column(values)
+    if kind == "o":
+        return b"o", b"", pickle.dumps(list(values),
+                                       protocol=pickle.HIGHEST_PROTOCOL)
+    mask = bytes(1 if v is None else 0 for v in values) if has_null else b""
+    if kind == "z":
+        return b"z", mask, b""
+    if kind == "q":
+        payload = array("q", [0 if v is None else v for v in values]).tobytes()
+    elif kind == "d":
+        payload = array("d", [0.0 if v is None else v for v in values]).tobytes()
+    elif kind == "B":
+        payload = bytes(1 if v else 0 for v in values)
+    else:  # "s": offsets then one UTF-8 blob
+        parts = [b"" if v is None else v.encode("utf-8") for v in values]
+        offsets = array("q", [0] * (len(parts) + 1))
+        total = 0
+        for i, part in enumerate(parts):
+            total += len(part)
+            offsets[i + 1] = total
+        payload = offsets.tobytes() + b"".join(parts)
+    return kind.encode("ascii"), mask, payload
+
+
+def _decode_column(kind: str, mask: bytes, payload: "bytes | memoryview",
+                   n_rows: int) -> list[Any]:
+    if kind == "o":
+        return pickle.loads(payload)
+    if kind == "z":
+        return [None] * n_rows
+    if kind == "q":
+        values = array("q")
+        values.frombytes(payload)
+        out: list[Any] = values.tolist()
+    elif kind == "d":
+        values = array("d")
+        values.frombytes(payload)
+        out = values.tolist()
+    elif kind == "B":
+        out = [bool(b) for b in payload]
+    else:  # "s"
+        offsets = array("q")
+        offsets.frombytes(payload[: 8 * (n_rows + 1)])
+        blob = payload[8 * (n_rows + 1):]
+        out = [blob[offsets[i]:offsets[i + 1]].decode("utf-8")
+               for i in range(n_rows)]
+    if mask:
+        out = [None if m else v for m, v in zip(mask, out)]
+    return out
+
+
 class ColumnStore:
     """Columnar twin of a relation's bag of rows: one Python list per attribute.
 
@@ -32,11 +145,21 @@ class ColumnStore:
     one-time cost per relation, not per query.
     """
 
-    __slots__ = ("names", "arrays")
+    __slots__ = ("names", "arrays", "kernel_cache", "pages")
 
     def __init__(self, names: Sequence[str], arrays: Sequence[list[Any]]) -> None:
         self.names = tuple(names)
         self.arrays = tuple(arrays)
+        #: Per-column compiled encodings, owned by :mod:`repro.engine.kernels`
+        #: (the storage layer never imports numpy).  Entries are keyed by
+        #: column index and tagged with the column length they were built at;
+        #: arrays are append-only, so a length match means the entry is
+        #: current and no invalidation hook is needed.
+        self.kernel_cache: dict[int, Any] = {}
+        #: Raw page buffers per column index (``(kind, mask, payload)``),
+        #: populated by :meth:`decode_pages` so kernels can view int/float
+        #: payloads zero-copy instead of re-converting the Python lists.
+        self.pages: dict[int, tuple[str, Any, Any]] = {}
 
     @classmethod
     def from_rows(cls, names: Sequence[str], rows: Sequence[Row]) -> "ColumnStore":
@@ -60,6 +183,66 @@ class ColumnStore:
     def to_rows(self) -> list[Row]:
         """Materialize the row view (zip of the arrays)."""
         return list(zip(*self.arrays)) if self.arrays else []
+
+    # -- column pages (shared-memory serialization) -----------------------
+
+    def encode_pages(self) -> bytes:
+        """Serialize the store into the column-page format (see module docs).
+
+        The encoding is exact: :meth:`decode_pages` reproduces the original
+        Python values (including ``None``, ``bool`` vs ``int``, and mixed
+        columns via the pickle fallback).
+        """
+        n_rows = len(self)
+        chunks = [_PAGE_MAGIC, _PAGE_HEADER.pack(n_rows, len(self.arrays))]
+        for name, values in zip(self.names, self.arrays):
+            encoded_name = name.encode("utf-8")
+            kind, mask, payload = _encode_column(values)
+            chunks.append(_PAGE_NAME.pack(len(encoded_name)))
+            chunks.append(encoded_name)
+            chunks.append(_PAGE_COLUMN.pack(kind, len(mask), len(payload)))
+            chunks.append(mask)
+            chunks.append(payload)
+        return b"".join(chunks)
+
+    @classmethod
+    def decode_pages(cls, buffer: "bytes | memoryview") -> "ColumnStore":
+        """Rebuild a store from :meth:`encode_pages` output.
+
+        ``buffer`` may be a memoryview into shared memory; raw int/float
+        page buffers are retained in :attr:`pages` (zero-copy slices of
+        ``buffer``) so the kernel layer can view them without re-encoding —
+        the caller must keep the backing segment mapped for the store's
+        lifetime.
+        """
+        view = memoryview(buffer)
+        if bytes(view[:4]) != _PAGE_MAGIC:
+            raise RelationError("buffer does not hold column pages")
+        n_rows, n_cols = _PAGE_HEADER.unpack_from(view, 4)
+        offset = 4 + _PAGE_HEADER.size
+        names: list[str] = []
+        arrays: list[list[Any]] = []
+        pages: dict[int, tuple[str, Any, Any]] = {}
+        for i in range(n_cols):
+            (name_len,) = _PAGE_NAME.unpack_from(view, offset)
+            offset += _PAGE_NAME.size
+            names.append(bytes(view[offset:offset + name_len]).decode("utf-8"))
+            offset += name_len
+            kind_byte, mask_len, payload_len = _PAGE_COLUMN.unpack_from(view, offset)
+            offset += _PAGE_COLUMN.size
+            kind = kind_byte.decode("ascii")
+            mask = view[offset:offset + mask_len]
+            offset += mask_len
+            payload = view[offset:offset + payload_len]
+            offset += payload_len
+            arrays.append(_decode_column(
+                kind, bytes(mask),
+                bytes(payload) if kind in ("s", "B") else payload, n_rows))
+            if kind in ("q", "d"):
+                pages[i] = (kind, mask, payload)
+        store = cls(names, arrays)
+        store.pages = pages
+        return store
 
 
 class Relation:
@@ -102,6 +285,28 @@ class Relation:
             self.add(row, validate=validate)
 
     # -- construction ----------------------------------------------------
+    @classmethod
+    def from_column_store(cls, schema: RelationSchema, store: ColumnStore,
+                          *, version: int = 0) -> "Relation":
+        """Adopt a decoded :class:`ColumnStore` as a frozen relation.
+
+        The worker side of the ``"process"`` backend rebuilds each shard's
+        relation this way after attaching its shared-memory pages: the store
+        (with any zero-copy page views it carries) becomes the relation's
+        columnar cache directly, and ``version`` restamps the publisher's
+        version so version-keyed caches stay coherent across the process
+        boundary.
+        """
+        if len(store.names) != schema.arity:
+            raise RelationError(
+                f"store arity {len(store.names)} does not match schema arity "
+                f"{schema.arity} for relation {schema.name!r}")
+        relation = cls(schema)
+        relation._rows = store.to_rows()
+        relation._column_store = store
+        relation._version = version
+        return relation.freeze()
+
     @classmethod
     def from_dicts(
         cls, schema: RelationSchema, dicts: Iterable[Mapping[str, Any]]

@@ -28,10 +28,16 @@ cache on — a write to one shard changes exactly one component.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Mapping, Sequence
+import itertools
+import os
+import pickle
+import struct
+import threading
+import weakref
+from typing import Any, Iterable, Iterator, Mapping, NamedTuple, Sequence
 
 from repro.data.database import Database
-from repro.data.relation import Relation, Row
+from repro.data.relation import ColumnStore, Relation, Row
 from repro.data.schema import DatabaseSchema, SchemaError
 
 #: Shard count used when none is given (matches the default benchmark grid).
@@ -82,6 +88,8 @@ class ShardedDatabase(Database):
         self._merged: dict[str, tuple[tuple[int, ...], Relation]] = {}
         #: name -> (merged view it aliases, frozen broadcast-named copy).
         self._broadcast: dict[str, tuple[Relation, Relation]] = {}
+        #: Lazily created shared-memory page publisher (process backend).
+        self._publisher: SharedPagePublisher | None = None
         super().__init__(relations)
 
     # -- construction ------------------------------------------------------
@@ -145,6 +153,30 @@ class ShardedDatabase(Database):
         a global counter (same invalidation, finer diagnostics).
         """
         return tuple(shard.version for shard in self._shards)
+
+    # -- shared-memory page lifecycle --------------------------------------
+
+    def page_publisher(self) -> "SharedPagePublisher":
+        """The database's shared-memory page publisher (created lazily).
+
+        The ``"process"`` backend publishes each shard's relations through
+        this object; owning it here ties segment lifetime to the database,
+        so :meth:`close` (or garbage collection of the database) unlinks
+        every segment it ever published.
+        """
+        if self._publisher is None:
+            self._publisher = SharedPagePublisher()
+        return self._publisher
+
+    def close(self) -> None:
+        """Release OS resources: unlink all published page segments.
+
+        Idempotent; the database remains readable afterwards (a later
+        process-backend execution simply republishes).
+        """
+        if self._publisher is not None:
+            self._publisher.close()
+            self._publisher = None
 
     # -- sharding topology -------------------------------------------------
 
@@ -332,6 +364,193 @@ class ShardedDatabase(Database):
                 f"{self.n_shards} shards)")
 
 
+# ---------------------------------------------------------------------------
+# Shared-memory column-page publication (the "process" backend's transport)
+# ---------------------------------------------------------------------------
+
+#: Page-segment names are ``repro-pg-{publisher pid}-{sequence}``: the pid
+#: embeds ownership so :func:`reap_stale_segments` can audit ``/dev/shm``
+#: for segments whose publisher died without unlinking them.
+SEGMENT_PREFIX = "repro-pg"
+
+#: Segment layout: ``u64 header length | pickled (schema, version) | pages``
+#: where ``pages`` is :meth:`ColumnStore.encode_pages` output.
+_SEGMENT_HEADER = struct.Struct("<Q")
+
+
+class PageSegment(NamedTuple):
+    """One published relation: the manifest entry workers attach by."""
+
+    name: str    #: shared-memory segment name
+    nbytes: int  #: payload length (the OS may round the mapping up)
+    version: int #: relation version the payload snapshots
+
+
+#: Process-wide segment sequence: names must be unique across *all*
+#: publishers in this process (several databases can publish concurrently).
+_segment_seq = itertools.count()
+
+
+def _release_segments(slots: dict) -> None:
+    """Close and unlink every published segment (finalizer-safe)."""
+    for entry in list(slots.values()):
+        shm = entry[3]
+        try:
+            shm.close()
+            shm.unlink()
+        except OSError:
+            pass
+    slots.clear()
+
+
+class SharedPagePublisher:
+    """Publishes relations as shared-memory column-page segments.
+
+    One *slot* (a caller-chosen string such as ``"2/part"`` for shard 2's
+    ``part`` partition) holds at most one live segment.  :meth:`publish`
+    re-encodes only when the slot's relation object or version changed —
+    the republish-on-write discipline the process backend's shard-version
+    vector check relies on — and unlinks the superseded segment (attached
+    workers keep their mapping; only the name goes away).
+
+    Every segment is unlinked when :meth:`close` runs, when the publisher
+    is garbage collected, or at interpreter exit (``weakref.finalize``
+    registers an exit hook), so a cleanly exiting process leaves
+    ``/dev/shm`` empty.  :func:`reap_stale_segments` covers crashes.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: slot -> (id(relation), weakref, version, SharedMemory, PageSegment)
+        self._slots: dict[str, tuple] = {}
+        self._finalizer = weakref.finalize(
+            self, _release_segments, self._slots)
+
+    def publish(self, slot: str, relation: Relation) -> PageSegment:
+        """Publish (or reuse) the segment for ``slot``'s current relation."""
+        from multiprocessing import shared_memory
+
+        with self._lock:
+            if not self._finalizer.alive:
+                raise RuntimeError("page publisher is closed")
+            entry = self._slots.get(slot)
+            if entry is not None and entry[0] == id(relation) \
+                    and entry[1]() is relation \
+                    and entry[2] == relation.version:
+                return entry[4]
+            # Snapshot, encode, recheck: a concurrent writer bumping the
+            # version mid-encode could tear the column arrays, so retry
+            # until the version sits still across the whole encoding.
+            while True:
+                version = relation.version
+                header = pickle.dumps((relation.schema, version),
+                                      protocol=pickle.HIGHEST_PROTOCOL)
+                pages = relation.column_store().encode_pages()
+                if relation.version == version:
+                    break
+            payload = b"".join((_SEGMENT_HEADER.pack(len(header)), header,
+                                pages))
+            name = f"{SEGMENT_PREFIX}-{os.getpid()}-{next(_segment_seq)}"
+            shm = shared_memory.SharedMemory(
+                name=name, create=True, size=len(payload))
+            shm.buf[:len(payload)] = payload
+            segment = PageSegment(shm.name, len(payload), version)
+            if entry is not None:
+                old = entry[3]
+                try:
+                    old.close()
+                    old.unlink()
+                except OSError:
+                    pass
+            self._slots[slot] = (id(relation), weakref.ref(relation),
+                                 version, shm, segment)
+            return segment
+
+    def active_segments(self) -> list[str]:
+        """Names of the currently linked segments (diagnostics/tests)."""
+        with self._lock:
+            return [entry[4].name for entry in self._slots.values()]
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def close(self) -> None:
+        """Unlink every published segment.  Idempotent."""
+        with self._lock:
+            self._finalizer()  # runs _release_segments at most once
+
+
+def attach_segment(segment: PageSegment) -> "tuple[Relation, Any]":
+    """Attach a published segment and rebuild its relation (worker side).
+
+    Returns ``(relation, shm)``; the caller must keep ``shm`` mapped for
+    the relation's lifetime (the rebuilt column store carries zero-copy
+    views into the mapping) and call :func:`detach_segment` when done.
+    """
+    from multiprocessing import shared_memory
+
+    # No attach-side resource-tracker fiddling: worker processes (fork or
+    # spawn) share the publisher's tracker, where re-registering an already
+    # tracked name is a no-op — the publisher's own unlink stays the single
+    # authoritative unregistration.  (An *unrelated* process attaching here
+    # would register with its own tracker and unlink the segment at its
+    # exit; only publisher-descendant processes may attach.)
+    shm = shared_memory.SharedMemory(name=segment.name)
+    view = memoryview(shm.buf)[:segment.nbytes]
+    (header_len,) = _SEGMENT_HEADER.unpack_from(view, 0)
+    body = _SEGMENT_HEADER.size
+    schema, version = pickle.loads(bytes(view[body:body + header_len]))
+    store = ColumnStore.decode_pages(view[body + header_len:])
+    return Relation.from_column_store(schema, store, version=version), shm
+
+
+def detach_segment(shm: Any) -> None:
+    """Close an attached mapping, tolerating still-exported page views."""
+    try:
+        shm.close()
+    except BufferError:
+        # Zero-copy page views still reference the mapping; it is released
+        # when they are collected (or with the process).
+        pass
+
+
+def reap_stale_segments() -> list[str]:
+    """Unlink page segments whose publishing process is dead.
+
+    Audits ``/dev/shm`` for ``repro-pg-{pid}-*`` names and unlinks those
+    whose pid no longer exists — segments leaked by a publisher that
+    crashed before its exit hook could run.  The process backend calls
+    this at pool startup.  Returns the reaped segment names.
+    """
+    reaped: list[str] = []
+    try:
+        names = os.listdir("/dev/shm")
+    except OSError:
+        return reaped
+    prefix = SEGMENT_PREFIX + "-"
+    for fname in names:
+        if not fname.startswith(prefix):
+            continue
+        try:
+            pid = int(fname[len(prefix):].split("-", 1)[0])
+        except ValueError:
+            continue
+        if pid == os.getpid():
+            continue  # our own live segments
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            try:
+                os.unlink(os.path.join("/dev/shm", fname))
+                reaped.append(fname)
+            except OSError:
+                continue
+        except OSError:
+            continue  # alive (or not ours to signal): leave it
+    return reaped
+
+
 def reshard(db: Database, n_shards: int,
             shard_keys: ShardKeySpec | None = None) -> ShardedDatabase:
     """Re-partition any database (sharded or not) into ``n_shards`` shards.
@@ -353,6 +572,12 @@ def reshard(db: Database, n_shards: int,
 __all__ = [
     "BROADCAST_SUFFIX",
     "DEFAULT_N_SHARDS",
+    "PageSegment",
+    "SEGMENT_PREFIX",
+    "SharedPagePublisher",
     "ShardedDatabase",
+    "attach_segment",
+    "detach_segment",
+    "reap_stale_segments",
     "reshard",
 ]

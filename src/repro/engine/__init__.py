@@ -49,6 +49,9 @@ from repro.engine.sharded import (
     shard_plan,
     split_aggregate,
 )
+from repro.engine.kernels import KernelExecutor, kernels_enabled, make_executor
+from repro.engine.process import ProcessBackend, default_process_workers
+from repro.engine import lifecycle
 from repro.engine.delta import (
     AggregateMaintainer,
     BagMaintainer,
@@ -123,12 +126,14 @@ __all__ = [
     "ExecutorBackend",
     "FilterP",
     "JoinP",
+    "KernelExecutor",
     "LoweringError",
     "NotDistributable",
     "ParallelBackend",
     "ParallelExecutor",
     "Plan",
     "PlanError",
+    "ProcessBackend",
     "ProjectP",
     "RowBackend",
     "ScanP",
@@ -152,9 +157,13 @@ __all__ = [
     "compiled_expr",
     "compiled_predicate",
     "compute_datalog_facts",
+    "default_process_workers",
     "delta_terms",
     "detect_language",
     "distribute",
+    "kernels_enabled",
+    "lifecycle",
+    "make_executor",
     "find_core",
     "finish_rows",
     "get_backend",

@@ -615,14 +615,17 @@ def _split_name(column: str) -> tuple[str, str | None]:
 class ExecutorBackend(Protocol):
     """The physical-execution seam: logical plan + database in, rows out.
 
-    Four implementations ship: the row-at-a-time reference backend in this
+    Five implementations ship: the row-at-a-time reference backend in this
     module (``"row"``), the columnar batch-at-a-time backend in
     :mod:`repro.engine.vectorized` (``"vectorized"``), the partitioned
-    parallel backend in :mod:`repro.engine.parallel` (``"parallel"``), and
-    the scatter-gather backend in :mod:`repro.engine.sharded`
-    (``"sharded"``).  All must agree bag-for-bag on every plan —
+    parallel backend in :mod:`repro.engine.parallel` (``"parallel"``), the
+    thread-based scatter-gather backend in :mod:`repro.engine.sharded`
+    (``"sharded"``), and the multi-process scatter-gather backend over
+    shared-memory column pages in :mod:`repro.engine.process`
+    (``"process"``).  All must agree bag-for-bag on every plan —
     ``tests/test_vectorized.py``, ``tests/test_parallel.py``,
-    ``tests/test_sharded.py``, and the property-based differential suite in
+    ``tests/test_sharded.py``, ``tests/test_process.py``, and the
+    property-based differential suite in
     ``tests/test_fuzz_differential.py`` pin that over the canonical catalog
     and randomly generated plans.
     """
@@ -666,8 +669,14 @@ def get_backend(name: "str | ExecutorBackend") -> "ExecutorBackend":
         from repro.engine.sharded import SHARDED_BACKEND
 
         return SHARDED_BACKEND
-    raise PlanError(f"unknown executor backend {name!r} "
-                    "(expected 'row', 'vectorized', 'parallel', or 'sharded')")
+    if key == "process":
+        # The singleton: its worker-process pool (and the page segments the
+        # databases publish for it) is shared across all executions.
+        from repro.engine.process import PROCESS_BACKEND
+
+        return PROCESS_BACKEND
+    raise PlanError(f"unknown executor backend {name!r} (expected 'row', "
+                    "'vectorized', 'parallel', 'sharded', or 'process')")
 
 
 _ROW_BACKEND = RowBackend()

@@ -1,0 +1,694 @@
+"""Compiled columnar kernels: numpy lowering of the hot vectorized loops.
+
+The vectorized executor's inner loops — selection predicates, hash-join
+probes, aggregation folds — are Python-level ``for`` loops over column
+arrays.  Following the exemplar strategy of lowering one logical algebra to
+a faster execution target rather than re-interpreting it, this module
+compiles exactly those three loop families to numpy columnar operations
+when numpy is importable, and **only** when the lowering is provably
+bit-identical to the Python semantics:
+
+* a column participates only if its values are homogeneous ``int`` /
+  ``float`` / ``str`` (``bool`` is excluded — the reference semantics
+  treat bool/int mixes as a type error that the kernel could not raise);
+* int/float cross-comparisons engage only when every int involved is
+  exactly representable as a float64 (``|v| <= 2**53``), because Python
+  compares int-vs-float exactly while numpy converts;
+* NaN disables join/group/min-max kernels (Python dict keys match NaN by
+  object identity; numpy never does);
+* integer SUM engages only when the accumulator provably fits int64.
+
+Anything outside these windows falls back to the unmodified Python loop,
+so every backend stays bag-identical whether or not numpy is present —
+``tests/test_fuzz_differential.py`` pins this property, and one CI leg
+runs the tier-1 suite with numpy absent.
+
+Encodings are cached on the owning :class:`~repro.data.relation.ColumnStore`
+(``kernel_cache``), tagged with the column length (arrays are append-only,
+so a length match proves freshness).  Stores decoded from shared-memory
+column pages expose raw int/float page buffers (``ColumnStore.pages``);
+those become zero-copy ``np.frombuffer`` views, which is what lets worker
+processes of the ``"process"`` backend scan shared segments without
+deserializing per query.
+
+Set ``REPRO_KERNELS=0`` to force the pure-Python loops even with numpy
+installed (the differential suites use this to cross-check both paths).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import Any, Callable
+
+from repro.data.database import Database
+from repro.engine.plan import AggregateP
+from repro.engine.vectorized import (
+    Batch,
+    Vector,
+    VectorizedExecutor,
+    _column_position,
+    _take,
+)
+from repro.expr import ast as e
+
+try:  # pragma: no cover - exercised by the no-numpy CI leg
+    import numpy as np
+except Exception:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+#: ints beyond this magnitude are not exactly representable as float64;
+#: int/float cross-comparisons must then stay in Python (which compares
+#: exactly) instead of numpy (which converts).
+_EXACT_FLOAT_BOUND = 2**53
+#: integer-SUM accumulators must provably stay inside int64.
+_SUM_BOUND = 2**62
+
+
+def kernels_enabled() -> bool:
+    """Whether the numpy kernels are active (numpy present and not opted out)."""
+    if np is None:
+        return False
+    flag = os.environ.get("REPRO_KERNELS", "").strip().lower()
+    return flag not in ("0", "off", "false", "no")
+
+
+# ---------------------------------------------------------------------------
+# Column encodings
+# ---------------------------------------------------------------------------
+
+class ColumnEncoding:
+    """One column lowered to numpy: values, NULL mask, and safety flags.
+
+    ``kind`` is ``"i"`` (int64), ``"f"`` (float64) or ``"s"`` (``<U``);
+    ``mask`` marks NULL positions (``None`` when the column has no NULLs);
+    ``exact`` means the column can cross-compare with the other numeric
+    family through float64 without losing precision; ``has_nan`` flags
+    float columns containing NaN.
+    """
+
+    __slots__ = ("values", "mask", "kind", "exact", "has_nan", "grouping")
+
+    def __init__(self, values: Any, mask: Any, kind: str,
+                 exact: bool, has_nan: bool) -> None:
+        self.values = values
+        self.mask = mask
+        self.kind = kind
+        self.exact = exact
+        self.has_nan = has_nan
+        #: Cached group-by structure for aggregations keyed on this whole
+        #: column: ``(token, n, gid, reps, order, sorted_gid, starts)``.
+        #: Encodings live in the column store's ``kernel_cache``, so over an
+        #: immutable (e.g. shared-memory attached) relation the two O(n log n)
+        #: sorts behind a group-by are paid once, not per query.
+        self.grouping: tuple | None = None
+
+
+def _finish_numeric(values: Any, mask: Any, kind: str) -> ColumnEncoding:
+    valid = values if mask is None else values[~mask]
+    if kind == "i":
+        exact = bool((np.abs(valid) <= _EXACT_FLOAT_BOUND).all()) \
+            if valid.size else True
+        return ColumnEncoding(values, mask, "i", exact, False)
+    has_nan = bool(np.isnan(valid).any()) if valid.size else False
+    return ColumnEncoding(values, mask, "f", True, has_nan)
+
+
+def _encode_list(values: list[Any]) -> ColumnEncoding | None:
+    """Scan one Python column and lower it, or ``None`` when ineligible."""
+    kind = ""
+    has_null = False
+    for v in values:
+        if v is None:
+            has_null = True
+            continue
+        t = type(v)
+        if t is int:
+            k = "i"
+        elif t is float:
+            k = "f"
+        elif t is str:
+            k = "s"
+        else:
+            return None
+        if not kind:
+            kind = k
+        elif kind != k:
+            return None
+    if not kind:
+        return None  # empty or all-NULL: nothing to accelerate
+    n = len(values)
+    mask = None
+    filled = values
+    if has_null:
+        mask = np.fromiter((v is None for v in values), np.bool_, count=n)
+        placeholder: Any = "" if kind == "s" else 0
+        filled = [placeholder if v is None else v for v in values]
+    if kind == "i":
+        try:
+            arr = np.asarray(filled, dtype=np.int64)
+        except OverflowError:
+            return None
+        return _finish_numeric(arr, mask, "i")
+    if kind == "f":
+        return _finish_numeric(np.asarray(filled, dtype=np.float64), mask, "f")
+    return ColumnEncoding(np.asarray(filled), mask, "s", True, False)
+
+
+def _encode_page(page: tuple[str, Any, Any]) -> ColumnEncoding:
+    """Zero-copy encoding over a decoded shared-memory column page."""
+    kind, mask_buf, payload = page
+    values = np.frombuffer(payload, dtype=np.int64 if kind == "q"
+                           else np.float64)
+    mask = np.frombuffer(mask_buf, dtype=np.bool_) if len(mask_buf) else None
+    return _finish_numeric(values, mask, "i" if kind == "q" else "f")
+
+
+def store_encoding(store: Any, index: int) -> ColumnEncoding | None:
+    """The cached encoding of ``store.arrays[index]`` (or ``None``).
+
+    Tagged with the column length: append-only arrays mean a length match
+    proves the entry is current, so no invalidation hook is needed.
+    """
+    column = store.arrays[index]
+    n = len(column)
+    entry = store.kernel_cache.get(index)
+    if entry is not None and entry[0] == n:
+        return entry[1]
+    page = store.pages.get(index)
+    if page is not None and len(page[2]) == 8 * n:
+        encoding: ColumnEncoding | None = _encode_page(page)
+    else:
+        encoding = _encode_list(column)
+    store.kernel_cache[index] = (n, encoding)
+    return encoding
+
+
+def _resolve(vector: Vector) -> ColumnEncoding | None:
+    """The encoding behind a vector's base array, resolved via ``Vector.nd``."""
+    ref = vector.nd
+    if type(ref) is tuple:
+        return store_encoding(ref[0], ref[1])
+    return None
+
+
+def _gather(encoding: ColumnEncoding, vector: Vector, length: int,
+            np_sel: Any) -> tuple[Any, Any]:
+    """``(values, mask)`` at batch positions, restricted to ``np_sel``."""
+    values, mask = encoding.values, encoding.mask
+    if vector.sel is not None:
+        base = np.asarray(vector.sel, dtype=np.intp)
+        if np_sel is not None:
+            base = base[np_sel]
+        return values[base], None if mask is None else mask[base]
+    if np_sel is not None:
+        return values[np_sel], None if mask is None else mask[np_sel]
+    if len(values) != length:  # length-limited batch (as-of window)
+        return values[:length], None if mask is None else mask[:length]
+    return values, mask
+
+
+# ---------------------------------------------------------------------------
+# Selection kernels
+# ---------------------------------------------------------------------------
+
+_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _const_compatible(encoding: ColumnEncoding, const: Any) -> bool:
+    """Whether comparing ``encoding`` against ``const`` in numpy is exact."""
+    t = type(const)
+    if encoding.kind == "i":
+        if t is int:
+            return True
+        return t is float and encoding.exact
+    if encoding.kind == "f":
+        if t is float:
+            return True
+        return t is int and abs(const) <= _EXACT_FLOAT_BOUND
+    return t is str  # kind "s"
+
+
+def _columns_compatible(a: ColumnEncoding, b: ColumnEncoding) -> bool:
+    if a.kind == b.kind:
+        return True
+    numeric = {"i", "f"}
+    return a.kind in numeric and b.kind in numeric and a.exact and b.exact
+
+
+def kernel_filter(conjunct: e.Expr, batch: Batch
+                  ) -> Callable[[Batch, "list[int] | None"], list[int]] | None:
+    """Compile one conjunct to a numpy selection, or ``None`` to fall back.
+
+    Mirrors :func:`repro.engine.vectorized.vector_filter` exactly where it
+    engages: NULL operands never match, and any operand mix the Python loop
+    would reject as a type error simply declines to compile (the fallback
+    raises identically).
+    """
+    if not kernels_enabled():
+        return None
+    if not isinstance(conjunct, e.Comparison) or conjunct.op not in _OPS:
+        return None
+    left, op, right = conjunct.left, conjunct.op, conjunct.right
+    lpos = _column_position(left, batch.columns)
+    rpos = _column_position(right, batch.columns)
+    if lpos is not None and isinstance(right, e.Const):
+        return _const_kernel(batch, lpos, op, right.value)
+    if rpos is not None and isinstance(left, e.Const):
+        flipped = conjunct.flipped()
+        return _const_kernel(batch, rpos, flipped.op, left.value)
+    if lpos is not None and rpos is not None:
+        return _column_kernel(batch, lpos, op, rpos)
+    return None
+
+
+def _positions(cmp: Any, np_sel: Any) -> list[int]:
+    if np_sel is None:
+        return np.flatnonzero(cmp).tolist()
+    return np_sel[cmp].tolist()
+
+
+def _const_kernel(batch: Batch, pos: int, op: str, const: Any
+                  ) -> Callable[[Batch, "list[int] | None"], list[int]] | None:
+    if const is None:
+        return None  # the Python fast path already drops every row
+    vector = batch.vectors[pos]
+    encoding = _resolve(vector)
+    if encoding is None or not _const_compatible(encoding, const):
+        return None
+    compare = _OPS[op]
+
+    def run(b: Batch, sel: "list[int] | None") -> list[int]:
+        np_sel = None if sel is None else np.asarray(sel, dtype=np.intp)
+        values, mask = _gather(encoding, vector, b.length, np_sel)
+        cmp = compare(values, const)
+        if mask is not None:
+            cmp &= ~mask
+        return _positions(cmp, np_sel)
+
+    return run
+
+
+def _column_kernel(batch: Batch, lpos: int, op: str, rpos: int
+                   ) -> Callable[[Batch, "list[int] | None"], list[int]] | None:
+    lvec, rvec = batch.vectors[lpos], batch.vectors[rpos]
+    lenc, renc = _resolve(lvec), _resolve(rvec)
+    if lenc is None or renc is None or not _columns_compatible(lenc, renc):
+        return None
+    compare = _OPS[op]
+
+    def run(b: Batch, sel: "list[int] | None") -> list[int]:
+        np_sel = None if sel is None else np.asarray(sel, dtype=np.intp)
+        lvals, lmask = _gather(lenc, lvec, b.length, np_sel)
+        rvals, rmask = _gather(renc, rvec, b.length, np_sel)
+        cmp = compare(lvals, rvals)
+        if lmask is not None:
+            cmp &= ~lmask
+        if rmask is not None:
+            cmp &= ~rmask
+        return _positions(cmp, np_sel)
+
+    return run
+
+
+# ---------------------------------------------------------------------------
+# Hash-join probe kernel
+# ---------------------------------------------------------------------------
+
+#: Sorted build-side arrays per hash table, keyed by table identity.  The
+#: strong reference to the table keeps ``id()`` valid for the entry's
+#: lifetime; relations cache their key indexes per version, so warm joins
+#: hit this cache instead of re-sorting.
+_TABLE_CACHE: "OrderedDict[int, tuple[Any, tuple | None]]" = OrderedDict()
+_TABLE_CACHE_LIMIT = 32
+_TABLE_LOCK = threading.Lock()
+
+
+def _table_arrays(table: dict[Any, list[int]]) -> tuple | None:
+    """``(keys, positions, kind, exact, has_nan)`` sorted arrays, or ``None``.
+
+    Keys must be homogeneous int/float/str; buckets hold ascending row
+    positions, and the stable argsort keeps them adjacent in bucket order,
+    so a ``searchsorted`` range scan reproduces the sequential probe's
+    emission order exactly.
+    """
+    with _TABLE_LOCK:
+        entry = _TABLE_CACHE.get(id(table))
+        if entry is not None and entry[0] is table:
+            _TABLE_CACHE.move_to_end(id(table))
+            return entry[1]
+    arrays = _build_table_arrays(table)
+    with _TABLE_LOCK:
+        _TABLE_CACHE[id(table)] = (table, arrays)
+        _TABLE_CACHE.move_to_end(id(table))
+        while len(_TABLE_CACHE) > _TABLE_CACHE_LIMIT:
+            _TABLE_CACHE.popitem(last=False)
+    return arrays
+
+
+def _build_table_arrays(table: dict[Any, list[int]]) -> tuple | None:
+    kind = ""
+    has_nan = False
+    for key in table:
+        t = type(key)
+        if t is int:
+            k = "i"
+        elif t is float:
+            k = "f"
+            if key != key:
+                has_nan = True
+        elif t is str:
+            k = "s"
+        else:
+            return None
+        if not kind:
+            kind = k
+        elif kind != k:
+            return None
+    counts = np.fromiter((len(b) for b in table.values()), np.intp,
+                         count=len(table))
+    total = int(counts.sum())
+    positions = np.fromiter((p for b in table.values() for p in b), np.intp,
+                            count=total)
+    if kind == "i":
+        try:
+            keys = np.asarray(list(table.keys()), dtype=np.int64)
+        except OverflowError:
+            return None
+    elif kind == "f":
+        keys = np.asarray(list(table.keys()), dtype=np.float64)
+    else:
+        keys = np.asarray(list(table.keys()))
+    repeated = np.repeat(keys, counts)
+    order = np.argsort(repeated, kind="stable")
+    sorted_keys = repeated[order]
+    sorted_positions = positions[order]
+    if kind == "i":
+        exact = bool((np.abs(sorted_keys) <= _EXACT_FLOAT_BOUND).all()) \
+            if total else True
+    else:
+        exact = True
+    return sorted_keys, sorted_positions, kind, exact, has_nan
+
+
+def _probe_compatible(enc: ColumnEncoding, kind: str, exact: bool,
+                      has_nan: bool) -> bool:
+    if enc.kind == "s" or kind == "s":
+        return enc.kind == kind
+    if (enc.kind == "f" and enc.has_nan) or has_nan:
+        return False  # Python matches NaN keys by identity; numpy never does
+    if enc.kind == kind:
+        return True
+    return enc.exact and exact  # int/float cross-match through float64
+
+
+def kernel_probe(batch: Batch, idx: list[int], table: Any,
+                 null_matches: bool) -> "tuple[list[int], list[int]] | None":
+    """Sort-based probe of a single-column hash join, or ``None``.
+
+    Emits ``(left_sel, right_sel)`` in exactly the sequential probe's order:
+    probe positions ascending, bucket positions ascending within each.
+    """
+    if not kernels_enabled() or len(idx) != 1 or type(table) is not dict:
+        return None
+    vector = batch.vectors[idx[0]]
+    encoding = _resolve(vector)
+    if encoding is None:
+        return None
+    if encoding.mask is not None and null_matches:
+        return None  # NULL probe keys would have to match NULL build keys
+    if not table:
+        return [], []
+    build = _table_arrays(table)
+    if build is None:
+        return None
+    sorted_keys, sorted_positions, kind, exact, has_nan = build
+    if not _probe_compatible(encoding, kind, exact, has_nan):
+        return None
+    values, mask = _gather(encoding, vector, batch.length, None)
+    if mask is not None:
+        probe_idx = np.flatnonzero(~mask)
+        probe_vals = values[probe_idx]
+    else:
+        probe_idx = None
+        probe_vals = values
+    lo = np.searchsorted(sorted_keys, probe_vals, side="left")
+    hi = np.searchsorted(sorted_keys, probe_vals, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return [], []
+    if probe_idx is None:
+        probe_idx = np.arange(len(probe_vals), dtype=np.intp)
+    left_sel = np.repeat(probe_idx, counts)
+    offsets = np.cumsum(counts) - counts
+    starts = np.repeat(lo - offsets, counts)
+    right_sel = sorted_positions[np.arange(total, dtype=np.intp) + starts]
+    return left_sel.tolist(), right_sel.tolist()
+
+
+# ---------------------------------------------------------------------------
+# Aggregation kernel
+# ---------------------------------------------------------------------------
+
+def _group_ids(key_arrays: list[Any], n: int) -> "tuple[Any, Any] | None":
+    """``(gid, reps)``: group id per row (first-occurrence order) + reps."""
+    if not key_arrays:
+        return np.zeros(n, dtype=np.intp), np.zeros(1, dtype=np.intp)
+    if len(key_arrays) == 1:
+        combined = key_arrays[0]
+    else:
+        combined = None
+        for values in key_arrays:
+            _, inverse = np.unique(values, return_inverse=True)
+            cardinality = int(inverse.max()) + 1 if inverse.size else 1
+            if combined is None:
+                combined = inverse.astype(np.int64)
+            else:
+                if int(combined.max()) + 1 > _SUM_BOUND // cardinality:
+                    return None
+                combined = combined * cardinality + inverse
+    _, first_idx, inverse = np.unique(combined, return_index=True,
+                                      return_inverse=True)
+    order = np.argsort(first_idx, kind="stable")
+    rank = np.empty(len(order), dtype=np.intp)
+    rank[order] = np.arange(len(order), dtype=np.intp)
+    return rank[inverse], first_idx[order]
+
+
+def _sort_segments(vgid: Any) -> tuple[Any, Any, Any]:
+    """``(order, sorted_gid, starts)``: rows stably sorted by group id."""
+    order = np.argsort(vgid, kind="stable")
+    sorted_gid = vgid[order]
+    starts = np.flatnonzero(np.r_[True, sorted_gid[1:] != sorted_gid[:-1]]) \
+        if sorted_gid.size else np.empty(0, dtype=np.intp)
+    return order, sorted_gid, starts
+
+
+def _present(acc: Any, counts: Any) -> list[Any]:
+    """``acc`` as Python scalars, with ``None`` where a group saw no value."""
+    if counts.all():
+        return acc.tolist()
+    return [value if c else None
+            for value, c in zip(acc.tolist(), counts.tolist())]
+
+
+def kernel_aggregate(plan: AggregateP, batch: Batch
+                     ) -> "Batch | None":
+    """Lower a whole group-by to bincount/scatter accumulation, or ``None``.
+
+    Engages when every group key is a NULL-free int/float/str column pick
+    and every aggregate is a non-DISTINCT COUNT/SUM/MIN/MAX/AVG over an
+    int/float column (COUNT accepts any encodable column).  First-occurrence
+    group order, in-order float accumulation, and int64 overflow guards keep
+    the result bit-identical to the Python fold.
+    """
+    if not kernels_enabled() or batch.length == 0:
+        return None
+    n = batch.length
+    columns = plan.input.columns
+
+    key_arrays: list[Any] = []
+    key_encodings: list[ColumnEncoding] = []
+    keys_are_whole_columns = True
+    for expr in plan.group_exprs:
+        pos = _column_position(expr, columns)
+        if pos is None:
+            return None
+        vector = batch.vectors[pos]
+        encoding = _resolve(vector)
+        if encoding is None or (encoding.kind == "f" and encoding.has_nan):
+            return None
+        values, mask = _gather(encoding, vector, n, None)
+        if mask is not None and mask.any():
+            return None  # NULL group keys group by identity semantics
+        if values is not encoding.values:
+            # A filtered/selected batch: the grouping depends on the
+            # selection, so it cannot be cached on the encoding.
+            keys_are_whole_columns = False
+        key_arrays.append(values)
+        key_encodings.append(encoding)
+
+    specs: list[tuple[str, Any, Any]] = []
+    for call, _name in plan.aggregates:
+        name = call.name
+        if name == "count" and call.args and isinstance(call.args[0], e.Star) \
+                and not call.distinct:
+            specs.append(("count*", None, None))
+            continue
+        if call.distinct or not call.args \
+                or name not in ("count", "sum", "min", "max", "avg"):
+            return None
+        pos = _column_position(call.args[0], columns)
+        if pos is None:
+            return None
+        vector = batch.vectors[pos]
+        encoding = _resolve(vector)
+        if encoding is None:
+            return None
+        if name != "count":
+            if encoding.kind == "s":
+                return None
+            if encoding.kind == "f" and encoding.has_nan:
+                return None
+        values, mask = _gather(encoding, vector, n, None)
+        if name in ("sum", "avg") and encoding.kind == "i":
+            bound = int(np.abs(values).max()) if values.size else 0
+            if bound * n >= _SUM_BOUND:
+                return None
+        specs.append((name, values, mask))
+
+    # Grouping = two O(n log n) sorts (group ids + the segment view for
+    # MIN/MAX).  When every key is a whole unfiltered column, both depend
+    # only on immutable encoded data, so they are cached on the first
+    # key's encoding — a scan→aggregate over an unchanged relation (the
+    # process backend's partial-aggregation subplans) pays them once.
+    host = key_encodings[0] if keys_are_whole_columns and key_encodings \
+        else None
+    gid = reps_arr = whole_segments = None
+    if host is not None and host.grouping is not None:
+        token, cached_n, gid, reps_arr, whole_segments = host.grouping
+        if cached_n != n or len(token) != len(key_encodings) or not all(
+                a is b for a, b in zip(token, key_encodings)):
+            gid = reps_arr = whole_segments = None
+    if gid is None:
+        grouped = _group_ids(key_arrays, n)
+        if grouped is None:
+            return None
+        gid, reps_arr = grouped
+        if host is not None:
+            whole_segments = _sort_segments(gid)
+            host.grouping = (tuple(key_encodings), n, gid, reps_arr,
+                             whole_segments)
+    n_groups = len(reps_arr)
+    counts_all = np.bincount(gid, minlength=n_groups)
+
+    # Shared segment view for the MIN/MAX reductions: rows stably sorted
+    # by group id, with one segment start per non-empty group.  Keyed by
+    # the gid array's identity so the unmasked specs all reuse one sort.
+    segments: dict[int, tuple[Any, Any, Any]] = {}
+    if whole_segments is not None:
+        segments[id(gid)] = whole_segments
+
+    def _segmented(vgid: Any) -> tuple[Any, Any, Any]:
+        cached = segments.get(id(vgid))
+        if cached is None:
+            cached = _sort_segments(vgid)
+            segments[id(vgid)] = cached
+        return cached
+
+    agg_lists: list[list[Any]] = []
+    for name, values, mask in specs:
+        if name == "count*":
+            agg_lists.append(counts_all.tolist())
+            continue
+        if mask is not None:
+            keep = ~mask
+            vgid = gid[keep]
+            vvals = values[keep]
+        else:
+            vgid = gid
+            vvals = values
+        counts = np.bincount(vgid, minlength=n_groups)
+        if name == "count":
+            agg_lists.append(counts.tolist())
+            continue
+        if name in ("sum", "avg"):
+            acc = np.zeros(n_groups, dtype=vvals.dtype)
+            np.add.at(acc, vgid, vvals)  # in index order: Python's fold order
+            if name == "sum":
+                agg_lists.append(_present(acc, counts))
+            else:
+                agg_lists.append([total / int(c) if c else None
+                                  for total, c in zip(acc.tolist(),
+                                                      counts.tolist())])
+            continue
+        # MIN/MAX are order-insensitive and exact, so a sort-based
+        # segmented reduction replaces ``ufunc.at`` (an unbuffered
+        # per-element loop, the hot spot of partial aggregation) while
+        # staying bit-identical to the Python fold.
+        if vvals.dtype == np.int64:
+            fill = np.iinfo(np.int64).max if name == "min" \
+                else np.iinfo(np.int64).min
+            acc = np.full(n_groups, fill, dtype=np.int64)
+        else:
+            acc = np.full(n_groups, np.inf if name == "min" else -np.inf,
+                          dtype=np.float64)
+        order, sorted_gid, starts = _segmented(vgid)
+        if starts.size:
+            sorted_vals = vvals[order]
+            reducer = np.minimum if name == "min" else np.maximum
+            acc[sorted_gid[starts]] = reducer.reduceat(sorted_vals, starts)
+        agg_lists.append(_present(acc, counts))
+
+    reps = reps_arr.tolist()
+    vectors = _take(batch.vectors, reps)
+    vectors.extend(Vector(values) for values in agg_lists)
+    return Batch(plan.columns, vectors, n_groups)
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+class KernelExecutor(VectorizedExecutor):
+    """A vectorized executor whose hot loops run as numpy kernels.
+
+    Every override tries the kernel and falls back to the inherited Python
+    loop when the kernel declines — the class is safe to use even when
+    numpy is missing (every kernel declines), so ``make_executor`` is the
+    only construction point that needs to know.
+    """
+
+    def _compile_conjunct(self, conjunct: e.Expr, batch: Batch) -> Any:
+        fast = kernel_filter(conjunct, batch)
+        if fast is not None:
+            return fast
+        return super()._compile_conjunct(conjunct, batch)
+
+    def _probe_batch(self, batch: Batch, idx: list[int], table: Any,
+                     null_matches: bool) -> tuple[list[int], list[int]]:
+        pair = kernel_probe(batch, idx, table, null_matches)
+        if pair is not None:
+            return pair
+        return super()._probe_batch(batch, idx, table, null_matches)
+
+    def _aggregate(self, plan: AggregateP) -> Batch:
+        batch = self.batch(plan.input)
+        lowered = kernel_aggregate(plan, batch)
+        if lowered is not None:
+            return lowered
+        return super()._aggregate(plan)
+
+
+def make_executor(db: Database) -> VectorizedExecutor:
+    """The fastest exact executor available: kernels when on, else Python."""
+    return KernelExecutor(db) if kernels_enabled() else VectorizedExecutor(db)

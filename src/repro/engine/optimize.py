@@ -243,9 +243,16 @@ def promote_hash_keys(plan: Plan) -> Plan:
     left_keys = list(plan.left_keys)
     right_keys = list(plan.right_keys)
     residual: list[e.Expr] = []
+    # An equality *predicate* is never NULL-true, but promoted hash keys
+    # follow the join's ``null_matches``.  On a NULL-matching join that
+    # already has keys, promotion would change semantics either way, so
+    # conjuncts stay residual; on a keyless NULL-matching join the promoted
+    # join simply becomes a SQL-equality (``null_matches=False``) join.
+    can_promote = not plan.null_matches or not plan.left_keys
     for conjunct in e.conjuncts(plan.residual):
         promoted = False
-        if isinstance(conjunct, e.Comparison) and conjunct.op == "=":
+        if can_promote and isinstance(conjunct, e.Comparison) \
+                and conjunct.op == "=":
             for a, b in ((conjunct.left, conjunct.right),
                          (conjunct.right, conjunct.left)):
                 lcol = _column_of(a, plan.left.columns)
@@ -257,11 +264,14 @@ def promote_hash_keys(plan: Plan) -> Plan:
                     break
         if not promoted:
             residual.append(conjunct)
+    null_matches = plan.null_matches
+    if null_matches and not plan.left_keys and left_keys:
+        null_matches = False
     kind = plan.kind
     if kind == "cross" and (left_keys or residual):
         kind = "inner"
     return JoinP(plan.left, plan.right, kind, tuple(left_keys), tuple(right_keys),
-                 e.conjunction(residual) if residual else None, plan.null_matches)
+                 e.conjunction(residual) if residual else None, null_matches)
 
 
 # ---------------------------------------------------------------------------

@@ -235,7 +235,23 @@ class ParallelBackend:
                         max_workers=self.workers,
                         thread_name_prefix="repro-parallel")
                     self._pool = pool
+            # Outside the lock: lifecycle.close_all may call close(), which
+            # takes the same lock from the atexit thread.
+            from repro.engine import lifecycle
+
+            lifecycle.register(self)
         return pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (a later ``pool()`` call recreates it).
+
+        Idempotent.  Registered with :mod:`repro.engine.lifecycle` on first
+        pool creation, so interpreter exit always joins the worker threads.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def execute(self, plan: Plan, db: Database) -> list[Row]:
         executor = ParallelExecutor(db, self.pool(), self.workers,

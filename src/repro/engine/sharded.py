@@ -557,10 +557,16 @@ class ShardedPlan:
     ``"fallback"`` (single-node vectorized execution over the merged view).
     ``scatter`` is the subplan every selected shard runs (broadcast reads
     rewritten to their aliases); ``core`` is the node of ``plan`` whose
-    rows the gather step reconstitutes (everything above ``core`` — the
-    finishing operators — replays once over the gathered rows).
-    ``combine`` is the partial-aggregation merger, when the core is a
-    split group-by.
+    rows the gather step reconstitutes.  Row-deterministic finishers
+    directly above the core (FILTER / PROJECT, plus one per-shard DISTINCT
+    pre-reduction) are *absorbed* into ``scatter`` so shards gather final
+    rows, not raw core rows; ``gather`` names the highest absorbed node —
+    the gathered parts are its rows, and everything above it replays once
+    over them.  ``combine`` is the partial-aggregation merger, when the
+    core is a split group-by (no absorption then).  ``prereduced`` records
+    that a DISTINCT was pushed into the scatter (it still replays globally
+    on the gather — dedup of a union equals dedup of unioned per-shard
+    dedups).
     """
 
     plan: Plan
@@ -572,6 +578,8 @@ class ShardedPlan:
     broadcast: frozenset[str] = frozenset()
     key: tuple[int, ...] | None = None
     shard_index: int | None = None
+    gather: Plan | None = None
+    prereduced: bool = False
 
     def describe(self) -> str:
         """A one-line plan-shape summary (for tests and benchmarks)."""
@@ -583,6 +591,8 @@ class ShardedPlan:
             parts.append(f"broadcast({', '.join(sorted(self.broadcast))})")
         if self.combine is not None:
             parts.append("partial-aggregate")
+        if self.prereduced:
+            parts.append("shard-distinct")
         if self.core is not self.plan:
             parts.append("merge-finish")
         if self.shard_index is not None:
@@ -608,17 +618,27 @@ class ShardedPlan:
         else:
             futures = [submit(_run_shard, self.scatter, db) for db in exec_dbs]
             parts = [future.result() for future in futures]
+        return self.finish(sharded, parts)
+
+    def finish(self, sharded: ShardedDatabase,
+               parts: list[list[Row]]) -> list[Row]:
+        """Merge per-shard result parts into the final rows (bag order).
+
+        Shared by in-process execution above and the ``"process"`` backend,
+        whose workers return exactly one part per shard.
+        """
         if self.combine is not None:
             rows = self.combine(parts)
         else:
             rows = [row for part in parts for row in part]
-        if self.core is self.plan:
+        seed = self.gather if self.gather is not None else self.core
+        if seed is None or seed is self.plan:
             return rows
         # Finishing operators: replay the suffix of the original plan over
         # the gathered rows by pre-seeding the executor's per-plan memo at
-        # the core node (structurally shared copies of the core reuse it).
+        # the highest absorbed node (structurally shared copies reuse it).
         executor = VectorizedExecutor(sharded)
-        executor._memo[self.core] = Batch.from_rows(self.core.columns, rows)
+        executor._memo[seed] = Batch.from_rows(seed.columns, rows)
         return executor.batch(self.plan).rows()
 
     def _shard_database(self, sharded: ShardedDatabase, index: int) -> Database:
@@ -645,13 +665,14 @@ def shard_plan(plan: Plan, sharded: ShardedDatabase,
     back to single-node execution when none exists.
     """
     node = plan
+    shed: list[Plan] = []  # finishers shed on the way down, outermost first
     while True:
         try:
             scatter, dist = _rewrite(node, sharded, stats)
         except NotDistributable:
             scatter, dist = None, None
         if dist is not None:
-            return _assemble(plan, node, scatter, None, dist, sharded)
+            return _assemble(plan, node, scatter, None, dist, sharded, shed)
         if isinstance(node, AggregateP):
             try:
                 inner, inner_dist = _rewrite(node.input, sharded, stats)
@@ -662,8 +683,9 @@ def shard_plan(plan: Plan, sharded: ShardedDatabase,
                 if split is not None:
                     partial, combine = split
                     return _assemble(plan, node, partial, combine, inner_dist,
-                                     sharded)
+                                     sharded, shed)
         if isinstance(node, _FINISHERS):
+            shed.append(node)
             node = node.input
             continue
         return ShardedPlan(plan, "fallback")
@@ -671,15 +693,41 @@ def shard_plan(plan: Plan, sharded: ShardedDatabase,
 
 def _assemble(plan: Plan, core: Plan, scatter: Plan,
               combine: Callable[[list[list[Row]]], list[Row]] | None,
-              dist: Distribution, sharded: ShardedDatabase) -> ShardedPlan:
+              dist: Distribution, sharded: ShardedDatabase,
+              shed: list[Plan]) -> ShardedPlan:
     if not dist.partitioned:
         # Nothing is actually scattered (constant-only plans): single-node.
         return ShardedPlan(plan, "fallback")
+    gather: Plan = core
+    prereduced = False
+    if combine is None:
+        # Absorb row-deterministic finishers into the per-shard subplan so
+        # shards gather finished rows instead of raw core rows.  FILTER and
+        # PROJECT are per-row, so running them shard-side is exact and the
+        # gather seeds at the highest absorbed node; a DISTINCT additionally
+        # *pre-reduces* per shard (it must still replay globally over the
+        # gather, since equal rows can straddle shards) — on a wide join the
+        # gather then moves deduplicated projections, not the join's raw
+        # cross-product, which is what keeps the process backend's IPC flat.
+        for finisher in reversed(shed):
+            if isinstance(finisher, FilterP):
+                scatter = FilterP(scatter, finisher.condition)
+                gather = finisher
+            elif isinstance(finisher, ProjectP):
+                scatter = ProjectP(scatter, finisher.exprs, finisher.names)
+                gather = finisher
+            elif isinstance(finisher, DistinctP):
+                scatter = DistinctP(scatter)
+                prereduced = True
+                break
+            else:  # SortLimitP: order/limit only hold over the global bag
+                break
     index = _routed_shard(scatter, dist, sharded)
     return ShardedPlan(plan, "single" if index is not None else "scatter",
                        core=core, scatter=scatter, combine=combine,
                        partitioned=dist.partitioned, broadcast=dist.broadcast,
-                       key=dist.key, shard_index=index)
+                       key=dist.key, shard_index=index, gather=gather,
+                       prereduced=prereduced)
 
 
 # ---------------------------------------------------------------------------

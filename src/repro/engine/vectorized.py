@@ -83,13 +83,21 @@ class Vector:
     ``sel is None`` means the column *is* ``data``; otherwise position ``i``
     of the column is ``data[sel[i]]``.  Selections compose without touching
     the base arrays, which is what keeps multi-join pipelines cheap.
+
+    ``nd`` is the kernel layer's hook: scans set it to ``(store, index)``
+    naming the backing :class:`~repro.data.relation.ColumnStore` column, and
+    selection composition carries it along (the composed ``sel`` still
+    indexes the same base array).  :mod:`repro.engine.kernels` resolves it
+    lazily into a cached numpy encoding; everything else ignores it.
     """
 
-    __slots__ = ("data", "sel")
+    __slots__ = ("data", "sel", "nd")
 
-    def __init__(self, data: list[Any], sel: list[int] | None = None) -> None:
+    def __init__(self, data: list[Any], sel: list[int] | None = None,
+                 nd: Any = None) -> None:
         self.data = data
         self.sel = sel
+        self.nd = nd
 
     def materialize(self) -> list[Any]:
         if self.sel is None:
@@ -143,14 +151,14 @@ def _take(vectors: list[Vector], sel: list[int]) -> list[Vector]:
     out = []
     for v in vectors:
         if v.sel is None:
-            out.append(Vector(v.data, sel))
+            out.append(Vector(v.data, sel, v.nd))
             continue
         new_sel = composed.get(id(v.sel))
         if new_sel is None:
             base = v.sel
             new_sel = [base[i] for i in sel]
             composed[id(v.sel)] = new_sel
-        out.append(Vector(v.data, new_sel))
+        out.append(Vector(v.data, new_sel, v.nd))
     return out
 
 
@@ -297,7 +305,9 @@ class VectorizedExecutor:
                 f"relation has {relation.schema.arity}"
             )
         store = relation.column_store()
-        return Batch(plan.columns, [Vector(a) for a in store.arrays],
+        return Batch(plan.columns,
+                     [Vector(a, None, (store, i))
+                      for i, a in enumerate(store.arrays)],
                      len(relation))
 
     def _delta_scan(self, plan: DeltaScanP) -> Batch:
@@ -318,7 +328,8 @@ class VectorizedExecutor:
                 store = relation.column_store()
                 keep = len(relation) - count
                 return Batch(plan.columns,
-                             [Vector(a) for a in store.arrays], keep)
+                             [Vector(a, None, (store, i))
+                              for i, a in enumerate(store.arrays)], keep)
         return Batch.from_rows(plan.columns, delta_scan_rows(self.db, plan))
 
     def _filter(self, plan: FilterP) -> Batch:
@@ -334,7 +345,7 @@ class VectorizedExecutor:
         sel: list[int] | None = None
         materialized: list[list[Any]] | None = None
         for conjunct in e.conjuncts(plan.condition):
-            fast = vector_filter(conjunct, batch.columns)
+            fast = self._compile_conjunct(conjunct, batch)
             if fast is not None:
                 sel = fast(batch, sel)
                 continue
@@ -347,6 +358,12 @@ class VectorizedExecutor:
         if sel is None:
             return batch
         return batch.take(sel)
+
+    def _compile_conjunct(self, conjunct: e.Expr, batch: Batch
+                          ) -> Callable[[Batch, list[int] | None],
+                                        list[int]] | None:
+        """Compile one filter conjunct — the kernel backend's override seam."""
+        return vector_filter(conjunct, batch.columns)
 
     def _project(self, plan: ProjectP) -> Batch:
         batch = self.batch(plan.input)

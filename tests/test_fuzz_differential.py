@@ -1,15 +1,16 @@
-"""Property-based differential fuzzing of the four executor backends.
+"""Property-based differential fuzzing of the executor backends.
 
 The hand-written catalog differentials (``test_vectorized.py``,
-``test_parallel.py``, ``test_sharded.py``) pin the backends together over a
-fixed workload; as the backend matrix grows, fixed suites stop covering the
-input space.  Following the benchmark-management argument for generated
-instance families over curated ones, this suite *generates* the workload: a
-hypothesis strategy builds random logical plans — scans, filters, equi- and
-semi/anti-joins, projections, distinct, set operations, group-bys, sorts —
-over small random relations, and asserts
+``test_parallel.py``, ``test_sharded.py``, ``test_process.py``) pin the
+backends together over a fixed workload; as the backend matrix grows, fixed
+suites stop covering the input space.  Following the benchmark-management
+argument for generated instance families over curated ones, this suite
+*generates* the workload: a hypothesis strategy builds random logical plans
+— scans, filters, equi- and semi/anti-joins, projections, distinct, set
+operations, group-bys, sorts — over small random relations, and asserts
 
-    row ≡ vectorized ≡ parallel ≡ sharded (2 and 3 shards)
+    row ≡ vectorized ≡ kernel ≡ parallel ≡ sharded (2 and 3 shards)
+        ≡ process (2 shards, 2 worker processes)
 
 bag-for-bag on every generated (database, plan) pair, for both the raw and
 the optimizer-rewritten plan.  Shrinking then turns any divergence into a
@@ -57,6 +58,8 @@ from repro.engine.plan import (
     SetOpP,
     SortLimitP,
 )
+from repro.engine.kernels import KernelExecutor
+from repro.engine.process import ProcessBackend
 from repro.engine.sharded import ShardedBackend
 from repro.expr import ast as e
 
@@ -68,15 +71,33 @@ settings.register_profile("ci", max_examples=40, **_COMMON)
 settings.register_profile("nightly", max_examples=400, **_COMMON)
 settings.load_profile(os.environ.get("REPRO_FUZZ_PROFILE", "ci"))
 
+class _KernelBackend:
+    """The kernel-accelerated vectorized executor as a backend fixture.
+
+    Exercises the compiled filter/probe/aggregate kernels when numpy is
+    importable; without numpy every kernel declines and this is exactly the
+    vectorized backend (still a valid differential leg).
+    """
+
+    name = "kernel"
+
+    def execute(self, plan, db):
+        return KernelExecutor(db).batch(plan).rows()
+
+
 #: Every generated plan must agree across all of these.
 BACKENDS = [
     ("row", get_backend("row")),
     ("vectorized", get_backend("vectorized")),
+    ("kernel", _KernelBackend()),
     # Partition threshold 1 forces the partitioned probe/group code paths
     # even on tiny generated relations.
     ("parallel", ParallelBackend(workers=3, min_partition_rows=1)),
     ("sharded-2", ShardedBackend(n_shards=2)),
     ("sharded-3", ShardedBackend(n_shards=3)),
+    # Real worker processes over shared-memory pages; 2 workers keeps the
+    # fork cost inside the ci profile's budget.
+    ("process-2", ProcessBackend(n_shards=2, workers=2)),
 ]
 
 _INT_VALUES = st.one_of(st.integers(min_value=0, max_value=6),
