@@ -5,16 +5,23 @@ and 4 worker processes against the single-node ``"vectorized"`` baseline
 on two workload families:
 
 * **join-chain** — the E4/E5 five-relation chain: co-partitioned
-  Sailors⋈Reserves legs with the small Boats side broadcast.  Recorded
-  honestly: the probe-dominated chain gains little from the columnar
-  kernels, so this family shows the floor of the process transport;
+  Sailors⋈Reserves legs with the small Boats side broadcast.  Since
+  dictionary-encoded string columns and the packed-key probe structures
+  landed, the chain runs kernel-resident (sorted-code probes over
+  encodings cached per column, DISTINCT pre-reduction on packed codes)
+  and is **gated**: ≥1.5x over ``vectorized`` at 4 workers on the
+  largest size;
 * **aggregation** — a full-table group-by rollup over the fact table,
   the shape the compiled kernels (:mod:`repro.engine.kernels`) and the
   partial→final aggregation split were built for.  Per-shard partial
   aggregates run numpy-resident in the workers over zero-copy page
-  views; only a few hundred partial rows cross the pipe back.  This is
-  the gated family: ≥1.8x over ``vectorized`` at 4 workers on the
-  largest size, with speedup monotonically non-decreasing 1→2→4.
+  views; only a few hundred partial rows cross the pipe back.  Gated:
+  ≥1.8x over ``vectorized`` at 4 workers on the largest size.
+
+Both gated families must also show a monotonically non-decreasing
+1→2→4 worker curve, checked only between cells whose *pinned* worker
+counts actually differ — on a core-starved runner the cells collapse to
+identical configurations and comparing them would gate on timer noise.
 
 Answers are asserted bag-equal against ``"vectorized"`` for every cell.
 Worker counts are pinned to the runner's core count (``effective_workers
@@ -65,6 +72,12 @@ WORKER_COUNTS = (1, 2, 4)
 #: The acceptance gate: aggregation at 4 workers on the largest size must
 #: beat ``vectorized`` by this factor.
 GATE_SPEEDUP = 1.8
+#: The join-chain gate at 4 workers on the largest size: the dictionary
+#: probe structures make the chain kernel-resident, so it must beat the
+#: pure-Python ``vectorized`` baseline even on a single core.
+JOIN_GATE_SPEEDUP = 1.5
+#: family → required speedup at ``WORKER_COUNTS[-1]`` on the largest size.
+GATED_FAMILIES = {"join-chain": JOIN_GATE_SPEEDUP, "aggregation": GATE_SPEEDUP}
 #: Tolerance for the 1→2→4 monotonicity check: each step may dip at most
 #: this fraction below the previous one (timer noise on shared runners;
 #: on a core-starved box the steps are the same configuration entirely).
@@ -199,6 +212,7 @@ def run_experiment(smoke: bool) -> dict:
         "cpu_count": os.cpu_count() or 1,
         "kernels": kernels_enabled(),
         "gate_speedup": GATE_SPEEDUP,
+        "join_gate_speedup": JOIN_GATE_SPEEDUP,
         "cells": cells,
     }
     _write_artifact("bench_e6_process.json", artifact)
@@ -223,27 +237,37 @@ def run_experiment(smoke: bool) -> dict:
 def check_gates(artifact: dict) -> list[str]:
     """The E6 acceptance gates over a measured artifact; [] when green.
 
-    * aggregation at 4 workers on the largest size beats ``vectorized``
-      by ``GATE_SPEEDUP``;
+    * each family in ``GATED_FAMILIES`` at 4 workers on the largest size
+      beats ``vectorized`` by its gate factor (aggregation
+      ``GATE_SPEEDUP``, join-chain ``JOIN_GATE_SPEEDUP``);
     * speedup is monotonically non-decreasing 1→2→4 workers (within
-      ``MONOTONE_TOLERANCE`` for timer noise) for the gated family.
+      ``MONOTONE_TOLERANCE`` for timer noise), comparing only cells
+      whose pinned worker counts differ — cells that collapsed to the
+      same configuration on a core-starved runner measure only noise.
     """
     failures: list[str] = []
-    gated = {c["workers"]: c for c in artifact["cells"]
-             if c["family"] == "aggregation" and c["largest_size"]}
-    if set(gated) != set(WORKER_COUNTS):
-        return [f"missing gated aggregation cells: have {sorted(gated)}"]
-    top = gated[WORKER_COUNTS[-1]]
-    if top["speedup"] < GATE_SPEEDUP:
-        failures.append(
-            f"aggregation@{WORKER_COUNTS[-1]}w at the largest size: "
-            f"{top['speedup']:.2f}x < {GATE_SPEEDUP}x over vectorized")
-    for lo, hi in zip(WORKER_COUNTS, WORKER_COUNTS[1:]):
-        slow, fast = gated[lo]["speedup"], gated[hi]["speedup"]
-        if fast < slow * (1.0 - MONOTONE_TOLERANCE):
+    for family, gate in GATED_FAMILIES.items():
+        gated = {c["workers"]: c for c in artifact["cells"]
+                 if c["family"] == family and c["largest_size"]}
+        if set(gated) != set(WORKER_COUNTS):
             failures.append(
-                f"aggregation speedup not monotone: {lo}w {slow:.2f}x → "
-                f"{hi}w {fast:.2f}x (tolerance {MONOTONE_TOLERANCE:.0%})")
+                f"missing gated {family} cells: have {sorted(gated)}")
+            continue
+        top = gated[WORKER_COUNTS[-1]]
+        if top["speedup"] < gate:
+            failures.append(
+                f"{family}@{WORKER_COUNTS[-1]}w at the largest size: "
+                f"{top['speedup']:.2f}x < {gate}x over vectorized")
+        for lo, hi in zip(WORKER_COUNTS, WORKER_COUNTS[1:]):
+            if gated[hi]["effective_workers"] <= \
+                    gated[lo]["effective_workers"]:
+                continue  # same pinned configuration: noise, not scaling
+            slow, fast = gated[lo]["speedup"], gated[hi]["speedup"]
+            if fast < slow * (1.0 - MONOTONE_TOLERANCE):
+                failures.append(
+                    f"{family} speedup not monotone: {lo}w {slow:.2f}x → "
+                    f"{hi}w {fast:.2f}x (tolerance "
+                    f"{MONOTONE_TOLERANCE:.0%})")
     return failures
 
 

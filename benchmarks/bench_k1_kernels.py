@@ -1,0 +1,248 @@
+"""Experiment K1: kernel microbenchmarks — probe and DISTINCT vs fallback.
+
+Isolates the numpy kernels of :mod:`repro.engine.kernels` from the
+backend transports the E-series experiments measure.  Each cell runs one
+plan through :class:`~repro.engine.kernels.KernelExecutor` (dictionary
+encodings, cached probe structures, packed-code DISTINCT) and through
+:class:`~repro.engine.vectorized.VectorizedExecutor` — the bit-identical
+pure-Python fallback that every kernel declines to when numpy is absent
+or ``REPRO_KERNELS=0`` — on a synthetic star schema:
+
+* **probe-int-key** — fact⋈dim on an int64 key column;
+* **probe-str-key** — fact⋈dim on a dictionary-encoded string key: the
+  probe maps probe-side dictionary codes onto the build-side domain, so
+  no string comparison happens per row;
+* **probe-multi-key** — fact⋈dim on (int, string): both columns lower to
+  codes and pack into one int64 lexicographic key per row;
+* **distinct** — ``SELECT DISTINCT`` over a low-cardinality string
+  column: the DISTINCT kernel deduplicates dictionary codes without
+  touching a single string (the packed multi-column path is pinned by
+  the fuzz suite and E6's join chain).
+
+Gated: every family must beat the fallback by ``GATE_SPEEDUP`` at the
+largest size (answers are bag-equal asserted per cell).  The artifact
+also snapshots :func:`repro.engine.kernels.cache_stats` after the run —
+probe structures for the shared dim table must be cache hits across
+iterations, which is the "cached probe tables" half of what this suite
+pins.
+
+Runs standalone (the CI smoke job) or under pytest::
+
+    PYTHONPATH=../src python bench_k1_kernels.py --smoke
+    PYTHONPATH=../src python -m pytest bench_k1_kernels.py -q
+
+Artifacts: a table on stdout, a ``K1-JSON`` line, and
+``benchmarks/artifacts/bench_k1_kernels.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from collections import Counter
+
+from conftest import print_table
+
+from repro.data.database import Database
+from repro.data.relation import relation_from_rows
+from repro.engine import lower, optimize
+from repro.engine.kernels import (
+    KernelExecutor,
+    cache_stats,
+    clear_cache,
+    kernels_enabled,
+)
+from repro.engine.vectorized import VectorizedExecutor
+
+REDUCED = os.environ.get("REPRO_BENCH_REDUCED", "") not in ("", "0")
+
+#: Fact-table row counts, smallest → largest; the dim table scales 1:16.
+FULL_SIZES = [12000, 48000, 192000]
+SMOKE_SIZES = [12000, 48000]
+
+#: Every family must beat the pure-Python fallback by this factor at the
+#: largest size.  Deliberately below the measured headroom: the gate
+#: catches "kernel silently declined", not single-digit noise.
+GATE_SPEEDUP = 1.5
+
+ARTIFACT_DIR = os.environ.get(
+    "REPRO_BENCH_ARTIFACTS",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "artifacts"))
+
+#: The probe families join bare scans: a ``ScanP`` build side is what the
+#: probe-structure cache keys on, so iteration two onward the kernel
+#: executor reuses the sorted-key structure while the Python fallback
+#: rebuilds its hash table from scratch every run — exactly the "cached
+#: probe tables" contrast this suite exists to pin.
+WORKLOADS = {
+    "probe-int-key": (
+        "SELECT d.k FROM fact f, dim d WHERE f.fk = d.k"),
+    "probe-str-key": (
+        "SELECT d.k FROM fact f, dim d WHERE f.tag = d.tag"),
+    "probe-multi-key": (
+        "SELECT d.k FROM fact f, dim d "
+        "WHERE f.fk = d.k AND f.tag = d.tag"),
+    "distinct": "SELECT DISTINCT f.cat FROM fact f",
+}
+
+
+def synthetic_star(n_fact: int, seed: int = 7) -> Database:
+    """A fact⋈dim star with int, string, and low-cardinality columns.
+
+    Deterministic congruential mixing instead of :mod:`random`: the rows
+    only need to be well-shuffled, and arithmetic keeps generation far
+    cheaper than the measurement it feeds.
+    """
+    n_dim = max(16, n_fact // 4)
+    dim = relation_from_rows(
+        "dim", [("k", "int"), ("tag", "string"), ("region", "string")],
+        [(i, f"tag{i:06d}", f"r{i % 23:02d}") for i in range(n_dim)])
+    fact_rows = []
+    state = seed
+    for i in range(n_fact):
+        state = (state * 1103515245 + 12345) % (1 << 31)
+        fk = state % n_dim
+        fact_rows.append(
+            (fk, f"tag{fk:06d}", f"c{state % 13:02d}", state % 97))
+    fact = relation_from_rows(
+        "fact",
+        [("fk", "int"), ("tag", "string"), ("cat", "string"),
+         ("bucket", "int")],
+        fact_rows)
+    return Database([dim, fact])
+
+
+def _best_of(fn, reps: int = 5, warm: int = 2):
+    result = None
+    for _ in range(warm):  # column encodings + probe-structure cache fill
+        result = fn()
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def _write_artifact(name: str, artifact: dict) -> None:
+    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+    path = os.path.join(ARTIFACT_DIR, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2)
+        handle.write("\n")
+
+
+def _measure_size(n_fact: int) -> list[dict]:
+    db = synthetic_star(n_fact)
+    cells = []
+    for family, sql in WORKLOADS.items():
+        plan = optimize(lower(sql, db.schema, "sql"), db)
+        fast_rows, fast_s = _best_of(
+            lambda plan=plan: KernelExecutor(db).batch(plan).rows())
+        slow_rows, slow_s = _best_of(
+            lambda plan=plan: VectorizedExecutor(db).batch(plan).rows(),
+            warm=1)
+        assert Counter(map(tuple, fast_rows)) == \
+            Counter(map(tuple, slow_rows)), (
+            f"{family}@{n_fact}: kernel disagrees with fallback")
+        cells.append({
+            "workload": family,
+            "family": family,
+            "reserves": n_fact,  # record-schema size key (fact rows)
+            "rows_out": len(fast_rows),
+            "kernel_ms": round(fast_s * 1000, 3),
+            "python_ms": round(slow_s * 1000, 3),
+            "speedup": round(slow_s / fast_s, 2) if fast_s > 0 else None,
+            "largest_size": False,  # stamped by run_experiment
+        })
+    return cells
+
+
+def run_experiment(smoke: bool) -> dict:
+    clear_cache()
+    sizes = SMOKE_SIZES if smoke else FULL_SIZES
+    cells: list[dict] = []
+    for n_fact in sizes:
+        cells.extend(_measure_size(n_fact))
+    for cell in cells:
+        cell["largest_size"] = cell["reserves"] == sizes[-1]
+    artifact = {
+        "experiment": "K1-kernel-microbench",
+        "reduced": smoke,
+        "kernels": kernels_enabled(),
+        "gate_speedup": GATE_SPEEDUP,
+        "cache": cache_stats(),
+        "cells": cells,
+    }
+    _write_artifact("bench_k1_kernels.json", artifact)
+    rows = [
+        [cell["family"], cell["reserves"], cell["rows_out"],
+         f"{cell['python_ms']:.2f}", f"{cell['kernel_ms']:.2f}",
+         f"{cell['speedup']:.2f}x"]
+        for cell in cells
+    ]
+    print_table(
+        "K1: numpy kernels vs pure-Python fallback "
+        "(bag-equal asserted per cell)",
+        ["workload", "fact rows", "out rows", "python ms", "kernel ms",
+         "speedup"],
+        rows,
+    )
+    print("K1-JSON " + json.dumps(artifact))
+    return artifact
+
+
+def check_gates(artifact: dict) -> list[str]:
+    """The K1 acceptance gates over a measured artifact; [] when green.
+
+    Every workload family at the largest size must beat the pure-Python
+    fallback by ``GATE_SPEEDUP``, and the probe-structure cache must
+    have registered hits (the dim-side build is shared across probe
+    iterations — zero hits would mean the cache key is broken).
+    """
+    if not artifact.get("kernels", False):
+        return []  # numpy absent: the fallback ran against itself
+    failures: list[str] = []
+    largest = {c["family"]: c for c in artifact["cells"]
+               if c["largest_size"]}
+    if set(largest) != set(WORKLOADS):
+        failures.append(f"missing gated K1 cells: have {sorted(largest)}")
+    for family, cell in sorted(largest.items()):
+        if cell["speedup"] < artifact["gate_speedup"]:
+            failures.append(
+                f"{family} at the largest size: {cell['speedup']:.2f}x < "
+                f"{artifact['gate_speedup']}x over the Python fallback")
+    if artifact["cache"]["hits"] <= 0:
+        failures.append("probe-structure cache recorded zero hits")
+    return failures
+
+
+# -- pytest entry points -----------------------------------------------------
+
+def test_k1_kernel_artifact(capsys):
+    with capsys.disabled():
+        artifact = run_experiment(smoke=REDUCED)
+    assert artifact["cells"], "no cells measured"
+    failures = check_gates(artifact)
+    assert not failures, "\n".join(failures)
+
+
+# -- standalone entry point --------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced sizes (the CI configuration)")
+    args = parser.parse_args(argv)
+    artifact = run_experiment(smoke=args.smoke or REDUCED)
+    failures = check_gates(artifact)
+    for failure in failures:
+        print(f"K1 GATE FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,8 +34,9 @@ ARTIFACT_DIR = os.environ.get("REPRO_BENCH_ARTIFACTS",
 
 #: Which per-cell field is the suite's headline wall-clock measurement, and
 #: what to call the measured configuration.
-_WALL_MS_KEYS = ("engine_ms", "process_ms", "sharded_ms", "vectorized_ms",
-                 "parallel_ms", "warm_ms", "incremental_ms", "semi_naive_ms")
+_WALL_MS_KEYS = ("engine_ms", "process_ms", "sharded_ms", "kernel_ms",
+                 "vectorized_ms", "parallel_ms", "warm_ms", "incremental_ms",
+                 "semi_naive_ms")
 _BACKEND_LABELS = {
     "E1-join-heavy": "engine",
     "E1-catalog": "engine",
@@ -46,6 +47,7 @@ _BACKEND_LABELS = {
     "E4-ivm-vs-recompute": "view",
     "E5-sharded-scatter-gather": "sharded",
     "E6-process-scatter-gather": "process",
+    "K1-kernel-microbench": "kernel",
 }
 
 
@@ -138,6 +140,16 @@ def _run_e6(smoke: bool) -> list[dict]:
     return [artifact]
 
 
+def _run_k1(smoke: bool) -> list[dict]:
+    import bench_k1_kernels
+
+    artifact = bench_k1_kernels.run_experiment(smoke=smoke)
+    failures = bench_k1_kernels.check_gates(artifact)
+    if failures:
+        raise SystemExit("K1 gate failed:\n" + "\n".join(failures))
+    return [artifact]
+
+
 SUITES = {
     "e1": _run_e1,
     "e2": _run_e2,
@@ -145,6 +157,7 @@ SUITES = {
     "e4": _run_e4,
     "e5": _run_e5,
     "e6": _run_e6,
+    "k1": _run_k1,
 }
 
 

@@ -60,6 +60,7 @@ from repro.core.pipeline import (
 )
 from repro.data.database import Database
 from repro.data.relation import Relation
+from repro.engine.kernels import cache_stats as kernel_cache_stats
 from repro.engine.stats import StatsCatalog, TableStats
 
 
@@ -592,8 +593,17 @@ class QueryService:
                              for name in self.db.relation_names}
 
     def cache_info(self) -> dict[str, int]:
-        """Service result-cache counters merged with the pipeline's plan cache."""
+        """Service result-cache counters merged with the pipeline's plan cache.
+
+        The ``kernel_cache_*`` keys snapshot the **process-wide** derived-
+        structure cache of :mod:`repro.engine.kernels` (build tables, code
+        translations): unlike the per-service result/plan counters they are
+        shared by every executor in the process — for per-backend
+        attribution use ``execution_counts()`` on the sharded/process
+        services.
+        """
         pipeline_info = self.pipeline.cache_info()
+        kernel_info = kernel_cache_stats()
         return {
             "requests": self.stats.requests,
             "result_entries": len(self._results),
@@ -606,6 +616,11 @@ class QueryService:
             "plan_entries": pipeline_info["plan_entries"],
             "plan_hits": pipeline_info["plan_hits"],
             "plan_misses": pipeline_info["plan_misses"],
+            "kernel_cache_entries": kernel_info["entries"],
+            "kernel_cache_bytes": kernel_info["bytes"],
+            "kernel_cache_hits": kernel_info["hits"],
+            "kernel_cache_misses": kernel_info["misses"],
+            "kernel_cache_evictions": kernel_info["evictions"],
         }
 
     def clear_caches(self) -> None:

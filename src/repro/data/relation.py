@@ -42,16 +42,32 @@ class RelationError(Exception):
 #
 # Kinds: ``q`` int64, ``d`` float64 (both native-endian machine arrays —
 # pages are a same-host IPC format, not a portable file format), ``B``
-# bool bytes, ``s`` UTF-8 blob + ``q`` offsets, ``z`` all-NULL, ``o``
+# bool bytes, ``D`` dictionary-encoded strings (a sorted dictionary of the
+# distinct values stored once — offsets + one UTF-8 blob — followed by an
+# int32/int64 code per row, ``-1`` at NULL positions), ``E``
+# dictionary-encoded low-cardinality mixed columns (first-occurrence
+# pickled dictionary + int32 codes), ``s`` plain UTF-8 blob + ``q``
+# offsets (legacy string layout, still decoded), ``z`` all-NULL, ``o``
 # pickled list (mixed types, out-of-range ints — the exact fallback).
 # Decoding reproduces the original Python values bit-for-bit, which is what
 # lets the differential suites pin worker results against in-process ones.
+#
+# ``D`` is what makes string joins kernel-resident: the dictionary is
+# sorted, so codes are order-preserving, and the ``process`` backend ships
+# codes across shared memory instead of re-materializing every string in
+# every worker.  The kernel layer views the code array zero-copy.
 
 _PAGE_MAGIC = b"RPG1"
 _PAGE_HEADER = struct.Struct("<QI")
 _PAGE_NAME = struct.Struct("<H")
 _PAGE_COLUMN = struct.Struct("<cQQ")
+_DICT_HEADER = struct.Struct("<QB")   # "D": n_dict, code width (4 or 8)
+_EDICT_HEADER = struct.Struct("<QQ")  # "E": n_dict, pickled-dictionary length
 _INT64_MIN, _INT64_MAX = -(2**63), 2**63 - 1
+
+#: Mixed ("o") columns switch to the "E" dictionary layout when the
+#: distinct count is at most this fraction of the rows (and hashable).
+_MIXED_DICT_FRACTION = 4
 
 
 def _classify_column(values: Sequence[Any]) -> tuple[str, bool]:
@@ -82,10 +98,72 @@ def _classify_column(values: Sequence[Any]) -> tuple[str, bool]:
     return kind or "z", has_null
 
 
+def _encode_str_dictionary(values: Sequence[Any],
+                           mask: bytes) -> tuple[bytes, bytes, bytes]:
+    """``D`` layout: sorted distinct values once + one code per row.
+
+    The dictionary holds only non-NULL values and is sorted ascending
+    (Python ``str`` order == numpy ``<U`` order — both compare by code
+    point), so codes are order-preserving: kernels can evaluate range
+    predicates and equi-joins directly on the code array.  NULL rows get
+    code ``-1`` in addition to the usual mask byte.
+    """
+    dictionary = sorted({v for v in values if v is not None})
+    code_of = {v: i for i, v in enumerate(dictionary)}
+    width = 4 if len(dictionary) < 2**31 else 8
+    codes = array("i" if width == 4 else "q",
+                  [-1 if v is None else code_of[v] for v in values])
+    parts = [v.encode("utf-8") for v in dictionary]
+    offsets = array("q", [0] * (len(parts) + 1))
+    total = 0
+    for i, part in enumerate(parts):
+        total += len(part)
+        offsets[i + 1] = total
+    payload = (_DICT_HEADER.pack(len(dictionary), width)
+               + offsets.tobytes() + b"".join(parts) + codes.tobytes())
+    return b"D", mask, payload
+
+
+def _encode_mixed_dictionary(
+        values: Sequence[Any]) -> tuple[bytes, bytes, bytes] | None:
+    """``E`` layout for low-cardinality mixed columns, or ``None``.
+
+    Dictionary keys are ``(type, value)`` pairs so ``1``/``1.0``/``True``
+    stay distinct codes (plain dict keys would collapse them and break the
+    exact round-trip).  ``None`` is an ordinary dictionary member, so no
+    mask is needed.  Declines (returns ``None``) on unhashable values or
+    when the distinct count is too close to the row count to pay off.
+    """
+    dictionary: list[Any] = []
+    code_of: dict[Any, int] = {}
+    codes = array("i")
+    try:
+        for v in values:
+            key = (type(v), v)
+            code = code_of.get(key)
+            if code is None:
+                code = len(dictionary)
+                if code >= 2**31 - 1:
+                    return None
+                code_of[key] = code
+                dictionary.append(v)
+            codes.append(code)
+    except TypeError:  # unhashable value
+        return None
+    if len(dictionary) * _MIXED_DICT_FRACTION > len(values):
+        return None
+    blob = pickle.dumps(dictionary, protocol=pickle.HIGHEST_PROTOCOL)
+    payload = _EDICT_HEADER.pack(len(dictionary), len(blob)) + blob + codes.tobytes()
+    return b"E", b"", payload
+
+
 def _encode_column(values: Sequence[Any]) -> tuple[bytes, bytes, bytes]:
     """``(kind, mask, payload)`` for one column."""
     kind, has_null = _classify_column(values)
     if kind == "o":
+        encoded = _encode_mixed_dictionary(values)
+        if encoded is not None:
+            return encoded
         return b"o", b"", pickle.dumps(list(values),
                                        protocol=pickle.HIGHEST_PROTOCOL)
     mask = bytes(1 if v is None else 0 for v in values) if has_null else b""
@@ -97,15 +175,33 @@ def _encode_column(values: Sequence[Any]) -> tuple[bytes, bytes, bytes]:
         payload = array("d", [0.0 if v is None else v for v in values]).tobytes()
     elif kind == "B":
         payload = bytes(1 if v else 0 for v in values)
-    else:  # "s": offsets then one UTF-8 blob
-        parts = [b"" if v is None else v.encode("utf-8") for v in values]
-        offsets = array("q", [0] * (len(parts) + 1))
-        total = 0
-        for i, part in enumerate(parts):
-            total += len(part)
-            offsets[i + 1] = total
-        payload = offsets.tobytes() + b"".join(parts)
+    else:  # "s" columns ship as the "D" dictionary layout
+        return _encode_str_dictionary(values, mask)
     return kind.encode("ascii"), mask, payload
+
+
+def dict_page_layout(payload: "bytes | memoryview") -> tuple[int, int, int, int]:
+    """``(n_dict, code_width, blob_offset, codes_offset)`` of a ``D`` payload.
+
+    The ``n_dict + 1`` native int64 string offsets start right after the
+    header (at ``_DICT_HEADER.size``); the UTF-8 blob runs from
+    ``blob_offset`` to ``codes_offset``; the per-row codes fill the rest.
+    Shared with the kernel layer, which views the code array zero-copy.
+    """
+    n_dict, width = _DICT_HEADER.unpack_from(payload, 0)
+    blob_offset = _DICT_HEADER.size + 8 * (n_dict + 1)
+    (blob_len,) = struct.unpack_from("=q", payload, blob_offset - 8)
+    return n_dict, width, blob_offset, blob_offset + blob_len
+
+
+def dict_page_values(payload: "bytes | memoryview") -> list[str]:
+    """The sorted dictionary of a ``D`` payload as Python strings."""
+    n_dict, _width, blob_offset, _codes_offset = dict_page_layout(payload)
+    offsets = array("q")
+    offsets.frombytes(bytes(payload[_DICT_HEADER.size:blob_offset]))
+    blob = bytes(payload[blob_offset:_codes_offset])
+    return [blob[offsets[i]:offsets[i + 1]].decode("utf-8")
+            for i in range(n_dict)]
 
 
 def _decode_column(kind: str, mask: bytes, payload: "bytes | memoryview",
@@ -114,6 +210,19 @@ def _decode_column(kind: str, mask: bytes, payload: "bytes | memoryview",
         return pickle.loads(payload)
     if kind == "z":
         return [None] * n_rows
+    if kind == "D":
+        words = dict_page_values(payload)
+        _n_dict, width, _blob_offset, codes_offset = dict_page_layout(payload)
+        codes = array("i" if width == 4 else "q")
+        codes.frombytes(bytes(payload[codes_offset:]))
+        return [words[c] if c >= 0 else None for c in codes]
+    if kind == "E":
+        n_dict, blob_len = _EDICT_HEADER.unpack_from(payload, 0)
+        blob_offset = _EDICT_HEADER.size
+        words = pickle.loads(bytes(payload[blob_offset:blob_offset + blob_len]))
+        codes = array("i")
+        codes.frombytes(bytes(payload[blob_offset + blob_len:]))
+        return [words[c] for c in codes]
     if kind == "q":
         values = array("q")
         values.frombytes(payload)
@@ -156,10 +265,14 @@ class ColumnStore:
         #: arrays are append-only, so a length match means the entry is
         #: current and no invalidation hook is needed.
         self.kernel_cache: dict[int, Any] = {}
-        #: Raw page buffers per column index (``(kind, mask, payload)``),
-        #: populated by :meth:`decode_pages` so kernels can view int/float
-        #: payloads zero-copy instead of re-converting the Python lists.
-        self.pages: dict[int, tuple[str, Any, Any]] = {}
+        #: Raw page buffers per column index
+        #: (``(kind, mask, payload, n_rows)``), populated by
+        #: :meth:`decode_pages` so kernels can view int/float payloads and
+        #: dictionary code arrays zero-copy instead of re-converting the
+        #: Python lists.  ``n_rows`` is the length the page was decoded at;
+        #: arrays are append-only, so kernels compare it against the live
+        #: column length before trusting the buffer.
+        self.pages: dict[int, tuple[str, Any, Any, int]] = {}
 
     @classmethod
     def from_rows(cls, names: Sequence[str], rows: Sequence[Row]) -> "ColumnStore":
@@ -222,7 +335,7 @@ class ColumnStore:
         offset = 4 + _PAGE_HEADER.size
         names: list[str] = []
         arrays: list[list[Any]] = []
-        pages: dict[int, tuple[str, Any, Any]] = {}
+        pages: dict[int, tuple[str, Any, Any, int]] = {}
         for i in range(n_cols):
             (name_len,) = _PAGE_NAME.unpack_from(view, offset)
             offset += _PAGE_NAME.size
@@ -238,11 +351,38 @@ class ColumnStore:
             arrays.append(_decode_column(
                 kind, bytes(mask),
                 bytes(payload) if kind in ("s", "B") else payload, n_rows))
-            if kind in ("q", "d"):
-                pages[i] = (kind, mask, payload)
+            if kind in ("q", "d", "D"):
+                pages[i] = (kind, mask, payload, n_rows)
         store = cls(names, arrays)
         store.pages = pages
         return store
+
+    def dictionary_stats(self, index: int) -> tuple[int, int] | None:
+        """``(distinct, null_count)`` for a dict-encoded column, else ``None``.
+
+        Exact and free of any full-column scan: the distinct count is the
+        dictionary size (a ``D`` page header field, or the length of a
+        kernel encoding's dictionary array) and the null count is the mask
+        population.  Stale entries — a column grown past the length the
+        dictionary was built at — are ignored, so the answer is always
+        consistent with the live column.
+        """
+        if not self.arrays:
+            return None
+        n = len(self.arrays[index])
+        entry = self.kernel_cache.get(index)
+        if entry is not None and entry[0] == n:
+            dictionary = getattr(entry[1], "dictionary", None)
+            if dictionary is not None:
+                enc_mask = entry[1].mask
+                nulls = 0 if enc_mask is None else int(enc_mask.sum())
+                return len(dictionary), nulls
+        page = self.pages.get(index)
+        if page is not None and page[0] == "D" and page[3] == n:
+            n_dict, _w = _DICT_HEADER.unpack_from(page[2], 0)
+            nulls = bytes(page[1]).count(1) if len(page[1]) else 0
+            return int(n_dict), nulls
+        return None
 
 
 class Relation:

@@ -1,10 +1,10 @@
 """Compiled columnar kernels: numpy lowering of the hot vectorized loops.
 
 The vectorized executor's inner loops — selection predicates, hash-join
-probes, aggregation folds — are Python-level ``for`` loops over column
-arrays.  Following the exemplar strategy of lowering one logical algebra to
-a faster execution target rather than re-interpreting it, this module
-compiles exactly those three loop families to numpy columnar operations
+probes, DISTINCT dedup, aggregation folds — are Python-level ``for`` loops
+over column arrays.  Following the exemplar strategy of lowering one logical
+algebra to a faster execution target rather than re-interpreting it, this
+module compiles exactly those loop families to numpy columnar operations
 when numpy is importable, and **only** when the lowering is provably
 bit-identical to the Python semantics:
 
@@ -14,9 +14,16 @@ bit-identical to the Python semantics:
 * int/float cross-comparisons engage only when every int involved is
   exactly representable as a float64 (``|v| <= 2**53``), because Python
   compares int-vs-float exactly while numpy converts;
-* NaN disables join/group/min-max kernels (Python dict keys match NaN by
-  object identity; numpy never does);
+* NaN disables join/group/min-max/distinct kernels (Python dict keys match
+  NaN by object identity; numpy never does);
 * integer SUM engages only when the accumulator provably fits int64.
+
+String columns are **dictionary encoded**: the encoding's ``values`` array
+holds int codes into a sorted ``dictionary`` (numpy ``<U`` order equals
+Python ``str`` order — both compare by code point), so string selections,
+probes, group-bys and DISTINCT all run on integers.  Multi-key joins pack
+per-column codes into one int64 (guarded against overflow) and probe the
+lexicographically sorted build side with two ``searchsorted`` calls.
 
 Anything outside these windows falls back to the unmodified Python loop,
 so every backend stays bag-identical whether or not numpy is present —
@@ -26,10 +33,17 @@ runs the tier-1 suite with numpy absent.
 Encodings are cached on the owning :class:`~repro.data.relation.ColumnStore`
 (``kernel_cache``), tagged with the column length (arrays are append-only,
 so a length match proves freshness).  Stores decoded from shared-memory
-column pages expose raw int/float page buffers (``ColumnStore.pages``);
-those become zero-copy ``np.frombuffer`` views, which is what lets worker
-processes of the ``"process"`` backend scan shared segments without
-deserializing per query.
+column pages expose raw page buffers (``ColumnStore.pages``); int/float
+payloads and ``D``-page dictionary code arrays become zero-copy
+``np.frombuffer`` views, which is what lets worker processes of the
+``"process"`` backend scan shared segments without deserializing per query.
+
+Derived join-build structures (sorted packed key arrays per hash table or
+per immutable column-encoding tuple, plus string dictionary translations)
+live in a process-wide LRU with byte accounting — bounded by
+``REPRO_KERNEL_CACHE_BYTES`` (default 64 MiB) — and hit/miss/eviction
+counters surface through :func:`cache_stats` and, per backend, through
+``ShardedBackend.execution_counts()``.
 
 Set ``REPRO_KERNELS=0`` to force the pure-Python loops even with numpy
 installed (the differential suites use this to cross-check both paths).
@@ -43,12 +57,14 @@ from collections import OrderedDict
 from typing import Any, Callable
 
 from repro.data.database import Database
-from repro.engine.plan import AggregateP
+from repro.data.relation import Relation
+from repro.engine.plan import AggregateP, DistinctP, Plan, ScanP
 from repro.engine.vectorized import (
     Batch,
     Vector,
     VectorizedExecutor,
     _column_position,
+    _exact,
     _take,
 )
 from repro.expr import ast as e
@@ -58,11 +74,15 @@ try:  # pragma: no cover - exercised by the no-numpy CI leg
 except Exception:  # pragma: no cover
     np = None  # type: ignore[assignment]
 
+#: Shared empty selection for probes with no matches (never mutated).
+_EMPTY_SEL: Any = np.empty(0, dtype=np.intp) if np is not None else []
+
 #: ints beyond this magnitude are not exactly representable as float64;
 #: int/float cross-comparisons must then stay in Python (which compares
 #: exactly) instead of numpy (which converts).
 _EXACT_FLOAT_BOUND = 2**53
-#: integer-SUM accumulators must provably stay inside int64.
+#: integer-SUM accumulators and packed multi-key codes must provably stay
+#: inside int64.
 _SUM_BOUND = 2**62
 
 
@@ -81,14 +101,16 @@ def kernels_enabled() -> bool:
 class ColumnEncoding:
     """One column lowered to numpy: values, NULL mask, and safety flags.
 
-    ``kind`` is ``"i"`` (int64), ``"f"`` (float64) or ``"s"`` (``<U``);
-    ``mask`` marks NULL positions (``None`` when the column has no NULLs);
-    ``exact`` means the column can cross-compare with the other numeric
-    family through float64 without losing precision; ``has_nan`` flags
-    float columns containing NaN.
+    ``kind`` is ``"i"`` (int64), ``"f"`` (float64) or ``"s"`` (dictionary
+    codes: ``values`` holds int codes into the sorted ``dictionary`` array,
+    ``-1`` at NULL positions); ``mask`` marks NULL positions (``None`` when
+    the column has no NULLs); ``exact`` means the column can cross-compare
+    with the other numeric family through float64 without losing precision;
+    ``has_nan`` flags float columns containing NaN.
     """
 
-    __slots__ = ("values", "mask", "kind", "exact", "has_nan", "grouping")
+    __slots__ = ("values", "mask", "kind", "exact", "has_nan", "dictionary",
+                 "grouping")
 
     def __init__(self, values: Any, mask: Any, kind: str,
                  exact: bool, has_nan: bool) -> None:
@@ -97,6 +119,10 @@ class ColumnEncoding:
         self.kind = kind
         self.exact = exact
         self.has_nan = has_nan
+        #: Sorted ``<U`` array of the distinct non-NULL strings (``"s"``
+        #: only).  Sorted means codes are order-preserving: range predicates
+        #: and equi-joins evaluate directly on the code array.
+        self.dictionary: Any = None
         #: Cached group-by structure for aggregations keyed on this whole
         #: column: ``(token, n, gid, reps, order, sorted_gid, starts)``.
         #: Encodings live in the column store's ``kernel_cache``, so over an
@@ -153,15 +179,37 @@ def _encode_list(values: list[Any]) -> ColumnEncoding | None:
         return _finish_numeric(arr, mask, "i")
     if kind == "f":
         return _finish_numeric(np.asarray(filled, dtype=np.float64), mask, "f")
-    return ColumnEncoding(np.asarray(filled), mask, "s", True, False)
+    svals = np.asarray(filled)
+    if mask is None:
+        dictionary, inverse = np.unique(svals, return_inverse=True)
+        codes = inverse.astype(np.int64, copy=False)
+    else:
+        dictionary = np.unique(svals[~mask])
+        codes = np.searchsorted(dictionary, svals).astype(np.int64, copy=False)
+        codes[mask] = -1
+    encoding = ColumnEncoding(codes, mask, "s", True, False)
+    encoding.dictionary = dictionary
+    return encoding
 
 
-def _encode_page(page: tuple[str, Any, Any]) -> ColumnEncoding:
+def _encode_page(page: tuple[str, Any, Any, int]) -> ColumnEncoding:
     """Zero-copy encoding over a decoded shared-memory column page."""
-    kind, mask_buf, payload = page
+    from repro.data.relation import dict_page_layout, dict_page_values
+
+    kind, mask_buf, payload, n_rows = page
+    mask = np.frombuffer(mask_buf, dtype=np.bool_) if len(mask_buf) else None
+    if kind == "D":
+        _n_dict, width, _blob_offset, codes_offset = dict_page_layout(payload)
+        words = dict_page_values(payload)
+        dictionary = np.asarray(words) if words else np.empty(0, dtype="<U1")
+        codes = np.frombuffer(payload,
+                              dtype=np.int32 if width == 4 else np.int64,
+                              count=n_rows, offset=codes_offset)
+        encoding = ColumnEncoding(codes, mask, "s", True, False)
+        encoding.dictionary = dictionary
+        return encoding
     values = np.frombuffer(payload, dtype=np.int64 if kind == "q"
                            else np.float64)
-    mask = np.frombuffer(mask_buf, dtype=np.bool_) if len(mask_buf) else None
     return _finish_numeric(values, mask, "i" if kind == "q" else "f")
 
 
@@ -177,7 +225,7 @@ def store_encoding(store: Any, index: int) -> ColumnEncoding | None:
     if entry is not None and entry[0] == n:
         return entry[1]
     page = store.pages.get(index)
-    if page is not None and len(page[2]) == 8 * n:
+    if page is not None and page[3] == n:
         encoding: ColumnEncoding | None = _encode_page(page)
     else:
         encoding = _encode_list(column)
@@ -207,6 +255,85 @@ def _gather(encoding: ColumnEncoding, vector: Vector, length: int,
     if len(values) != length:  # length-limited batch (as-of window)
         return values[:length], None if mask is None else mask[:length]
     return values, mask
+
+
+# ---------------------------------------------------------------------------
+# Derived-structure cache (bounded, byte-accounted LRU)
+# ---------------------------------------------------------------------------
+
+def _env_cache_budget() -> int:
+    raw = os.environ.get("REPRO_KERNEL_CACHE_BYTES", "")
+    try:
+        return int(raw) if raw else 64 * 1024 * 1024
+    except ValueError:
+        return 64 * 1024 * 1024
+
+
+#: Byte budget for derived structures (build tables, dictionary
+#: translations).  Encodings themselves live on their column stores and are
+#: not bounded here — they are the columns.
+_CACHE_BUDGET = _env_cache_budget()
+_CACHE_ENTRY_LIMIT = 256
+_CACHE_LOCK = threading.Lock()
+#: key -> (anchor objects, payload, cost bytes).  Anchors are the objects
+#: whose ``id()`` forms the key; holding them keeps the ids valid, and an
+#: ``is``-check on lookup makes stale-id collisions impossible.
+_CACHE: "OrderedDict[Any, tuple[tuple, Any, int]]" = OrderedDict()
+_CACHE_BYTES = 0
+_CACHE_TOTALS = {"hits": 0, "misses": 0, "evictions": 0}
+_MISSING = object()
+
+
+def _sink_bump(sink: "dict[str, int] | None", key: str) -> None:
+    if sink is not None:
+        sink[key] = sink.get(key, 0) + 1
+
+
+def _cache_get(key: Any, anchors: tuple, sink: "dict[str, int] | None") -> Any:
+    with _CACHE_LOCK:
+        entry = _CACHE.get(key)
+        if entry is not None and len(entry[0]) == len(anchors) and all(
+                a is b for a, b in zip(entry[0], anchors)):
+            _CACHE.move_to_end(key)
+            _CACHE_TOTALS["hits"] += 1
+            _sink_bump(sink, "kernel_cache_hits")
+            return entry[1]
+        _CACHE_TOTALS["misses"] += 1
+        _sink_bump(sink, "kernel_cache_misses")
+        return _MISSING
+
+
+def _cache_put(key: Any, anchors: tuple, payload: Any, nbytes: int,
+               sink: "dict[str, int] | None") -> Any:
+    global _CACHE_BYTES
+    with _CACHE_LOCK:
+        old = _CACHE.pop(key, None)
+        if old is not None:
+            _CACHE_BYTES -= old[2]
+        _CACHE[key] = (tuple(anchors), payload, nbytes)
+        _CACHE_BYTES += nbytes
+        while _CACHE and (len(_CACHE) > _CACHE_ENTRY_LIMIT
+                          or _CACHE_BYTES > _CACHE_BUDGET):
+            _popped, (_anchors, _payload, cost) = _CACHE.popitem(last=False)
+            _CACHE_BYTES -= cost
+            _CACHE_TOTALS["evictions"] += 1
+            _sink_bump(sink, "kernel_cache_evictions")
+    return payload
+
+
+def cache_stats() -> dict[str, int]:
+    """Process-wide derived-structure cache counters and occupancy."""
+    with _CACHE_LOCK:
+        return {"entries": len(_CACHE), "bytes": _CACHE_BYTES,
+                "budget_bytes": _CACHE_BUDGET, **_CACHE_TOTALS}
+
+
+def clear_cache() -> None:
+    """Drop every cached derived structure (tests and benchmarks)."""
+    global _CACHE_BYTES
+    with _CACHE_LOCK:
+        _CACHE.clear()
+        _CACHE_BYTES = 0
 
 
 # ---------------------------------------------------------------------------
@@ -284,6 +411,8 @@ def _const_kernel(batch: Batch, pos: int, op: str, const: Any
     encoding = _resolve(vector)
     if encoding is None or not _const_compatible(encoding, const):
         return None
+    if encoding.kind == "s":
+        return _const_code_kernel(encoding, vector, op, const)
     compare = _OPS[op]
 
     def run(b: Batch, sel: "list[int] | None") -> list[int]:
@@ -297,6 +426,48 @@ def _const_kernel(batch: Batch, pos: int, op: str, const: Any
     return run
 
 
+def _const_code_kernel(encoding: ColumnEncoding, vector: Vector, op: str,
+                       const: str
+                       ) -> Callable[[Batch, "list[int] | None"], list[int]]:
+    """String comparison on dictionary codes.
+
+    The dictionary is sorted, so ``value < const`` is ``code < lo`` with
+    ``lo`` the left insertion point (and ``hi`` the right one; ``hi > lo``
+    iff the constant is itself a dictionary member, at code ``lo``).  NULL
+    rows carry code ``-1`` and are cleared by the mask, matching the
+    Python loop's NULL-never-matches rule.
+    """
+    dictionary = encoding.dictionary
+    lo = int(np.searchsorted(dictionary, const, side="left"))
+    hi = int(np.searchsorted(dictionary, const, side="right"))
+    present = hi > lo
+
+    def run(b: Batch, sel: "list[int] | None") -> list[int]:
+        np_sel = None if sel is None else np.asarray(sel, dtype=np.intp)
+        values, mask = _gather(encoding, vector, b.length, np_sel)
+        if op == "=":
+            cmp = (values == lo) if present \
+                else np.zeros(len(values), dtype=bool)
+        elif op == "<>":
+            cmp = (values != lo) if present \
+                else np.ones(len(values), dtype=bool)
+        elif op == "<":
+            cmp = values < lo
+        elif op == "<=":
+            cmp = values < hi
+        elif op == ">":
+            cmp = values >= hi
+        else:  # ">="
+            cmp = values >= lo
+        if mask is not None:
+            cmp &= ~mask
+        elif op in ("<>", "<", "<="):
+            cmp &= values >= 0  # defensive: -1 codes only exist under a mask
+        return _positions(cmp, np_sel)
+
+    return run
+
+
 def _column_kernel(batch: Batch, lpos: int, op: str, rpos: int
                    ) -> Callable[[Batch, "list[int] | None"], list[int]] | None:
     lvec, rvec = batch.vectors[lpos], batch.vectors[rpos]
@@ -304,11 +475,25 @@ def _column_kernel(batch: Batch, lpos: int, op: str, rpos: int
     if lenc is None or renc is None or not _columns_compatible(lenc, renc):
         return None
     compare = _OPS[op]
+    # Two dictionary-coded columns compare through a merged dictionary:
+    # remap both code spaces into the union's (sorted, so order-preserving).
+    ltrans = rtrans = None
+    if lenc.kind == "s":
+        if lenc.dictionary is not renc.dictionary:
+            merged = np.unique(np.concatenate([lenc.dictionary,
+                                               renc.dictionary]))
+            ltrans = np.searchsorted(merged, lenc.dictionary)
+            rtrans = np.searchsorted(merged, renc.dictionary)
 
     def run(b: Batch, sel: "list[int] | None") -> list[int]:
         np_sel = None if sel is None else np.asarray(sel, dtype=np.intp)
         lvals, lmask = _gather(lenc, lvec, b.length, np_sel)
         rvals, rmask = _gather(renc, rvec, b.length, np_sel)
+        if ltrans is not None:
+            # -1 codes mark NULLs; clamp before the fancy index (the mask
+            # clears those rows below).
+            lvals = ltrans[np.maximum(lvals, 0)]
+            rvals = rtrans[np.maximum(rvals, 0)]
         cmp = compare(lvals, rvals)
         if lmask is not None:
             cmp &= ~lmask
@@ -320,139 +505,461 @@ def _column_kernel(batch: Batch, lpos: int, op: str, rpos: int
 
 
 # ---------------------------------------------------------------------------
-# Hash-join probe kernel
+# Hash-join probe kernel (single- and multi-key, packed codes)
 # ---------------------------------------------------------------------------
 
-#: Sorted build-side arrays per hash table, keyed by table identity.  The
-#: strong reference to the table keeps ``id()`` valid for the entry's
-#: lifetime; relations cache their key indexes per version, so warm joins
-#: hit this cache instead of re-sorting.
-_TABLE_CACHE: "OrderedDict[int, tuple[Any, tuple | None]]" = OrderedDict()
-_TABLE_CACHE_LIMIT = 32
-_TABLE_LOCK = threading.Lock()
+class _BuildStructure:
+    """A hash join's build side as sorted packed key codes.
 
+    Per key column, ``columns`` holds ``(kind, domain, exact)`` where
+    ``domain`` is the sorted distinct build keys of that column (for
+    dictionary-coded strings: the dictionary itself).  Every build value
+    maps to ``2 * code + 1``; probe values map to ``2 * insertion +
+    present`` against the same domain, so values absent from the build
+    side land on even codes and never match, while the mapping stays
+    monotone — multi-key tuples then pack into one int64 with per-column
+    radix ``2 * |domain| + 1`` (overflow-guarded).  ``positions`` holds
+    bucket row positions grouped by packed key (buckets in key order,
+    positions ascending within each — the sequential probe's emission
+    order); ``ukeys``/``starts`` delimit the buckets, so a probe is one
+    ``searchsorted`` into the unique keys — or none at all for a single
+    key column, where the domain covers every build key by construction
+    and the domain code *is* the bucket index.
 
-def _table_arrays(table: dict[Any, list[int]]) -> tuple | None:
-    """``(keys, positions, kind, exact, has_nan)`` sorted arrays, or ``None``.
-
-    Keys must be homogeneous int/float/str; buckets hold ascending row
-    positions, and the stable argsort keeps them adjacent in bucket order,
-    so a ``searchsorted`` range scan reproduces the sequential probe's
-    emission order exactly.
+    For integer columns whose domain is dense (the usual surrogate-key
+    case), ``luts`` additionally holds ``(lo, table)`` with the m code of
+    every value in ``[lo, lo + len(table))`` precomputed: the per-probe
+    ``searchsorted`` (a binary search per element) collapses to one
+    subtract + fancy index.  The table is part of the cached structure,
+    so its cost is paid once per build side.
     """
-    with _TABLE_LOCK:
-        entry = _TABLE_CACHE.get(id(table))
-        if entry is not None and entry[0] is table:
-            _TABLE_CACHE.move_to_end(id(table))
-            return entry[1]
-    arrays = _build_table_arrays(table)
-    with _TABLE_LOCK:
-        _TABLE_CACHE[id(table)] = (table, arrays)
-        _TABLE_CACHE.move_to_end(id(table))
-        while len(_TABLE_CACHE) > _TABLE_CACHE_LIMIT:
-            _TABLE_CACHE.popitem(last=False)
-    return arrays
+
+    __slots__ = ("ukeys", "starts", "counts", "positions", "columns",
+                 "luts", "nbytes")
+
+    def __init__(self, packed: Any, positions: Any, columns: tuple) -> None:
+        order = np.argsort(packed, kind="stable")
+        sorted_packed = packed[order]
+        self.positions = positions[order]
+        self.ukeys, first = np.unique(sorted_packed, return_index=True)
+        self.starts = np.append(first, len(sorted_packed))
+        self.counts = np.diff(self.starts)
+        self.columns = columns
+        self.luts = tuple(_dense_lut(kind, domain)
+                          for kind, domain, _exact in columns)
+        self.nbytes = int(self.ukeys.nbytes) + int(self.starts.nbytes) \
+            + int(self.counts.nbytes) + int(self.positions.nbytes) + sum(
+                int(domain.nbytes) for _kind, domain, _exact in columns) \
+            + sum(int(lut[1].nbytes) for lut in self.luts
+                  if lut is not None)
 
 
-def _build_table_arrays(table: dict[Any, list[int]]) -> tuple | None:
-    kind = ""
-    has_nan = False
-    for key in table:
-        t = type(key)
-        if t is int:
-            k = "i"
-        elif t is float:
-            k = "f"
-            if key != key:
-                has_nan = True
-        elif t is str:
-            k = "s"
+#: A dense-int lookup table may span at most this many slots (8 MiB of
+#: int64 codes) regardless of how sparse the build keys are.
+_LUT_SPAN_LIMIT = 1 << 20
+
+
+def _dense_lut(kind: str, domain: Any) -> "tuple[int, Any] | None":
+    """``(lo, m_codes)`` over the domain's span, or ``None`` if too sparse."""
+    if kind != "i" or len(domain) == 0 \
+            or not np.issubdtype(domain.dtype, np.integer):
+        return None
+    lo, hi = int(domain[0]), int(domain[-1])
+    span = hi - lo + 1
+    if span > max(4 * len(domain), 1024) or span > _LUT_SPAN_LIMIT:
+        return None
+    return lo, _domain_codes(domain, np.arange(lo, lo + span,
+                                               dtype=np.int64))
+
+
+def _lut_codes(lut: "tuple[int, Any]", domain: Any, values: Any) -> Any:
+    """``_domain_codes`` via the dense table; exact same m codes."""
+    lo, table = lut
+    shifted = values.astype(np.int64, copy=False) - lo
+    m = table[np.clip(shifted, 0, len(table) - 1)]
+    below = shifted < 0
+    if below.any():
+        m[below] = 0  # insertion point 0, not present
+    above = shifted >= len(table)
+    if above.any():
+        m[above] = 2 * len(domain)  # insertion point d, not present
+    return m
+
+
+def _radix_limit_ok(radixes: list[int]) -> bool:
+    limit = 1
+    for radix in radixes:
+        if limit > _SUM_BOUND // radix:
+            return False
+        limit *= radix
+    return True
+
+
+def _pack(m_arrays: list[Any], radixes: list[int]) -> Any:
+    combined = m_arrays[0].astype(np.int64, copy=False)
+    for m, radix in zip(m_arrays[1:], radixes[1:]):
+        combined = combined * radix + m
+    return combined
+
+
+def _domain_codes(domain: Any, values: Any) -> Any:
+    """``2 * insertion + present`` codes of ``values`` against ``domain``."""
+    d = len(domain)
+    ins = np.searchsorted(domain, values, side="left")
+    if d:
+        clipped = np.minimum(ins, d - 1)
+        present = (ins < d) & (domain[clipped] == values)
+    else:
+        present = np.zeros(len(values), dtype=bool)
+    return 2 * ins.astype(np.int64, copy=False) + present
+
+
+def _structure_from_table(table: dict[Any, list[int]],
+                          n_keys: int) -> _BuildStructure | None:
+    """Lower a Python hash table's keys/buckets, or ``None`` when ineligible."""
+    keys = list(table.keys())
+    if n_keys == 1:
+        key_columns: list[list[Any]] = [keys]
+    else:
+        key_columns = [list(column) for column in zip(*keys)]
+        if len(key_columns) != n_keys:
+            return None
+    lowered = []
+    for column in key_columns:
+        kind = ""
+        for v in column:
+            t = type(v)
+            if t is int:
+                k = "i"
+            elif t is float:
+                k = "f"
+                if v != v:
+                    return None  # NaN build key: Python matches by identity
+            elif t is str:
+                k = "s"
+            else:
+                return None
+            if not kind:
+                kind = k
+            elif kind != k:
+                return None
+        if kind == "i":
+            try:
+                arr = np.asarray(column, dtype=np.int64)
+            except OverflowError:
+                return None
+            exact = bool((np.abs(arr) <= _EXACT_FLOAT_BOUND).all()) \
+                if arr.size else True
+        elif kind == "f":
+            arr = np.asarray(column, dtype=np.float64)
+            exact = True
         else:
-            return None
-        if not kind:
-            kind = k
-        elif kind != k:
-            return None
+            arr = np.asarray(column)
+            exact = True
+        lowered.append((kind, arr, exact))
+    m_arrays = []
+    radixes = []
+    columns = []
+    for kind, arr, exact in lowered:
+        domain = np.unique(arr)
+        codes = np.searchsorted(domain, arr)
+        m_arrays.append(2 * codes.astype(np.int64, copy=False) + 1)
+        radixes.append(2 * len(domain) + 1)
+        columns.append((kind, domain, exact))
+    if not _radix_limit_ok(radixes):
+        return None
+    packed_keys = _pack(m_arrays, radixes)
     counts = np.fromiter((len(b) for b in table.values()), np.intp,
                          count=len(table))
-    total = int(counts.sum())
     positions = np.fromiter((p for b in table.values() for p in b), np.intp,
-                            count=total)
-    if kind == "i":
-        try:
-            keys = np.asarray(list(table.keys()), dtype=np.int64)
-        except OverflowError:
+                            count=int(counts.sum()))
+    return _BuildStructure(np.repeat(packed_keys, counts), positions,
+                           tuple(columns))
+
+
+def _structure_from_encodings(encodings: list[ColumnEncoding], n: int,
+                              skip_nulls: bool) -> _BuildStructure | None:
+    """Lower whole-column build keys straight from their encodings.
+
+    This is the path that never materializes a Python hash table: sorted
+    packed codes come from the immutable encodings, are cached per
+    encoding tuple, and are reused across queries and view refreshes
+    until a write replaces the encodings (length-tagged, like the
+    group-id caches).
+    """
+    masks = [enc.mask for enc in encodings if enc.mask is not None]
+    if masks and not skip_nulls:
+        return None  # NULL build keys keep Python's identity semantics
+    for enc in encodings:
+        if len(enc.values) != n:
             return None
-    elif kind == "f":
-        keys = np.asarray(list(table.keys()), dtype=np.float64)
+        if enc.kind == "f" and enc.has_nan:
+            return None
+    if masks:
+        dropped = masks[0].copy()
+        for m in masks[1:]:
+            dropped |= m
+        pos = np.flatnonzero(~dropped)
     else:
-        keys = np.asarray(list(table.keys()))
-    repeated = np.repeat(keys, counts)
-    order = np.argsort(repeated, kind="stable")
-    sorted_keys = repeated[order]
-    sorted_positions = positions[order]
-    if kind == "i":
-        exact = bool((np.abs(sorted_keys) <= _EXACT_FLOAT_BOUND).all()) \
-            if total else True
+        pos = None
+    m_arrays = []
+    radixes = []
+    columns = []
+    for enc in encodings:
+        vals = enc.values if pos is None else enc.values[pos]
+        if enc.kind == "s":
+            domain = enc.dictionary
+            m = 2 * vals.astype(np.int64, copy=False) + 1
+            exact = True
+        else:
+            domain = np.unique(vals)
+            codes = np.searchsorted(domain, vals)
+            m = 2 * codes.astype(np.int64, copy=False) + 1
+            exact = enc.exact
+        m_arrays.append(m)
+        radixes.append(2 * len(domain) + 1)
+        columns.append((enc.kind, domain, exact))
+    if not _radix_limit_ok(radixes):
+        return None
+    packed = _pack(m_arrays, radixes)
+    base = np.arange(len(packed), dtype=np.intp) if pos is None else pos
+    return _BuildStructure(packed, base, tuple(columns))
+
+
+def _dict_translation(domain: Any, pdict: Any,
+                      sink: "dict[str, int] | None") -> Any:
+    """Probe-dictionary → build-domain codes, cached per array pair."""
+    key = ("xlat", id(domain), id(pdict))
+    cached = _cache_get(key, (domain, pdict), sink)
+    if cached is not _MISSING:
+        return cached
+    pmap = _domain_codes(domain, pdict)
+    return _cache_put(key, (domain, pdict), pmap, int(pmap.nbytes), sink)
+
+
+def _probe_with_structure(structure: _BuildStructure, batch: Batch,
+                          idx: list[int], null_matches: bool,
+                          sink: "dict[str, int] | None"
+                          ) -> "tuple[Any, Any] | None":
+    n = batch.length
+    gathered = []
+    for i, (kind, _domain, exact) in zip(idx, structure.columns):
+        vector = batch.vectors[i]
+        enc = _resolve(vector)
+        if enc is None:
+            return None
+        if enc.kind == "s" or kind == "s":
+            if enc.kind != kind:
+                return None
+        elif enc.kind == "f" and enc.has_nan:
+            return None  # Python matches NaN keys by identity; numpy never
+        elif enc.kind != kind and not (enc.exact and exact):
+            return None
+        vals, mask = _gather(enc, vector, n, None)
+        if mask is not None and null_matches:
+            return None  # NULL probe keys would have to match NULL build keys
+        gathered.append((enc, vals, mask))
+    masks = [m for _enc, _vals, m in gathered if m is not None]
+    if masks:
+        dropped = masks[0].copy()
+        for m in masks[1:]:
+            dropped |= m
+        probe_idx = np.flatnonzero(~dropped)
     else:
-        exact = True
-    return sorted_keys, sorted_positions, kind, exact, has_nan
+        probe_idx = None
+    m_arrays = []
+    radixes = []
+    for j, ((enc, vals, _mask), (kind, domain, _exact)) in enumerate(
+            zip(gathered, structure.columns)):
+        if probe_idx is not None:
+            vals = vals[probe_idx]
+        radixes.append(2 * len(domain) + 1)
+        if enc.kind == "s":
+            pdict = enc.dictionary
+            if pdict is domain:
+                m = 2 * vals.astype(np.int64, copy=False) + 1
+            else:
+                m = _dict_translation(domain, pdict, sink)[vals]
+        elif enc.kind != kind:
+            # int/float cross-match: both sides proved exact in float64
+            m = _domain_codes(domain.astype(np.float64),
+                              vals.astype(np.float64))
+        elif structure.luts[j] is not None:
+            m = _lut_codes(structure.luts[j], domain, vals)
+        else:
+            m = _domain_codes(domain, vals)
+        m_arrays.append(m)
+    ukeys = structure.ukeys
+    if len(m_arrays) == 1:
+        # The domain covers every build key, so the domain code IS the
+        # bucket index: no packed-key lookup at all.
+        m = m_arrays[0]
+        found = (m & 1).astype(bool)
+        bucket = m >> 1
+    else:
+        probe_packed = _pack(m_arrays, radixes)
+        bucket = np.searchsorted(ukeys, probe_packed)
+        if len(ukeys):
+            clipped = np.minimum(bucket, len(ukeys) - 1)
+            found = (bucket < len(ukeys)) & (ukeys[clipped] == probe_packed)
+        else:
+            found = np.zeros(len(probe_packed), dtype=bool)
+    bucket = np.where(found, bucket, 0)
+    counts = np.where(found, structure.counts[bucket], 0) if len(ukeys) \
+        else np.zeros(len(bucket), dtype=np.intp)
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY_SEL, _EMPTY_SEL
+    if probe_idx is None:
+        probe_idx = np.arange(len(counts), dtype=np.intp)
+    left_sel = np.repeat(probe_idx, counts)
+    offsets = np.cumsum(counts) - counts
+    run = np.repeat(structure.starts[bucket] - offsets, counts)
+    right_sel = structure.positions[np.arange(total, dtype=np.intp) + run]
+    return left_sel, right_sel
 
 
-def _probe_compatible(enc: ColumnEncoding, kind: str, exact: bool,
-                      has_nan: bool) -> bool:
-    if enc.kind == "s" or kind == "s":
-        return enc.kind == kind
-    if (enc.kind == "f" and enc.has_nan) or has_nan:
-        return False  # Python matches NaN keys by identity; numpy never does
-    if enc.kind == kind:
-        return True
-    return enc.exact and exact  # int/float cross-match through float64
+def _table_structure(table: dict[Any, list[int]], n_keys: int,
+                     sink: "dict[str, int] | None") -> _BuildStructure | None:
+    key = ("table", id(table))
+    cached = _cache_get(key, (table,), sink)
+    if cached is not _MISSING:
+        return cached
+    structure = _structure_from_table(table, n_keys)
+    nbytes = structure.nbytes if structure is not None else 64
+    return _cache_put(key, (table,), structure, nbytes, sink)
 
 
-def kernel_probe(batch: Batch, idx: list[int], table: Any,
-                 null_matches: bool) -> "tuple[list[int], list[int]] | None":
-    """Sort-based probe of a single-column hash join, or ``None``.
+def kernel_probe(batch: Batch, idx: list[int], table: Any, null_matches: bool,
+                 sink: "dict[str, int] | None" = None
+                 ) -> "tuple[Any, Any] | None":
+    """Sort-based probe of a hash join (single- or multi-key), or ``None``.
 
     Emits ``(left_sel, right_sel)`` in exactly the sequential probe's order:
     probe positions ascending, bucket positions ascending within each.
     """
-    if not kernels_enabled() or len(idx) != 1 or type(table) is not dict:
+    if not kernels_enabled() or not idx or type(table) is not dict:
         return None
-    vector = batch.vectors[idx[0]]
-    encoding = _resolve(vector)
-    if encoding is None:
-        return None
-    if encoding.mask is not None and null_matches:
-        return None  # NULL probe keys would have to match NULL build keys
     if not table:
         return [], []
-    build = _table_arrays(table)
-    if build is None:
+    structure = _table_structure(table, len(idx), sink)
+    if structure is None:
         return None
-    sorted_keys, sorted_positions, kind, exact, has_nan = build
-    if not _probe_compatible(encoding, kind, exact, has_nan):
-        return None
-    values, mask = _gather(encoding, vector, batch.length, None)
-    if mask is not None:
-        probe_idx = np.flatnonzero(~mask)
-        probe_vals = values[probe_idx]
+    return _probe_with_structure(structure, batch, idx, null_matches, sink)
+
+
+class _KernelBuild:
+    """Lazy build side of a join whose right input is a base-table scan.
+
+    Quacks like the positional hash index (``get``/``keys`` materialize
+    the relation's cached ``key_index`` on demand), but the kernel probe
+    path never touches that dict: :meth:`structure` lowers the key
+    columns' immutable encodings directly to sorted packed codes, cached
+    per encoding tuple in the bounded kernel cache.
+    """
+
+    __slots__ = ("relation", "idx", "skip_nulls", "_table")
+
+    def __init__(self, relation: Relation, idx: list[int],
+                 skip_nulls: bool) -> None:
+        self.relation = relation
+        self.idx = tuple(idx)
+        self.skip_nulls = skip_nulls
+        self._table: "dict[Any, list[int]] | None" = None
+
+    def table(self) -> dict[Any, list[int]]:
+        if self._table is None:
+            self._table = self.relation.key_index(
+                list(self.idx), skip_nulls=self.skip_nulls)
+        return self._table
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        return self.table().get(key, default)
+
+    def keys(self) -> Any:
+        return self.table().keys()
+
+    def structure(self, sink: "dict[str, int] | None" = None
+                  ) -> _BuildStructure | None:
+        store = self.relation.column_store()
+        encodings = []
+        for i in self.idx:
+            enc = store_encoding(store, i)
+            if enc is None:
+                return None
+            encodings.append(enc)
+        key = ("build", tuple(id(enc) for enc in encodings), self.skip_nulls)
+        cached = _cache_get(key, tuple(encodings), sink)
+        if cached is not _MISSING:
+            return cached
+        structure = _structure_from_encodings(
+            encodings, len(self.relation), self.skip_nulls)
+        nbytes = structure.nbytes if structure is not None else 64
+        return _cache_put(key, tuple(encodings), structure, nbytes, sink)
+
+
+# ---------------------------------------------------------------------------
+# DISTINCT kernel
+# ---------------------------------------------------------------------------
+
+def _distinct_codes(vector: Vector, n: int) -> "tuple[Any, int] | None":
+    """Non-negative per-row codes whose equality matches value equality."""
+    enc = _resolve(vector)
+    if enc is not None:
+        vals, mask = _gather(enc, vector, n, None)
+        kind, has_nan, dictionary = enc.kind, enc.has_nan, enc.dictionary
     else:
-        probe_idx = None
-        probe_vals = values
-    lo = np.searchsorted(sorted_keys, probe_vals, side="left")
-    hi = np.searchsorted(sorted_keys, probe_vals, side="right")
-    counts = hi - lo
-    total = int(counts.sum())
-    if total == 0:
-        return [], []
-    if probe_idx is None:
-        probe_idx = np.arange(len(probe_vals), dtype=np.intp)
-    left_sel = np.repeat(probe_idx, counts)
-    offsets = np.cumsum(counts) - counts
-    starts = np.repeat(lo - offsets, counts)
-    right_sel = sorted_positions[np.arange(total, dtype=np.intp) + starts]
-    return left_sel.tolist(), right_sel.tolist()
+        ad_hoc = _encode_list(_exact(vector, n))
+        if ad_hoc is None:
+            return None
+        vals, mask = ad_hoc.values, ad_hoc.mask
+        kind, has_nan = ad_hoc.kind, ad_hoc.has_nan
+        dictionary = ad_hoc.dictionary
+    if has_nan:
+        return None  # Python dedups NaN by identity; np.unique collapses
+    if kind == "s":
+        cardinality = len(dictionary)
+        codes = vals.astype(np.int64, copy=False)
+    else:
+        _domain, inverse = np.unique(vals, return_inverse=True)
+        cardinality = int(inverse.max()) + 1 if inverse.size else 1
+        codes = inverse.astype(np.int64, copy=False)
+    if mask is not None:
+        # NULL is its own distinct value: give it a dedicated code (this
+        # also replaces the -1 dictionary codes at masked positions).
+        codes = np.where(mask, cardinality, codes)
+        cardinality += 1
+    return codes, max(cardinality, 1)
+
+
+def kernel_distinct(batch: Batch) -> "Any | None":
+    """First-occurrence positions of the distinct rows, or ``None``.
+
+    Packs per-column codes (dictionary codes for strings, dense unique
+    ranks otherwise, one extra code for NULL) into one int64 per row and
+    takes ``np.unique(..., return_index=True)`` — the sorted first-occurrence
+    indices are exactly the Python set-scan's emission order.
+    """
+    if not kernels_enabled() or batch.length == 0 or not batch.vectors:
+        return None
+    n = batch.length
+    packed = None
+    for vector in batch.vectors:
+        coded = _distinct_codes(vector, n)
+        if coded is None:
+            return None
+        codes, cardinality = coded
+        if packed is None:
+            packed = codes
+            limit = cardinality
+        else:
+            if limit > _SUM_BOUND // cardinality:
+                return None  # packed key would overflow int64
+            packed = packed * cardinality + codes
+            limit *= cardinality
+    _unique, first_idx = np.unique(packed, return_index=True)
+    first_idx.sort()
+    return first_idx
 
 
 # ---------------------------------------------------------------------------
@@ -506,10 +1013,15 @@ def kernel_aggregate(plan: AggregateP, batch: Batch
     """Lower a whole group-by to bincount/scatter accumulation, or ``None``.
 
     Engages when every group key is a NULL-free int/float/str column pick
-    and every aggregate is a non-DISTINCT COUNT/SUM/MIN/MAX/AVG over an
-    int/float column (COUNT accepts any encodable column).  First-occurrence
-    group order, in-order float accumulation, and int64 overflow guards keep
-    the result bit-identical to the Python fold.
+    and every aggregate is COUNT/SUM/MIN/MAX/AVG over an int/float column
+    (COUNT accepts any encodable column).  DISTINCT aggregates lower too:
+    MIN/MAX ignore the flag (dedup cannot change an extremum), COUNT
+    DISTINCT and integer SUM/AVG DISTINCT reduce over unique
+    ``(group, value-code)`` pairs — integer sums are order-free, so
+    skipping Python's first-occurrence ordering is exact (float DISTINCT
+    sums are order-sensitive and decline).  First-occurrence group order,
+    in-order float accumulation, and int64 overflow guards keep the result
+    bit-identical to the Python fold.
     """
     if not kernels_enabled() or batch.length == 0:
         return None
@@ -544,8 +1056,7 @@ def kernel_aggregate(plan: AggregateP, batch: Batch
                 and not call.distinct:
             specs.append(("count*", None, None))
             continue
-        if call.distinct or not call.args \
-                or name not in ("count", "sum", "min", "max", "avg"):
+        if not call.args or name not in ("count", "sum", "min", "max", "avg"):
             return None
         pos = _column_position(call.args[0], columns)
         if pos is None:
@@ -559,8 +1070,20 @@ def kernel_aggregate(plan: AggregateP, batch: Batch
                 return None
             if encoding.kind == "f" and encoding.has_nan:
                 return None
+        # DISTINCT folds dedup by value equality, which the kernels model
+        # with value codes; min/max are dedup-invariant and keep the plain
+        # path.
+        if call.distinct and name in ("count", "sum", "avg"):
+            if name == "count":
+                if encoding.kind == "f" and encoding.has_nan:
+                    return None
+                name = "countd"
+            elif encoding.kind != "i":
+                return None  # float DISTINCT sums are order-sensitive
+            else:
+                name = "sumd" if name == "sum" else "avgd"
         values, mask = _gather(encoding, vector, n, None)
-        if name in ("sum", "avg") and encoding.kind == "i":
+        if name in ("sum", "avg", "sumd", "avgd") and encoding.kind == "i":
             bound = int(np.abs(values).max()) if values.size else 0
             if bound * n >= _SUM_BOUND:
                 return None
@@ -617,6 +1140,12 @@ def kernel_aggregate(plan: AggregateP, batch: Batch
         else:
             vgid = gid
             vvals = values
+        if name in ("countd", "sumd", "avgd"):
+            lowered = _distinct_fold(name, vgid, vvals, n_groups)
+            if lowered is None:
+                return None
+            agg_lists.append(lowered)
+            continue
         counts = np.bincount(vgid, minlength=n_groups)
         if name == "count":
             agg_lists.append(counts.tolist())
@@ -655,6 +1184,31 @@ def kernel_aggregate(plan: AggregateP, batch: Batch
     return Batch(plan.columns, vectors, n_groups)
 
 
+def _distinct_fold(name: str, vgid: Any, vvals: Any,
+                   n_groups: int) -> "list[Any] | None":
+    """COUNT/SUM/AVG DISTINCT over unique ``(group, value)`` pairs."""
+    if not vvals.size:
+        zeros = [0] * n_groups
+        return zeros if name == "countd" else [None] * n_groups
+    domain, codes = np.unique(vvals, return_inverse=True)
+    cardinality = len(domain)
+    if n_groups > _SUM_BOUND // max(cardinality, 1):
+        return None
+    packed = vgid.astype(np.int64) * cardinality + codes
+    upacked = np.unique(packed)
+    ugid = upacked // cardinality
+    ucode = upacked % cardinality
+    dcounts = np.bincount(ugid, minlength=n_groups)
+    if name == "countd":
+        return dcounts.tolist()
+    acc = np.zeros(n_groups, dtype=np.int64)
+    np.add.at(acc, ugid, domain[ucode])
+    if name == "sumd":
+        return _present(acc, dcounts)
+    return [total / int(c) if c else None
+            for total, c in zip(acc.tolist(), dcounts.tolist())]
+
+
 # ---------------------------------------------------------------------------
 # The executor
 # ---------------------------------------------------------------------------
@@ -665,8 +1219,15 @@ class KernelExecutor(VectorizedExecutor):
     Every override tries the kernel and falls back to the inherited Python
     loop when the kernel declines — the class is safe to use even when
     numpy is missing (every kernel declines), so ``make_executor`` is the
-    only construction point that needs to know.
+    only construction point that needs to know.  ``counters`` (optional)
+    receives kernel-cache hit/miss/eviction bumps, letting each backend
+    report its own traffic through ``execution_counts()``.
     """
+
+    def __init__(self, db: Database,
+                 counters: "dict[str, int] | None" = None) -> None:
+        super().__init__(db)
+        self.kernel_counters = counters
 
     def _compile_conjunct(self, conjunct: e.Expr, batch: Batch) -> Any:
         fast = kernel_filter(conjunct, batch)
@@ -674,12 +1235,35 @@ class KernelExecutor(VectorizedExecutor):
             return fast
         return super()._compile_conjunct(conjunct, batch)
 
+    def _hash_table(self, right_plan: Plan, right: Batch, right_idx: list[int],
+                    null_matches: bool) -> Any:
+        if kernels_enabled() and right_idx and type(right_plan) is ScanP:
+            relation = self.db.relation(right_plan.relation)
+            return _KernelBuild(relation, right_idx, not null_matches)
+        return super()._hash_table(right_plan, right, right_idx, null_matches)
+
     def _probe_batch(self, batch: Batch, idx: list[int], table: Any,
-                     null_matches: bool) -> tuple[list[int], list[int]]:
-        pair = kernel_probe(batch, idx, table, null_matches)
+                     null_matches: bool) -> "tuple[Any, Any]":
+        if type(table) is _KernelBuild:
+            structure = table.structure(self.kernel_counters)
+            if structure is not None:
+                pair = _probe_with_structure(structure, batch, idx,
+                                             null_matches,
+                                             self.kernel_counters)
+                if pair is not None:
+                    return pair
+            table = table.table()
+        pair = kernel_probe(batch, idx, table, null_matches,
+                            self.kernel_counters)
         if pair is not None:
             return pair
         return super()._probe_batch(batch, idx, table, null_matches)
+
+    def _distinct_positions(self, batch: Batch) -> Any:
+        sel = kernel_distinct(batch)
+        if sel is not None:
+            return sel
+        return super()._distinct_positions(batch)
 
     def _aggregate(self, plan: AggregateP) -> Batch:
         batch = self.batch(plan.input)
@@ -689,6 +1273,10 @@ class KernelExecutor(VectorizedExecutor):
         return super()._aggregate(plan)
 
 
-def make_executor(db: Database) -> VectorizedExecutor:
+def make_executor(db: Database,
+                  counters: "dict[str, int] | None" = None
+                  ) -> VectorizedExecutor:
     """The fastest exact executor available: kernels when on, else Python."""
-    return KernelExecutor(db) if kernels_enabled() else VectorizedExecutor(db)
+    if kernels_enabled():
+        return KernelExecutor(db, counters)
+    return VectorizedExecutor(db)

@@ -13,7 +13,10 @@ moves the per-shard execution into **worker processes**:
   ``multiprocessing.shared_memory`` column pages
   (:meth:`~repro.data.relation.ColumnStore.encode_pages` — a compact
   per-column encoding for int/float/str with exact ``None``/``bool``/mixed
-  round-trip) through the database's
+  round-trip; string and low-cardinality mixed columns ship as a sorted
+  value dictionary plus an int32/int64 code array, so the transport moves
+  codes, not strings, and the workers' kernels compute on the codes
+  directly) through the database's
   :class:`~repro.data.sharded.SharedPagePublisher`.  Segments are
   versioned by the relation version, so an unchanged shard is **never
   re-serialized**: steady-state reads publish nothing and ship only a
@@ -236,7 +239,7 @@ class ProcessBackend(ShardedBackend):
         if compiled.mode != "scatter":
             # Routed point queries and fallbacks: a handful of rows (or a
             # plan that cannot scatter) never repays process IPC.
-            return compiled.execute(sharded, None)
+            return compiled.execute(sharded, None, self.counters)
         assert compiled.scatter is not None
         try:
             plan_blob = pickle.dumps(compiled.scatter,
@@ -244,7 +247,7 @@ class ProcessBackend(ShardedBackend):
         except Exception:
             # A plan that cannot cross the process boundary still has exact
             # in-process semantics.
-            return compiled.execute(sharded, None)
+            return compiled.execute(sharded, None, self.counters)
         manifests = self._publish(compiled, sharded)
         # Chunk the shards over at most ``workers`` tasks (round-robin so
         # every chunk stays balanced): the per-task pool round-trip is the
@@ -265,7 +268,7 @@ class ProcessBackend(ShardedBackend):
             # pool (reaping any segments the dead workers pinned).
             self._discard_pool()
             self._bump("pool_recovery")
-            return compiled.execute(sharded, None)
+            return compiled.execute(sharded, None, self.counters)
         # Undo the round-robin chunking so parts line up with shard order
         # (combine functions are order-insensitive, but a deterministic
         # gather keeps row order reproducible run to run).
@@ -273,7 +276,7 @@ class ProcessBackend(ShardedBackend):
         for i, group in enumerate(grouped):
             for j, part in enumerate(group):
                 parts[i + j * n_tasks] = part
-        return compiled.finish(sharded, parts)
+        return compiled.finish(sharded, parts, self.counters)
 
     def _publish(self, compiled: Any, sharded: Any
                  ) -> "list[list[PageSegment]]":

@@ -76,8 +76,9 @@ from repro.engine.plan import (
     SortLimitP,
     resolve_column,
 )
+from repro.engine.kernels import make_executor
 from repro.engine.stats import StatsCatalog
-from repro.engine.vectorized import Batch, VectorizedExecutor, _column_position
+from repro.engine.vectorized import Batch, _column_position
 
 __all__ = [
     "NotDistributable",
@@ -602,10 +603,11 @@ class ShardedPlan:
     # -- execution ---------------------------------------------------------
 
     def execute(self, sharded: ShardedDatabase,
-                submit: "Callable[..., Any] | None" = None) -> list[Row]:
+                submit: "Callable[..., Any] | None" = None,
+                counters: "dict[str, int] | None" = None) -> list[Row]:
         """Run the compiled plan and return the merged rows (bag order)."""
         if self.mode == "fallback":
-            return VectorizedExecutor(sharded).batch(self.plan).rows()
+            return make_executor(sharded, counters).batch(self.plan).rows()
         assert self.scatter is not None and self.core is not None
         if self.shard_index is not None:
             shards: Iterable[int] = (self.shard_index,)
@@ -613,15 +615,16 @@ class ShardedPlan:
             shards = range(sharded.n_shards)
         exec_dbs = [self._shard_database(sharded, i) for i in shards]
         if submit is None or len(exec_dbs) <= 1:
-            parts = [VectorizedExecutor(db).batch(self.scatter).rows()
+            parts = [make_executor(db, counters).batch(self.scatter).rows()
                      for db in exec_dbs]
         else:
-            futures = [submit(_run_shard, self.scatter, db) for db in exec_dbs]
+            futures = [submit(_run_shard, self.scatter, db, counters)
+                       for db in exec_dbs]
             parts = [future.result() for future in futures]
-        return self.finish(sharded, parts)
+        return self.finish(sharded, parts, counters)
 
-    def finish(self, sharded: ShardedDatabase,
-               parts: list[list[Row]]) -> list[Row]:
+    def finish(self, sharded: ShardedDatabase, parts: list[list[Row]],
+               counters: "dict[str, int] | None" = None) -> list[Row]:
         """Merge per-shard result parts into the final rows (bag order).
 
         Shared by in-process execution above and the ``"process"`` backend,
@@ -637,7 +640,7 @@ class ShardedPlan:
         # Finishing operators: replay the suffix of the original plan over
         # the gathered rows by pre-seeding the executor's per-plan memo at
         # the highest absorbed node (structurally shared copies reuse it).
-        executor = VectorizedExecutor(sharded)
+        executor = make_executor(sharded, counters)
         executor._memo[seed] = Batch.from_rows(seed.columns, rows)
         return executor.batch(self.plan).rows()
 
@@ -652,8 +655,9 @@ class ShardedPlan:
         return db
 
 
-def _run_shard(scatter: Plan, db: Database) -> list[Row]:
-    return VectorizedExecutor(db).batch(scatter).rows()
+def _run_shard(scatter: Plan, db: Database,
+               counters: "dict[str, int] | None" = None) -> list[Row]:
+    return make_executor(db, counters).batch(scatter).rows()
 
 
 def shard_plan(plan: Plan, sharded: ShardedDatabase,
@@ -824,7 +828,9 @@ class ShardedBackend:
         self._plans: "WeakKeyDictionary[ShardedDatabase, dict]" \
             = WeakKeyDictionary()
         self._lock = threading.Lock()
-        self.counters = {"scatter": 0, "single_shard": 0, "fallback": 0}
+        self.counters = {"scatter": 0, "single_shard": 0, "fallback": 0,
+                         "kernel_cache_hits": 0, "kernel_cache_misses": 0,
+                         "kernel_cache_evictions": 0}
 
     # -- plumbing ----------------------------------------------------------
 
@@ -859,7 +865,16 @@ class ShardedBackend:
         return compiled
 
     def execution_counts(self) -> dict[str, int]:
-        """``{"scatter": n, "single_shard": n, "fallback": n}`` so far."""
+        """Routing counts plus this backend's kernel-cache traffic.
+
+        ``scatter``/``single_shard``/``fallback`` count compiled-plan
+        routing; ``kernel_cache_hits``/``_misses``/``_evictions`` count
+        derived-structure cache traffic attributable to *this* backend's
+        executors (the process-wide totals are
+        :func:`repro.engine.kernels.cache_stats`).  Worker processes of the
+        ``"process"`` backend keep their own in-process caches, so their
+        traffic does not appear in the parent's counters.
+        """
         with self._lock:
             return dict(self.counters)
 
@@ -878,7 +893,7 @@ class ShardedBackend:
                     "fallback": "fallback"}[compiled.mode])
         submit = PARALLEL_BACKEND.pool().submit if compiled.mode == "scatter" \
             else None
-        return compiled.execute(sharded, submit)
+        return compiled.execute(sharded, submit, self.counters)
 
 
 #: The process-wide backend instance ``get_backend("sharded")`` serves.

@@ -86,10 +86,21 @@ class TableStats:
 
 
 def collect_table_stats(relation: Relation) -> TableStats:
-    """Compute :class:`TableStats` from the relation's column store."""
+    """Compute :class:`TableStats` from the relation's column store.
+
+    Dictionary-encoded string columns (a live kernel encoding or a decoded
+    ``"D"`` shared-memory page) answer distinct/null counts straight from
+    the dictionary — no per-refresh full-column set scan.  String columns
+    never carry numeric min/max, so the fast path loses nothing.
+    """
     store = relation.column_store()
     columns = []
-    for array in store.arrays:
+    for index, array in enumerate(store.arrays):
+        dict_stats = store.dictionary_stats(index)
+        if dict_stats is not None:
+            distinct, null_count = dict_stats
+            columns.append(ColumnStats(distinct, null_count, None, None))
+            continue
         values = [v for v in array if v is not None]
         null_count = len(array) - len(values)
         distinct = len(set(values))

@@ -63,6 +63,11 @@ from repro.engine.plan import (
     resolve_column,
 )
 
+try:  # only needed to compose numpy selections the kernel layer emits
+    import numpy as _np
+except Exception:  # pragma: no cover - the numpy-absent leg
+    _np = None  # type: ignore[assignment]
+
 _COMPARATORS = {
     "=": operator.eq,
     "<>": operator.ne,
@@ -82,7 +87,11 @@ class Vector:
 
     ``sel is None`` means the column *is* ``data``; otherwise position ``i``
     of the column is ``data[sel[i]]``.  Selections compose without touching
-    the base arrays, which is what keeps multi-join pipelines cheap.
+    the base arrays, which is what keeps multi-join pipelines cheap.  A
+    selection is normally a Python list of ints; the kernel layer's probe
+    and DISTINCT kernels hand back numpy index arrays instead, which
+    compose in C (:func:`_take`) and convert to Python ints only when a
+    column is materialized.
 
     ``nd`` is the kernel layer's hook: scans set it to ``(store, index)``
     naming the backing :class:`~repro.data.relation.ColumnStore` column, and
@@ -93,7 +102,7 @@ class Vector:
 
     __slots__ = ("data", "sel", "nd")
 
-    def __init__(self, data: list[Any], sel: list[int] | None = None,
+    def __init__(self, data: list[Any], sel: "list[int] | Any" = None,
                  nd: Any = None) -> None:
         self.data = data
         self.sel = sel
@@ -103,7 +112,10 @@ class Vector:
         if self.sel is None:
             return self.data
         data = self.data
-        return [data[i] for i in self.sel]
+        sel = self.sel
+        if type(sel) is not list:  # numpy index array from a kernel
+            sel = sel.tolist()
+        return [data[i] for i in sel]
 
 
 class Batch:
@@ -141,13 +153,15 @@ class Batch:
         return Batch(self.columns, _take(self.vectors, sel), len(sel))
 
 
-def _take(vectors: list[Vector], sel: list[int]) -> list[Vector]:
+def _take(vectors: list[Vector], sel: "list[int] | Any") -> list[Vector]:
     """Compose ``sel`` onto each vector, once per *distinct* source selection.
 
     Columns that came from the same operator share one selection list, so an
-    n-column side of a join costs one composition, not n.
+    n-column side of a join costs one composition, not n.  When either side
+    is a numpy index array (kernel probe/DISTINCT output) the composition
+    is a fancy index instead of a Python loop.
     """
-    composed: dict[int, list[int]] = {}
+    composed: dict[int, Any] = {}
     out = []
     for v in vectors:
         if v.sel is None:
@@ -156,7 +170,10 @@ def _take(vectors: list[Vector], sel: list[int]) -> list[Vector]:
         new_sel = composed.get(id(v.sel))
         if new_sel is None:
             base = v.sel
-            new_sel = [base[i] for i in sel]
+            if type(base) is list and type(sel) is list:
+                new_sel = [base[i] for i in sel]
+            else:  # numpy is importable: kernel selections only exist then
+                new_sel = _np.asarray(base, dtype=_np.intp)[sel]
             composed[id(v.sel)] = new_sel
         out.append(Vector(v.data, new_sel, v.nd))
     return out
@@ -382,15 +399,19 @@ class VectorizedExecutor:
 
     def _distinct(self, plan: DistinctP) -> Batch:
         batch = self.batch(plan.input)
+        return batch.take(self._distinct_positions(batch))
+
+    def _distinct_positions(self, batch: Batch) -> list[int]:
+        """First-occurrence positions of distinct rows — the kernel seam."""
         seen: set[Row] = set()
         add = seen.add
-        sel = []
+        sel: list[int] = []
         append = sel.append
         for i, row in enumerate(batch.rows()):
             if row not in seen:
                 add(row)
                 append(i)
-        return batch.take(sel)
+        return sel
 
     # -- joins -------------------------------------------------------------
 

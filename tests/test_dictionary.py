@@ -1,0 +1,335 @@
+"""Dictionary-encoded string columns: pages, kernels, stats, and caches.
+
+Covers the storage codec (``"D"`` sorted-dictionary string pages, ``"E"``
+low-cardinality mixed pages), the dictionary-aware kernels (string
+selections, multi-key probes, DISTINCT, DISTINCT aggregates) pinned
+bit-identical against the pure-Python executor, distinct counts sourced
+from the dictionary in ``StatsCatalog``, and the bounded derived-structure
+cache (byte-accounted LRU, hit/miss/eviction counters, per-backend sinks).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+import repro.engine.kernels as kernels
+from repro.data.database import Database
+from repro.data.relation import (
+    ColumnStore,
+    _encode_column,
+    dict_page_layout,
+    dict_page_values,
+    relation_from_rows,
+)
+from repro.engine.kernels import KernelExecutor, kernels_enabled
+from repro.engine.plan import AggregateP, DistinctP, FilterP, JoinP, ScanP
+from repro.engine.sharded import ShardedBackend
+from repro.engine.stats import StatsCatalog, collect_table_stats
+from repro.engine.vectorized import VectorizedExecutor
+from repro.expr import ast as e
+
+needs_kernels = pytest.mark.skipif(not kernels_enabled(),
+                                   reason="numpy kernels disabled")
+
+
+# ---------------------------------------------------------------------------
+# Page codec
+# ---------------------------------------------------------------------------
+
+class TestDictionaryPages:
+    def _round_trip(self, names, arrays):
+        store = ColumnStore(names, arrays)
+        decoded = ColumnStore.decode_pages(store.encode_pages())
+        assert decoded.to_rows() == store.to_rows()
+        for left, right in zip(decoded.arrays, store.arrays):
+            assert [type(v) for v in left] == [type(v) for v in right]
+        return decoded
+
+    def test_string_round_trip_with_nulls(self):
+        self._round_trip(["s"], [["b", None, "a", "b", "", None, "ü"]])
+
+    def test_all_duplicate_strings(self):
+        self._round_trip(["s"], [["x"] * 50])
+
+    def test_string_page_kind_and_layout(self):
+        store = ColumnStore(["s"], [["b", None, "a", "b"]])
+        decoded = ColumnStore.decode_pages(store.encode_pages())
+        kind, mask, payload, n_rows = decoded.pages[0]
+        assert kind == "D" and n_rows == 4
+        n_dict, width, _blob_offset, _codes_offset = dict_page_layout(payload)
+        assert (n_dict, width) == (2, 4)  # sorted {"a", "b"}, int32 codes
+        assert dict_page_values(payload) == ["a", "b"]
+        assert bytes(mask) == bytes([0, 1, 0, 0])
+
+    def test_low_cardinality_mixed_column_dict_encodes(self):
+        values = [1, "two", None, True, 1] * 10
+        kind, _mask, _payload = _encode_column(values)
+        assert kind == b"E"
+        self._round_trip(["m"], [values])
+
+    def test_mixed_dictionary_keeps_cross_type_values_distinct(self):
+        # 1 == 1.0 == True in Python; the page must still restore the
+        # original object types per row.
+        self._round_trip(["m"], [[1, 1.0, True, None] * 8])
+
+    def test_high_cardinality_mixed_column_falls_back_to_pickle(self):
+        values = [(i, "t") for i in range(20)]  # hashable but all distinct
+        kind, _mask, _payload = _encode_column(values)
+        assert kind == b"o"
+
+    def test_unhashable_mixed_column_falls_back_to_pickle(self):
+        kind, _mask, _payload = _encode_column([[1], [1], [1], [1]])
+        assert kind == b"o"
+
+
+# ---------------------------------------------------------------------------
+# dictionary_stats + StatsCatalog
+# ---------------------------------------------------------------------------
+
+class TestDictionaryStats:
+    def test_stats_from_decoded_page(self):
+        store = ColumnStore(["s"], [["b", None, "a", "b", None]])
+        decoded = ColumnStore.decode_pages(store.encode_pages())
+        assert decoded.dictionary_stats(0) == (2, 2)
+
+    def test_no_stats_for_numeric_columns(self):
+        store = ColumnStore(["i"], [[1, 2, 2]])
+        decoded = ColumnStore.decode_pages(store.encode_pages())
+        assert decoded.dictionary_stats(0) is None
+
+    def test_collect_table_stats_matches_set_scan(self):
+        rel = relation_from_rows(
+            "t", [("k", "string"), ("v", "int")],
+            [("b", 1), (None, 2), ("a", 3), ("b", None), ("c", 5)])
+        stats = collect_table_stats(rel)
+        assert stats.row_count == 5
+        k = stats.columns[0]
+        assert (k.distinct, k.null_count) == (3, 1)
+        assert k.min_value is None and k.max_value is None
+        v = stats.columns[1]
+        assert (v.distinct, v.null_count, v.min_value, v.max_value) \
+            == (4, 1, 1.0, 5.0)
+
+    @needs_kernels
+    def test_stats_reuse_live_encoding_dictionary(self):
+        rel = relation_from_rows(
+            "t", [("k", "string")], [("b",), ("a",), ("b",), (None,)])
+        store = rel.column_store()
+        assert kernels.store_encoding(store, 0) is not None
+        assert store.dictionary_stats(0) == (2, 1)
+        catalog = StatsCatalog(Database([rel]))
+        assert catalog.table("t").columns[0].distinct == 2
+
+    def test_stats_follow_appends(self):
+        rel = relation_from_rows("t", [("k", "string")], [("a",), ("a",)])
+        assert collect_table_stats(rel).columns[0].distinct == 1
+        rel.add(("z",))
+        assert collect_table_stats(rel).columns[0].distinct == 2
+
+
+# ---------------------------------------------------------------------------
+# Kernel ≡ Python equivalences
+# ---------------------------------------------------------------------------
+
+def _db():
+    users = relation_from_rows(
+        "users", [("uid", "int"), ("city", "string"), ("tier", "string")],
+        [(i, f"city{i % 7}" if i % 11 else None, "abc"[i % 3])
+         for i in range(80)])
+    orders = relation_from_rows(
+        "orders", [("ouid", "int"), ("ocity", "string"), ("amount", "int")],
+        [(i % 37, f"city{i % 9}" if i % 13 else None, i % 10)
+         for i in range(120)])
+    return Database([users, orders])
+
+
+def _both(plan, db):
+    fast = KernelExecutor(db).batch(plan).rows()
+    slow = VectorizedExecutor(db).batch(plan).rows()
+    return fast, slow
+
+
+USERS = ScanP("users", ("uid", "city", "tier"))
+ORDERS = ScanP("orders", ("ouid", "ocity", "amount"))
+
+
+@needs_kernels
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("op", ["=", "<>", "<", "<=", ">", ">="])
+    @pytest.mark.parametrize("const", ["city3", "city10", "", "zzz"])
+    def test_string_const_filter(self, op, const):
+        db = _db()
+        plan = FilterP(USERS, e.Comparison(e.Col("city"), op, e.Const(const)))
+        fast, slow = _both(plan, db)
+        assert fast == slow
+
+    @pytest.mark.parametrize("op", ["=", "<>", "<"])
+    def test_string_column_column_filter(self, op):
+        db = _db()
+        plan = FilterP(USERS, e.Comparison(e.Col("city"), op, e.Col("tier")))
+        fast, slow = _both(plan, db)
+        assert fast == slow
+
+    def test_single_string_key_join(self):
+        db = _db()
+        plan = JoinP(ORDERS, USERS, "inner", ("ocity",), ("city",),
+                     None, False)
+        fast, slow = _both(plan, db)
+        assert fast == slow  # emission order included, not just the bag
+
+    def test_multi_key_join_int_and_string(self):
+        db = _db()
+        plan = JoinP(ORDERS, USERS, "inner", ("ouid", "ocity"),
+                     ("uid", "city"), None, False)
+        fast, slow = _both(plan, db)
+        assert fast == slow
+
+    def test_null_matches_join_falls_back_identically(self):
+        db = _db()
+        plan = JoinP(ORDERS, USERS, "inner", ("ocity",), ("city",),
+                     None, True)
+        fast, slow = _both(plan, db)
+        assert fast == slow
+
+    def test_join_probe_of_non_scan_build_side(self):
+        db = _db()
+        filtered = FilterP(USERS, e.Comparison(
+            e.Col("tier"), "<>", e.Const("c")))
+        plan = JoinP(ORDERS, filtered, "inner", ("ocity",), ("city",),
+                     None, False)
+        fast, slow = _both(plan, db)
+        assert fast == slow
+
+    def test_distinct_on_strings_and_nulls(self):
+        db = _db()
+        plan = DistinctP(USERS)
+        fast, slow = _both(plan, db)
+        assert fast == slow  # first-occurrence order included
+
+    def test_distinct_after_projection(self):
+        from repro.engine.plan import ProjectP
+        db = _db()
+        plan = DistinctP(ProjectP(USERS, (e.Col("city"), e.Col("tier")),
+                                  ("c", "t")))
+        fast, slow = _both(plan, db)
+        assert fast == slow
+
+    @pytest.mark.parametrize("fn", ["count", "sum", "avg", "min", "max"])
+    def test_distinct_aggregates(self, fn):
+        db = _db()
+        plan = AggregateP(
+            ORDERS, (e.Col("ouid"),),
+            ((e.FuncCall(fn, (e.Col("amount"),), distinct=True), "agg"),))
+        fast, slow = _both(plan, db)
+        assert fast == slow
+
+    def test_count_distinct_strings(self):
+        db = _db()
+        # NULL-free group keys keep the kernel engaged.
+        plan = AggregateP(
+            ORDERS, (e.Col("amount"),),
+            ((e.FuncCall("count", (e.Col("ocity"),), distinct=True), "agg"),))
+        fast, slow = _both(plan, db)
+        assert fast == slow
+
+    def test_kernel_executor_without_kernels_is_pure_python(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "0")
+        db = _db()
+        plan = DistinctP(USERS)
+        fast, slow = _both(plan, db)
+        assert fast == slow
+
+
+# ---------------------------------------------------------------------------
+# Derived-structure cache
+# ---------------------------------------------------------------------------
+
+@needs_kernels
+class TestKernelCache:
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self):
+        kernels.clear_cache()
+        yield
+        kernels.clear_cache()
+
+    def test_build_structure_cached_across_queries(self):
+        db = _db()
+        plan = JoinP(ORDERS, USERS, "inner", ("ouid", "ocity"),
+                     ("uid", "city"), None, False)
+        sink: dict[str, int] = {}
+        executor = KernelExecutor(db, sink)
+        first = executor.batch(plan).rows()
+        misses_after_first = sink.get("kernel_cache_misses", 0)
+        assert misses_after_first >= 1
+        executor2 = KernelExecutor(db, sink)
+        assert executor2.batch(plan).rows() == first
+        assert sink.get("kernel_cache_hits", 0) >= 1
+        assert sink.get("kernel_cache_misses", 0) == misses_after_first
+
+    def test_cache_stats_shape(self):
+        stats = kernels.cache_stats()
+        for key in ("entries", "bytes", "budget_bytes",
+                    "hits", "misses", "evictions"):
+            assert key in stats
+
+    def test_byte_budget_evicts_lru(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_CACHE_BUDGET", 1)
+        db = _db()
+        plan = JoinP(ORDERS, USERS, "inner", ("ocity",), ("city",),
+                     None, False)
+        sink: dict[str, int] = {}
+        KernelExecutor(db, sink).batch(plan).rows()
+        assert sink.get("kernel_cache_evictions", 0) >= 1
+        assert kernels.cache_stats()["bytes"] <= 1
+
+    def test_entry_limit_bounds_the_cache(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_CACHE_ENTRY_LIMIT", 4)
+        for i in range(10):
+            rel = relation_from_rows(
+                f"t{i}", [("k", "string"), ("v", "int")],
+                [(f"s{j}", j) for j in range(5)])
+            db = Database([rel])
+            scan = ScanP(f"t{i}", ("k", "v"))
+            plan = JoinP(scan, scan, "inner", ("k",), ("k",), None, False)
+            KernelExecutor(db).batch(plan).rows()
+        assert kernels.cache_stats()["entries"] <= 4
+
+    def test_service_cache_info_exposes_kernel_cache(self):
+        from repro.core.service import QueryService
+
+        with QueryService() as service:
+            service.answer(
+                "SELECT S.sname FROM Sailors S, Reserves R "
+                "WHERE S.sid = R.sid")
+            info = service.cache_info()
+        snapshot = kernels.cache_stats()
+        assert info["kernel_cache_entries"] == snapshot["entries"]
+        assert info["kernel_cache_bytes"] == snapshot["bytes"]
+        for key in ("kernel_cache_hits", "kernel_cache_misses",
+                    "kernel_cache_evictions"):
+            assert info[key] >= 0
+
+    def test_sharded_backend_reports_kernel_counters(self):
+        rel = relation_from_rows(
+            "t", [("k", "int"), ("s", "string")],
+            [(i, f"v{i % 5}") for i in range(40)])
+        db = Database([rel])
+        backend = ShardedBackend(n_shards=2)
+        scan = ScanP("t", ("k", "s"))
+        scan2 = ScanP("t", ("k2", "s2"))
+        plan = JoinP(scan, scan2, "inner", ("s",), ("s2",), None, False)
+        counts = backend.execution_counts()
+        for key in ("kernel_cache_hits", "kernel_cache_misses",
+                    "kernel_cache_evictions"):
+            assert counts[key] == 0
+        reference = Counter(VectorizedExecutor(db).batch(plan).rows())
+        assert Counter(backend.execute(plan, db)) == reference
+        assert Counter(backend.execute(plan, db)) == reference
+        counts = backend.execution_counts()
+        traffic = counts["kernel_cache_hits"] + counts["kernel_cache_misses"]
+        assert traffic >= 1
+        # A second backend keeps its own traffic (per-service isolation).
+        assert ShardedBackend(n_shards=2).execution_counts()[
+            "kernel_cache_hits"] == 0

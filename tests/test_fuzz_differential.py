@@ -102,7 +102,16 @@ BACKENDS = [
 
 _INT_VALUES = st.one_of(st.integers(min_value=0, max_value=6),
                         st.none())
-_STR_VALUES = st.one_of(st.sampled_from(["a", "b", "c"]), st.none())
+#: String column profiles: a small shared pool (join keys usually match), a
+#: high-cardinality pool (dictionary codes dominate values), and a
+#: heavy-duplicate pool (repeated entries skew sampling toward one value) —
+#: each mixed with ``None`` so dictionary masks and NULL-key join/DISTINCT
+#: semantics are exercised on every backend.
+_SMALL_POOL = ["a", "b", "c"]
+_HIGH_CARD_POOL = [f"s{i:02d}" for i in range(24)]
+_HEAVY_DUP_POOL = ["k0"] * 6 + ["k1", "k2"]
+_STR_POOLS = [_SMALL_POOL, _HIGH_CARD_POOL, _HEAVY_DUP_POOL]
+_STR_CONSTS = ["a", "b", "c", "s03", "s17", "k0"]
 
 
 class _Names:
@@ -124,13 +133,18 @@ def _typed(columns: tuple[str, ...]) -> list[tuple[str, str]]:
 @st.composite
 def _relation(draw, names: _Names, index: int):
     arity = draw(st.integers(min_value=2, max_value=4))
-    dtypes = ["int"] + [draw(st.sampled_from(["int", "str"]))
-                        for _ in range(arity - 1)]
+    # The first column (the default shard key) is usually int but sometimes a
+    # string, so hash-partitioning and point routing run over dictionary-coded
+    # keys too.
+    dtypes = [draw(st.sampled_from(["int", "int", "str"]))] + [
+        draw(st.sampled_from(["int", "str"])) for _ in range(arity - 1)]
+    pool = draw(st.sampled_from(_STR_POOLS))
+    str_values = st.one_of(st.sampled_from(pool), st.none())
     n_rows = draw(st.integers(min_value=0, max_value=20))
     rows = []
     for _ in range(n_rows):
         rows.append(tuple(
-            draw(_INT_VALUES if d == "int" else _STR_VALUES) for d in dtypes))
+            draw(_INT_VALUES if d == "int" else str_values) for d in dtypes))
     columns = [(f"r{index}_a{j}", d) for j, d in enumerate(dtypes)]
     return relation_from_rows(f"R{index}", columns, rows), dtypes
 
@@ -147,7 +161,7 @@ def _condition(draw, columns: tuple[str, ...]):
     else:
         other = e.Const(draw(st.integers(min_value=0, max_value=6)
                              if dtype == "int"
-                             else st.sampled_from(["a", "b", "c"])))
+                             else st.sampled_from(_STR_CONSTS)))
     comparison: e.Expr = e.Comparison(e.Col(name), op, other)
     wrap = draw(st.integers(min_value=0, max_value=3))
     if wrap == 1:

@@ -114,12 +114,19 @@ class TestColumnPages:
             ["i", "s", "f"],
             [[1, 2, None], ["x", None, "z"], [0.5, 1.5, 2.5]])
 
-    def test_numeric_pages_are_zero_copy_views(self):
-        store = ColumnStore(["i", "f", "s"],
-                            [[1, 2, 3], [0.5, None, 2.5], ["a", "b", "c"]])
+    def test_kernel_pages_are_retained(self):
+        store = ColumnStore(["i", "f", "s", "m"],
+                            [[1, 2, 3], [0.5, None, 2.5], ["a", "b", "c"],
+                             [1, "two", None]])
         decoded = ColumnStore.decode_pages(store.encode_pages())
-        # int and float columns keep raw page views for the kernel layer.
-        assert set(decoded.pages) == {0, 1}
+        # int, float, and dictionary-coded string columns keep raw page
+        # views for the kernel layer; mixed pickle columns do not.
+        assert set(decoded.pages) == {0, 1, 2}
+        assert decoded.pages[0][0] == "q"
+        assert decoded.pages[1][0] == "d"
+        assert decoded.pages[2][0] == "D"
+        # Pages carry the row count so the kernels can verify freshness.
+        assert all(page[3] == 3 for page in decoded.pages.values())
 
     def test_garbage_buffer_rejected(self):
         with pytest.raises(RelationError):
