@@ -102,7 +102,7 @@ def synthetic_star(n_fact: int, seed: int = 7) -> Database:
         [(i, f"tag{i:06d}", f"r{i % 23:02d}") for i in range(n_dim)])
     fact_rows = []
     state = seed
-    for i in range(n_fact):
+    for _ in range(n_fact):
         state = (state * 1103515245 + 12345) % (1 << 31)
         fk = state % n_dim
         fact_rows.append(

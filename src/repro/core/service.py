@@ -420,7 +420,7 @@ class QueryService:
             # up by delta plans instead of recomputing.
             self.stats.bump("view_hits")
             return view.answer(warnings=warnings)
-        for attempt in range(self.max_retries):
+        for _attempt in range(self.max_retries):
             version = self._cache_version()
             key = (fingerprint, version)
             cached = self._results.get(key, _MISS)
@@ -581,7 +581,7 @@ class QueryService:
         under the write lock, so every profile in the dict describes the
         same database version.
         """
-        for attempt in range(self.max_retries):
+        for _attempt in range(self.max_retries):
             version = self.db.version
             snapshot = {name: self.table_statistics.table(name)
                         for name in self.db.relation_names}

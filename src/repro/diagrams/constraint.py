@@ -107,7 +107,7 @@ class ConstraintDiagram:
                 (), frame.id, "plaintext",
             ))
             spider_nodes[spider.name] = node.id
-        for index, arrow in enumerate(self.arrows):
+        for arrow in self.arrows:
             source = spider_nodes.get(arrow.source) or f"anchor_{arrow.source}"
             target = spider_nodes.get(arrow.target) or f"anchor_{arrow.target}"
             if source in diagram.nodes and target in diagram.nodes:

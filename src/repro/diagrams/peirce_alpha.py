@@ -192,7 +192,7 @@ def alpha_diagram(source: "Formula | AlphaGraph", *, name: str = "alpha graph") 
     sheet = diagram.add_group(DiagramGroup("sheet", "sheet of assertion", None, "dashed"))
 
     def emit(node: AlphaGraph, parent: str) -> None:
-        for index, letter in enumerate(node.letters):
+        for letter in node.letters:
             diagram.add_node(DiagramNode(diagram.fresh_id("p"), "proposition", letter,
                                          (), parent, "plaintext"))
         for cut in node.cuts:

@@ -145,9 +145,8 @@ def _holds(formula: Formula, db: Database, env: Env, domain: list[Any]) -> bool:
         return not _holds(formula.operand, db, env, domain)
     if isinstance(formula, Exists):
         names = [v.name for v in formula.variables]
-        for extended in _assignments(names, formula.body, db, dict(env), domain):
-            del extended  # only existence matters
-            return True
+        for _extended in _assignments(names, formula.body, db, dict(env), domain):
+            return True  # only existence matters
         return False
     raise DRCError(f"_holds: unhandled node {type(formula).__name__}")
 

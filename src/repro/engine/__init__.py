@@ -92,6 +92,13 @@ from repro.engine.stats import (
     TableStats,
     collect_table_stats,
 )
+from repro.engine.verify import (
+    PlanVerificationError,
+    verification_counts,
+    verification_enabled,
+    verify_plan,
+    verify_sharded_plan,
+)
 from repro.engine.plan import (
     AggregateP,
     DeltaScanP,
@@ -133,6 +140,7 @@ __all__ = [
     "ParallelExecutor",
     "Plan",
     "PlanError",
+    "PlanVerificationError",
     "ProcessBackend",
     "ProjectP",
     "RowBackend",
@@ -186,4 +194,8 @@ __all__ = [
     "run_query",
     "shard_plan",
     "split_aggregate",
+    "verification_counts",
+    "verification_enabled",
+    "verify_plan",
+    "verify_sharded_plan",
 ]

@@ -58,6 +58,7 @@ from repro.engine.plan import (
     SetOpP,
     SortLimitP,
 )
+from repro.engine.verify import maybe_verify
 
 __all__ = [
     "AggregateMaintainer",
@@ -388,9 +389,13 @@ class _DeltaSource:
 
         self.plan = plan
         # Hoisting first lets every term flatten into one join tree, which
-        # the cost-based reorder then seats at its tiny delta window.
+        # the cost-based reorder then seats at its tiny delta window.  Each
+        # term is verified as produced (before the optimizer's own hooks
+        # run) so a bad delta rewrite is reported under its own rule name.
         hoisted = hoist_projections(plan)
-        self.terms = [(term_delta_relation(term), optimize(term, db))
+        self.terms = [(term_delta_relation(term),
+                       optimize(maybe_verify(term, db, rule="delta_terms"),
+                                db))
                       for term in delta_terms(hoisted)]
 
     def full_rows(self, db: Database, backend: str) -> list[Row]:
@@ -406,6 +411,8 @@ class _DeltaSource:
         union = active[0]
         for term in active[1:]:
             union = SetOpP("union", union, term, distinct=False)
+        # About to execute: every delta window must be anchored by now.
+        maybe_verify(union, db, rule="anchor", require_anchored=True)
         return get_backend(backend).execute(union, db)
 
 
@@ -671,7 +678,7 @@ class AggregateMaintainer(ViewMaintainer):
             if entry is None:
                 entry = (row, [make() for make, _value in specs])
                 groups[key] = entry
-            for (make, value_fn), acc in zip(specs, entry[1]):
+            for (_make, value_fn), acc in zip(specs, entry[1]):
                 acc.update(row if value_fn is None else value_fn(row))
 
     def rows(self) -> list[Row]:

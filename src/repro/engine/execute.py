@@ -879,7 +879,7 @@ def compute_datalog_facts(program: Any, db: Database,
                 if rule.is_fact:
                     facts[rule.head.predicate.lower()].add(_fact_row(rule))
                     continue
-                for position, item in enumerate(rule.body):
+                for item in rule.body:
                     if isinstance(item, Literal) and not item.negated \
                             and item.predicate.lower() in changed:
                         referenced.add(item.predicate.lower())

@@ -47,6 +47,7 @@ from repro.engine.plan import (
     resolve_column,
 )
 from repro.engine.stats import StatsCatalog, estimate_rows
+from repro.engine.verify import maybe_verify
 
 __all__ = [
     "common_subplan_count",
@@ -67,14 +68,22 @@ def optimize(plan: Plan, db: Database | None = None, *,
     plans over one database (the Datalog fixpoint does), so per-relation
     profiles are collected once instead of per plan.
     """
-    plan = push_down_filters(plan)
-    plan = promote_hash_keys(plan)
+    # Under REPRO_VERIFY_PLANS each rewrite's output is statically verified,
+    # so a rule that breaks a plan is caught here naming the rule instead of
+    # surfacing later as a wrong answer or executor error.
+    plan = maybe_verify(push_down_filters(plan), db,
+                        rule="push_down_filters")
+    plan = maybe_verify(promote_hash_keys(plan), db,
+                        rule="promote_hash_keys")
     if stats is None and db is not None:
         stats = StatsCatalog(db)
     if stats is not None:
-        plan = reorder_joins(plan, stats.db, stats=stats)
-        plan = promote_hash_keys(plan)
-    plan = eliminate_common_subexpressions(plan)
+        plan = maybe_verify(reorder_joins(plan, stats.db, stats=stats),
+                            stats.db, rule="reorder_joins")
+        plan = maybe_verify(promote_hash_keys(plan), stats.db,
+                            rule="promote_hash_keys")
+    plan = maybe_verify(eliminate_common_subexpressions(plan), db,
+                        rule="eliminate_common_subexpressions")
     return plan
 
 

@@ -79,6 +79,7 @@ from repro.engine.plan import (
 from repro.engine.kernels import make_executor
 from repro.engine.stats import StatsCatalog
 from repro.engine.vectorized import Batch, _column_position
+from repro.engine.verify import maybe_verify_sharded, verification_counts
 
 __all__ = [
     "NotDistributable",
@@ -666,8 +667,17 @@ def shard_plan(plan: Plan, sharded: ShardedDatabase,
 
     Walks down from the root shedding finishing operators until a
     distributable core (or a splittable group-by over one) is found; falls
-    back to single-node execution when none exists.
+    back to single-node execution when none exists.  Under
+    ``REPRO_VERIFY_PLANS`` the compiled plan is certified by the static
+    verifier (:func:`repro.engine.verify.verify_sharded_plan`) before it is
+    returned.
     """
+    return maybe_verify_sharded(_compile_shard_plan(plan, sharded, stats),
+                                sharded)
+
+
+def _compile_shard_plan(plan: Plan, sharded: ShardedDatabase,
+                        stats: StatsCatalog | None) -> ShardedPlan:
     node = plan
     shed: list[Plan] = []  # finishers shed on the way down, outermost first
     while True:
@@ -874,9 +884,14 @@ class ShardedBackend:
         :func:`repro.engine.kernels.cache_stats`).  Worker processes of the
         ``"process"`` backend keep their own in-process caches, so their
         traffic does not appear in the parent's counters.
+        ``plans_verified``/``plans_failed`` report the process-wide static
+        verifier tallies (see :mod:`repro.engine.verify`) so operators can
+        confirm the ``REPRO_VERIFY_PLANS`` hooks actually ran.
         """
         with self._lock:
-            return dict(self.counters)
+            counts = dict(self.counters)
+        counts.update(verification_counts())
+        return counts
 
     def _bump(self, name: str) -> None:
         with self._lock:

@@ -12,6 +12,12 @@ _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
+# The static plan verifier is on by default under the test suite (and in the
+# fuzz harness): every optimizer rewrite, delta rewrite, and sharded-plan
+# compilation is certified as it happens.  Export REPRO_VERIFY_PLANS=0 to
+# time the suite without verification.
+os.environ.setdefault("REPRO_VERIFY_PLANS", "1")
+
 from repro.data import Database, sailors_database, empty_sailors_database  # noqa: E402
 from repro.queries import CANONICAL_QUERIES  # noqa: E402
 

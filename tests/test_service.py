@@ -251,7 +251,7 @@ class TestConcurrencyHammer:
         def reader() -> None:
             try:
                 start_gate.wait()
-                for i in range(self.ITERATIONS):
+                for _ in range(self.ITERATIONS):
                     version_lo = service.db.version
                     n = handles[0].answer().rows()[0][0]
                     version_hi = service.db.version

@@ -1,0 +1,396 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant lint: machine-check the conventions the engine
+relies on but no general-purpose linter knows about.
+
+Rules (see tools/README.md for how to add one):
+
+``lock-guarded-cache``
+    Shared mutable caches — the serving layer's ``_LRUCache`` data, the
+    optimizer's ``StatsCatalog`` profile cache, and the kernel layer's
+    module-level build-structure LRU — may only be mutated inside a ``with
+    <their lock>:`` block (class ``__init__`` excepted: the object is not
+    shared yet).
+
+``shm-finalizer``
+    Any module creating ``multiprocessing.shared_memory`` segments
+    (``SharedMemory(create=True)``) must also register a
+    ``weakref.finalize`` hook and call ``.unlink()`` somewhere, so segments
+    cannot leak past the owning object's lifetime.
+
+``kernel-fallback``
+    Every numpy kernel entry point (module-level ``kernel_*`` function in
+    ``repro/engine/kernels.py``) must contain a reachable ``return None``
+    decline path — the executor treats ``None`` as "use the pure-Python
+    fallback", which is what keeps the numpy-absent CI leg green.
+
+``silent-except``
+    Engine/serving code must not swallow exceptions silently: an ``except
+    Exception:`` / bare ``except:`` handler whose body is only
+    ``pass``/``...`` needs an inline ``#`` comment justifying the swallow
+    (or should be narrowed / made to re-raise).
+
+Usage: ``python tools/check_invariants.py [--root REPO_ROOT]``.
+Exits 0 when clean, 1 with one ``path:line: [rule] message`` per violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class Violation:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# Rule: lock-guarded-cache
+# ---------------------------------------------------------------------------
+
+#: Method names that mutate a dict / OrderedDict / list / set in place.
+_MUTATING_METHODS = frozenset({
+    "add", "append", "clear", "discard", "extend", "insert", "move_to_end",
+    "pop", "popitem", "remove", "setdefault", "update", "__setitem__",
+})
+
+#: (relative path, scope, protected attribute/global names, lock expression).
+#: Scope "class:Name" protects ``self.<attr>`` inside that class (lock
+#: ``self.<lock>``); scope "module" protects module globals (lock a global).
+CACHE_RULES: tuple[tuple[str, str, frozenset, str], ...] = (
+    ("src/repro/core/pipeline.py", "class:_LRUCache",
+     frozenset({"_data"}), "_lock"),
+    ("src/repro/engine/stats.py", "class:StatsCatalog",
+     frozenset({"_cache"}), "_lock"),
+    ("src/repro/engine/kernels.py", "module",
+     frozenset({"_CACHE", "_CACHE_BYTES", "_CACHE_TOTALS"}), "_CACHE_LOCK"),
+)
+
+
+def _is_self_attr(node: ast.AST, names: frozenset) -> bool:
+    return (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self" and node.attr in names)
+
+
+def _is_lock_expr(node: ast.AST, scope: str, lock: str) -> bool:
+    if scope == "module":
+        return isinstance(node, ast.Name) and node.id == lock
+    return _is_self_attr(node, frozenset({lock}))
+
+
+class _LockChecker(ast.NodeVisitor):
+    """Flags mutations of protected names outside their lock's ``with``."""
+
+    def __init__(self, path: str, scope: str, names: frozenset,
+                 lock: str) -> None:
+        self.path = path
+        self.scope = scope
+        self.names = names
+        self.lock = lock
+        self.locked = 0
+        self.function_depth = 0
+        self.violations: list[Violation] = []
+
+    def _protected(self, node: ast.AST) -> "str | None":
+        """The protected name ``node`` refers to, if any."""
+        if self.scope == "module":
+            if isinstance(node, ast.Name) and node.id in self.names:
+                return node.id
+        elif _is_self_attr(node, self.names):
+            return node.attr  # type: ignore[union-attr]
+        return None
+
+    def _flag(self, node: ast.AST, name: str, what: str) -> None:
+        lock = self.lock if self.scope == "module" else f"self.{self.lock}"
+        self.violations.append(Violation(
+            self.path, getattr(node, "lineno", 0), "lock-guarded-cache",
+            f"{what} of shared cache {name!r} outside `with {lock}:`"))
+
+    def _check_target(self, node: ast.AST, target: ast.AST,
+                     what: str) -> None:
+        base = target
+        while isinstance(base, ast.Subscript):
+            base = base.value
+        name = self._protected(base)
+        if name is not None and not self.locked:
+            # Module-level initialization (the original binding) is allowed;
+            # rebinding or item mutation inside a function is not.
+            if self.scope == "module" and self.function_depth == 0 \
+                    and isinstance(target, ast.Name):
+                return
+            self._flag(node, name, what)
+
+    def visit_With(self, node: ast.With) -> None:
+        held = any(_is_lock_expr(item.context_expr, self.scope, self.lock)
+                   for item in node.items)
+        if held:
+            self.locked += 1
+        self.generic_visit(node)
+        if held:
+            self.locked -= 1
+
+    def _visit_function(self, node: ast.AST) -> None:
+        if self.scope.startswith("class:") \
+                and getattr(node, "name", "") == "__init__":
+            return  # construction: the object is not shared yet
+        self.function_depth += 1
+        self.generic_visit(node)
+        self.function_depth -= 1
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(node, target, "assignment")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node, node.target, "augmented assignment")
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_target(node, target, "deletion")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) \
+                and func.attr in _MUTATING_METHODS:
+            name = self._protected(func.value)
+            if name is not None and not self.locked:
+                self._flag(node, name, f".{func.attr}() call")
+        self.generic_visit(node)
+
+
+def check_lock_guarded_caches(root: str) -> list[Violation]:
+    violations: list[Violation] = []
+    for rel_path, scope, names, lock in CACHE_RULES:
+        path = os.path.join(root, rel_path)
+        tree = _parse(path)
+        if tree is None:
+            continue  # a deleted module fails imports long before this lint
+        if scope == "module":
+            scopes: Iterable[ast.AST] = (tree,)
+        else:
+            wanted = scope.split(":", 1)[1]
+            scopes = tuple(n for n in ast.walk(tree)
+                           if isinstance(n, ast.ClassDef) and n.name == wanted)
+            if not scopes:
+                violations.append(Violation(
+                    rel_path, 0, "lock-guarded-cache",
+                    f"configured class {wanted!r} not found"))
+        for scope_node in scopes:
+            checker = _LockChecker(rel_path, scope, names, lock)
+            checker.generic_visit(scope_node)
+            violations.extend(checker.violations)
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Rule: shm-finalizer
+# ---------------------------------------------------------------------------
+
+def _creates_shared_memory(tree: ast.AST) -> "int | None":
+    """Line of the first ``SharedMemory(..., create=True)`` call, if any."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        callee = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None)
+        if callee != "SharedMemory":
+            continue
+        for kw in node.keywords:
+            if kw.arg == "create" and not (
+                    isinstance(kw.value, ast.Constant)
+                    and kw.value.value is False):
+                return node.lineno
+    return None
+
+
+def check_shm_finalizers(root: str) -> list[Violation]:
+    violations: list[Violation] = []
+    for _path, rel_path, tree in _walk_sources(root, ("src/repro",)):
+        line = _creates_shared_memory(tree)
+        if line is None:
+            continue
+        has_finalize = any(
+            isinstance(n, ast.Attribute) and n.attr == "finalize"
+            for n in ast.walk(tree))
+        has_unlink = any(
+            isinstance(n, ast.Call) and isinstance(n.func, ast.Attribute)
+            and n.func.attr == "unlink" for n in ast.walk(tree))
+        if not has_finalize:
+            violations.append(Violation(
+                rel_path, line, "shm-finalizer",
+                "SharedMemory(create=True) without a weakref.finalize "
+                "registration in the module (segments would outlive their "
+                "owner on abnormal exit)"))
+        if not has_unlink:
+            violations.append(Violation(
+                rel_path, line, "shm-finalizer",
+                "SharedMemory(create=True) without any .unlink() call in "
+                "the module (no release path for the OS segment)"))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Rule: kernel-fallback
+# ---------------------------------------------------------------------------
+
+_KERNELS_PATH = "src/repro/engine/kernels.py"
+
+
+def _has_return_none(fn: ast.AST) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Return):
+            value = node.value
+            if value is None or (isinstance(value, ast.Constant)
+                                 and value.value is None):
+                return True
+    return False
+
+
+def check_kernel_fallbacks(root: str) -> list[Violation]:
+    tree = _parse(os.path.join(root, _KERNELS_PATH))
+    if tree is None:
+        return []  # a deleted module fails imports long before this lint
+    violations = []
+    for node in tree.body:  # module-level entry points only
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node.name.startswith("kernel_") \
+                and not _has_return_none(node):
+            violations.append(Violation(
+                _KERNELS_PATH, node.lineno, "kernel-fallback",
+                f"kernel entry point {node.name}() has no `return None` "
+                f"decline path (pure-Python fallback unreachable)"))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Rule: silent-except
+# ---------------------------------------------------------------------------
+
+#: Packages where exception swallowing must be justified.
+_SERVING_PACKAGES = ("src/repro/engine", "src/repro/core", "src/repro/data")
+
+
+def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    names = []
+    if isinstance(handler.type, ast.Tuple):
+        names = [e.id for e in handler.type.elts if isinstance(e, ast.Name)]
+    elif isinstance(handler.type, ast.Name):
+        names = [handler.type.id]
+    return any(name in ("Exception", "BaseException") for name in names)
+
+
+def _is_silent_body(body: list) -> bool:
+    return all(isinstance(stmt, ast.Pass)
+               or (isinstance(stmt, ast.Expr)
+                   and isinstance(stmt.value, ast.Constant)
+                   and stmt.value.value is ...)
+               for stmt in body)
+
+
+def check_silent_excepts(root: str) -> list[Violation]:
+    violations: list[Violation] = []
+    for path, rel_path, tree in _walk_sources(root, _SERVING_PACKAGES):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except OSError:
+            lines = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad_handler(node) or not _is_silent_body(node.body):
+                continue
+            # A swallow is acceptable only when some line of the handler
+            # carries an inline comment saying why.
+            start = node.lineno - 1
+            end = max(stmt.end_lineno or stmt.lineno for stmt in node.body)
+            commented = any("#" in line for line in lines[start:end])
+            if not commented:
+                violations.append(Violation(
+                    rel_path, node.lineno, "silent-except",
+                    "broad except handler swallows exceptions with a bare "
+                    "pass and no justifying comment"))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+ALL_RULES = (
+    check_lock_guarded_caches,
+    check_shm_finalizers,
+    check_kernel_fallbacks,
+    check_silent_excepts,
+)
+
+
+def _parse(path: str) -> "ast.AST | None":
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return ast.parse(fh.read(), filename=path)
+    except (OSError, SyntaxError):
+        return None
+
+
+def _walk_sources(root: str, packages: tuple
+                  ) -> Iterator[tuple[str, str, ast.AST]]:
+    for package in packages:
+        base = os.path.join(root, package)
+        for dirpath, _dirnames, filenames in os.walk(base):
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                tree = _parse(path)
+                if tree is not None:
+                    yield path, os.path.relpath(path, root), tree
+
+
+def run_checks(root: str) -> list[Violation]:
+    """All violations across every rule, sorted by location."""
+    violations: list[Violation] = []
+    for rule in ALL_RULES:
+        violations.extend(rule(root))
+    return sorted(violations, key=lambda v: (v.path, v.line, v.rule))
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: this script's parent's parent)")
+    args = parser.parse_args(argv)
+    violations = run_checks(args.root)
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(f"{len(violations)} invariant violation(s)")
+        return 1
+    print("invariant lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
