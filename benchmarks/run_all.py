@@ -36,7 +36,7 @@ ARTIFACT_DIR = os.environ.get("REPRO_BENCH_ARTIFACTS",
 #: what to call the measured configuration.
 _WALL_MS_KEYS = ("engine_ms", "process_ms", "sharded_ms", "kernel_ms",
                  "vectorized_ms", "parallel_ms", "warm_ms", "incremental_ms",
-                 "semi_naive_ms")
+                 "semi_naive_ms", "serving_ms")
 _BACKEND_LABELS = {
     "E1-join-heavy": "engine",
     "E1-catalog": "engine",
@@ -48,6 +48,7 @@ _BACKEND_LABELS = {
     "E5-sharded-scatter-gather": "sharded",
     "E6-process-scatter-gather": "process",
     "K1-kernel-microbench": "kernel",
+    "E9-async-serving": "server",
 }
 
 
@@ -60,8 +61,9 @@ def _normalize_cell(experiment: str, cell: dict) -> dict | None:
     workload = cell.get("workload") or cell.get("query") \
         or (f"{cell['tables']}-table-chain" if "tables" in cell else None) \
         or experiment
-    size = cell.get("reserves") or cell.get("tables") or cell.get("nodes") \
-        or cell.get("rounds") or cell.get("answer_rows") or 0
+    size = cell.get("clients") or cell.get("reserves") or cell.get("tables") \
+        or cell.get("nodes") or cell.get("rounds") or cell.get("answer_rows") \
+        or 0
     return {
         "workload": str(workload),
         "size": int(size),
@@ -140,6 +142,16 @@ def _run_e6(smoke: bool) -> list[dict]:
     return [artifact]
 
 
+def _run_e9(smoke: bool) -> list[dict]:
+    import bench_e9_serving
+
+    artifact = bench_e9_serving.run_experiment(smoke=smoke)
+    failures = bench_e9_serving.check_gates(artifact)
+    if failures:
+        raise SystemExit("E9 gate failed:\n" + "\n".join(failures))
+    return [artifact]
+
+
 def _run_k1(smoke: bool) -> list[dict]:
     import bench_k1_kernels
 
@@ -157,6 +169,7 @@ SUITES = {
     "e4": _run_e4,
     "e5": _run_e5,
     "e6": _run_e6,
+    "e9": _run_e9,
     "k1": _run_k1,
 }
 

@@ -39,6 +39,13 @@ from repro.core.service import (
     QueryService,
     ServiceStats,
 )
+from repro.core.service_api import (
+    OverloadedError,
+    QueryResult,
+    ServiceAPI,
+    ServiceError,
+    wrap_service_error,
+)
 from repro.core.sharded_service import ShardedQueryService
 from repro.core.principles import (
     PRINCIPLES,
@@ -84,11 +91,16 @@ __all__ = [
     "explain_calculus",
     "Principle",
     "PrincipleScore",
+    "OverloadedError",
     "QueryPattern",
+    "QueryResult",
     "QueryService",
     "QueryVisualizationPipeline",
+    "ServiceAPI",
+    "ServiceError",
     "ServiceStats",
     "ShardedQueryService",
+    "wrap_service_error",
     "REGISTRY",
     "compare",
     "compute_layout",

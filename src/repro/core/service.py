@@ -58,6 +58,13 @@ from repro.core.pipeline import (
     QueryVisualizationPipeline,
     fingerprint_query,
 )
+from repro.core.service_api import (
+    QueryResult,
+    ServiceBase,
+    UnknownLanguageError,
+    UnknownViewError,
+    ViewConflictError,
+)
 from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.engine.kernels import cache_stats as kernel_cache_stats
@@ -103,6 +110,13 @@ class PreparedQuery:
         """Serve this query's answers (frozen; take ``.copy()`` to mutate)."""
         return self.service._serve(self.text, self.language, self.fingerprint,
                                    warnings)
+
+    def query(self) -> QueryResult:
+        """Serve as a structured envelope (see :meth:`QueryService.query`)."""
+        warnings: list[str] = []
+        relation = self.answer(warnings=warnings)
+        return self.service._envelope(relation, self.language,
+                                      self.fingerprint, warnings)
 
     def __repr__(self) -> str:
         return f"PreparedQuery({self.language}: {self.text!r})"
@@ -337,8 +351,13 @@ class MaterializedView:
                 f"{self.text!r}, strategy={self.strategy})")
 
 
-class QueryService:
-    """Thread-safe serving of the five-language pipeline (see module docs)."""
+class QueryService(ServiceBase):
+    """Thread-safe serving of the five-language pipeline (see module docs).
+
+    Implements :class:`~repro.core.service_api.ServiceAPI`; protocol front
+    ends (the HTTP tier in :mod:`repro.server`) are written against that
+    protocol, not this class.
+    """
 
     def __init__(self, db: Database | None = None, *,
                  backend: str = "vectorized",
@@ -375,7 +394,7 @@ class QueryService:
         return self._serve(text, resolved, fingerprint_query(text, resolved),
                            warnings)
 
-    def prepare(self, text: str, language: str | None = None) -> PreparedQuery:
+    def prepare(self, text: str, *, language: str | None = None) -> PreparedQuery:
         """Parse + plan one query now; serve it repeatedly via the handle.
 
         Syntax errors surface here.  Queries outside the engine fragment
@@ -392,8 +411,10 @@ class QueryService:
 
         resolved = (language or detect_language(text)).lower()
         if resolved not in PIPELINE_LANGUAGES:
-            raise ValueError(
-                f"unknown language {resolved!r}; expected one of {PIPELINE_LANGUAGES}"
+            raise UnknownLanguageError(
+                f"unknown language {resolved!r}; expected one of {PIPELINE_LANGUAGES}",
+                detail={"language": resolved,
+                        "expected": list(PIPELINE_LANGUAGES)},
             )
         return resolved
 
@@ -496,15 +517,19 @@ class QueryService:
             if existing is not None:
                 if (name is not None and name != existing.name) \
                         or refresh != existing.refresh_policy:
-                    raise ValueError(
+                    raise ViewConflictError(
                         f"query already registered as view {existing.name!r} "
                         f"with refresh={existing.refresh_policy!r}; "
-                        "unregister it first to change name or policy"
+                        "unregister it first to change name or policy",
+                        detail={"name": existing.name,
+                                "refresh": existing.refresh_policy},
                     )
                 return existing
             view_name = name if name is not None else f"view_{fingerprint[:8]}"
             if view_name in self._views_by_name:
-                raise ValueError(f"a view named {view_name!r} already exists")
+                raise ViewConflictError(
+                    f"a view named {view_name!r} already exists",
+                    detail={"name": view_name})
             view = MaterializedView(self, view_name, text, resolved,
                                     fingerprint, refresh)
             view.refreshes += 1
@@ -514,8 +539,16 @@ class QueryService:
             return view
 
     def view(self, name: str) -> MaterializedView:
-        """Look up a registered view by name; raises ``KeyError`` if absent."""
-        return self._views_by_name[name]
+        """Look up a registered view by name.
+
+        Raises :class:`~repro.core.service_api.UnknownViewError` (a
+        ``KeyError`` subclass) when absent.
+        """
+        try:
+            return self._views_by_name[name]
+        except KeyError:
+            raise UnknownViewError(f"no view named {name!r}",
+                                   detail={"name": name}) from None
 
     def views(self) -> tuple[MaterializedView, ...]:
         """All registered views, in registration order."""
@@ -525,7 +558,7 @@ class QueryService:
         """Drop a view (by handle or name); its query serves normally again."""
         with self._write_lock:
             if isinstance(view, str):
-                view = self._views_by_name[view]
+                view = self.view(view)
             self._views.pop(view.fingerprint, None)
             self._views_by_name.pop(view.name, None)
 
@@ -569,6 +602,18 @@ class QueryService:
             return self.db.version
 
     # -- statistics and introspection --------------------------------------
+
+    @property
+    def backend_name(self) -> str:
+        """The executor backend's name, whether stored by name or instance.
+
+        The base service keeps the backend as its registry *name* (the
+        pipeline resolves it per call); the sharded services pin a private
+        backend *instance*.  This property reconciles the two shapes for
+        introspection/metrics.
+        """
+        backend = self.backend
+        return backend if isinstance(backend, str) else backend.name
 
     def table_stats(self, relation: str) -> TableStats | None:
         """The optimizer's profile of one relation at its current version."""

@@ -1,0 +1,416 @@
+"""The unified service API: one surface for every deployment shape.
+
+Serving grew in layers — :class:`~repro.core.service.QueryService` (PR 3),
+materialized views (PR 4), :class:`~repro.core.sharded_service.ShardedQueryService`
+(PR 5), the process backend (PR 6) — and each layer accreted its own kwargs
+and result conventions.  The HTTP tier (:mod:`repro.server`) must be
+writable against *one* abstract surface so a single code path serves
+single-node, sharded, and process-backend deployments.  This module is that
+surface:
+
+* :class:`ServiceAPI` — a :class:`typing.Protocol` naming the methods every
+  service implementation provides, with identical signatures and return
+  shapes.  The HTTP layer (and any future protocol front end) depends on
+  this protocol alone, never on a concrete service class.
+* :class:`QueryResult` — the structured answer envelope.  Where
+  ``answer()`` returns a bare :class:`~repro.data.relation.Relation` and
+  surfaces engine-fallback warnings only through an optional out-param,
+  :meth:`ServiceBase.query` always returns columns + rows + the version
+  token the answer was computed against + the warnings list — the shape a
+  wire format can serialize without knowing service internals.
+* :class:`ServiceError` — a JSON-serializable structured error hierarchy
+  (``code`` / ``message`` / ``detail``).  :func:`wrap_service_error`
+  classifies the zoo of parser, plan, storage, and view exceptions into it,
+  so no bare traceback ever crosses a protocol boundary; each subclass
+  carries the HTTP status its code maps to (400 / 404 / 409 / 503).
+* :class:`ServiceBase` — the shared mixin implementing the envelope path
+  (:meth:`~ServiceBase.query`) and the default
+  :meth:`~ServiceBase.execution_counts` on top of the primitives the
+  concrete services already provide.
+
+Several error classes deliberately multiple-inherit the stdlib type the
+services historically raised (``ValueError`` for an unknown language or a
+view conflict, ``KeyError`` for an unknown view, ``NotImplementedError``
+for views on a sharded service), so existing callers catching the stdlib
+type keep working while protocol layers catch :class:`ServiceError`.
+"""
+
+from __future__ import annotations
+
+from contextlib import AbstractContextManager
+from dataclasses import dataclass
+from typing import Any, Iterable, Protocol, Sequence, runtime_checkable
+
+from repro.data.relation import Relation, Row
+
+#: Version token of one answer: the scalar database version (single node)
+#: or the ``(structure, v0, v1, ...)`` shard-version vector (sharded).
+VersionToken = "int | tuple[int, ...]"
+
+
+# ---------------------------------------------------------------------------
+# Structured errors
+# ---------------------------------------------------------------------------
+
+class ServiceError(Exception):
+    """A structured, JSON-serializable serving error.
+
+    ``code`` is a stable machine-readable identifier, ``message`` the
+    human-readable one-liner, ``detail`` a JSON-safe dict of extra context
+    (offending value, exception type, ...).  ``http_status`` is the status
+    a protocol layer maps the code to; it never leaks server internals —
+    :meth:`to_payload` is the entire wire representation.
+    """
+
+    code = "internal"
+    http_status = 500
+
+    def __init__(self, message: str, *, detail: dict[str, Any] | None = None) -> None:
+        super().__init__(message)
+        self.message = message
+        self.detail = dict(detail or {})
+
+    def to_payload(self) -> dict[str, Any]:
+        """The JSON body of this error: ``{"code", "message", "detail"}``."""
+        return {"code": self.code, "message": self.message,
+                "detail": self.detail}
+
+    def __str__(self) -> str:
+        return self.message
+
+
+class QueryParseError(ServiceError):
+    """The query text does not parse (or fails language-level semantics)."""
+
+    code = "parse_error"
+    http_status = 400
+
+
+class UnknownLanguageError(ServiceError, ValueError):
+    """The requested query language is not one of the five served."""
+
+    code = "unknown_language"
+    http_status = 400
+
+
+class PlanRejectedError(ServiceError):
+    """The engine rejected the plan (lowering, planning, or verification)."""
+
+    code = "plan_error"
+    http_status = 400
+
+
+class InvalidRequestError(ServiceError):
+    """A structurally invalid request (bad JSON, missing fields, bad row)."""
+
+    code = "invalid_request"
+    http_status = 400
+
+
+class UnsupportedOperationError(ServiceError, NotImplementedError):
+    """The operation is not supported by this deployment shape."""
+
+    code = "unsupported"
+    http_status = 400
+
+
+class UnknownViewError(ServiceError, KeyError):
+    """No registered view with the requested name."""
+
+    code = "unknown_view"
+    http_status = 404
+
+
+class UnknownRelationError(ServiceError, KeyError):
+    """No relation with the requested name in the database."""
+
+    code = "unknown_relation"
+    http_status = 404
+
+
+class UnknownHandleError(ServiceError, KeyError):
+    """No prepared-statement handle with the requested id."""
+
+    code = "unknown_handle"
+    http_status = 404
+
+
+class ViewConflictError(ServiceError, ValueError):
+    """A view registration conflicts with an existing registration."""
+
+    code = "view_conflict"
+    http_status = 409
+
+
+class FrozenMutationError(ServiceError):
+    """A write targeted a frozen relation (cached answer / merged view)."""
+
+    code = "frozen_mutation"
+    http_status = 409
+
+
+class OverloadedError(ServiceError):
+    """Admission control shed the request; retry after ``retry_after`` s."""
+
+    code = "overloaded"
+    http_status = 503
+
+    def __init__(self, message: str, *, retry_after: float = 1.0,
+                 detail: dict[str, Any] | None = None) -> None:
+        super().__init__(message, detail=detail)
+        self.retry_after = retry_after
+
+
+def wrap_service_error(exc: BaseException) -> ServiceError:
+    """Classify an arbitrary serving exception into the structured hierarchy.
+
+    Protocol layers call this at their boundary: whatever a service call
+    raised, the caller gets back a :class:`ServiceError` whose
+    ``code``/``http_status`` encode the class of failure and whose
+    ``detail`` records the original exception type — never a traceback.
+    """
+    if isinstance(exc, ServiceError):
+        return exc
+    from repro.data.relation import RelationError
+    from repro.datalog.ast import DatalogError
+    from repro.drc.ast import DRCError
+    from repro.engine.lower import LoweringError
+    from repro.engine.plan import PlanError
+    from repro.engine.verify import PlanVerificationError
+    from repro.data.schema import SchemaError
+    from repro.ra.ast import RAError
+    from repro.sql.evaluate import SQLEvaluationError
+    from repro.sql.lexer import SQLSyntaxError
+    from repro.trc.ast import TRCError
+
+    detail = {"exception": type(exc).__name__}
+    message = str(exc) or type(exc).__name__
+    if isinstance(exc, (SQLSyntaxError, SQLEvaluationError, RAError,
+                        TRCError, DRCError, DatalogError)):
+        return QueryParseError(message, detail=detail)
+    if isinstance(exc, PlanVerificationError):
+        detail["rule"] = exc.rule
+        return PlanRejectedError(message, detail=detail)
+    if isinstance(exc, (PlanError, LoweringError)):
+        return PlanRejectedError(message, detail=detail)
+    if isinstance(exc, RelationError):
+        # The storage layer raises one error type for both shapes; frozen
+        # mutations self-identify in the message (see Relation.freeze).
+        if "frozen" in message:
+            return FrozenMutationError(message, detail=detail)
+        return InvalidRequestError(message, detail=dict(detail, code_hint="invalid_row"))
+    if isinstance(exc, SchemaError):
+        # One error type for both shapes here too: name lookups on the
+        # database say "has no relation", everything else is a malformed
+        # schema/row problem.
+        if "has no relation" in message:
+            return UnknownRelationError(message, detail=detail)
+        return InvalidRequestError(message, detail=detail)
+    if isinstance(exc, NotImplementedError):
+        return UnsupportedOperationError(message, detail=detail)
+    if isinstance(exc, KeyError):
+        # Bare KeyErrors out of a service call are name lookups (the
+        # typed lookups raise UnknownViewError/UnknownHandleError already).
+        name = exc.args[0] if exc.args else ""
+        return UnknownRelationError(f"unknown relation {name!r}",
+                                    detail=dict(detail, name=str(name)))
+    if isinstance(exc, ValueError):
+        return InvalidRequestError(message, detail=detail)
+    return ServiceError(f"internal error: {type(exc).__name__}", detail=detail)
+
+
+# ---------------------------------------------------------------------------
+# The structured answer envelope
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One query's structured answer: the wire-ready result envelope.
+
+    ``version`` is the service's cache-version token at publication time —
+    a scalar database version on a single-node service, the shard-version
+    vector on a sharded one.  ``warnings`` always has the same shape on
+    every service: a tuple of engine-fallback messages (empty when the
+    engine served the query), exactly what
+    :meth:`~repro.core.pipeline.QueryVisualizationPipeline.answer` reports
+    through its out-param.  ``relation`` is the frozen answer itself for
+    in-process callers; it is not part of the wire payload.
+    """
+
+    columns: tuple[str, ...]
+    rows: tuple[Row, ...]
+    language: str
+    fingerprint: str
+    version: Any
+    warnings: tuple[str, ...]
+    relation: Relation
+
+    def to_payload(self) -> dict[str, Any]:
+        """The JSON-serializable wire form (no Relation objects)."""
+        version = self.version
+        if isinstance(version, tuple):
+            version = list(version)
+        return {
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "row_count": len(self.rows),
+            "language": self.language,
+            "fingerprint": self.fingerprint,
+            "version": version,
+            "warnings": list(self.warnings),
+        }
+
+
+# ---------------------------------------------------------------------------
+# The protocol
+# ---------------------------------------------------------------------------
+
+@runtime_checkable
+class ServiceAPI(Protocol):
+    """What every query service exposes — the HTTP tier's whole world.
+
+    :class:`~repro.core.service.QueryService` and
+    :class:`~repro.core.sharded_service.ShardedQueryService` both satisfy
+    this protocol; :mod:`repro.server` is written against it alone, so one
+    server codebase fronts single-node, sharded, and process-backend
+    deployments (and test doubles).
+    """
+
+    def query(self, text: str, *, language: str | None = None) -> QueryResult:
+        """Serve one query as a structured :class:`QueryResult` envelope."""
+        ...
+
+    def answer(self, text: str, *, language: str | None = None,
+               warnings: "list[str] | None" = None) -> Relation:
+        """Serve one query as a frozen relation (in-process fast path)."""
+        ...
+
+    def prepare(self, text: str, *, language: str | None = None) -> Any:
+        """Parse + plan now; returns a reusable prepared-query handle."""
+        ...
+
+    def add_row(self, relation: str, row: Sequence[Any], *,
+                validate: bool = True) -> int:
+        """Append one row; returns the new database version."""
+        ...
+
+    def add_rows(self, relation: str, rows: Iterable[Sequence[Any]], *,
+                 validate: bool = True) -> int:
+        """Append a batch under one version bump; returns the new version."""
+        ...
+
+    def writing(self) -> AbstractContextManager[Any]:
+        """Exclusive write section (context manager yielding the database)."""
+        ...
+
+    def register_view(self, text: str, *, language: str | None = None,
+                      name: str | None = None, refresh: str = "lazy") -> Any:
+        """Materialize + maintain one query; returns the view handle."""
+        ...
+
+    def unregister_view(self, view: Any) -> None:
+        """Drop a view by handle or name."""
+        ...
+
+    def views(self) -> tuple[Any, ...]:
+        """All registered views, in registration order."""
+        ...
+
+    def stats_snapshot(self) -> tuple[int, dict[str, Any]]:
+        """``(version, {relation: stats})``, version-consistent."""
+        ...
+
+    def cache_info(self) -> dict[str, int]:
+        """Result/plan/kernel cache counters, flat ints."""
+        ...
+
+    def execution_counts(self) -> dict[str, int]:
+        """Backend routing + plan-verification counters, flat ints."""
+        ...
+
+    def close(self) -> None:
+        """Release pools / shared-memory resources (idempotent)."""
+        ...
+
+
+# ---------------------------------------------------------------------------
+# The shared base
+# ---------------------------------------------------------------------------
+
+class ServiceBase:
+    """Mixin implementing the envelope path shared by every service.
+
+    Concrete services provide ``answer`` / ``_resolve_language`` /
+    ``_cache_version``; this base turns them into the uniform
+    :meth:`query` envelope and the default :meth:`execution_counts`, so the
+    warnings shape and error classification cannot drift between
+    deployments.
+    """
+
+    def query(self, text: str, *, language: str | None = None) -> QueryResult:
+        """Any-language text in, structured :class:`QueryResult` out.
+
+        Unlike :meth:`answer`, the fallback ``warnings`` are always in the
+        envelope (no out-param required) and every failure is raised as a
+        structured :class:`ServiceError` — the behaviour is identical on
+        every :class:`ServiceAPI` implementation.
+        """
+        from repro.core.pipeline import fingerprint_query
+
+        warnings: list[str] = []
+        try:
+            resolved = self._resolve_language(text, language)  # type: ignore[attr-defined]
+            relation = self.answer(text, language=resolved,  # type: ignore[attr-defined]
+                                   warnings=warnings)
+        except ServiceError:
+            raise
+        except Exception as exc:
+            raise wrap_service_error(exc) from exc
+        return self._envelope(relation, resolved,
+                              fingerprint_query(text, resolved), warnings)
+
+    def _envelope(self, relation: Relation, language: str, fingerprint: str,
+                  warnings: list[str]) -> QueryResult:
+        """Package one served relation as a :class:`QueryResult`."""
+        return QueryResult(
+            columns=relation.attribute_names,
+            rows=tuple(relation.rows()),
+            language=language,
+            fingerprint=fingerprint,
+            version=self._cache_version(),  # type: ignore[attr-defined]
+            warnings=tuple(warnings),
+            relation=relation,
+        )
+
+    def execution_counts(self) -> dict[str, int]:
+        """Default backend counters: the process-wide verifier tallies.
+
+        Single-node backends keep no routing counters; sharded services
+        override this with their private backend's scatter/single-shard/
+        fallback and kernel-cache counts (which already merge the verifier
+        tallies), so the return shape — a flat ``dict[str, int]`` — is the
+        same everywhere.
+        """
+        from repro.engine.verify import verification_counts
+
+        return dict(verification_counts())
+
+
+__all__ = [
+    "FrozenMutationError",
+    "InvalidRequestError",
+    "OverloadedError",
+    "PlanRejectedError",
+    "QueryParseError",
+    "QueryResult",
+    "ServiceAPI",
+    "ServiceBase",
+    "ServiceError",
+    "UnknownHandleError",
+    "UnknownLanguageError",
+    "UnknownRelationError",
+    "UnknownViewError",
+    "UnsupportedOperationError",
+    "ViewConflictError",
+    "wrap_service_error",
+]

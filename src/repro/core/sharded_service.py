@@ -34,6 +34,7 @@ from __future__ import annotations
 from typing import Any, Iterable, Sequence
 
 from repro.core.service import MaterializedView, QueryService
+from repro.core.service_api import UnsupportedOperationError
 from repro.data.database import Database
 from repro.data.sharded import DEFAULT_N_SHARDS, ShardedDatabase, ShardKeySpec
 
@@ -154,14 +155,17 @@ class ShardedQueryService(QueryService):
         View maintenance reads per-relation delta logs, which live in the
         shard relations while queries read the (rebuilt-on-refresh) merged
         views — a maintainer anchored on one would silently miss the
-        other's appends.  Raises ``NotImplementedError`` until view
-        maintenance is shard-aware; the plain result cache (vector-keyed)
-        still serves repeated queries warm between writes.
+        other's appends.  Raises
+        :class:`~repro.core.service_api.UnsupportedOperationError` (a
+        ``NotImplementedError`` subclass) until view maintenance is
+        shard-aware; the plain result cache (vector-keyed) still serves
+        repeated queries warm between writes.
         """
-        raise NotImplementedError(
+        raise UnsupportedOperationError(
             "materialized views are not supported on ShardedQueryService; "
             "use QueryService for view workloads or serve via the "
-            "vector-keyed result cache"
+            "vector-keyed result cache",
+            detail={"operation": "register_view"},
         )
 
 

@@ -1,0 +1,396 @@
+"""The asyncio HTTP application: request router + endpoint handlers.
+
+:class:`ServingApp` is constructed against the
+:class:`~repro.core.service_api.ServiceAPI` *protocol* — it never imports a
+concrete service class — so the same server fronts single-node, sharded,
+and process-backend deployments.  Endpoints:
+
+================  ======  ====================================================
+``/query``        POST    ``{"text", "language"?}`` → the result envelope
+``/prepare``      POST    ``{"text", "language"?}`` → ``{"handle", ...}``
+``/execute/{h}``  POST    serve a prepared handle → the result envelope
+``/write``        POST    ``{"relation", "rows"|"row"}`` → ``{"version", ...}``
+``/views``        POST    ``{"text", "name"?, "refresh"?}`` → view info
+``/views``        GET     all registered views' info
+``/views/{name}`` DELETE  unregister
+``/metrics``      GET     flat JSON counters (stats, caches, execution,
+                          verification, admission, write worker)
+``/health``       GET     liveness probe (never sheds)
+================  ======  ====================================================
+
+Threading discipline — the rule ``tools/check_invariants.py`` enforces
+statically: the event loop only parses, routes, and frames; every blocking
+service call runs off-loop.  Reads go through ``loop.run_in_executor``
+(:meth:`ServingApp._call`), writes through the
+:class:`~repro.server.worker.WriteWorker`.  Mutating-the-app state (the
+prepared-handle registry) happens only on the loop, so it needs no lock.
+
+Overload: ``POST`` traffic passes the
+:class:`~repro.server.admission.AdmissionController`; a saturated server
+answers 503 with a ``Retry-After`` header instead of queuing unboundedly.
+``GET /metrics`` and ``GET /health`` bypass admission so operators can see
+*into* an overloaded server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from functools import partial
+from typing import Any, Awaitable, Callable
+
+from repro.core.service_api import (
+    ServiceAPI,
+    ServiceError,
+    UnknownHandleError,
+    wrap_service_error,
+)
+from repro.server import protocol
+from repro.server.admission import AdmissionController
+from repro.server.worker import WriteWorker
+
+
+class _NotFoundError(ServiceError):
+    code = "not_found"
+    http_status = 404
+
+
+class _MethodNotAllowedError(ServiceError):
+    code = "method_not_allowed"
+    http_status = 405
+
+
+_Handler = Callable[..., Awaitable[tuple[Any, int]]]
+
+
+class ServingApp:
+    """Route + serve HTTP requests against one :class:`ServiceAPI`."""
+
+    def __init__(self, service: ServiceAPI, *,
+                 max_concurrent: int = 8,
+                 max_queue_depth: int = 32,
+                 retry_after: float = 0.5,
+                 flush_interval: float = 0.002) -> None:
+        self.service = service
+        self.admission = AdmissionController(
+            max_concurrent=max_concurrent, max_queue_depth=max_queue_depth,
+            retry_after=retry_after)
+        self.worker = WriteWorker(service, flush_interval=flush_interval)
+        self._handles: dict[str, Any] = {}
+        self._connections: "set[asyncio.Task[None]]" = set()
+        self._server: "asyncio.Server | None" = None
+        self.port: "int | None" = None
+        self.requests_served = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Bind + start serving; returns the (possibly ephemeral) port."""
+        self.worker.start()
+        self._server = await asyncio.start_server(
+            self._on_connection, host, port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def close(self) -> None:
+        """Stop accepting, drain the write worker, release the socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Idle keep-alive connections sit parked in read_request forever;
+        # cancel them so no connection task outlives the loop.
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+        await self.worker.close()
+
+    # -- connection handling ------------------------------------------------
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await protocol.read_request(reader)
+                except ServiceError as error:
+                    # Framing is unreliable after a malformed request:
+                    # answer and close.
+                    writer.write(protocol.render_response(
+                        error.http_status, protocol.error_payload(error),
+                        keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                response = await self._respond(request)
+                writer.write(response)
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-exchange: nothing left to tell it
+        except asyncio.CancelledError:
+            pass  # close() cancelling an idle keep-alive connection
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass  # already torn down by the peer
+
+    async def _respond(self, request: protocol.Request) -> bytes:
+        self.requests_served += 1
+        try:
+            handler, args, admit = self._route(request.method, request.path)
+            if admit:
+                async with self.admission.slot():
+                    payload, status = await handler(request, *args)
+            else:
+                payload, status = await handler(request, *args)
+            return protocol.render_response(status, payload,
+                                            keep_alive=request.keep_alive)
+        except ServiceError as error:
+            return self._error_response(error, request)
+        except Exception as exc:
+            return self._error_response(wrap_service_error(exc), request)
+
+    def _error_response(self, error: ServiceError,
+                        request: protocol.Request) -> bytes:
+        extra: list[tuple[str, str]] = []
+        retry_after = getattr(error, "retry_after", None)
+        if retry_after is not None:
+            extra.append(("Retry-After", f"{retry_after:g}"))
+        return protocol.render_response(
+            error.http_status, protocol.error_payload(error),
+            extra_headers=extra, keep_alive=request.keep_alive)
+
+    def _route(self, method: str,
+               path: str) -> tuple[_Handler, tuple[str, ...], bool]:
+        """``(handler, path args, goes through admission)`` for one target."""
+        path = path.split("?", 1)[0]
+        parts = tuple(p for p in path.split("/") if p)
+        routes: dict[tuple[str, ...], dict[str, tuple[_Handler, bool]]] = {
+            ("query",): {"POST": (self._handle_query, True)},
+            ("prepare",): {"POST": (self._handle_prepare, True)},
+            ("write",): {"POST": (self._handle_write, True)},
+            ("views",): {"POST": (self._handle_register_view, True),
+                         "GET": (self._handle_list_views, False)},
+            ("metrics",): {"GET": (self._handle_metrics, False)},
+            ("health",): {"GET": (self._handle_health, False)},
+        }
+        args: tuple[str, ...] = ()
+        if len(parts) == 2 and parts[0] == "execute":
+            by_method = {"POST": (self._handle_execute, True)}
+            args = (parts[1],)
+        elif len(parts) == 2 and parts[0] == "views":
+            by_method = {"DELETE": (self._handle_delete_view, True)}
+            args = (parts[1],)
+        else:
+            matched = routes.get(parts)
+            if matched is None:
+                raise _NotFoundError(f"no route for {path!r}",
+                                     detail={"path": path})
+            by_method = matched
+        entry = by_method.get(method)
+        if entry is None:
+            raise _MethodNotAllowedError(
+                f"{method} not allowed on {path!r}",
+                detail={"path": path, "allowed": sorted(by_method)})
+        handler, admit = entry
+        return handler, args, admit
+
+    async def _call(self, fn: Callable[..., Any], *args: Any,
+                    **kwargs: Any) -> Any:
+        """Run one blocking service call in the executor, off the loop."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, partial(fn, *args, **kwargs))
+
+    # -- handlers -----------------------------------------------------------
+
+    async def _handle_query(self, request: protocol.Request) -> tuple[Any, int]:
+        text, language = protocol.query_request(request.json())
+        result = await self._call(self.service.query, text, language=language)
+        return result.to_payload(), 200
+
+    async def _handle_prepare(self, request: protocol.Request) -> tuple[Any, int]:
+        text, language = protocol.query_request(request.json())
+        handle = await self._call(self.service.prepare, text,
+                                  language=language)
+        handle_id = handle.fingerprint
+        self._handles[handle_id] = handle
+        return {"handle": handle_id, "language": handle.language,
+                "text": handle.text}, 200
+
+    async def _handle_execute(self, request: protocol.Request,
+                              handle_id: str) -> tuple[Any, int]:
+        handle = self._handles.get(handle_id)
+        if handle is None:
+            raise UnknownHandleError(
+                f"no prepared query with handle {handle_id!r}; POST /prepare "
+                "first (handles do not survive a server restart)",
+                detail={"handle": handle_id})
+        result = await self._call(handle.query)
+        return result.to_payload(), 200
+
+    async def _handle_write(self, request: protocol.Request) -> tuple[Any, int]:
+        relation, rows = protocol.write_request(request.json())
+        version = await self.worker.submit(relation, rows)
+        if isinstance(version, tuple):
+            version = list(version)
+        return {"relation": relation, "rows": len(rows),
+                "version": version, "batched": True}, 200
+
+    async def _handle_register_view(self,
+                                    request: protocol.Request) -> tuple[Any, int]:
+        text, language, name, refresh = protocol.view_request(request.json())
+        view = await self._call(self.service.register_view, text,
+                                language=language, name=name, refresh=refresh)
+        return self._view_payload(view), 200
+
+    async def _handle_list_views(self,
+                                 request: protocol.Request) -> tuple[Any, int]:
+        views = await self._call(self.service.views)
+        return {"views": [self._view_payload(view) for view in views]}, 200
+
+    async def _handle_delete_view(self, request: protocol.Request,
+                                  name: str) -> tuple[Any, int]:
+        await self._call(self.service.unregister_view, name)
+        return {"deleted": name}, 200
+
+    async def _handle_metrics(self,
+                              request: protocol.Request) -> tuple[Any, int]:
+        def collect() -> dict[str, Any]:
+            # Runs in the executor: every call below takes service locks.
+            from repro.engine.verify import verification_counts
+
+            service = self.service
+            version, tables = service.stats_snapshot()
+            metrics: dict[str, Any] = {
+                "db_version": list(version) if isinstance(version, tuple)
+                              else version,
+            }
+            for name, stats in sorted(tables.items()):
+                rows = getattr(stats, "row_count", None)
+                if rows is not None:
+                    metrics[f"rows_{name}"] = rows
+            metrics.update(service.cache_info())
+            for key, value in service.execution_counts().items():
+                metrics[f"exec_{key}"] = value
+            metrics.update(verification_counts())
+            return metrics
+
+        metrics = await self._call(collect)
+        metrics.update(self.admission.snapshot())
+        metrics.update(self.worker.counts())
+        metrics["prepared_handles"] = len(self._handles)
+        metrics["requests_served"] = self.requests_served
+        backend_name = getattr(self.service, "backend_name", None)
+        if backend_name is not None:
+            metrics["backend"] = backend_name
+        return metrics, 200
+
+    async def _handle_health(self,
+                             request: protocol.Request) -> tuple[Any, int]:
+        return {"status": "ok"}, 200
+
+    @staticmethod
+    def _view_payload(view: Any) -> dict[str, Any]:
+        info = dict(view.info())
+        info["base_relations"] = list(info.get("base_relations", ()))
+        return info
+
+
+class ServerThread:
+    """An embedded server: own event loop on a daemon thread.
+
+    Tests and benchmarks (and the CLI entry point) need a running server
+    next to synchronous client code; this wraps the loop/thread lifecycle::
+
+        with ServerThread(service) as server:
+            http.client.HTTPConnection("127.0.0.1", server.port) ...
+
+    ``close()`` stops the loop, drains the write worker, and joins the
+    thread.  The service itself is *not* closed — the caller owns it.
+    """
+
+    def __init__(self, service: ServiceAPI, *, host: str = "127.0.0.1",
+                 port: int = 0, **app_kwargs: Any) -> None:
+        self.app = ServingApp(service, **app_kwargs)
+        self._host = host
+        self._requested_port = port
+        self._loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._startup_error: "BaseException | None" = None
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-server")
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            raise self._startup_error
+        return self
+
+    @property
+    def port(self) -> int:
+        port = self.app.port
+        assert port is not None, "server not started"
+        return port
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(
+                self.app.start(self._host, self._requested_port))
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            self._loop.close()
+            return
+        self._ready.set()
+        self._loop.run_forever()
+        # close() requested: tear down inside the loop's thread.
+        self._loop.run_until_complete(self.app.close())
+        self._loop.run_until_complete(self._loop.shutdown_asyncgens())
+        self._loop.close()
+
+    def close(self) -> None:
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join()
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def serve(service: ServiceAPI, *, host: str = "127.0.0.1", port: int = 8080,
+          **app_kwargs: Any) -> None:
+    """Blocking convenience entry point: serve until interrupted."""
+    async def _main() -> None:
+        app = ServingApp(service, **app_kwargs)
+        bound = await app.start(host, port)
+        print(f"repro server listening on http://{host}:{bound}")
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await app.close()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+
+
+__all__ = ["ServerThread", "ServingApp", "serve"]

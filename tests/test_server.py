@@ -1,0 +1,625 @@
+"""The HTTP serving tier: wire ≡ in-process, errors, admission, batching.
+
+Four surfaces:
+
+* the differential gate — ``POST /query`` answers over real sockets are
+  bag-equal to in-process :meth:`~repro.core.service.QueryService.answer`
+  for every canonical query in all five languages, on both the single-node
+  and the sharded service (one server codebase, the ``ServiceAPI``
+  protocol in between);
+* structured errors — every :class:`~repro.core.service_api.ServiceError`
+  code crosses the wire as ``{"error": {code, message, detail}}`` with the
+  right HTTP status and never a traceback;
+* admission control — a saturated server sheds with 503 + ``Retry-After``
+  instead of queuing, and keeps serving ``/metrics``;
+* the write worker — concurrent HTTP writes share flushes (fewer version
+  bumps than requests), and a bad row fails alone, not its batch-mates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+import time
+from contextlib import closing, contextmanager
+
+import pytest
+
+from repro.core import QueryService, ServiceAPI
+from repro.core.service_api import (
+    FrozenMutationError,
+    OverloadedError,
+    QueryResult,
+    UnknownRelationError,
+    wrap_service_error,
+)
+from repro.core.sharded_service import ShardedQueryService
+from repro.data import sailors_database
+from repro.data.relation import RelationError
+from repro.queries import CANONICAL_QUERIES, LANGUAGES
+from repro.server import ServerThread
+from repro.server.worker import WriteWorker
+
+FALLBACK_SQL = ("SELECT S.sname FROM Sailors S LEFT JOIN Reserves R "
+                "ON S.sid = R.sid WHERE R.sid IS NULL")
+COUNT_SQL = "SELECT COUNT(*) AS n FROM Sailors S"
+
+
+class Client:
+    """A keep-alive JSON client over one real socket."""
+
+    def __init__(self, port: int) -> None:
+        self.conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+
+    def request(self, method: str, path: str, body=None):
+        payload = None if body is None else json.dumps(body)
+        self.conn.request(method, path, payload,
+                          {"Content-Type": "application/json"})
+        response = self.conn.getresponse()
+        data = json.loads(response.read())
+        return response.status, dict(response.getheaders()), data
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+@contextmanager
+def serving(service, **app_kwargs):
+    with ServerThread(service, **app_kwargs) as server:
+        client = Client(server.port)
+        try:
+            yield server, client
+        finally:
+            client.close()
+
+
+@pytest.fixture(scope="module")
+def base_server():
+    service = QueryService(sailors_database())
+    with ServerThread(service) as server:
+        yield service, server
+
+
+@pytest.fixture(scope="module")
+def sharded_server():
+    service = ShardedQueryService(sailors_database(), n_shards=2)
+    with ServerThread(service) as server:
+        yield service, server
+    service.close()
+
+
+DIFFERENTIAL_CELLS = [
+    pytest.param(query, language, id=f"{query.id}-{language}")
+    for query in CANONICAL_QUERIES
+    for language in LANGUAGES
+]
+
+
+class TestHTTPDifferential:
+    """Wire answers ≡ in-process answers, all languages, both services."""
+
+    def _check(self, service, server, query, language):
+        text = query.languages()[language]
+        expected = service.answer(text, language=language.lower())
+        client = Client(server.port)
+        with closing(client):
+            status, _headers, payload = client.request(
+                "POST", "/query", {"text": text, "language": language.lower()})
+        assert status == 200, payload
+        assert payload["language"] == language.lower()
+        assert payload["columns"] == list(expected.attribute_names)
+        wire = sorted(tuple(row) for row in payload["rows"])
+        assert wire == sorted(expected.rows()), (
+            f"{query.id}/{language}: wire answer diverges from in-process")
+        assert payload["row_count"] == len(expected)
+        assert isinstance(payload["warnings"], list)
+        assert isinstance(payload["fingerprint"], str)
+
+    @pytest.mark.parametrize("query,language", DIFFERENTIAL_CELLS)
+    def test_base_service(self, base_server, query, language):
+        service, server = base_server
+        self._check(service, server, query, language)
+
+    @pytest.mark.parametrize("query,language", DIFFERENTIAL_CELLS)
+    def test_sharded_service(self, sharded_server, query, language):
+        service, server = sharded_server
+        self._check(service, server, query, language)
+
+    def test_version_token_shape(self, base_server, sharded_server):
+        # Scalar version on the single-node service, vector on the sharded
+        # one — both JSON-native.
+        for _service, server in (base_server, sharded_server):
+            client = Client(server.port)
+            with closing(client):
+                _s, _h, payload = client.request(
+                    "POST", "/query", {"text": COUNT_SQL})
+            assert isinstance(payload["version"], (int, list))
+
+    def test_prepare_execute_matches_query(self, base_server):
+        service, server = base_server
+        client = Client(server.port)
+        with closing(client):
+            status, _h, prepared = client.request(
+                "POST", "/prepare", {"text": FALLBACK_SQL})
+            assert status == 200
+            status, _h, executed = client.request(
+                "POST", f"/execute/{prepared['handle']}")
+            assert status == 200
+            direct = service.query(FALLBACK_SQL)
+        assert sorted(tuple(r) for r in executed["rows"]) == sorted(direct.rows)
+        assert executed["fingerprint"] == direct.fingerprint
+
+    def test_warnings_uniform_shape(self, base_server, sharded_server):
+        # The interpreter-fallback query reports warnings through the same
+        # envelope key on every service; engine-served queries report [].
+        for _service, server in (base_server, sharded_server):
+            client = Client(server.port)
+            with closing(client):
+                _s, _h, fallback = client.request(
+                    "POST", "/query", {"text": FALLBACK_SQL})
+                _s, _h, clean = client.request(
+                    "POST", "/query", {"text": COUNT_SQL})
+            assert isinstance(fallback["warnings"], list)
+            assert fallback["warnings"], "fallback query should warn"
+            assert all(isinstance(w, str) for w in fallback["warnings"])
+            assert clean["warnings"] == []
+
+    def test_in_process_query_envelope_matches_wire(self, base_server):
+        service, server = base_server
+        result = service.query(COUNT_SQL)
+        assert isinstance(result, QueryResult)
+        client = Client(server.port)
+        with closing(client):
+            _s, _h, wire = client.request("POST", "/query",
+                                          {"text": COUNT_SQL})
+        local = result.to_payload()
+        for key in ("columns", "rows", "row_count", "language",
+                    "fingerprint", "warnings"):
+            assert wire[key] == local[key]
+
+
+class TestErrorPaths:
+    """Every ServiceError code crosses the wire with its HTTP status."""
+
+    def _error(self, server, method, path, body=None):
+        client = Client(server.port)
+        with closing(client):
+            status, headers, payload = client.request(method, path, body)
+        assert "error" in payload, payload
+        error = payload["error"]
+        assert set(error) >= {"code", "message", "detail"}
+        assert "Traceback" not in json.dumps(payload)
+        return status, headers, error
+
+    def test_parse_error_400(self, base_server):
+        _service, server = base_server
+        status, _h, error = self._error(server, "POST", "/query",
+                                        {"text": "SELEC nonsense FORM"})
+        assert (status, error["code"]) == (400, "parse_error")
+
+    def test_parse_error_all_languages(self, base_server):
+        _service, server = base_server
+        for language in ("sql", "ra", "trc", "drc", "datalog"):
+            status, _h, error = self._error(
+                server, "POST", "/query",
+                {"text": "@!! not a query !!@", "language": language})
+            assert status == 400, (language, error)
+            assert error["code"] in ("parse_error", "invalid_request")
+
+    def test_unknown_language_400(self, base_server):
+        _service, server = base_server
+        status, _h, error = self._error(
+            server, "POST", "/query", {"text": "SELECT 1",
+                                       "language": "cypher"})
+        assert (status, error["code"]) == (400, "unknown_language")
+        assert "cypher" in error["message"]
+        assert error["detail"]["language"] == "cypher"
+
+    def test_unknown_view_404(self, base_server):
+        _service, server = base_server
+        status, _h, error = self._error(server, "DELETE", "/views/ghost")
+        assert (status, error["code"]) == (404, "unknown_view")
+
+    def test_unknown_handle_404(self, base_server):
+        _service, server = base_server
+        status, _h, error = self._error(server, "POST", "/execute/deadbeef")
+        assert (status, error["code"]) == (404, "unknown_handle")
+
+    def test_unknown_relation_404(self, base_server):
+        _service, server = base_server
+        status, _h, error = self._error(
+            server, "POST", "/write",
+            {"relation": "NoSuchTable", "row": [1]})
+        assert status == 404, error
+        assert error["code"] == "unknown_relation"
+
+    def test_view_conflict_409(self, base_server):
+        _service, server = base_server
+        client = Client(server.port)
+        with closing(client):
+            status, _h, _p = client.request(
+                "POST", "/views", {"text": COUNT_SQL, "name": "dup"})
+            assert status == 200
+            status, _h, payload = client.request(
+                "POST", "/views", {"text": FALLBACK_SQL, "name": "dup"})
+            client.request("DELETE", "/views/dup")
+        assert status == 409
+        assert payload["error"]["code"] == "view_conflict"
+
+    def test_unsupported_400_on_sharded_views(self, sharded_server):
+        _service, server = sharded_server
+        status, _h, error = self._error(server, "POST", "/views",
+                                        {"text": COUNT_SQL})
+        assert (status, error["code"]) == (400, "unsupported")
+
+    def test_invalid_request_shapes_400(self, base_server):
+        _service, server = base_server
+        cases = [
+            ("POST", "/query", {"language": "sql"}),           # missing text
+            ("POST", "/query", {"text": 7}),                   # wrong type
+            ("POST", "/write", {"relation": "Sailors"}),       # no rows
+            ("POST", "/write", {"relation": "Sailors", "rows": "x"}),
+            ("POST", "/write", {"relation": "Sailors",
+                                "row": [1], "rows": [[2]]}),   # both forms
+        ]
+        for method, path, body in cases:
+            status, _h, error = self._error(server, method, path, body)
+            assert (status, error["code"]) == (400, "invalid_request"), body
+
+    def test_malformed_json_400(self, base_server):
+        _service, server = base_server
+        conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                          timeout=60)
+        with closing(conn):
+            conn.request("POST", "/query", "{not json",
+                         {"Content-Type": "application/json"})
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+        assert response.status == 400
+        assert payload["error"]["code"] == "invalid_request"
+
+    def test_bad_row_arity_400(self, base_server):
+        _service, server = base_server
+        status, _h, error = self._error(
+            server, "POST", "/write",
+            {"relation": "Sailors", "row": [1, "too-few"]})
+        assert status == 400, error
+        assert error["code"] == "invalid_request"
+
+    def test_not_found_and_method_not_allowed(self, base_server):
+        _service, server = base_server
+        status, _h, error = self._error(server, "GET", "/no/such/route")
+        assert (status, error["code"]) == (404, "not_found")
+        status, _h, error = self._error(server, "DELETE", "/query")
+        assert (status, error["code"]) == (405, "method_not_allowed")
+        assert error["detail"]["allowed"] == ["POST"]
+
+    def test_frozen_mutation_maps_to_409(self):
+        # The classifier turns the storage tier's frozen-relation error
+        # into the structured 409 (unit level: HTTP writes go through
+        # copy-on-write services, so the wire never sees it here).
+        error = wrap_service_error(
+            RelationError("relation 'answer' is frozen; copy() it to mutate"))
+        assert isinstance(error, FrozenMutationError)
+        assert (error.http_status, error.code) == (409, "frozen_mutation")
+
+    def test_key_error_maps_to_unknown_relation(self):
+        error = wrap_service_error(KeyError("Ghost"))
+        assert isinstance(error, UnknownRelationError)
+        assert error.http_status == 404
+
+
+class _SlowStubService:
+    """A ServiceAPI double whose query blocks until released."""
+
+    def __init__(self) -> None:
+        self.release = threading.Event()
+        self.calls = 0
+
+    def query(self, text, *, language=None):
+        self.calls += 1
+        assert self.release.wait(timeout=60), "stub never released"
+        return QueryResult(columns=("n",), rows=((self.calls,),),
+                           language="sql", fingerprint="stub", version=1,
+                           warnings=(), relation=None)
+
+    def answer(self, text, *, language=None, warnings=None):
+        return self.query(text).relation
+
+    def prepare(self, text, *, language=None):
+        raise NotImplementedError("stub")
+
+    def add_row(self, relation, row, *, validate=True):
+        return 1
+
+    def add_rows(self, relation, rows, *, validate=True):
+        return 1
+
+    def writing(self):
+        raise NotImplementedError("stub")
+
+    def register_view(self, text, *, language=None, name=None,
+                      refresh="lazy"):
+        raise NotImplementedError("stub")
+
+    def unregister_view(self, view):
+        raise NotImplementedError("stub")
+
+    def views(self):
+        return ()
+
+    def stats_snapshot(self):
+        return 1, {}
+
+    def cache_info(self):
+        return {}
+
+    def execution_counts(self):
+        return {}
+
+    def close(self):
+        pass
+
+
+class TestAdmission:
+    """Saturation sheds with 503 + Retry-After; metrics stay reachable."""
+
+    def test_stub_satisfies_protocol(self):
+        assert isinstance(_SlowStubService(), ServiceAPI)
+        assert isinstance(QueryService(sailors_database()), ServiceAPI)
+
+    def test_overloaded_503_with_retry_after(self):
+        stub = _SlowStubService()
+        with serving(stub, max_concurrent=1, max_queue_depth=0,
+                     retry_after=0.25) as (server, shed_client):
+            occupant = Client(server.port)
+            result: dict = {}
+
+            def occupy():
+                result["response"] = occupant.request(
+                    "POST", "/query", {"text": "block"})
+
+            thread = threading.Thread(target=occupy)
+            thread.start()
+            # Wait until the slow request holds the only admission slot.
+            deadline = time.monotonic() + 30
+            while server.app.admission.active < 1:
+                assert time.monotonic() < deadline, "occupant never admitted"
+                time.sleep(0.005)
+
+            status, headers, payload = shed_client.request(
+                "POST", "/query", {"text": "shed me"})
+            assert status == 503
+            assert payload["error"]["code"] == "overloaded"
+            assert float(headers["Retry-After"]) == 0.25
+            assert payload["error"]["detail"]["max_concurrent"] == 1
+
+            # The observability plane bypasses admission entirely.
+            status, _h, metrics = shed_client.request("GET", "/metrics")
+            assert status == 200
+            assert metrics["admission_shed"] >= 1
+            assert metrics["admission_active"] == 1
+
+            stub.release.set()
+            thread.join(timeout=60)
+            occupant.close()
+            assert result["response"][0] == 200
+
+    def test_admitted_after_release(self):
+        stub = _SlowStubService()
+        stub.release.set()  # never block: every request admits immediately
+        with serving(stub, max_concurrent=1, max_queue_depth=0) as (_s, client):
+            for _ in range(5):
+                status, _h, _p = client.request("POST", "/query",
+                                                {"text": "q"})
+                assert status == 200
+
+
+class TestWriteBatching:
+    """Concurrent writes share flushes — fewer version bumps than writes."""
+
+    def test_queued_writes_share_one_flush(self):
+        # Deterministic unit-level check of the ≥5x property: writes queued
+        # before the worker drains land in one add_rows call (one bump).
+        service = QueryService(sailors_database())
+        worker = WriteWorker(service, flush_interval=0)
+
+        async def drive():
+            submissions = [
+                asyncio.ensure_future(
+                    worker.submit("Sailors", [[900 + i, f"w{i}", 5, 30.0]]))
+                for i in range(25)
+            ]
+            await asyncio.sleep(0)  # enqueue all before the worker starts
+            worker.start()
+            versions = await asyncio.gather(*submissions)
+            await worker.close()
+            return versions
+
+        before = service.db.version
+        versions = asyncio.run(drive())
+        counts = worker.counts()
+        assert counts["write_requests"] == 25
+        assert counts["write_rows"] == 25
+        bumps = service.db.version - before
+        assert bumps == counts["write_batched_calls"]
+        assert bumps * 5 <= counts["write_requests"], (
+            f"{bumps} bumps for {counts['write_requests']} writes")
+        assert len(set(versions)) == bumps
+
+    def test_http_writes_batch_across_clients(self):
+        service = QueryService(sailors_database())
+        before = service.db.version
+        n_threads, writes_each = 8, 4
+        with serving(service, flush_interval=0.05) as (server, _client):
+            barrier = threading.Barrier(n_threads)
+            failures: list = []
+
+            def writer(tid: int):
+                client = Client(server.port)
+                with closing(client):
+                    barrier.wait()
+                    for i in range(writes_each):
+                        status, _h, payload = client.request(
+                            "POST", "/write",
+                            {"relation": "Sailors",
+                             "row": [1000 + tid * 100 + i,
+                                     f"c{tid}-{i}", 5, 30.0]})
+                        if status != 200:
+                            failures.append(payload)
+
+            threads = [threading.Thread(target=writer, args=(t,))
+                       for t in range(n_threads)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not failures, failures
+            counts = server.app.worker.counts()
+        writes = n_threads * writes_each
+        bumps = service.db.version - before
+        assert counts["write_requests"] == writes
+        assert counts["write_rows"] == writes
+        assert bumps < writes, "HTTP writes never shared a version bump"
+        assert len(service.db["Sailors"]) == 10 + writes
+
+    def test_bad_row_fails_alone(self):
+        service = QueryService(sailors_database())
+        with serving(service, flush_interval=0.05) as (server, _client):
+            barrier = threading.Barrier(3)
+            results: dict[str, tuple] = {}
+
+            def write(name: str, row):
+                client = Client(server.port)
+                with closing(client):
+                    barrier.wait()
+                    results[name] = client.request(
+                        "POST", "/write", {"relation": "Sailors",
+                                           "row": row})
+
+            threads = [
+                threading.Thread(target=write,
+                                 args=("good1", [801, "ok1", 5, 30.0])),
+                threading.Thread(target=write,
+                                 args=("bad", [802, "broken"])),  # arity
+                threading.Thread(target=write,
+                                 args=("good2", [803, "ok2", 5, 30.0])),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+        assert results["good1"][0] == 200
+        assert results["good2"][0] == 200
+        assert results["bad"][0] == 400
+        assert results["bad"][2]["error"]["code"] == "invalid_request"
+        names = {row[1] for row in service.db["Sailors"].rows()}
+        assert {"ok1", "ok2"} <= names and "broken" not in names
+
+
+class TestConcurrencyHammer:
+    """Mixed readers/writers over real sockets: monotone, untorn answers."""
+
+    N_READERS = 6
+    N_WRITERS = 2
+    REQUESTS = 12
+
+    def test_versions_and_counts_monotone_per_connection(self):
+        service = QueryService(sailors_database())
+        with serving(service, max_concurrent=16,
+                     max_queue_depth=256) as (server, _client):
+            barrier = threading.Barrier(self.N_READERS + self.N_WRITERS)
+            errors: list = []
+
+            def reader(tid: int):
+                client = Client(server.port)
+                with closing(client):
+                    barrier.wait()
+                    last_version, last_count = -1, -1
+                    for _ in range(self.REQUESTS):
+                        status, _h, payload = client.request(
+                            "POST", "/query", {"text": COUNT_SQL})
+                        if status != 200:
+                            errors.append((tid, payload))
+                            return
+                        version = payload["version"]
+                        count = payload["rows"][0][0]
+                        # Writes only append: each later response on this
+                        # connection must observe a version and a count at
+                        # least as new as the one before (no stale or torn
+                        # answers slip through the result cache).
+                        if version < last_version or count < last_count:
+                            errors.append(
+                                (tid, "regression", last_version, version,
+                                 last_count, count))
+                            return
+                        last_version, last_count = version, count
+
+            def writer(tid: int):
+                client = Client(server.port)
+                with closing(client):
+                    barrier.wait()
+                    for i in range(self.REQUESTS):
+                        status, _h, payload = client.request(
+                            "POST", "/write",
+                            {"relation": "Sailors",
+                             "row": [5000 + tid * 100 + i,
+                                     f"h{tid}-{i}", 6, 41.0]})
+                        if status != 200:
+                            errors.append((tid, payload))
+                            return
+
+            threads = [threading.Thread(target=reader, args=(t,))
+                       for t in range(self.N_READERS)]
+            threads += [threading.Thread(target=writer, args=(t,))
+                        for t in range(self.N_WRITERS)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=300)
+            assert not any(t.is_alive() for t in threads), "hammer hung"
+            assert not errors, errors
+
+        final = service.answer(COUNT_SQL)
+        assert sorted(final.rows()) == [
+            (10 + self.N_WRITERS * self.REQUESTS,)]
+
+    def test_keep_alive_across_many_requests(self):
+        service = QueryService(sailors_database())
+        with serving(service) as (_server, client):
+            for i in range(20):
+                status, _h, payload = client.request(
+                    "POST", "/query", {"text": COUNT_SQL})
+                assert status == 200
+            status, _h, metrics = client.request("GET", "/metrics")
+            assert metrics["requests_served"] >= 21
+
+    def test_shutdown_with_open_keep_alive_connections(self):
+        # Idle keep-alive connections sit parked in read_request; close()
+        # must cancel them (promptly, without "Task was destroyed" noise)
+        # rather than waiting for the clients to hang up.
+        service = QueryService(sailors_database())
+        server = ServerThread(service)
+        server.start()
+        clients = [Client(server.port) for _ in range(3)]
+        try:
+            for client in clients:
+                status, _h, _p = client.request(
+                    "POST", "/query", {"text": COUNT_SQL})
+                assert status == 200
+        finally:
+            server.close()  # connections still open: must not hang
+        assert server.app._connections == set()
+        for client in clients:
+            client.close()
+
+
+class TestOverloadedError:
+    def test_retry_after_in_payload_detail(self):
+        error = OverloadedError("busy", retry_after=1.5)
+        assert error.http_status == 503
+        assert error.retry_after == 1.5
+        payload = error.to_payload()
+        assert payload["code"] == "overloaded"

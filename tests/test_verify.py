@@ -560,3 +560,65 @@ class TestInvariantLint:
         violations = [v for v in invariants.run_checks(root)
                       if v.rule == "silent-except"]
         assert [v.line for v in violations] == [4]
+
+    def test_blocking_service_call_in_async_handler(self, invariants,
+                                                    fixture_repo):
+        root = fixture_repo("src/repro/server/app.py", """\
+            class App:
+                def __init__(self, service):
+                    self.service = service
+
+                async def handle_query(self, text):
+                    return self.service.query(text)
+            """)
+        violations = [v for v in invariants.run_checks(root)
+                      if v.rule == "server-nonblocking"]
+        assert len(violations) == 1
+        assert ".query()" in violations[0].message
+
+    def test_executor_offload_is_clean(self, invariants, fixture_repo):
+        root = fixture_repo("src/repro/server/app.py", """\
+            import asyncio
+            from functools import partial
+
+            class App:
+                def __init__(self, service):
+                    self.service = service
+
+                async def handle_query(self, text):
+                    loop = asyncio.get_running_loop()
+                    return await loop.run_in_executor(
+                        None, partial(self.service.query, text))
+
+                async def handle_metrics(self):
+                    def collect():
+                        return self.service.stats_snapshot()
+                    loop = asyncio.get_running_loop()
+                    return await loop.run_in_executor(None, collect)
+
+                async def handle_lambda(self, text):
+                    loop = asyncio.get_running_loop()
+                    return await loop.run_in_executor(
+                        None, lambda: self.service.answer(text))
+            """)
+        assert [v for v in invariants.run_checks(root)
+                if v.rule == "server-nonblocking"] == []
+
+    def test_bare_service_name_call_flagged(self, invariants, fixture_repo):
+        root = fixture_repo("src/repro/server/worker.py", """\
+            async def flush(service, relation, rows):
+                return service.add_rows(relation, rows)
+            """)
+        violations = [v for v in invariants.run_checks(root)
+                      if v.rule == "server-nonblocking"]
+        assert len(violations) == 1
+        assert ".add_rows()" in violations[0].message
+
+    def test_rule_scoped_to_server_package(self, invariants, fixture_repo):
+        # The same shape outside src/repro/server is not this rule's business.
+        root = fixture_repo("src/repro/core/other.py", """\
+            async def helper(service):
+                return service.query("SELECT 1")
+            """)
+        assert [v for v in invariants.run_checks(root)
+                if v.rule == "server-nonblocking"] == []

@@ -29,6 +29,15 @@ Rules (see tools/README.md for how to add one):
     ``pass``/``...`` needs an inline ``#`` comment justifying the swallow
     (or should be narrowed / made to re-raise).
 
+``server-nonblocking``
+    HTTP handlers in ``src/repro/server`` never call a blocking
+    ``ServiceAPI`` method (``query``, ``add_rows``, ``stats_snapshot``, …)
+    directly inside an ``async def`` body — every such call must be routed
+    through ``loop.run_in_executor`` (reference the method, don't call it)
+    or through the write worker, or the event loop stalls every connection
+    behind one query.  Synchronous closures defined inside a coroutine are
+    exempt: they are the executor-offload idiom.
+
 Usage: ``python tools/check_invariants.py [--root REPO_ROOT]``.
 Exits 0 when clean, 1 with one ``path:line: [rule] message`` per violation.
 """
@@ -285,7 +294,8 @@ def check_kernel_fallbacks(root: str) -> list[Violation]:
 # ---------------------------------------------------------------------------
 
 #: Packages where exception swallowing must be justified.
-_SERVING_PACKAGES = ("src/repro/engine", "src/repro/core", "src/repro/data")
+_SERVING_PACKAGES = ("src/repro/engine", "src/repro/core", "src/repro/data",
+                     "src/repro/server")
 
 
 def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
@@ -334,6 +344,72 @@ def check_silent_excepts(root: str) -> list[Violation]:
 
 
 # ---------------------------------------------------------------------------
+# Rule: server-nonblocking
+# ---------------------------------------------------------------------------
+
+_SERVER_PACKAGE = ("src/repro/server",)
+
+#: ServiceAPI methods that block (take service locks, run plans, touch
+#: storage).  Calling one on the event loop stalls every connection.
+_BLOCKING_SERVICE_METHODS = frozenset({
+    "query", "answer", "prepare", "add_row", "add_rows", "writing",
+    "register_view", "unregister_view", "view", "views", "stats_snapshot",
+    "cache_info", "execution_counts", "table_stats", "close",
+})
+
+
+def _is_service_rooted(node: ast.AST) -> bool:
+    """``service.<m>`` / ``self.service.<m>`` / ``<x>.service.<m>`` receivers."""
+    return (isinstance(node, ast.Name) and node.id == "service") \
+        or (isinstance(node, ast.Attribute) and node.attr == "service")
+
+
+class _AsyncBlockingCallChecker(ast.NodeVisitor):
+    """Flags direct blocking service calls in one async function's body.
+
+    Nested ``def``/``lambda`` scopes are skipped: a synchronous closure
+    defined inside a coroutine is the executor-offload idiom (its body runs
+    via ``run_in_executor``, not on the loop).  Nested ``async def`` scopes
+    are checked on their own by the outer walk.
+    """
+
+    def __init__(self, rel_path: str) -> None:
+        self.rel_path = rel_path
+        self.violations: list[Violation] = []
+
+    def _skip(self, node: ast.AST) -> None:
+        del node  # a nested scope: not this coroutine's loop-side body
+
+    visit_FunctionDef = _skip
+    visit_AsyncFunctionDef = _skip
+    visit_Lambda = _skip
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) \
+                and func.attr in _BLOCKING_SERVICE_METHODS \
+                and _is_service_rooted(func.value):
+            self.violations.append(Violation(
+                self.rel_path, node.lineno, "server-nonblocking",
+                f"blocking service call .{func.attr}() on the event loop; "
+                "route it through run_in_executor or the write worker"))
+        self.generic_visit(node)
+
+
+def check_server_nonblocking(root: str) -> list[Violation]:
+    violations: list[Violation] = []
+    for _path, rel_path, tree in _walk_sources(root, _SERVER_PACKAGE):
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            checker = _AsyncBlockingCallChecker(rel_path)
+            for stmt in node.body:
+                checker.visit(stmt)
+            violations.extend(checker.violations)
+    return violations
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -342,6 +418,7 @@ ALL_RULES = (
     check_shm_finalizers,
     check_kernel_fallbacks,
     check_silent_excepts,
+    check_server_nonblocking,
 )
 
 
