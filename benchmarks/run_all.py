@@ -49,6 +49,7 @@ _BACKEND_LABELS = {
     "E6-process-scatter-gather": "process",
     "K1-kernel-microbench": "kernel",
     "E9-async-serving": "server",
+    "E10-sharded-ivm": "sharded-view",
 }
 
 
@@ -152,6 +153,16 @@ def _run_e9(smoke: bool) -> list[dict]:
     return [artifact]
 
 
+def _run_e10(smoke: bool) -> list[dict]:
+    import bench_e10_sharded_ivm
+
+    artifact = bench_e10_sharded_ivm.run_experiment(smoke=smoke)
+    failures = bench_e10_sharded_ivm.check_gates(artifact)
+    if failures:
+        raise SystemExit("E10 gate failed:\n" + "\n".join(failures))
+    return [artifact]
+
+
 def _run_k1(smoke: bool) -> list[dict]:
     import bench_k1_kernels
 
@@ -170,6 +181,7 @@ SUITES = {
     "e5": _run_e5,
     "e6": _run_e6,
     "e9": _run_e9,
+    "e10": _run_e10,
     "k1": _run_k1,
 }
 

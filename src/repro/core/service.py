@@ -247,7 +247,7 @@ class MaterializedView:
             return self._rebuild_locked()
         changed = set()
         for rel in self._base_rels:
-            if db.relation(rel).version > self._anchors.get(rel, -1):
+            if db.relation_version(rel) > self._anchors.get(rel, -1):
                 changed.add(rel)
         if not changed:
             # Writes elsewhere in the database: output cannot have changed.
@@ -338,7 +338,7 @@ class MaterializedView:
     def _finish_publish(self, db: Database, relation: Relation,
                         warnings: tuple[str, ...]) -> None:
         self._warnings = warnings
-        self._anchors = {rel: db.relation(rel).version
+        self._anchors = {rel: db.relation_version(rel)
                          for rel in self._base_rels}
         self._structure_version = db.structure_version
         self._relation = relation.freeze()
@@ -530,13 +530,24 @@ class QueryService(ServiceBase):
                 raise ViewConflictError(
                     f"a view named {view_name!r} already exists",
                     detail={"name": view_name})
-            view = MaterializedView(self, view_name, text, resolved,
-                                    fingerprint, refresh)
+            view = self._make_view(view_name, text, resolved, fingerprint,
+                                   refresh)
             view.refreshes += 1
             view._rebuild_locked()  # initial materialization
             self._views[fingerprint] = view
             self._views_by_name[view_name] = view
             return view
+
+    def _make_view(self, name: str, text: str, language: str,
+                   fingerprint: str, refresh: str) -> MaterializedView:
+        """Construct the (unmaterialized) view object for :meth:`register_view`.
+
+        :class:`~repro.core.sharded_service.ShardedQueryService` overrides
+        this to substitute its shard-aware view class; the registration
+        bookkeeping above is shared.
+        """
+        return MaterializedView(self, name, text, language, fingerprint,
+                                refresh)
 
     def view(self, name: str) -> MaterializedView:
         """Look up a registered view by name.

@@ -31,8 +31,11 @@ surface:
 Several error classes deliberately multiple-inherit the stdlib type the
 services historically raised (``ValueError`` for an unknown language or a
 view conflict, ``KeyError`` for an unknown view, ``NotImplementedError``
-for views on a sharded service), so existing callers catching the stdlib
-type keep working while protocol layers catch :class:`ServiceError`.
+for genuinely unsupported operations), so existing callers catching the
+stdlib type keep working while protocol layers catch
+:class:`ServiceError`.  The view surface itself — register / list /
+refresh / unregister, plus the 409 conflict and 404 unknown-view
+contracts — behaves identically on single-node and sharded services.
 """
 
 from __future__ import annotations
@@ -44,7 +47,8 @@ from typing import Any, Iterable, Protocol, Sequence, runtime_checkable
 from repro.data.relation import Relation, Row
 
 #: Version token of one answer: the scalar database version (single node)
-#: or the ``(structure, v0, v1, ...)`` shard-version vector (sharded).
+#: or the ``(generation, structure, v0, v1, ...)`` shard-version vector
+#: (sharded; the leading epoch changes on reshard).
 VersionToken = "int | tuple[int, ...]"
 
 
@@ -310,6 +314,10 @@ class ServiceAPI(Protocol):
 
     def unregister_view(self, view: Any) -> None:
         """Drop a view by handle or name."""
+        ...
+
+    def view(self, name: str) -> Any:
+        """Look up a registered view by name (raises unknown-view)."""
         ...
 
     def views(self) -> tuple[Any, ...]:

@@ -104,6 +104,15 @@ class Database:
     def __getitem__(self, name: str) -> Relation:
         return self.relation(name)
 
+    def relation_version(self, name: str) -> int:
+        """The version of one relation, without materializing read views.
+
+        Equivalent to ``self.relation(name).version`` here; sharded
+        databases override it to sum per-shard versions so version probes
+        stay O(shards) instead of rebuilding the merged relation.
+        """
+        return self.relation(name).version
+
     def index_on(self, relation: str, attribute: str) -> Mapping[Any, list]:
         """A per-attribute hash index of one relation (cached by the relation)."""
         return self.relation(relation).index_on(attribute)

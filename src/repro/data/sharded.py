@@ -311,6 +311,19 @@ class ShardedDatabase(Database):
             raise SchemaError(f"database has no relation {name!r}")
         return self._merged_relation(key)
 
+    def relation_version(self, name: str) -> int:
+        """The merged view's version without building the merged view.
+
+        The merged relation is stamped with the sum of per-shard versions
+        (see :meth:`_merged_relation`), so version-tagged consumers — view
+        anchors, cache stamps — can probe staleness in O(shards) instead
+        of paying a full row copy per check.
+        """
+        key = name.lower()
+        if key not in self._shard_keys:
+            raise SchemaError(f"database has no relation {name!r}")
+        return sum(s.relation(key).version for s in self._shards)
+
     def __contains__(self, name: object) -> bool:
         return isinstance(name, str) and name.lower() in self._shard_keys
 
@@ -557,10 +570,19 @@ def reshard(db: Database, n_shards: int,
 
     The one-call entry point for rebalancing experiments: reads the merged
     view of ``db`` and hash-partitions it afresh.  Carried shard keys from
-    an existing :class:`ShardedDatabase` are preserved unless overridden.
+    an existing :class:`ShardedDatabase` are preserved unless overridden —
+    including keys *requested* for relations not currently present, so a
+    relation re-added after the reshard keeps its intended key.
+
+    This function only builds data; a serving tier resharding under live
+    traffic should go through
+    :meth:`~repro.core.sharded_service.ShardedQueryService.reshard`, which
+    wraps this in the write lock, bumps the cache generation epoch, and
+    rematerializes registered views against the new layout.
     """
     keys: dict[str, str | Sequence[str]] = {}
     if isinstance(db, ShardedDatabase):
+        keys.update(db._requested_keys)
         keys.update(db._shard_keys)
     if shard_keys:
         keys.update({name.lower(): attrs for name, attrs in shard_keys.items()})

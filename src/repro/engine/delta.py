@@ -745,8 +745,21 @@ class DatalogMaintainer(ViewMaintainer):
                     f"delta log of {pred} no longer covers version {since}"
                 )
             deltas[pred] = delta
+        self.apply_edb_deltas(db, deltas)
+
+    def apply_edb_deltas(self, db: Database,
+                         deltas: Mapping[str, Iterable[Row]]) -> None:
+        """Resume semi-naive evaluation from precomputed EDB deltas.
+
+        The sharded serving layer uses this directly: merged views over a
+        sharded database are rebuilt frozen copies with no usable logs, so
+        the per-relation deltas are gathered from the shard-local logs
+        (the union of per-shard appends *is* the merged delta — facts are
+        sets) and handed in here, while ``db`` supplies the full current
+        relations the resumed fixpoint joins against.
+        """
         self._facts = compute_datalog_facts(
-            self.program, db, seed_facts=self._facts, edb_deltas=deltas)
+            self.program, db, seed_facts=self._facts, edb_deltas=dict(deltas))
 
     def rows(self) -> list[Row]:
         rows = self._facts.get(self.query, set())

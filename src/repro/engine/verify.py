@@ -69,11 +69,13 @@ __all__ = [
     "PlanVerificationError",
     "maybe_verify",
     "maybe_verify_sharded",
+    "maybe_verify_sharded_view",
     "reset_verification_counts",
     "verification_counts",
     "verification_enabled",
     "verify_plan",
     "verify_sharded_plan",
+    "verify_sharded_view_plan",
 ]
 
 
@@ -632,12 +634,14 @@ class _ShardChecker:
 
     def __init__(self, sharded: Any, rule: "str | None",
                  root: Plan, root_prereduced: bool,
-                 partial_root: "Plan | None") -> None:
+                 partial_root: "Plan | None",
+                 allow_delta: bool = False) -> None:
         self.sharded = sharded
         self.rule = rule
         self.root = root
         self.root_prereduced = root_prereduced
         self.partial_root = partial_root
+        self.allow_delta = allow_delta
         self.broadcast_suffix = _broadcast_suffix()
 
     def fail(self, node: Plan, message: str) -> PlanVerificationError:
@@ -658,8 +662,35 @@ class _ShardChecker:
                         for attr in shard_key)
             return _ShardDerivation(key, True)
         if isinstance(plan, DeltaScanP):
-            raise self.fail(plan, "delta scans cannot appear in a scatter "
-                            "subplan (per-shard logs do not exist)")
+            # Backend scatter plans execute against the rebuilt merged
+            # views, which have no delta logs; view-maintenance scatter
+            # plans (``rule="sharded_view"``) execute against the *live*
+            # shard-local relations, whose logs are real — a delta window
+            # there is a subset of the shard's partition and carries the
+            # same shard-key classes as a full scan.  Broadcast aliases are
+            # rebuilt merged copies either way: never a valid delta source.
+            name = plan.relation
+            if name.lower().endswith(self.broadcast_suffix):
+                if self.allow_delta and plan.mode == "asof":
+                    # The "old state" of an unwritten broadcast alias is its
+                    # full current contents — same rows on every shard,
+                    # exactly like a broadcast scan.
+                    return _ShardDerivation(None, False)
+                raise self.fail(plan, "delta window on a broadcast alias "
+                                "(rebuilt merged copies have no delta log)")
+            if not self.allow_delta:
+                raise self.fail(plan, "delta scans cannot appear in a "
+                                "scatter subplan (request execution reads "
+                                "the merged views, which have no logs)")
+            try:
+                schema = self.sharded.shard(0).relation(name).schema
+                shard_key = self.sharded.shard_key(name.lower())
+            except Exception as exc:
+                raise self.fail(plan, f"delta scan of unknown relation "
+                                f"{name!r}: {exc}") from exc
+            key = tuple(frozenset((schema.index_of(attr),))
+                        for attr in shard_key)
+            return _ShardDerivation(key, True)
         if isinstance(plan, FilterP):
             return self.derive(plan.input)
         if isinstance(plan, ProjectP):
@@ -940,6 +971,62 @@ def verify_sharded_plan(compiled: Any, sharded: Any,
                                f"of range for {sharded.n_shards} shards")
 
 
+def verify_sharded_view_plan(compiled: Any, sharded: Any,
+                             *, rule: "str | None" = "sharded_view") -> None:
+    """Certify one :class:`~repro.engine.sharded.ShardedViewPlan`.
+
+    Shard-aware view maintenance executes its scatter plans against the
+    **live** shard-local relations (not the rebuilt merged views), so —
+    unlike request-time scatter plans — its delta-term plans legitimately
+    contain delta scans.  This certifies:
+
+    * the maintained scatter plan type-checks against the shard-local +
+      broadcast-alias schemas and reads at least one shard-local relation;
+    * the independently re-derived distribution is sound (per-shard DISTINCT
+      pre-reductions and partial aggregates are exempt from the
+      co-partitioning requirement — their gather re-reduces globally);
+    * a split aggregate's partial layout matches the original's exactly
+      (AVG = SUM + COUNT, trailing ``__rows`` presence counter);
+    * every **delta-term scatter plan** whose delta window targets a
+      shard-local relation derives soundly too, with asof windows on
+      broadcast aliases accepted and delta windows on them rejected
+      (broadcast terms are compiled but must never activate — a broadcast
+      write re-initializes the per-shard state instead).
+    """
+    from repro.engine.delta import (
+        delta_terms,
+        hoist_projections,
+        term_delta_relation,
+    )
+
+    scatter, core = compiled.scatter, compiled.core
+    checker = _ShardChecker(
+        sharded, rule, scatter,
+        root_prereduced=compiled.kind == "distinct",
+        partial_root=scatter if compiled.combine is not None else None,
+        allow_delta=True)
+    schemas = _shard_schemas(compiled, sharded)
+    verify_plan(scatter, schemas, rule=rule)
+    derived = checker.derive(scatter)
+    if not derived.scattered:
+        raise checker.fail(scatter, "view scatter plan reads no shard-local "
+                           "relation (should have degraded to rebuild)")
+    if compiled.combine is not None:
+        _check_aggregate_split(checker, compiled)
+    elif compiled.kind == "aggregate":
+        raise checker.fail(scatter, "aggregate view core compiled without a "
+                           "partial→final combine")
+    suffix = _broadcast_suffix()
+    for term in delta_terms(hoist_projections(compiled.delta_input)):
+        if term_delta_relation(term).endswith(suffix):
+            # Broadcast-anchored terms never activate (the maintainer
+            # re-initializes on broadcast writes); their plans were already
+            # type-checked at construction by the ``delta_terms`` rule.
+            continue
+        verify_plan(term, schemas, rule=rule)
+        checker.derive(term)
+
+
 # ---------------------------------------------------------------------------
 # Debug-mode hooks and counters
 # ---------------------------------------------------------------------------
@@ -997,6 +1084,19 @@ def maybe_verify_sharded(compiled: Any, sharded: Any,
     if verification_enabled():
         try:
             verify_sharded_plan(compiled, sharded, rule=rule)
+        except PlanVerificationError:
+            _bump("plans_failed")
+            raise
+        _bump("plans_verified")
+    return compiled
+
+
+def maybe_verify_sharded_view(compiled: Any, sharded: Any,
+                              *, rule: "str | None" = "sharded_view") -> Any:
+    """Debug-mode hook for :class:`ShardedViewPlan` construction."""
+    if verification_enabled():
+        try:
+            verify_sharded_view_plan(compiled, sharded, rule=rule)
         except PlanVerificationError:
             _bump("plans_failed")
             raise

@@ -13,6 +13,7 @@ and process-backend deployments.  Endpoints:
 ``/views``        POST    ``{"text", "name"?, "refresh"?}`` → view info
 ``/views``        GET     all registered views' info
 ``/views/{name}`` DELETE  unregister
+``/views/{name}/refresh``  POST  force a catch-up now → view info
 ``/metrics``      GET     flat JSON counters (stats, caches, execution,
                           verification, admission, write worker)
 ``/health``       GET     liveness probe (never sheds)
@@ -193,6 +194,9 @@ class ServingApp:
         elif len(parts) == 2 and parts[0] == "views":
             by_method = {"DELETE": (self._handle_delete_view, True)}
             args = (parts[1],)
+        elif len(parts) == 3 and parts[0] == "views" and parts[2] == "refresh":
+            by_method = {"POST": (self._handle_refresh_view, True)}
+            args = (parts[1],)
         else:
             matched = routes.get(parts)
             if matched is None:
@@ -264,6 +268,16 @@ class ServingApp:
                                   name: str) -> tuple[Any, int]:
         await self._call(self.service.unregister_view, name)
         return {"deleted": name}, 200
+
+    async def _handle_refresh_view(self, request: protocol.Request,
+                                   name: str) -> tuple[Any, int]:
+        def refresh() -> dict[str, Any]:
+            # Runs in the executor: lookup + catch-up take service locks.
+            view = self.service.view(name)
+            view.refresh()
+            return self._view_payload(view)
+
+        return await self._call(refresh), 200
 
     async def _handle_metrics(self,
                               request: protocol.Request) -> tuple[Any, int]:

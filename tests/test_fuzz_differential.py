@@ -310,3 +310,95 @@ def test_backends_agree_on_optimized_plans(case):
             f"row(raw)={sorted(reference.items())}\n"
             f"{name}={sorted(bag.items())}"
         )
+
+
+# ---------------------------------------------------------------------------
+# Sharded materialized views: maintained ≡ freshly recomputed, always
+# ---------------------------------------------------------------------------
+#
+# The leg above fuzzes *plans*; this one fuzzes *histories*.  A random
+# subset of the catalog views is registered on a sharded service, then a
+# random stream of routed inserts (single rows and batches) — with a
+# reshard to a random shard count dropped mid-stream — is applied, and
+# after every operation every view's maintained answer must be bag-equal
+# to a fresh recompute of the same query over the same logical contents
+# (a plain single-node service absorbing the identical write stream).
+# Divergence at any version means a maintenance bug: a missed delta, a
+# stale broadcast alias, a partial combined wrong, or a reshard that
+# leaked old-layout state.
+
+_SAILORS_WRITES = {
+    "Sailors": lambda draw: (draw(st.integers(100, 140)),
+                             draw(st.sampled_from(["uma", "viv", "wes"])),
+                             draw(st.integers(1, 10)),
+                             float(draw(st.integers(18, 60)))),
+    "Reserves": lambda draw: (draw(st.integers(22, 95)),
+                              draw(st.integers(101, 104)),
+                              f"2025/08/{draw(st.integers(1, 28)):02d}"),
+    "Boats": lambda draw: (draw(st.integers(105, 120)),
+                           draw(st.sampled_from(["Lark", "Mist", "Gale"])),
+                           draw(st.sampled_from(["red", "green", "blue"]))),
+}
+
+
+@st.composite
+def view_history(draw):
+    from repro.queries import CANONICAL_QUERIES
+
+    picks = draw(st.lists(
+        st.tuples(st.integers(0, len(CANONICAL_QUERIES) - 1),
+                  st.sampled_from(["SQL", "RA", "Datalog"])),
+        min_size=1, max_size=3, unique=True))
+    views = [(CANONICAL_QUERIES[i].languages()[lang], lang.lower())
+             for i, lang in picks]
+    n_ops = draw(st.integers(min_value=3, max_value=6))
+    ops = []
+    for _ in range(n_ops):
+        relation = draw(st.sampled_from(sorted(_SAILORS_WRITES)))
+        make = _SAILORS_WRITES[relation]
+        batch = draw(st.booleans())
+        rows = [make(draw) for _ in range(draw(st.integers(2, 4)) if batch
+                                          else 1)]
+        ops.append((relation, rows, batch))
+    reshard_at = draw(st.integers(min_value=0, max_value=n_ops))
+    reshard_to = draw(st.integers(min_value=1, max_value=4))
+    return views, ops, reshard_at, reshard_to
+
+
+@settings(max_examples=max(8, settings().max_examples // 5), **_COMMON)
+@given(case=view_history())
+def test_sharded_views_track_fresh_recompute(case):
+    from repro.core import QueryService, ShardedQueryService
+    from repro.data import sailors_database
+
+    views, ops, reshard_at, reshard_to = case
+    plain = QueryService(sailors_database())
+    service = ShardedQueryService(sailors_database(), n_shards=2)
+    handles = [(service.register_view(text, language=language), text,
+                language) for text, language in views]
+
+    def check(moment):
+        for view, text, language in handles:
+            fresh = plain.answer(text, language=language)
+            assert view.answer().bag_equal(fresh), (
+                f"view {text!r} ({language}) diverged {moment}: "
+                f"maintained={sorted(view.answer().rows())} "
+                f"fresh={sorted(fresh.rows())}")
+
+    check("at registration")
+    for step, (relation, rows, batch) in enumerate(ops):
+        if step == reshard_at:
+            service.reshard(reshard_to)
+            check(f"after reshard to {reshard_to}")
+        if batch:
+            service.add_rows(relation, rows)
+            plain.add_rows(relation, rows)
+        else:
+            service.add_row(relation, rows[0])
+            plain.add_row(relation, rows[0])
+        check(f"after write #{step} to {relation}")
+    if reshard_at == len(ops):
+        service.reshard(reshard_to)
+        check(f"after trailing reshard to {reshard_to}")
+    service.close()
+    plain.close()

@@ -180,6 +180,63 @@ class TestHTTPDifferential:
             assert wire[key] == local[key]
 
 
+class TestViewLifecycleHTTP:
+    """register / list / refresh / delete over the wire, both services.
+
+    The sharded service used to reject every ``/views`` request with 400
+    unsupported; since shard-aware view maintenance landed the lifecycle —
+    and the error contracts — are identical on both services.
+    """
+
+    @pytest.fixture(params=["base", "sharded"])
+    def server_pair(self, request, base_server, sharded_server):
+        return base_server if request.param == "base" else sharded_server
+
+    def test_full_lifecycle(self, server_pair):
+        service, server = server_pair
+        sql = "SELECT R.bid, COUNT(*) AS n FROM Reserves R GROUP BY R.bid"
+        client = Client(server.port)
+        with closing(client):
+            status, _h, info = client.request(
+                "POST", "/views", {"text": sql, "name": "per_boat"})
+            assert status == 200, info
+            assert info["name"] == "per_boat"
+            assert info["rows"] > 0
+
+            status, _h, listed = client.request("GET", "/views")
+            assert status == 200
+            assert "per_boat" in [v["name"] for v in listed["views"]]
+
+            # Queries for the registered text are served from the view.
+            hits_before = service.cache_info()["view_hits"]
+            status, _h, payload = client.request("POST", "/query",
+                                                 {"text": sql})
+            assert status == 200
+            assert service.cache_info()["view_hits"] == hits_before + 1
+
+            # A write stales the view; the refresh endpoint catches it up.
+            status, _h, _p = client.request(
+                "POST", "/write",
+                {"relation": "Reserves", "row": [58, 103, "2025/07/09"]})
+            assert status == 200
+            status, _h, refreshed = client.request(
+                "POST", "/views/per_boat/refresh")
+            assert status == 200, refreshed
+            assert refreshed["current"] is True
+            assert refreshed["refreshes"] >= info["refreshes"] + 1
+            wire_rows = sorted(tuple(r) for r in (
+                client.request("POST", "/query", {"text": sql})[2]["rows"]))
+            assert wire_rows == sorted(
+                service.answer(sql).rows())
+
+            status, _h, deleted = client.request("DELETE",
+                                                 "/views/per_boat")
+            assert status == 200
+            assert deleted == {"deleted": "per_boat"}
+            status, _h, listed = client.request("GET", "/views")
+            assert "per_boat" not in [v["name"] for v in listed["views"]]
+
+
 class TestErrorPaths:
     """Every ServiceError code crosses the wire with its HTTP status."""
 
@@ -248,11 +305,31 @@ class TestErrorPaths:
         assert status == 409
         assert payload["error"]["code"] == "view_conflict"
 
-    def test_unsupported_400_on_sharded_views(self, sharded_server):
-        _service, server = sharded_server
-        status, _h, error = self._error(server, "POST", "/views",
-                                        {"text": COUNT_SQL})
-        assert (status, error["code"]) == (400, "unsupported")
+    def test_view_error_contracts_match_across_services(self, base_server,
+                                                        sharded_server):
+        # The 409 conflict and 404 unknown-view contracts are identical on
+        # both services (regression: the sharded service used to answer
+        # every /views request with 400 unsupported).
+        for _service, server in (base_server, sharded_server):
+            client = Client(server.port)
+            with closing(client):
+                status, _h, _p = client.request(
+                    "POST", "/views", {"text": COUNT_SQL, "name": "parity"})
+                assert status == 200
+                status, _h, payload = client.request(
+                    "POST", "/views", {"text": FALLBACK_SQL,
+                                       "name": "parity"})
+                assert status == 409
+                assert payload["error"]["code"] == "view_conflict"
+                client.request("DELETE", "/views/parity")
+                status, _h, payload = client.request(
+                    "DELETE", "/views/parity")
+                assert status == 404
+                assert payload["error"]["code"] == "unknown_view"
+                status, _h, payload = client.request(
+                    "POST", "/views/parity/refresh")
+                assert status == 404
+                assert payload["error"]["code"] == "unknown_view"
 
     def test_invalid_request_shapes_400(self, base_server):
         _service, server = base_server
@@ -345,6 +422,9 @@ class _SlowStubService:
         raise NotImplementedError("stub")
 
     def unregister_view(self, view):
+        raise NotImplementedError("stub")
+
+    def view(self, name):
         raise NotImplementedError("stub")
 
     def views(self):

@@ -6,10 +6,11 @@ Rules (see tools/README.md for how to add one):
 
 ``lock-guarded-cache``
     Shared mutable caches — the serving layer's ``_LRUCache`` data, the
-    optimizer's ``StatsCatalog`` profile cache, and the kernel layer's
-    module-level build-structure LRU — may only be mutated inside a ``with
-    <their lock>:`` block (class ``__init__`` excepted: the object is not
-    shared yet).
+    optimizer's ``StatsCatalog`` profile cache, the kernel layer's
+    module-level build-structure LRU, and the query service's materialized-
+    view registry (``_views`` / ``_views_by_name``) — may only be mutated
+    inside a ``with <their lock>:`` block (class ``__init__`` excepted: the
+    object is not shared yet).
 
 ``shm-finalizer``
     Any module creating ``multiprocessing.shared_memory`` segments
@@ -83,6 +84,11 @@ CACHE_RULES: tuple[tuple[str, str, frozenset, str], ...] = (
      frozenset({"_cache"}), "_lock"),
     ("src/repro/engine/kernels.py", "module",
      frozenset({"_CACHE", "_CACHE_BYTES", "_CACHE_TOTALS"}), "_CACHE_LOCK"),
+    # The view registry: registration, unregistration, and every refresh
+    # mutate maintained state that lock-free readers validate by version,
+    # so all registry mutations must hold the service write lock.
+    ("src/repro/core/service.py", "class:QueryService",
+     frozenset({"_views", "_views_by_name"}), "_write_lock"),
 )
 
 
